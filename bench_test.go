@@ -1,0 +1,609 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md §3.
+// The paper's evaluation is architectural (Figures 1-5, no quantitative
+// tables), so each figure is reproduced as an executable scenario and the
+// benchmarks measure the costs the design implies: metadata overhead,
+// derivation vs retrieval vs memoisation, planner scaling, and the
+// storage substrate. EXPERIMENTS.md records the measured numbers.
+package gaea
+
+import (
+	"fmt"
+	"testing"
+
+	"gaea/internal/adt"
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/filegis"
+	"gaea/internal/imgops"
+	"gaea/internal/object"
+	"gaea/internal/petri"
+	"gaea/internal/process"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/storage"
+	"gaea/internal/value"
+)
+
+// ---------- shared fixtures ----------
+
+const p20Bench = `
+DEFINE PROCESS unsupervised_classification (
+  OUTPUT C20 landcover
+  ARGUMENT ( SETOF bands landsat_tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card ( bands ) = 3;
+      common ( bands.spatialextent );
+      common ( bands.timestamp );
+    MAPPINGS:
+      C20.data = unsuperclassify ( composite ( bands.data ), 12 );
+      C20.numclass = 12;
+      C20.spatialextent = ANYOF bands.spatialextent;
+      C20.timestamp = ANYOF bands.timestamp;
+  }
+)`
+
+const changeMapBench = `
+DEFINE PROCESS change_map (
+  OUTPUT out land_cover_changes
+  ARGUMENT ( a landcover )
+  ARGUMENT ( b landcover )
+  TEMPLATE {
+    ASSERTIONS:
+      common ( a.spatialextent );
+    MAPPINGS:
+      out.data = img_subtract ( b.data, a.data );
+      out.spatialextent = a.spatialextent;
+      out.timestamp = b.timestamp;
+  }
+)`
+
+const lcdBench = `
+DEFINE COMPOUND PROCESS land_change_detection (
+  OUTPUT out land_cover_changes
+  ARGUMENT ( SETOF tm1 landsat_tm )
+  ARGUMENT ( SETOF tm2 landsat_tm )
+  STEPS {
+    lc1 = unsupervised_classification ( tm1 );
+    lc2 = unsupervised_classification ( tm2 );
+    out = change_map ( lc1, lc2 );
+  }
+)`
+
+func benchKernel(b *testing.B) *Kernel {
+	b.Helper()
+	k, err := Open(b.TempDir(), Options{NoSync: true, User: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { k.Close() })
+	for _, c := range []*catalog.Class{
+		{
+			Name: "landsat_tm", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{
+				{Name: "band", Type: value.TypeString},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+			Attrs: []catalog.Attr{
+				{Name: "numclass", Type: value.TypeInt},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "land_cover_changes", Kind: catalog.KindDerived, DerivedBy: "change_map",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	} {
+		if err := k.DefineClass(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, src := range []string{p20Bench, changeMapBench, lcdBench} {
+		if _, err := k.DefineProcess(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return k
+}
+
+// benchScene generates 3 co-registered bands of the given size.
+func benchScene(b *testing.B, size, year int) []*raster.Image {
+	b.Helper()
+	l := raster.NewLandscape(99)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: size, Cols: size, DayOfYear: 170, Year: year, Noise: 0.01}
+	imgs, err := l.GenerateScene(spec, []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return imgs
+}
+
+func loadBenchScene(b *testing.B, k *Kernel, size, year int) []object.OID {
+	b.Helper()
+	imgs := benchScene(b, size, year)
+	day := sptemp.Date(year, 6, 19)
+	box := sptemp.NewBox(0, 0, float64(size*30), float64(size*30))
+	var oids []object.OID
+	for i, img := range imgs {
+		oid, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(fmt.Sprintf("b%d", i)),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+func anyPredBench() sptemp.Extent {
+	return sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}
+}
+
+// ---------- F1: Figure 1, end-to-end kernel pipeline ----------
+
+// BenchmarkFig1KernelPipeline measures the full kernel path of Figure 1:
+// store a scene object (catalog check, blob offload, WAL, index) and
+// answer a point query for it.
+func BenchmarkFig1KernelPipeline(b *testing.B) {
+	k := benchKernel(b)
+	imgs := benchScene(b, 32, 1986)
+	day := sptemp.Date(1986, 6, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		box := sptemp.NewBox(float64(i*1000), 0, float64(i*1000+960), 960)
+		oid, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_("red"),
+				"data": value.Image{Img: imgs[0]},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits, err := k.Objects.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, box))
+		if err != nil || len(hits) == 0 || hits[len(hits)-1] != oid {
+			b.Fatalf("query lost object: %v, %v", hits, err)
+		}
+	}
+}
+
+// ---------- F2: Figure 2, three-layer concept resolution ----------
+
+// BenchmarkFig2ConceptResolution builds the Figure 2 scenario (concept
+// hierarchy over derived classes) and measures resolving a concept query
+// through the high-level layer to stored objects.
+func BenchmarkFig2ConceptResolution(b *testing.B) {
+	k := benchKernel(b)
+	// Desert-style hierarchy over the landcover class.
+	if err := k.DefineConcept(&concept.Concept{Name: "land cover", Classes: []string{"landcover"}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.DefineConcept(&concept.Concept{Name: "specialised cover", Parents: []string{"land cover"}, Classes: []string{"land_cover_changes"}}); err != nil {
+		b.Fatal(err)
+	}
+	scene := loadBenchScene(b, k, 32, 1986)
+	if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Concept: "land cover", Pred: anyPredBench()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := k.Query(req)
+		if err != nil || len(res.OIDs) == 0 {
+			b.Fatalf("concept query failed: %v", err)
+		}
+	}
+}
+
+// ---------- F3: Figure 3, process P20 ----------
+
+// BenchmarkFig3UnsupervisedClassification measures P20 over scene sizes,
+// both as a direct operator call and through the full process template
+// (assertion checks + mapping evaluation + object storage), so the
+// metadata overhead is visible as the delta.
+func BenchmarkFig3UnsupervisedClassification(b *testing.B) {
+	for _, size := range []int{32, 64, 128} {
+		bands := benchScene(b, size, 1986)
+		b.Run(fmt.Sprintf("direct/%dx%d", size, size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := imgops.Unsuperclassify(bands, 12, imgops.ClassifyOptions{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("process/%dx%d", size, size), func(b *testing.B) {
+			k := benchKernel(b)
+			scene := loadBenchScene(b, k, size, 1986)
+			in := map[string][]object.OID{"bands": scene}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- F4: Figure 4, PCA compound operator network ----------
+
+// BenchmarkFig4PCANetwork compares the explicit Figure 4 dataflow network
+// against the fused PCA implementation across band counts.
+func BenchmarkFig4PCANetwork(b *testing.B) {
+	l := raster.NewLandscape(4)
+	for _, nbands := range []int{2, 4, 6} {
+		all := []raster.Band{raster.BandBlue, raster.BandGreen, raster.BandRed, raster.BandNIR, raster.BandSWIR, raster.BandThermal}
+		spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 64, Cols: 64, DayOfYear: 170, Year: 1986, Noise: 0.01}
+		bands, err := l.GenerateScene(spec, all[:nbands])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("network/bands=%d", nbands), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := imgops.PCANetwork(bands, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fused/bands=%d", nbands), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := imgops.PCA(bands, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- F5: Figure 5, compound land-change detection ----------
+
+// BenchmarkFig5LandChange measures the Figure 5 compound: cold derivation,
+// memoised re-run (Gaea's task reuse), and the file-based baseline that
+// must always recompute.
+func BenchmarkFig5LandChange(b *testing.B) {
+	const size = 48
+	b.Run("gaea/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := benchKernel(b)
+			tm1 := loadBenchScene(b, k, size, 1986)
+			tm2 := loadBenchScene(b, k, size, 1989)
+			in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
+			b.StartTimer()
+			if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gaea/memoised", func(b *testing.B) {
+		k := benchKernel(b)
+		tm1 := loadBenchScene(b, k, size, 1986)
+		tm2 := loadBenchScene(b, k, size, 1989)
+		in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
+		if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("filegis/recompute", func(b *testing.B) {
+		w, err := filegis.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, img := range benchScene(b, size, 1986) {
+			w.Import(fmt.Sprintf("tm86_%d", i), img)
+		}
+		for i, img := range benchScene(b, size, 1989) {
+			w.Import(fmt.Sprintf("tm89_%d", i), img)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The baseline has no memo: every request redoes the chain.
+			if err := w.Classify("lc86", []string{"tm86_0", "tm86_1", "tm86_2"}, 12); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Classify("lc89", []string{"tm89_0", "tm89_1", "tm89_2"}, 12); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Subtract("change", "lc89", "lc86"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------- Q1: §2.1.5 query fallback sequence ----------
+
+// BenchmarkQ1QueryFallback measures the three satisfaction paths of the
+// query sequence: direct retrieval, temporal interpolation, and full
+// derivation.
+func BenchmarkQ1QueryFallback(b *testing.B) {
+	const size = 32
+	b.Run("retrieve", func(b *testing.B) {
+		k := benchKernel(b)
+		scene := loadBenchScene(b, k, size, 1986)
+		if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		req := Request{Class: "landcover", Pred: anyPredBench()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := k.Query(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpolate", func(b *testing.B) {
+		k := benchKernel(b)
+		s1 := loadBenchScene(b, k, size, 1986)
+		s2 := loadBenchScene(b, k, size, 1988)
+		for _, s := range [][]object.OID{s1, s2} {
+			if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": s}, RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each probe at a slightly different instant forces fresh
+			// interpolation (stored exact matches would short-circuit).
+			at := sptemp.Date(1987, 6, 1).Add(0)
+			_ = at
+			pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(),
+				sptemp.Instant(sptemp.Date(1987, 6, 1)+sptemp.AbsTime(i+1)))
+			if _, err := k.Query(Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Interpolate}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("derive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := benchKernel(b)
+			loadBenchScene(b, k, size, 1986)
+			req := Request{Class: "landcover", Pred: anyPredBench()}
+			b.StartTimer()
+			if _, err := k.Query(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------- P1: §2.1.6 Petri-net planner scaling ----------
+
+// BenchmarkP1PetriPlanner measures backward chaining against derivation
+// chain depth, and abstract reachability against net width.
+func BenchmarkP1PetriPlanner(b *testing.B) {
+	for _, depth := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("chain/depth=%d", depth), func(b *testing.B) {
+			st, err := storage.Open(b.TempDir(), storage.Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			cat, _ := catalog.Open(st)
+			// c0 (base, stored) -> c1 -> ... -> cDEPTH via copy processes.
+			mk := func(i int) string { return fmt.Sprintf("c%d", i) }
+			if err := cat.Define(&catalog.Class{
+				Name: mk(0), Kind: catalog.KindBase,
+				Attrs: []catalog.Attr{{Name: "v", Type: value.TypeFloat}},
+				Frame: sptemp.DefaultFrame, HasSpatial: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			reg := adt.NewStandardRegistry()
+			obj, _ := object.Open(st, cat)
+			mgr, err := process.OpenManager(st, cat, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i <= depth; i++ {
+				if err := cat.Define(&catalog.Class{
+					Name: mk(i), Kind: catalog.KindDerived, DerivedBy: fmt.Sprintf("p%d", i),
+					Attrs: []catalog.Attr{{Name: "v", Type: value.TypeFloat}},
+					Frame: sptemp.DefaultFrame, HasSpatial: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				src := fmt.Sprintf(`
+DEFINE PROCESS p%d (
+  OUTPUT o %s
+  ARGUMENT ( x %s )
+  TEMPLATE {
+    MAPPINGS:
+      o.v = x.v;
+      o.spatialextent = x.spatialextent;
+  }
+)`, i, mk(i), mk(i-1))
+				if _, err := mgr.Define(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := obj.Insert(&object.Object{
+				Class:  mk(0),
+				Attrs:  map[string]value.Value{"v": value.Float(1)},
+				Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			pl := &petri.Planner{Cat: cat, Mgr: mgr, Obj: obj, MaxDepth: depth + 2}
+			pred := sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := pl.Plan(mk(depth), pred)
+				if err != nil || len(plan.Steps) != depth {
+					b.Fatalf("plan: %v (%d steps)", err, len(plan.Steps))
+				}
+			}
+		})
+	}
+	for _, width := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("reachability/width=%d", width), func(b *testing.B) {
+			n := petri.NewNet()
+			for i := 0; i < width; i++ {
+				err := n.AddTransition(petri.Transition{
+					Name: fmt.Sprintf("t%d", i),
+					In:   []petri.Arc{{Place: fmt.Sprintf("w%d", i), Weight: 1}},
+					Out:  fmt.Sprintf("w%d", i+1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			m := petri.Marking{"w0": 1}
+			target := fmt.Sprintf("w%d", width)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !n.CanDerive(m, target) {
+					b.Fatal("should be derivable")
+				}
+			}
+		})
+	}
+}
+
+// ---------- T1: task memoisation vs recomputation ----------
+
+// BenchmarkT1TaskMemoisation measures answering the same instantiation
+// repeatedly: Gaea's memo lookup vs forced recomputation vs the
+// file-based baseline.
+func BenchmarkT1TaskMemoisation(b *testing.B) {
+	const size = 48
+	b.Run("gaea/memo", func(b *testing.B) {
+		k := benchKernel(b)
+		scene := loadBenchScene(b, k, size, 1986)
+		in := map[string][]object.OID{"bands": scene}
+		if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, reused, err := k.RunProcess("unsupervised_classification", in, RunOptions{})
+			if err != nil || !reused {
+				b.Fatalf("memo miss: %v", err)
+			}
+		}
+	})
+	b.Run("gaea/recompute", func(b *testing.B) {
+		k := benchKernel(b)
+		scene := loadBenchScene(b, k, size, 1986)
+		in := map[string][]object.OID{"bands": scene}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("filegis/recompute", func(b *testing.B) {
+		w, err := filegis.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, img := range benchScene(b, size, 1986) {
+			w.Import(fmt.Sprintf("b%d", i), img)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Classify("lc", []string{"b0", "b1", "b2"}, 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------- S1: storage substrate ----------
+
+// BenchmarkS1Storage measures the embedded store: WAL-logged inserts,
+// point reads, and scans.
+func BenchmarkS1Storage(b *testing.B) {
+	rec := make([]byte, 256)
+	b.Run("insert", func(b *testing.B) {
+		st, err := storage.Open(b.TempDir(), storage.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Insert("bench", rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		st, err := storage.Open(b.TempDir(), storage.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		rids := make([]storage.RID, 10_000)
+		for i := range rids {
+			rid, err := st.Insert("bench", rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rids[i] = rid
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Get("bench", rids[i%len(rids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan10k", func(b *testing.B) {
+		st, err := storage.Open(b.TempDir(), storage.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < 10_000; i++ {
+			if _, err := st.Insert("bench", rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			st.Scan("bench", func(storage.RID, []byte) bool { n++; return true })
+			if n != 10_000 {
+				b.Fatalf("scan saw %d", n)
+			}
+		}
+	})
+	b.Run("task-memo-lookup", func(b *testing.B) {
+		// The metadata operation Gaea adds to every derivation request.
+		k := benchKernel(b)
+		scene := loadBenchScene(b, k, 16, 1986)
+		in := map[string][]object.OID{"bands": scene}
+		if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, reused, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil || !reused {
+				b.Fatal("memo miss")
+			}
+		}
+	})
+}

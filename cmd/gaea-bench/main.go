@@ -1,0 +1,322 @@
+// Command gaea-bench regenerates the experiment rows recorded in
+// EXPERIMENTS.md: for every figure of the paper (and the derived
+// experiments of DESIGN.md §3) it runs the scenario, measures it with
+// wall-clock timing, and prints one table per experiment. Absolute numbers
+// depend on the host; the shapes (who wins, by what factor) are the
+// reproduction targets.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gaea"
+	"gaea/internal/catalog"
+	"gaea/internal/filegis"
+	"gaea/internal/imgops"
+	"gaea/internal/object"
+	"gaea/internal/petri"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+func main() {
+	fmt.Println("gaea-bench: regenerating the EXPERIMENTS.md tables")
+	fmt.Println()
+	expF3()
+	expF4()
+	expF5T1()
+	expQ1()
+	expP1()
+	fmt.Println("done")
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaea-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func mustKernel(dir string) *gaea.Kernel {
+	k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench"})
+	must(err)
+	must(k.DefineClass(&catalog.Class{
+		Name: "landsat_tm", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{
+			{Name: "band", Type: value.TypeString},
+			{Name: "data", Type: value.TypeImage},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+	}))
+	must(k.DefineClass(&catalog.Class{
+		Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+		Attrs: []catalog.Attr{
+			{Name: "numclass", Type: value.TypeInt},
+			{Name: "data", Type: value.TypeImage},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+	}))
+	must(k.DefineClass(&catalog.Class{
+		Name: "land_cover_changes", Kind: catalog.KindDerived, DerivedBy: "change_map",
+		Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+	}))
+	for _, src := range []string{`
+DEFINE PROCESS unsupervised_classification (
+  OUTPUT C20 landcover
+  ARGUMENT ( SETOF bands landsat_tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card ( bands ) = 3;
+      common ( bands.spatialextent );
+      common ( bands.timestamp );
+    MAPPINGS:
+      C20.data = unsuperclassify ( composite ( bands.data ), 12 );
+      C20.numclass = 12;
+      C20.spatialextent = ANYOF bands.spatialextent;
+      C20.timestamp = ANYOF bands.timestamp;
+  }
+)`, `
+DEFINE PROCESS change_map (
+  OUTPUT out land_cover_changes
+  ARGUMENT ( a landcover )
+  ARGUMENT ( b landcover )
+  TEMPLATE {
+    ASSERTIONS:
+      common ( a.spatialextent );
+    MAPPINGS:
+      out.data = img_subtract ( b.data, a.data );
+      out.spatialextent = a.spatialextent;
+      out.timestamp = b.timestamp;
+  }
+)`, `
+DEFINE COMPOUND PROCESS land_change_detection (
+  OUTPUT out land_cover_changes
+  ARGUMENT ( SETOF tm1 landsat_tm )
+  ARGUMENT ( SETOF tm2 landsat_tm )
+  STEPS {
+    lc1 = unsupervised_classification ( tm1 );
+    lc2 = unsupervised_classification ( tm2 );
+    out = change_map ( lc1, lc2 );
+  }
+)`} {
+		_, err := k.DefineProcess(src)
+		must(err)
+	}
+	return k
+}
+
+func genScene(size, year int) []*raster.Image {
+	l := raster.NewLandscape(99)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: size, Cols: size, DayOfYear: 170, Year: year, Noise: 0.01}
+	imgs, err := l.GenerateScene(spec, []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR})
+	must(err)
+	return imgs
+}
+
+func loadScene(k *gaea.Kernel, size, year int) []object.OID {
+	imgs := genScene(size, year)
+	day := sptemp.Date(year, 6, 19)
+	box := sptemp.NewBox(0, 0, float64(size*30), float64(size*30))
+	var oids []object.OID
+	for i, img := range imgs {
+		oid, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(fmt.Sprintf("b%d", i)),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, "")
+		must(err)
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+func timeIt(n int, f func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// F3: template overhead of process P20 vs direct operator calls.
+func expF3() {
+	fmt.Println("## F3 — Figure 3: process P20 (unsupervised classification)")
+	fmt.Println("| scene | direct op | via process template | overhead |")
+	fmt.Println("|---|---|---|---|")
+	for _, size := range []int{32, 64, 128} {
+		bands := genScene(size, 1986)
+		direct := timeIt(3, func() {
+			_, err := imgops.Unsuperclassify(bands, 12, imgops.ClassifyOptions{Seed: 1})
+			must(err)
+		})
+		dir, err := os.MkdirTemp("", "gaea-bench-f3-*")
+		must(err)
+		k := mustKernel(dir)
+		scene := loadScene(k, size, 1986)
+		in := map[string][]object.OID{"bands": scene}
+		viaProc := timeIt(3, func() {
+			_, _, err := k.RunProcess("unsupervised_classification", in, gaea.RunOptions{NoMemo: true})
+			must(err)
+		})
+		k.Close()
+		os.RemoveAll(dir)
+		fmt.Printf("| %dx%dx3 | %v | %v | %+.0f%% |\n", size, size, direct.Round(time.Microsecond), viaProc.Round(time.Microsecond),
+			100*(float64(viaProc)-float64(direct))/float64(direct))
+	}
+	fmt.Println()
+}
+
+// F4: Figure 4 network vs fused PCA.
+func expF4() {
+	fmt.Println("## F4 — Figure 4: PCA compound operator network")
+	fmt.Println("| bands | network (5 stages) | fused | network/fused |")
+	fmt.Println("|---|---|---|---|")
+	l := raster.NewLandscape(4)
+	all := []raster.Band{raster.BandBlue, raster.BandGreen, raster.BandRed, raster.BandNIR, raster.BandSWIR, raster.BandThermal}
+	for _, nb := range []int{2, 4, 6} {
+		spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 64, Cols: 64, DayOfYear: 170, Year: 1986, Noise: 0.01}
+		bands, err := l.GenerateScene(spec, all[:nb])
+		must(err)
+		network := timeIt(5, func() {
+			_, err := imgops.PCANetwork(bands, 2)
+			must(err)
+		})
+		fused := timeIt(5, func() {
+			_, err := imgops.PCA(bands, 2)
+			must(err)
+		})
+		fmt.Printf("| %d | %v | %v | %.2fx |\n", nb, network.Round(time.Microsecond), fused.Round(time.Microsecond),
+			float64(network)/float64(fused))
+	}
+	fmt.Println()
+}
+
+// F5 + T1: compound land-change detection — cold vs memoised vs baseline.
+func expF5T1() {
+	fmt.Println("## F5/T1 — Figure 5: land-change detection; task memoisation")
+	const size = 48
+	dir, err := os.MkdirTemp("", "gaea-bench-f5-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k := mustKernel(dir)
+	defer k.Close()
+	tm1 := loadScene(k, size, 1986)
+	tm2 := loadScene(k, size, 1989)
+	in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
+
+	start := time.Now()
+	_, out, err := k.RunCompound("land_change_detection", in, gaea.RunOptions{})
+	must(err)
+	cold := time.Since(start)
+
+	warm := timeIt(10, func() {
+		_, out2, err := k.RunCompound("land_change_detection", in, gaea.RunOptions{})
+		must(err)
+		if out2 != out {
+			must(fmt.Errorf("memo returned different output"))
+		}
+	})
+
+	w, err := filegis.Open(dir + "/fg")
+	must(err)
+	for i, img := range genScene(size, 1986) {
+		must(w.Import(fmt.Sprintf("tm86_%d", i), img))
+	}
+	for i, img := range genScene(size, 1989) {
+		must(w.Import(fmt.Sprintf("tm89_%d", i), img))
+	}
+	baseline := timeIt(3, func() {
+		must(w.Classify("lc86", []string{"tm86_0", "tm86_1", "tm86_2"}, 12))
+		must(w.Classify("lc89", []string{"tm89_0", "tm89_1", "tm89_2"}, 12))
+		must(w.Subtract("change", "lc89", "lc86"))
+	})
+
+	fmt.Println("| system | request | latency |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| gaea | cold derivation (3 tasks) | %v |\n", cold.Round(time.Microsecond))
+	fmt.Printf("| gaea | repeat request (task memo) | %v |\n", warm.Round(time.Microsecond))
+	fmt.Printf("| filegis baseline | every request recomputes | %v |\n", baseline.Round(time.Microsecond))
+	fmt.Printf("\nmemo speedup over recomputation: %.0fx\n\n", float64(baseline)/float64(warm))
+}
+
+// Q1: the §2.1.5 fallback sequence.
+func expQ1() {
+	fmt.Println("## Q1 — §2.1.5 query sequence: retrieval / interpolation / derivation")
+	const size = 32
+	dir, err := os.MkdirTemp("", "gaea-bench-q1-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k := mustKernel(dir)
+	defer k.Close()
+	s1 := loadScene(k, size, 1986)
+	s2 := loadScene(k, size, 1988)
+	for _, s := range [][]object.OID{s1, s2} {
+		_, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": s}, gaea.RunOptions{})
+		must(err)
+	}
+	pred := gaea.Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+	retrieve := timeIt(20, func() {
+		_, err := k.Query(pred)
+		must(err)
+	})
+	i := 0
+	interpolate := timeIt(5, func() {
+		i++
+		p := gaea.Request{Class: "landcover",
+			Pred:       sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(), sptemp.Instant(sptemp.Date(1987, 6, 1)+sptemp.AbsTime(i))),
+			Strategies: []gaea.Strategy{gaea.Interpolate}}
+		_, err := k.Query(p)
+		must(err)
+	})
+	// Fresh kernel without the derived landcover: full derivation.
+	dir2, err := os.MkdirTemp("", "gaea-bench-q1b-*")
+	must(err)
+	defer os.RemoveAll(dir2)
+	k2 := mustKernel(dir2)
+	defer k2.Close()
+	loadScene(k2, size, 1986)
+	start := time.Now()
+	_, err = k2.Query(pred)
+	must(err)
+	derive := time.Since(start)
+
+	fmt.Println("| path | latency |")
+	fmt.Println("|---|---|")
+	fmt.Printf("| 1. retrieval | %v |\n", retrieve.Round(time.Microsecond))
+	fmt.Printf("| 2. temporal interpolation | %v |\n", interpolate.Round(time.Microsecond))
+	fmt.Printf("| 3. derivation (plan + classify) | %v |\n", derive.Round(time.Microsecond))
+	fmt.Println()
+}
+
+// P1: planner scaling with chain depth.
+func expP1() {
+	fmt.Println("## P1 — §2.1.6: Petri-net reachability and planning")
+	fmt.Println("| net | operation | latency |")
+	fmt.Println("|---|---|---|")
+	for _, width := range []int{16, 64, 256} {
+		n := petri.NewNet()
+		for i := 0; i < width; i++ {
+			must(n.AddTransition(petri.Transition{
+				Name: fmt.Sprintf("t%d", i),
+				In:   []petri.Arc{{Place: fmt.Sprintf("w%d", i), Weight: 1}},
+				Out:  fmt.Sprintf("w%d", i+1),
+			}))
+		}
+		m := petri.Marking{"w0": 1}
+		target := fmt.Sprintf("w%d", width)
+		d := timeIt(50, func() {
+			if !n.CanDerive(m, target) {
+				must(fmt.Errorf("unreachable"))
+			}
+		})
+		fmt.Printf("| chain of %d transitions | reachability closure | %v |\n", width, d.Round(time.Microsecond))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,336 @@
+// Command gaea is the textual front end to the Gaea kernel (the parser →
+// executor path of Figure 1): an interactive shell for browsing the three
+// metadata layers, inspecting derivation nets and lineage, and running
+// queries.
+//
+// Usage:
+//
+//	gaea -db /path/to/db [-demo] [-user name]
+//
+// With -demo the database is seeded with the Figure 3/Figure 5 schema and
+// two synthetic Landsat TM scenes, so every command has something to show.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gaea"
+	"gaea/internal/catalog"
+	"gaea/internal/object"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (required)")
+	demo := flag.Bool("demo", false, "seed the database with the demo schema and scenes")
+	user := flag.String("user", os.Getenv("USER"), "user recorded on derivations")
+	flag.Parse()
+	if *dbDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea -db DIR [-demo] [-user NAME]")
+		os.Exit(2)
+	}
+	k, err := gaea.Open(*dbDir, gaea.Options{User: *user})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer k.Close()
+
+	if *demo {
+		if err := seedDemo(k); err != nil {
+			fmt.Fprintln(os.Stderr, "seed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("demo schema and scenes loaded")
+	}
+
+	fmt.Println("gaea shell — 'help' lists commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("gaea> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Print(helpText)
+		case "stats":
+			fmt.Println(k.Stats())
+		case "classes":
+			for _, n := range k.Catalog.Names() {
+				cls, _ := k.Catalog.Class(n)
+				fmt.Printf("  %-24s %-8s derived-by=%s\n", n, cls.Kind, orDash(cls.DerivedBy))
+			}
+		case "class":
+			if len(args) != 1 {
+				fmt.Println("usage: class NAME")
+				continue
+			}
+			cls, err := k.Catalog.Class(args[0])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("CLASS %s (%s) // %s\n", cls.Name, cls.Kind, cls.Doc)
+			for _, a := range cls.Attrs {
+				fmt.Printf("  %-16s %s\n", a.Name, a.Type)
+			}
+			if cls.HasSpatial {
+				fmt.Printf("  SPATIAL EXTENT in %s\n", cls.Frame)
+			}
+			if cls.HasTemporal {
+				fmt.Println("  TEMPORAL EXTENT")
+			}
+			if cls.DerivedBy != "" {
+				fmt.Printf("  DERIVED BY %s\n", cls.DerivedBy)
+			}
+			fmt.Printf("  retrieval functions: %s\n", strings.Join(cls.RetrievalFunctions(), ", "))
+			fmt.Printf("  stored objects: %d\n", k.Objects.Count(cls.Name))
+		case "processes":
+			for _, n := range k.Processes.Names() {
+				kind := "primitive"
+				if k.Processes.IsCompound(n) {
+					kind = "compound"
+				}
+				fmt.Printf("  %-32s %-10s versions=%v\n", n, kind, k.Processes.Versions(n))
+			}
+		case "process":
+			if len(args) != 1 {
+				fmt.Println("usage: process NAME")
+				continue
+			}
+			if k.Processes.IsCompound(args[0]) {
+				c, err := k.Processes.LookupCompound(args[0])
+				if err != nil {
+					fmt.Println(err)
+					continue
+				}
+				fmt.Println(c.Source)
+				steps, out, err := k.Processes.Expand(args[0])
+				if err == nil {
+					fmt.Println("expansion:")
+					for i, s := range steps {
+						fmt.Printf("  %d. %s = %s(%s)\n", i+1, s.Result, s.Process, strings.Join(s.Args, ", "))
+					}
+					fmt.Printf("  output: %s\n", out)
+				}
+				continue
+			}
+			pr, err := k.Processes.Lookup(args[0])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Println(pr.Source)
+		case "operators":
+			for _, n := range k.Registry.Names() {
+				op, _ := k.Registry.Lookup(n)
+				fmt.Printf("  %-60s %s\n", op.Signature(), op.Doc)
+			}
+		case "concepts":
+			for _, n := range k.Concepts.Names() {
+				c, _ := k.Concepts.Get(n)
+				fmt.Printf("  %-28s classes=%v parents=%v\n", n, c.Classes, c.Parents)
+			}
+		case "net":
+			n, err := k.Net()
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Print(n.String())
+		case "tasks":
+			for _, t := range k.Tasks.All() {
+				fmt.Printf("  task %-4d %-32s v%-2d out=%-4d user=%s\n", t.ID, t.Process, t.Version, t.Output, orDash(t.User))
+			}
+		case "explain":
+			if len(args) != 1 {
+				fmt.Println("usage: explain OID")
+				continue
+			}
+			oid, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				fmt.Println("bad oid:", args[0])
+				continue
+			}
+			fmt.Print(k.Explain(object.OID(oid)))
+		case "query":
+			if len(args) < 1 {
+				fmt.Println("usage: query CLASS|CONCEPT [preview]")
+				continue
+			}
+			req := gaea.Request{Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+			if k.Catalog.Exists(args[0]) {
+				req.Class = args[0]
+			} else {
+				req.Concept = args[0]
+			}
+			if len(args) > 1 && args[1] == "preview" {
+				text, err := k.ExplainQuery(req)
+				if err != nil {
+					fmt.Println(err)
+					continue
+				}
+				fmt.Print(text)
+				continue
+			}
+			res, err := k.Query(req)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			for i, oid := range res.OIDs {
+				fmt.Printf("  object %d via %s\n", oid, res.How[i])
+			}
+			if res.PlanText != "" {
+				fmt.Print(res.PlanText)
+			}
+		default:
+			fmt.Printf("unknown command %q; try help\n", cmd)
+		}
+	}
+}
+
+const helpText = `commands:
+  stats                 database summary
+  classes               list classes
+  class NAME            show one class definition
+  processes             list processes (with versions)
+  process NAME          show a process definition (and expansion)
+  operators             list registered ADT operators
+  concepts              list concepts
+  net                   show the Petri derivation net
+  tasks                 list recorded tasks
+  explain OID           derivation history of an object
+  query NAME [preview]  query a class or concept (empty predicate)
+  quit
+`
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// seedDemo loads the Figure 3 / Figure 5 world.
+func seedDemo(k *gaea.Kernel) error {
+	if k.Catalog.Exists("landsat_tm") {
+		return nil // already seeded
+	}
+	classes := []*catalog.Class{
+		{
+			Name: "landsat_tm", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{
+				{Name: "band", Type: value.TypeString},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+			Doc: "rectified Landsat TM band",
+		},
+		{
+			Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+			Attrs: []catalog.Attr{
+				{Name: "numclass", Type: value.TypeInt},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+			Doc: "Land cover",
+		},
+		{
+			Name: "land_cover_changes", Kind: catalog.KindDerived, DerivedBy: "change_map",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	}
+	for _, c := range classes {
+		if err := k.DefineClass(c); err != nil {
+			return err
+		}
+	}
+	for _, src := range []string{`
+DEFINE PROCESS unsupervised_classification (
+  DOC "P20 of Figure 3"
+  OUTPUT C20 landcover
+  ARGUMENT ( SETOF bands landsat_tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card ( bands ) = 3;
+      common ( bands.spatialextent );
+      common ( bands.timestamp );
+    MAPPINGS:
+      C20.data = unsuperclassify ( composite ( bands.data ), 12 );
+      C20.numclass = 12;
+      C20.spatialextent = ANYOF bands.spatialextent;
+      C20.timestamp = ANYOF bands.timestamp;
+  }
+)`, `
+DEFINE PROCESS change_map (
+  OUTPUT out land_cover_changes
+  ARGUMENT ( a landcover )
+  ARGUMENT ( b landcover )
+  TEMPLATE {
+    ASSERTIONS:
+      common ( a.spatialextent );
+    MAPPINGS:
+      out.data = img_subtract ( b.data, a.data );
+      out.spatialextent = a.spatialextent;
+      out.timestamp = b.timestamp;
+  }
+)`, `
+DEFINE COMPOUND PROCESS land_change_detection (
+  DOC "Figure 5"
+  OUTPUT out land_cover_changes
+  ARGUMENT ( SETOF tm1 landsat_tm )
+  ARGUMENT ( SETOF tm2 landsat_tm )
+  STEPS {
+    lc1 = unsupervised_classification ( tm1 );
+    lc2 = unsupervised_classification ( tm2 );
+    out = change_map ( lc1, lc2 );
+  }
+)`} {
+		if _, err := k.DefineProcess(src); err != nil {
+			return err
+		}
+	}
+	// Two synthetic scenes (1986 and 1989).
+	l := raster.NewLandscape(1993)
+	for _, year := range []int{1986, 1989} {
+		spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 48, Cols: 48, DayOfYear: 170, Year: year, Noise: 0.01}
+		day := sptemp.Date(year, 6, 19)
+		box := sptemp.NewBox(0, 0, 48*30, 48*30)
+		for _, b := range []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR} {
+			img, err := l.GenerateBand(spec, b)
+			if err != nil {
+				return err
+			}
+			if _, err := k.CreateObject(&object.Object{
+				Class: "landsat_tm",
+				Attrs: map[string]value.Value{
+					"band": value.String_(b.String()),
+					"data": value.Image{Img: img},
+				},
+				Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+			}, fmt.Sprintf("demo scene %d", year)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+// Desert reproduces the high-level-semantics scenario of §2.1.1 and
+// Figure 2: DESERTIC REGION is a concept — "an entity set whose definition
+// may differ from one user to another". Two scientists derive desert maps
+// with the same method but different rainfall thresholds (250 mm vs
+// 200 mm), which the paper mandates be *different processes*. Both
+// resulting classes join the shared concept, and a concept-level query
+// fans out across the ISA hierarchy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gaea"
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/object"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gaea-desert-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	k, err := gaea.Open(dir, gaea.Options{NoSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer k.Close()
+
+	// Base data: annual rainfall and mean temperature fields.
+	for _, c := range []*catalog.Class{
+		{
+			Name: "rainfall", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+			Doc: "annual precipitation, mm/year",
+		},
+		{
+			Name: "temperature", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+			Doc: "mean temperature, degrees C",
+		},
+		// Two desert classes: same concept, different derivations.
+		{
+			Name: "desert_rain250", Kind: catalog.KindDerived, DerivedBy: "desert_by_rain_250",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "desert_rain200", Kind: catalog.KindDerived, DerivedBy: "desert_by_rain_200",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		// Hot trade-wind desert: dry AND hot.
+		{
+			Name: "hot_desert_map", Kind: catalog.KindDerived, DerivedBy: "hot_trade_wind_desert",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	} {
+		if err := k.DefineClass(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// "One scientist may choose to derive a desertic region based on
+	// rainfall less than 250mm, while another one choses 200mm for the
+	// same parameter. We make the assumption that the same derivation
+	// method with different parameters represents different processes."
+	for _, src := range []string{`
+DEFINE PROCESS desert_by_rain_250 (
+  DOC "desert: rainfall < 250 mm/year"
+  OUTPUT o desert_rain250
+  ARGUMENT ( rain rainfall )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = threshold ( rain.data, "<", 250.0 );
+      o.spatialextent = rain.spatialextent;
+      o.timestamp = rain.timestamp;
+  }
+)`, `
+DEFINE PROCESS desert_by_rain_200 (
+  DOC "desert: rainfall < 200 mm/year"
+  OUTPUT o desert_rain200
+  ARGUMENT ( rain rainfall )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = threshold ( rain.data, "<", 200.0 );
+      o.spatialextent = rain.spatialextent;
+      o.timestamp = rain.timestamp;
+  }
+)`, `
+DEFINE PROCESS hot_trade_wind_desert (
+  DOC "high pressure, rainfall < 250 mm/year, hot"
+  OUTPUT o hot_desert_map
+  ARGUMENT ( rain rainfall )
+  ARGUMENT ( temp temperature )
+  TEMPLATE {
+    ASSERTIONS:
+      common ( rain.spatialextent );
+    MAPPINGS:
+      o.data = img_and ( img_pair ( threshold ( rain.data, "<", 250.0 ), threshold ( temp.data, ">", 18.0 ) ) );
+      o.spatialextent = rain.spatialextent;
+      o.timestamp = rain.timestamp;
+  }
+)`} {
+		if _, err := k.DefineProcess(src); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The Figure 2 concept hierarchy.
+	for _, c := range []*concept.Concept{
+		{Name: "desert", Doc: "imprecisely defined; see Bender 1982 for the factors"},
+		{Name: "hot trade-wind desert", Parents: []string{"desert"},
+			Classes: []string{"desert_rain250", "desert_rain200", "hot_desert_map"}},
+		{Name: "ice-snow desert", Parents: []string{"desert"}},
+	} {
+		if err := k.DefineConcept(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Base data for the Sahel window.
+	land := raster.NewLandscape(42)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 1000, Rows: 64, Cols: 64, DayOfYear: 180, Year: 1986}
+	day := sptemp.Date(1986, 6, 29)
+	box := sptemp.NewBox(0, 0, 64000, 64000)
+	rain, err := land.RainfallField(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temp, err := land.TemperatureField(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rainOID := mustCreate(k, "rainfall", rain, box, day, "WMO climatology")
+	tempOID := mustCreate(k, "temperature", temp, box, day, "WMO climatology")
+
+	// Derive all three desert maps.
+	t250, _, err := k.RunProcess("desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t200, _, err := k.RunProcess("desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	thot, _, err := k.RunProcess("hot_trade_wind_desert", map[string][]object.OID{"rain": {rainOID}, "temp": {tempOID}}, gaea.RunOptions{User: "scientist-3"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("desert area fraction by derivation:")
+	for _, tk := range []struct {
+		name string
+		oid  object.OID
+	}{
+		{"rain<250mm      ", t250.Output},
+		{"rain<200mm      ", t200.Output},
+		{"rain<250 & hot  ", thot.Output},
+	} {
+		o, _ := k.Objects.Get(tk.oid)
+		img, _ := value.AsImage(o.Attrs["data"])
+		frac := fraction(img)
+		fmt.Printf("  %s %.1f%% of the region\n", tk.name, 100*frac)
+	}
+
+	// Concept query: DESERT fans out over the ISA hierarchy to all member
+	// classes, returning all three derivations.
+	res, err := k.Query(gaea.Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconcept query 'desert' returned %d objects across member classes:\n", len(res.OIDs))
+	for _, oid := range res.OIDs {
+		o, _ := k.Objects.Get(oid)
+		prod, _ := k.Tasks.Producer(oid)
+		fmt.Printf("  object %d (class %s) derived by %s [%s]\n", oid, o.Class, prod.Process, prod.User)
+	}
+	fmt.Println("\nthe three maps disagree; the derivation records say why:")
+	fmt.Print(k.Explain(t200.Output))
+}
+
+func mustCreate(k *gaea.Kernel, class string, img *raster.Image, box sptemp.Box, day sptemp.AbsTime, note string) object.OID {
+	oid, err := k.CreateObject(&object.Object{
+		Class:  class,
+		Attrs:  map[string]value.Value{"data": value.Image{Img: img}},
+		Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+	}, note)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return oid
+}
+
+func fraction(img *raster.Image) float64 {
+	vals := img.Float64s()
+	n := 0
+	for _, v := range vals {
+		if v == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vals))
+}

@@ -1,0 +1,222 @@
+// Vegchange reproduces the paper's two motivating scenarios:
+//
+//  1. §1: two scientists detect vegetation change in Africa between 1988
+//     and 1989 — one subtracts the NDVIs, one divides them. The outputs
+//     land in the same class with the same extents; only the recorded
+//     derivation (process + task) distinguishes them, which is exactly
+//     what file-based GIS cannot do.
+//
+//  2. §2.1.3: Eastman's PCA vs standardized PCA (SPCA) comparison — the
+//     "same conceptual outcome" via two procedures. With Gaea both runs
+//     are reproducible because the derivation is captured.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gaea"
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/object"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/task"
+	"gaea/internal/value"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gaea-vegchange-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	k, err := gaea.Open(dir, gaea.Options{NoSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer k.Close()
+	defineSchema(k)
+
+	// Load co-registered scenes for 1988 and 1989.
+	scene88 := loadScene(k, 1988)
+	scene89 := loadScene(k, 1989)
+
+	// NDVI per year (shared pre-step both scientists agree on).
+	nd88 := run(k, "ndvi_map", map[string][]object.OID{"red": {scene88[0]}, "nir": {scene88[1]}}, "shared")
+	nd89 := run(k, "ndvi_map", map[string][]object.OID{"red": {scene89[0]}, "nir": {scene89[1]}}, "shared")
+
+	// Scientist 1: subtract. Scientist 2: ratio.
+	sub := run(k, "veg_change_subtract", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-1")
+	rat := run(k, "veg_change_ratio", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-2")
+
+	fmt.Println("two vegetation-change objects in class veg_change:")
+	for _, tk := range []*task.Task{sub, rat} {
+		o, _ := k.Objects.Get(tk.Output)
+		img, _ := value.AsImage(o.Attrs["data"])
+		st := img.Stats()
+		fmt.Printf("  object %d by %-12s process %-20s mean=%+.4f\n", tk.Output, tk.User, tk.Process, st.Mean)
+	}
+	fmt.Println("\nwithout Gaea these are just two rasters; with Gaea:")
+	fmt.Print(k.Explain(sub.Output))
+	fmt.Print(k.Explain(rat.Output))
+
+	// Register both derivations as members of the shared concept.
+	if err := k.DefineConcept(&concept.Concept{
+		Name:    "vegetation change",
+		Doc:     "change in vegetation index between two dates; derivation varies by scientist",
+		Classes: []string{"veg_change"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 2: PCA vs SPCA on the two NDVI maps (Eastman's comparison).
+	pcaT := run(k, "veg_change_pca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
+	spcaT := run(k, "veg_change_spca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
+	fmt.Println("\nPCA vs SPCA change components (same conceptual outcome, different derivations):")
+	for _, tk := range []*task.Task{pcaT, spcaT} {
+		o, _ := k.Objects.Get(tk.Output)
+		img, _ := value.AsImage(o.Attrs["data"])
+		st := img.Stats()
+		fmt.Printf("  %-18s object %d stddev=%.5f\n", tk.Process, tk.Output, st.StdDev)
+	}
+
+	// Reproducibility: re-run Eastman's SPCA task and verify it matches.
+	_, same, err := k.Reproduce(spcaT.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreproducing SPCA task %d: identical output = %v\n", spcaT.ID, same)
+}
+
+func defineSchema(k *gaea.Kernel) {
+	classes := []*catalog.Class{
+		{
+			Name: "landsat_tm", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{
+				{Name: "band", Type: value.TypeString},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "ndvi", Kind: catalog.KindDerived, DerivedBy: "ndvi_map",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "veg_change", Kind: catalog.KindDerived, DerivedBy: "veg_change_subtract",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	}
+	for _, c := range classes {
+		if err := k.DefineClass(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srcs := []string{`
+DEFINE PROCESS ndvi_map (
+  OUTPUT o ndvi
+  ARGUMENT ( red landsat_tm )
+  ARGUMENT ( nir landsat_tm )
+  TEMPLATE {
+    ASSERTIONS:
+      common ( red.spatialextent );
+    MAPPINGS:
+      o.data = ndvi ( red.data, nir.data );
+      o.spatialextent = red.spatialextent;
+      o.timestamp = red.timestamp;
+  }
+)`, `
+DEFINE PROCESS veg_change_subtract (
+  DOC "scientist 1: NDVI(1989) - NDVI(1988)"
+  OUTPUT o veg_change
+  ARGUMENT ( recent ndvi )
+  ARGUMENT ( old ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = img_subtract ( recent.data, old.data );
+      o.spatialextent = recent.spatialextent;
+      o.timestamp = recent.timestamp;
+  }
+)`, `
+DEFINE PROCESS veg_change_ratio (
+  DOC "scientist 2: NDVI(1989) / NDVI(1988)"
+  OUTPUT o veg_change
+  ARGUMENT ( recent ndvi )
+  ARGUMENT ( old ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = img_ratio ( recent.data, old.data );
+      o.spatialextent = recent.spatialextent;
+      o.timestamp = recent.timestamp;
+  }
+)`, `
+DEFINE PROCESS veg_change_pca (
+  DOC "change as the 2nd principal component of the two-date stack"
+  OUTPUT o veg_change
+  ARGUMENT ( a ndvi )
+  ARGUMENT ( b ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = pca_component ( img_pair ( a.data, b.data ), 1 );
+      o.spatialextent = a.spatialextent;
+      o.timestamp = b.timestamp;
+  }
+)`, `
+DEFINE PROCESS veg_change_spca (
+  DOC "Eastman: standardized PCA instead of PCA"
+  OUTPUT o veg_change
+  ARGUMENT ( a ndvi )
+  ARGUMENT ( b ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = spca_component ( img_pair ( a.data, b.data ), 1 );
+      o.spatialextent = a.spatialextent;
+      o.timestamp = b.timestamp;
+  }
+)`}
+	for _, src := range srcs {
+		if _, err := k.DefineProcess(src); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func loadScene(k *gaea.Kernel, year int) []object.OID {
+	l := raster.NewLandscape(7)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 1100, Rows: 48, Cols: 48, DayOfYear: 190, Year: year, Noise: 0.01}
+	day := sptemp.Date(year, 7, 9)
+	box := sptemp.NewBox(0, 0, 48*1100, 48*1100)
+	var oids []object.OID
+	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR} {
+		img, err := l.GenerateBand(spec, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oid, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(b.String()),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, fmt.Sprintf("synthetic scene %d", year))
+		if err != nil {
+			log.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+func run(k *gaea.Kernel, proc string, in map[string][]object.OID, user string) *task.Task {
+	tk, _, err := k.RunProcess(proc, in, gaea.RunOptions{User: user})
+	if err != nil {
+		log.Fatalf("%s: %v", proc, err)
+	}
+	return tk
+}

@@ -1,0 +1,239 @@
+// Package gaea is the public API of the Gaea scientific DBMS
+// reproduction: a spatio-temporal database kernel whose distinguishing
+// capability is the management of derived data (Hachem, Qiu, Gennert,
+// Ward: "Managing Derived Data in the Gaea Scientific DBMS", VLDB 1993).
+//
+// A Kernel wires together the three semantic layers of the paper:
+//
+//   - the system level: primitive classes (ADTs) and their operators,
+//     including compound dataflow operators (Figure 4);
+//   - the derivation level: processes (class-level derivation templates
+//     with assertions and mappings, Figure 3), tasks (concrete
+//     instantiations with full lineage), and Petri-net derivation
+//     diagrams with backward-chaining planning (§2.1.6);
+//   - the high level: concepts (sets of classes under one imprecise
+//     scientific notion, §2.1.1) and experiments (reproducible bundles of
+//     tasks).
+//
+// Quick start:
+//
+//	k, err := gaea.Open(dir, gaea.Options{})
+//	...
+//	k.DefineClass(&catalog.Class{...})
+//	k.DefineProcess(`DEFINE PROCESS ndvi_map ( ... )`)
+//	oid, _ := k.CreateObject(&object.Object{...})
+//	res, _ := k.Query(gaea.Request{Class: "ndvi", Pred: pred})
+//	fmt.Print(k.Explain(res.OIDs[0]))
+package gaea
+
+import (
+	"fmt"
+
+	"gaea/internal/adt"
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/experiment"
+	"gaea/internal/interp"
+	"gaea/internal/object"
+	"gaea/internal/petri"
+	"gaea/internal/process"
+	"gaea/internal/query"
+	"gaea/internal/sptemp"
+	"gaea/internal/storage"
+	"gaea/internal/task"
+)
+
+// Re-exported request/strategy types so callers need only this package
+// plus the model packages.
+type (
+	// Request is a spatio-temporal query against a class or concept.
+	Request = query.Request
+	// Result is a query answer.
+	Result = query.Result
+	// Strategy orders the §2.1.5 fallback steps.
+	Strategy = query.Strategy
+	// RunOptions tunes process executions.
+	RunOptions = task.RunOptions
+)
+
+// Query strategies.
+const (
+	Retrieve    = query.Retrieve
+	Interpolate = query.Interpolate
+	Derive      = query.Derive
+)
+
+// Options tunes a Kernel.
+type Options struct {
+	// NoSync disables per-write WAL fsync (for tests and benchmarks).
+	NoSync bool
+	// User is the default user recorded on tasks.
+	User string
+}
+
+// Kernel is an open Gaea database. All sub-managers are exported for
+// direct use; the methods on Kernel cover the common paths.
+type Kernel struct {
+	dir  string
+	user string
+
+	Store       *storage.Store
+	Catalog     *catalog.Catalog
+	Registry    *adt.Registry
+	Objects     *object.Store
+	Processes   *process.Manager
+	Tasks       *task.Executor
+	Concepts    *concept.Manager
+	Experiments *experiment.Manager
+	Planner     *petri.Planner
+	Interp      *interp.Interpolator
+	Queries     *query.Executor
+}
+
+// Open opens (or creates) a Gaea database in dir, recovering from the WAL
+// if the previous session crashed.
+func Open(dir string, opts Options) (*Kernel, error) {
+	st, err := storage.Open(dir, storage.Options{NoSync: opts.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{dir: dir, user: opts.User, Store: st}
+	if k.Catalog, err = catalog.Open(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	k.Registry = adt.NewStandardRegistry()
+	if k.Objects, err = object.Open(st, k.Catalog); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if k.Processes, err = process.OpenManager(st, k.Catalog, k.Registry); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if k.Tasks, err = task.OpenExecutor(st, k.Catalog, k.Registry, k.Objects, k.Processes); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if k.Concepts, err = concept.OpenManager(st, k.Catalog); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if k.Experiments, err = experiment.OpenManager(st, k.Tasks); err != nil {
+		st.Close()
+		return nil, err
+	}
+	k.Planner = &petri.Planner{Cat: k.Catalog, Mgr: k.Processes, Obj: k.Objects}
+	k.Interp = &interp.Interpolator{Cat: k.Catalog, Obj: k.Objects, Reg: k.Registry, Exec: k.Tasks}
+	k.Queries = &query.Executor{
+		Cat:      k.Catalog,
+		Obj:      k.Objects,
+		Concepts: k.Concepts,
+		Planner:  k.Planner,
+		Interp:   k.Interp,
+		Exec:     k.Tasks,
+	}
+	return k, nil
+}
+
+// Close checkpoints and closes the database.
+func (k *Kernel) Close() error { return k.Store.Close() }
+
+// Dir returns the database directory.
+func (k *Kernel) Dir() string { return k.dir }
+
+// DefineClass registers a non-primitive class.
+func (k *Kernel) DefineClass(cls *catalog.Class) error { return k.Catalog.Define(cls) }
+
+// DefineProcess parses, checks, and registers a process definition
+// (primitive or compound) written in the Figure 3 definition language.
+func (k *Kernel) DefineProcess(src string) (string, error) { return k.Processes.Define(src) }
+
+// RedefineProcess registers a new version of an existing process; old
+// versions are preserved (§2.1.4 observation 3).
+func (k *Kernel) RedefineProcess(src string) (string, int, error) { return k.Processes.Redefine(src) }
+
+// DefineConcept registers a concept.
+func (k *Kernel) DefineConcept(c *concept.Concept) error { return k.Concepts.Define(c) }
+
+// CreateObject stores a new scientific data object (base data), recording
+// a load task so even base data appears in lineage with its source note.
+func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, error) {
+	oid, err := k.Objects.Insert(obj)
+	if err != nil {
+		return 0, err
+	}
+	if note != "" {
+		if _, err := k.Tasks.RecordExternal("data_load", nil, oid, obj.Class, task.RunOptions{User: k.user, Note: note}); err != nil {
+			return 0, err
+		}
+	}
+	return oid, nil
+}
+
+// RunProcess instantiates a primitive process over stored objects,
+// returning the recorded task; identical instantiations are memoised.
+func (k *Kernel) RunProcess(name string, inputs map[string][]object.OID, opts RunOptions) (*task.Task, bool, error) {
+	if opts.User == "" {
+		opts.User = k.user
+	}
+	return k.Tasks.Run(name, inputs, opts)
+}
+
+// RunCompound expands and executes a compound process (Figure 5).
+func (k *Kernel) RunCompound(name string, inputs map[string][]object.OID, opts RunOptions) ([]*task.Task, object.OID, error) {
+	if opts.User == "" {
+		opts.User = k.user
+	}
+	return k.Tasks.RunCompound(name, inputs, opts)
+}
+
+// Query answers a spatio-temporal request per the §2.1.5 sequence.
+func (k *Kernel) Query(req Request) (*Result, error) {
+	if req.User == "" {
+		req.User = k.user
+	}
+	return k.Queries.Run(req)
+}
+
+// ExplainQuery previews how a request would be satisfied.
+func (k *Kernel) ExplainQuery(req Request) (string, error) { return k.Queries.Explain(req) }
+
+// Explain renders the derivation history of an object.
+func (k *Kernel) Explain(oid object.OID) string { return k.Tasks.Explain(oid) }
+
+// Reproduce re-executes a recorded task and reports whether the output
+// matched.
+func (k *Kernel) Reproduce(id task.ID) (*task.Task, bool, error) {
+	return k.Tasks.Reproduce(id, task.RunOptions{User: k.user})
+}
+
+// Net builds the current derivation diagram (places = classes,
+// transitions = processes).
+func (k *Kernel) Net() (*petri.Net, error) { return petri.BuildNet(k.Catalog, k.Processes) }
+
+// CanDerive answers the §2.1.6 reachability question for a class under a
+// predicate: could an object of this class be derived from stored data?
+func (k *Kernel) CanDerive(class string, pred sptemp.Extent) (bool, error) {
+	n, err := k.Net()
+	if err != nil {
+		return false, err
+	}
+	m, err := petri.CurrentMarking(k.Catalog, k.Objects, pred)
+	if err != nil {
+		return false, err
+	}
+	return n.CanDerive(m, class), nil
+}
+
+// Stats summarises the database for the CLI and reports.
+func (k *Kernel) Stats() string {
+	classes := k.Catalog.Names()
+	total := 0
+	for _, c := range classes {
+		total += k.Objects.Count(c)
+	}
+	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d",
+		len(classes), len(k.Processes.Names()), len(k.Concepts.Names()),
+		len(k.Experiments.Names()), total, len(k.Tasks.All()))
+}

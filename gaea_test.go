@@ -1,0 +1,193 @@
+package gaea
+
+import (
+	"strings"
+	"testing"
+
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/object"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+// openKernel opens a kernel in a temp dir with the Figure 3 schema.
+func openKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := Open(t.TempDir(), Options{NoSync: true, User: "tester"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { k.Close() })
+
+	classes := []*catalog.Class{
+		{
+			Name: "landsat_tm", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{
+				{Name: "band", Type: value.TypeString},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+			Attrs: []catalog.Attr{
+				{Name: "numclass", Type: value.TypeInt},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	}
+	for _, c := range classes {
+		if err := k.DefineClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.DefineProcess(`
+DEFINE PROCESS unsupervised_classification (
+  OUTPUT C20 landcover
+  ARGUMENT ( SETOF bands landsat_tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card ( bands ) = 3;
+      common ( bands.spatialextent );
+      common ( bands.timestamp );
+    MAPPINGS:
+      C20.data = unsuperclassify ( composite ( bands.data ), 12 );
+      C20.numclass = 12;
+      C20.spatialextent = ANYOF bands.spatialextent;
+      C20.timestamp = ANYOF bands.timestamp;
+  }
+)`); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func loadScene(t *testing.T, k *Kernel, day sptemp.AbsTime, year int) []object.OID {
+	t.Helper()
+	l := raster.NewLandscape(13)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 10, Cols: 10, DayOfYear: 160, Year: year, Noise: 0.01}
+	var oids []object.OID
+	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR} {
+		img, err := l.GenerateBand(spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(b.String()),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 300, 300), day),
+		}, "EOSAT tape 42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+func TestKernelEndToEnd(t *testing.T) {
+	k := openKernel(t)
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+
+	// The Gaea pitch: ask for landcover; none stored; the kernel derives
+	// it via the Petri planner.
+	pred := Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+	ok, err := k.CanDerive("landcover", pred.Pred)
+	if err != nil || !ok {
+		t.Fatalf("CanDerive = %v, %v", ok, err)
+	}
+	res, err := k.Query(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 1 || res.How[0] != Derive {
+		t.Fatalf("query = %+v", res)
+	}
+	// Lineage includes the tape note.
+	explain := k.Explain(res.OIDs[0])
+	if !strings.Contains(explain, "unsupervised_classification") || !strings.Contains(explain, "data_load") {
+		t.Errorf("explain = %s", explain)
+	}
+	// Reproduction.
+	prod, _ := k.Tasks.Producer(res.OIDs[0])
+	_, same, err := k.Reproduce(prod.ID)
+	if err != nil || !same {
+		t.Errorf("reproduce = %v, %v", same, err)
+	}
+	// Stats string mentions all managers.
+	stats := k.Stats()
+	for _, want := range []string{"classes=2", "objects=", "tasks="} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats = %q", stats)
+		}
+	}
+	_ = scene
+}
+
+func TestKernelPersistence(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DefineClass(&catalog.Class{
+		Name: "rain", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DefineConcept(&concept.Concept{Name: "rainfall", Classes: []string{"rain"}}); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := k.CreateObject(&object.Object{
+		Class:  "rain",
+		Attrs:  map[string]value.Value{"mm": value.Float(250)},
+		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 10, 10)),
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	obj, err := k2.Objects.Get(oid)
+	if err != nil || obj.Attrs["mm"].(value.Float) != 250 {
+		t.Errorf("reload object = %+v, %v", obj, err)
+	}
+	if !k2.Concepts.Exists("rainfall") {
+		t.Error("concept lost")
+	}
+	res, err := k2.Query(Request{Concept: "rainfall", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
+	if err != nil || len(res.OIDs) != 1 {
+		t.Errorf("concept query after reopen = %+v, %v", res, err)
+	}
+}
+
+func TestKernelExplainQueryAndNet(t *testing.T) {
+	k := openKernel(t)
+	loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	text, err := k.ExplainQuery(Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
+	if err != nil || !strings.Contains(text, "derivable") {
+		t.Errorf("ExplainQuery = %q, %v", text, err)
+	}
+	n, err := k.Net()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "unsupervised_classification: landsat_tm(>=3) -> landcover") {
+		t.Errorf("net = %s", n)
+	}
+}

@@ -1,0 +1,211 @@
+package gaea
+
+import (
+	"strings"
+	"testing"
+
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/experiment"
+	"gaea/internal/object"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+// TestFigure2DesertScenario drives the full three-layer story of Figure 2
+// through the public API: base climate data, two parameterisations of the
+// desert derivation as distinct processes, a concept hierarchy over the
+// resulting classes, an experiment bundling the tasks, and finally a
+// reproduction pass confirming the whole investigation.
+func TestFigure2DesertScenario(t *testing.T) {
+	k, err := Open(t.TempDir(), Options{NoSync: true, User: "figure2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+
+	// System + derivation layers.
+	for _, c := range []*catalog.Class{
+		{
+			Name: "rainfall", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "desert_rain250", Kind: catalog.KindDerived, DerivedBy: "desert_by_rain_250",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "desert_rain200", Kind: catalog.KindDerived, DerivedBy: "desert_by_rain_200",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	} {
+		if err := k.DefineClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []string{`
+DEFINE PROCESS desert_by_rain_250 (
+  OUTPUT o desert_rain250
+  ARGUMENT ( rain rainfall )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = threshold ( rain.data, "<", 250.0 );
+      o.spatialextent = rain.spatialextent;
+      o.timestamp = rain.timestamp;
+  }
+)`, `
+DEFINE PROCESS desert_by_rain_200 (
+  OUTPUT o desert_rain200
+  ARGUMENT ( rain rainfall )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = threshold ( rain.data, "<", 200.0 );
+      o.spatialextent = rain.spatialextent;
+      o.timestamp = rain.timestamp;
+  }
+)`} {
+		if _, err := k.DefineProcess(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// High-level layer: the ISA hierarchy of Figure 2.
+	for _, c := range []*concept.Concept{
+		{Name: "desert"},
+		{Name: "hot trade-wind desert", Parents: []string{"desert"},
+			Classes: []string{"desert_rain250", "desert_rain200"}},
+	} {
+		if err := k.DefineConcept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Base data.
+	l := raster.NewLandscape(6)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 1000, Rows: 32, Cols: 32, DayOfYear: 180, Year: 1986}
+	rain, err := l.RainfallField(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := sptemp.NewBox(0, 0, 32000, 32000)
+	rainOID, err := k.CreateObject(&object.Object{
+		Class:  "rainfall",
+		Attrs:  map[string]value.Value{"data": value.Image{Img: rain}},
+		Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, sptemp.Date(1986, 6, 29)),
+	}, "climatology")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Experiment bundling both derivations.
+	if err := k.Experiments.Create(&experiment.Experiment{
+		Name: "desert-extent-1986", User: "figure2",
+		Concepts: []string{"desert"},
+		Params:   map[string]string{"thresholds": "250mm,200mm"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t250, _, err := k.RunProcess("desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t200, _, err := k.RunProcess("desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Experiments.AttachTask("desert-extent-1986", t250.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Experiments.AttachTask("desert-extent-1986", t200.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The 200 mm desert must be a subset of the 250 mm desert.
+	o250, _ := k.Objects.Get(t250.Output)
+	o200, _ := k.Objects.Get(t200.Output)
+	img250, _ := value.AsImage(o250.Attrs["data"])
+	img200, _ := value.AsImage(o200.Attrs["data"])
+	v250, v200 := img250.Float64s(), img200.Float64s()
+	for i := range v200 {
+		if v200[i] == 1 && v250[i] != 1 {
+			t.Fatalf("pixel %d: 200mm desert outside 250mm desert", i)
+		}
+	}
+
+	// Concept query fans out over both classes.
+	res, err := k.Query(Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 2 {
+		t.Fatalf("concept query = %+v", res)
+	}
+
+	// Reproduce the whole experiment.
+	report, err := k.Experiments.Reproduce("desert-extent-1986", RunOptions{User: "referee"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllIdentical() {
+		t.Errorf("experiment should reproduce identically: %+v", report.PerTask)
+	}
+
+	// Experiment comparison names the differing processes.
+	if err := k.Experiments.Create(&experiment.Experiment{Name: "other-study"}); err != nil {
+		t.Fatal(err)
+	}
+	onlyA, _, err := k.Experiments.Compare("desert-extent-1986", "other-study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(onlyA, " ")
+	if !strings.Contains(joined, "desert_by_rain_250@v1") || !strings.Contains(joined, "desert_by_rain_200@v1") {
+		t.Errorf("Compare = %v", onlyA)
+	}
+}
+
+// TestCrashRecoveryMidWorkflow simulates the paper's durability
+// expectation: a crash after derivations must lose nothing logged — the
+// catalog, objects, tasks, and lineage all survive into a fresh kernel.
+func TestCrashRecoveryMidWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir, Options{User: "crashy"}) // synced WAL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DefineClass(&catalog.Class{
+		Name: "m", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{{Name: "v", Type: value.TypeFloat}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := k.CreateObject(&object.Object{
+		Class:  "m",
+		Attrs:  map[string]value.Value{"v": value.Float(7)},
+		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1)),
+	}, "load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon the kernel without Close (buffered pages unflushed;
+	// the WAL has everything).
+	// (The underlying files stay open; recovery reads the same paths.)
+
+	k2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer k2.Close()
+	got, err := k2.Objects.Get(oid)
+	if err != nil || got.Attrs["v"].(value.Float) != 7 {
+		t.Errorf("object after crash = %+v, %v", got, err)
+	}
+	if prod, ok := k2.Tasks.Producer(oid); !ok || prod.Process != "data_load" {
+		t.Error("lineage lost in crash")
+	}
+}

@@ -1,0 +1,548 @@
+package adt
+
+import (
+	"fmt"
+
+	"gaea/internal/imgops"
+	"gaea/internal/linalg"
+	"gaea/internal/raster"
+	"gaea/internal/value"
+)
+
+// NewStandardRegistry returns a registry pre-populated with the operators
+// the paper names: the image accessors of §2.1.3, the composite /
+// unsuperclassify pair of process P20 (Figure 3), NDVI and the change
+// operators of the §1 scenario, the PCA network stages of Figure 4, and
+// the fused pca/spca operators.
+func NewStandardRegistry() *Registry {
+	r := NewRegistry()
+	for _, op := range standardOperators() {
+		if err := r.Register(op); err != nil {
+			// Registration of the built-in table only fails on a programming
+			// error (duplicate name / bad type); surface it loudly.
+			panic(err)
+		}
+	}
+	return r
+}
+
+func standardOperators() []*Operator {
+	imgT := value.TypeImage
+	setImg := value.SetOf(value.TypeImage)
+	matT := value.TypeMatrix
+	vecT := value.TypeVector
+	intT := value.TypeInt
+	fltT := value.TypeFloat
+	strT := value.TypeString
+
+	return []*Operator{
+		// ---- image accessors (§2.1.3) ----
+		{
+			Name: "img_nrow", In: []value.Type{imgT}, Out: intT,
+			Doc: "number of rows of an image",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(im.Rows()), nil
+			},
+		},
+		{
+			Name: "img_ncol", In: []value.Type{imgT}, Out: intT,
+			Doc: "number of columns of an image",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(im.Cols()), nil
+			},
+		},
+		{
+			Name: "img_type", In: []value.Type{imgT}, Out: strT,
+			Doc: "pixel data type of an image",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.String_(im.PixType()), nil
+			},
+		},
+		{
+			Name: "img_npixels", In: []value.Type{imgT}, Out: intT,
+			Doc: "total pixel count of an image",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(im.Pixels()), nil
+			},
+		},
+		{
+			Name: "img_size_eq", In: []value.Type{imgT, imgT}, Out: value.TypeBool,
+			Doc: "whether two images share dimensions",
+			Fn: func(a []value.Value) (value.Value, error) {
+				x, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := value.AsImage(a[1])
+				if err != nil {
+					return nil, err
+				}
+				return value.Bool(x.SameShape(y)), nil
+			},
+		},
+		{
+			Name: "img_mean", In: []value.Type{imgT}, Out: fltT,
+			Doc: "mean pixel value",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				return value.Float(im.Stats().Mean), nil
+			},
+		},
+
+		// ---- P20: composite + unsupervised classification (Figure 3) ----
+		{
+			Name: "composite", In: []value.Type{setImg}, Out: setImg,
+			Doc: "stack co-registered bands into a multiband composite (validates shapes)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				imgs, err := value.AsImageSet(a[0])
+				if err != nil {
+					return nil, err
+				}
+				if len(imgs) == 0 {
+					return nil, fmt.Errorf("composite of no bands")
+				}
+				for i, im := range imgs[1:] {
+					if !imgs[0].SameShape(im) {
+						return nil, fmt.Errorf("composite: band %d shape %s differs from band 0 %s", i+1, im, imgs[0])
+					}
+				}
+				items := make([]value.Value, len(imgs))
+				for i, im := range imgs {
+					items[i] = value.Image{Img: im}
+				}
+				s, err := value.NewSet(value.TypeImage, items)
+				if err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+		},
+		{
+			Name: "unsuperclassify", In: []value.Type{setImg, intT}, Out: imgT,
+			Doc: "k-means unsupervised land-cover classification (deterministic)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				imgs, err := value.AsImageSet(a[0])
+				if err != nil {
+					return nil, err
+				}
+				k, err := value.AsInt(a[1])
+				if err != nil {
+					return nil, err
+				}
+				out, err := imgops.Unsuperclassify(imgs, int(k), imgops.ClassifyOptions{Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+
+		// ---- NDVI and change operators (§1 scenario) ----
+		{
+			Name: "ndvi", In: []value.Type{imgT, imgT}, Out: imgT,
+			Doc: "normalized difference vegetation index (red, nir)",
+			Fn: binaryImgOp(func(red, nir *raster.Image) (*raster.Image, error) {
+				return imgops.NDVI(red, nir)
+			}),
+		},
+		{
+			Name: "img_subtract", In: []value.Type{imgT, imgT}, Out: imgT,
+			Doc: "pixelwise difference a-b",
+			Fn:  binaryImgOp(imgops.Subtract),
+		},
+		{
+			Name: "img_ratio", In: []value.Type{imgT, imgT}, Out: imgT,
+			Doc: "pixelwise ratio a/b (zero-stabilised)",
+			Fn: binaryImgOp(func(x, y *raster.Image) (*raster.Image, error) {
+				return imgops.Ratio(x, y, 1e-9)
+			}),
+		},
+		{
+			Name: "img_add", In: []value.Type{imgT, imgT}, Out: imgT,
+			Doc: "pixelwise sum a+b",
+			Fn:  binaryImgOp(imgops.Add),
+		},
+		{
+			Name: "scale_offset", In: []value.Type{imgT, fltT, fltT}, Out: imgT,
+			Doc: "pixelwise img*scale + offset",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				scale, err := value.AsFloat(a[1])
+				if err != nil {
+					return nil, err
+				}
+				offset, err := value.AsFloat(a[2])
+				if err != nil {
+					return nil, err
+				}
+				out, err := imgops.ScaleOffset(im, scale, offset)
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+		{
+			Name: "threshold", In: []value.Type{imgT, strT, fltT}, Out: imgT,
+			Doc: "binary image where pixel OP limit holds (OP in <, <=, >, >=)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				op, err := value.AsString(a[1])
+				if err != nil {
+					return nil, err
+				}
+				limit, err := value.AsFloat(a[2])
+				if err != nil {
+					return nil, err
+				}
+				out, err := imgops.Threshold(im, op, limit)
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+		{
+			Name: "reclass", In: []value.Type{imgT, vecT}, Out: imgT,
+			Doc: "map value ranges to class codes by ascending breaks",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				breaks, ok := a[1].(value.Vector)
+				if !ok {
+					return nil, fmt.Errorf("reclass: breaks must be a vector")
+				}
+				out, err := imgops.Reclass(im, breaks)
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+		{
+			Name: "img_and", In: []value.Type{setImg}, Out: imgT,
+			Doc: "pixelwise conjunction of binary images",
+			Fn: func(a []value.Value) (value.Value, error) {
+				imgs, err := value.AsImageSet(a[0])
+				if err != nil {
+					return nil, err
+				}
+				out, err := imgops.And(imgs...)
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+		{
+			Name: "area_fraction", In: []value.Type{imgT, fltT}, Out: fltT,
+			Doc: "fraction of pixels equal to a class code",
+			Fn: func(a []value.Value) (value.Value, error) {
+				im, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				code, err := value.AsFloat(a[1])
+				if err != nil {
+					return nil, err
+				}
+				return value.Float(imgops.AreaFraction(im, code)), nil
+			},
+		},
+		{
+			Name: "img_lerp", In: []value.Type{imgT, imgT, fltT}, Out: imgT,
+			Doc: "linear interpolation (1-t)*a + t*b, used by temporal interpolation",
+			Fn: func(a []value.Value) (value.Value, error) {
+				x, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := value.AsImage(a[1])
+				if err != nil {
+					return nil, err
+				}
+				t, err := value.AsFloat(a[2])
+				if err != nil {
+					return nil, err
+				}
+				sa, err := imgops.ScaleOffset(x, 1-t, 0)
+				if err != nil {
+					return nil, err
+				}
+				sb, err := imgops.ScaleOffset(y, t, 0)
+				if err != nil {
+					return nil, err
+				}
+				out, err := imgops.Add(sa, sb)
+				if err != nil {
+					return nil, err
+				}
+				return value.Image{Img: out}, nil
+			},
+		},
+
+		{
+			Name: "img_pair", In: []value.Type{imgT, imgT}, Out: setImg,
+			Doc: "stack two images into a two-band set (for two-date analyses)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				x, err := value.AsImage(a[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := value.AsImage(a[1])
+				if err != nil {
+					return nil, err
+				}
+				if !x.SameShape(y) {
+					return nil, fmt.Errorf("img_pair: shapes differ: %s vs %s", x, y)
+				}
+				s, err := value.NewSet(value.TypeImage, []value.Value{value.Image{Img: x}, value.Image{Img: y}})
+				if err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+		},
+
+		// ---- Figure 4: PCA network stages ----
+		{
+			Name: "convert_image_matrix", In: []value.Type{setImg}, Out: matT,
+			Doc: "flatten co-registered images into a bands x pixels matrix",
+			Fn: func(a []value.Value) (value.Value, error) {
+				imgs, err := value.AsImageSet(a[0])
+				if err != nil {
+					return nil, err
+				}
+				m, err := imgops.ImagesToMatrix(imgs)
+				if err != nil {
+					return nil, err
+				}
+				return value.Matrix{M: m}, nil
+			},
+		},
+		{
+			Name: "center_rows", In: []value.Type{matT}, Out: matT,
+			Doc: "subtract each row's mean (PCA pre-step)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				out := m.Clone()
+				d, n := out.Rows(), out.Cols()
+				data := out.Data()
+				for i := 0; i < d; i++ {
+					row := data[i*n : (i+1)*n]
+					mean := linalg.Mean(row)
+					for j := range row {
+						row[j] -= mean
+					}
+				}
+				return value.Matrix{M: out}, nil
+			},
+		},
+		{
+			Name: "compute_covariance", In: []value.Type{matT}, Out: matT,
+			Doc: "covariance matrix of row variables",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				cov, err := linalg.Covariance(m)
+				if err != nil {
+					return nil, err
+				}
+				return value.Matrix{M: cov}, nil
+			},
+		},
+		{
+			Name: "compute_correlation", In: []value.Type{matT}, Out: matT,
+			Doc: "correlation matrix of row variables (SPCA pre-step)",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				corr, err := linalg.Correlation(m)
+				if err != nil {
+					return nil, err
+				}
+				return value.Matrix{M: corr}, nil
+			},
+		},
+		{
+			Name: "get_eigen_vector", In: []value.Type{matT, intT}, Out: vecT,
+			Doc: "i-th eigenvector (descending eigenvalue order) of a symmetric matrix",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				idx, err := value.AsInt(a[1])
+				if err != nil {
+					return nil, err
+				}
+				pairs, err := linalg.EigenSym(m)
+				if err != nil {
+					return nil, err
+				}
+				if idx < 0 || int(idx) >= len(pairs) {
+					return nil, fmt.Errorf("eigenvector index %d out of range 0..%d", idx, len(pairs)-1)
+				}
+				return value.Vector(pairs[idx].Vector), nil
+			},
+		},
+		{
+			Name: "get_eigen_values", In: []value.Type{matT}, Out: vecT,
+			Doc: "all eigenvalues, descending",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				pairs, err := linalg.EigenSym(m)
+				if err != nil {
+					return nil, err
+				}
+				out := make(value.Vector, len(pairs))
+				for i, p := range pairs {
+					out[i] = p.Value
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "linear_combination", In: []value.Type{matT, vecT}, Out: matT,
+			Doc: "project rows onto a coefficient vector, yielding a 1 x n matrix",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				coeffs, ok := a[1].(value.Vector)
+				if !ok {
+					return nil, fmt.Errorf("linear_combination: coefficients must be a vector")
+				}
+				proj, err := linalg.LinearCombination(m, coeffs)
+				if err != nil {
+					return nil, err
+				}
+				out, err := linalg.FromData(1, len(proj), proj)
+				if err != nil {
+					return nil, err
+				}
+				return value.Matrix{M: out}, nil
+			},
+		},
+		{
+			Name: "convert_matrix_image", In: []value.Type{matT, intT, intT}, Out: setImg,
+			Doc: "reshape matrix rows into images of the given dimensions",
+			Fn: func(a []value.Value) (value.Value, error) {
+				m, err := value.AsMatrix(a[0])
+				if err != nil {
+					return nil, err
+				}
+				rows, err := value.AsInt(a[1])
+				if err != nil {
+					return nil, err
+				}
+				cols, err := value.AsInt(a[2])
+				if err != nil {
+					return nil, err
+				}
+				imgs, err := imgops.MatrixToImages(m, int(rows), int(cols), raster.PixFloat4)
+				if err != nil {
+					return nil, err
+				}
+				items := make([]value.Value, len(imgs))
+				for i, im := range imgs {
+					items[i] = value.Image{Img: im}
+				}
+				s, err := value.NewSet(value.TypeImage, items)
+				if err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+		},
+
+		// ---- fused PCA / SPCA ----
+		{
+			Name: "pca_component", In: []value.Type{setImg, intT}, Out: imgT,
+			Doc: "i-th principal component image (covariance PCA)",
+			Fn:  pcaComponentFn(imgops.PCA),
+		},
+		{
+			Name: "spca_component", In: []value.Type{setImg, intT}, Out: imgT,
+			Doc: "i-th standardized principal component image (Eastman's SPCA)",
+			Fn:  pcaComponentFn(imgops.SPCA),
+		},
+	}
+}
+
+func binaryImgOp(f func(a, b *raster.Image) (*raster.Image, error)) Func {
+	return func(a []value.Value) (value.Value, error) {
+		x, err := value.AsImage(a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := value.AsImage(a[1])
+		if err != nil {
+			return nil, err
+		}
+		out, err := f(x, y)
+		if err != nil {
+			return nil, err
+		}
+		return value.Image{Img: out}, nil
+	}
+}
+
+func pcaComponentFn(f func([]*raster.Image, int) (*imgops.PCAResult, error)) Func {
+	return func(a []value.Value) (value.Value, error) {
+		imgs, err := value.AsImageSet(a[0])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := value.AsInt(a[1])
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || int(idx) >= len(imgs) {
+			return nil, fmt.Errorf("component index %d out of range 0..%d", idx, len(imgs)-1)
+		}
+		res, err := f(imgs, int(idx)+1)
+		if err != nil {
+			return nil, err
+		}
+		return value.Image{Img: res.Components[idx]}, nil
+	}
+}

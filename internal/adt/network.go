@@ -1,0 +1,253 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+
+	"gaea/internal/value"
+)
+
+// Compound operators — Figure 4. A Network is a dataflow graph of operator
+// applications: node inputs are wired either to other nodes' outputs, to
+// the network's formal inputs, or to constants. The network compiles to a
+// regular Operator, so a compound operator "can be applied as a primitive
+// mapping function between two primitive classes" (§2.1.5).
+
+// NodeKind distinguishes network node flavours.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeOp NodeKind = iota
+	NodeInput
+	NodeConst
+)
+
+// Node is one vertex of the dataflow network.
+type Node struct {
+	ID   string
+	Kind NodeKind
+	// Op names the registry operator for NodeOp nodes.
+	Op string
+	// Args lists the node IDs feeding each input port, for NodeOp nodes.
+	Args []string
+	// Index is the formal-parameter position for NodeInput nodes.
+	Index int
+	// Const holds the literal for NodeConst nodes.
+	Const value.Value
+}
+
+// Network is a compound operator under construction.
+type Network struct {
+	Name string
+	Doc  string
+	// In declares the formal input types.
+	In []value.Type
+	// OutputNode names the node whose value the network returns.
+	OutputNode string
+	nodes      map[string]*Node
+	order      []string // insertion order for deterministic diagnostics
+}
+
+// NewNetwork starts a compound operator definition.
+func NewNetwork(name string, in []value.Type) *Network {
+	return &Network{Name: name, In: in, nodes: make(map[string]*Node)}
+}
+
+func (n *Network) addNode(node *Node) error {
+	if node.ID == "" {
+		return fmt.Errorf("adt: network %s: node needs an id", n.Name)
+	}
+	if _, dup := n.nodes[node.ID]; dup {
+		return fmt.Errorf("adt: network %s: duplicate node %q", n.Name, node.ID)
+	}
+	n.nodes[node.ID] = node
+	n.order = append(n.order, node.ID)
+	return nil
+}
+
+// AddInput declares node id as the network's index-th formal input.
+func (n *Network) AddInput(id string, index int) error {
+	if index < 0 || index >= len(n.In) {
+		return fmt.Errorf("adt: network %s: input index %d out of range (have %d formals)", n.Name, index, len(n.In))
+	}
+	return n.addNode(&Node{ID: id, Kind: NodeInput, Index: index})
+}
+
+// AddConst declares node id as a literal value.
+func (n *Network) AddConst(id string, v value.Value) error {
+	if v == nil {
+		return fmt.Errorf("adt: network %s: const node %q needs a value", n.Name, id)
+	}
+	return n.addNode(&Node{ID: id, Kind: NodeConst, Const: v})
+}
+
+// AddOp declares node id as the application of operator op to the outputs
+// of the named argument nodes (which may be declared later).
+func (n *Network) AddOp(id, op string, args ...string) error {
+	return n.addNode(&Node{ID: id, Kind: NodeOp, Op: op, Args: args})
+}
+
+// SetOutput designates the node whose value the network returns.
+func (n *Network) SetOutput(id string) { n.OutputNode = id }
+
+// Compile type-checks the network against the registry, verifies it is
+// acyclic and fully wired, and returns it as a registrable Operator.
+func (n *Network) Compile(reg *Registry) (*Operator, error) {
+	if n.OutputNode == "" {
+		return nil, fmt.Errorf("adt: network %s: no output node designated", n.Name)
+	}
+	if _, ok := n.nodes[n.OutputNode]; !ok {
+		return nil, fmt.Errorf("adt: network %s: output node %q not defined", n.Name, n.OutputNode)
+	}
+	// Resolve every node's static type, detecting cycles with the classic
+	// three-colour DFS.
+	types := make(map[string]value.Type)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int)
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch colour[id] {
+		case grey:
+			return fmt.Errorf("adt: network %s: cycle through node %q", n.Name, id)
+		case black:
+			return nil
+		}
+		colour[id] = grey
+		node, ok := n.nodes[id]
+		if !ok {
+			return fmt.Errorf("adt: network %s: node %q referenced but not defined", n.Name, id)
+		}
+		switch node.Kind {
+		case NodeInput:
+			types[id] = n.In[node.Index]
+		case NodeConst:
+			types[id] = node.Const.Type()
+		case NodeOp:
+			op, err := reg.Lookup(node.Op)
+			if err != nil {
+				return fmt.Errorf("adt: network %s: node %q: %w", n.Name, id, err)
+			}
+			if len(node.Args) != len(op.In) {
+				return fmt.Errorf("adt: network %s: node %q: %s takes %d args, wired %d", n.Name, id, node.Op, len(op.In), len(node.Args))
+			}
+			for i, argID := range node.Args {
+				if err := visit(argID); err != nil {
+					return err
+				}
+				got := types[argID]
+				wantT := op.In[i]
+				if got != wantT {
+					if elem, ok := wantT.IsSet(); !ok || got != elem {
+						return fmt.Errorf("adt: network %s: node %q arg %d: have %s, want %s", n.Name, id, i, got, wantT)
+					}
+				}
+			}
+			types[id] = op.Out
+		}
+		colour[id] = black
+		return nil
+	}
+	if err := visit(n.OutputNode); err != nil {
+		return nil, err
+	}
+	// Warn-level check: every declared node should be reachable; compute
+	// the unreachable set for diagnostics but do not fail — dead nodes are
+	// legal, just useless.
+	_ = n.unreachableFrom(n.OutputNode)
+
+	// Build the executable closure over a snapshot of node definitions.
+	nodes := make(map[string]*Node, len(n.nodes))
+	for id, node := range n.nodes {
+		nodes[id] = node
+	}
+	name := n.Name
+	formals := append([]value.Type(nil), n.In...)
+	outID := n.OutputNode
+	fn := func(args []value.Value) (value.Value, error) {
+		memo := make(map[string]value.Value, len(nodes))
+		var eval func(id string) (value.Value, error)
+		eval = func(id string) (value.Value, error) {
+			if v, ok := memo[id]; ok {
+				return v, nil
+			}
+			node := nodes[id]
+			var (
+				out value.Value
+				err error
+			)
+			switch node.Kind {
+			case NodeInput:
+				out = args[node.Index]
+			case NodeConst:
+				out = node.Const
+			case NodeOp:
+				in := make([]value.Value, len(node.Args))
+				for i, argID := range node.Args {
+					if in[i], err = eval(argID); err != nil {
+						return nil, err
+					}
+				}
+				out, err = reg.Apply(node.Op, in...)
+				if err != nil {
+					return nil, fmt.Errorf("compound %s node %q: %w", name, id, err)
+				}
+			}
+			memo[id] = out
+			return out, nil
+		}
+		return eval(outID)
+	}
+	return &Operator{
+		Name:     n.Name,
+		In:       formals,
+		Out:      types[n.OutputNode],
+		Doc:      n.Doc,
+		Fn:       fn,
+		Compound: true,
+	}, nil
+}
+
+// unreachableFrom returns node IDs not reachable from the given root,
+// sorted, for diagnostics.
+func (n *Network) unreachableFrom(root string) []string {
+	reach := make(map[string]bool)
+	var walk func(id string)
+	walk = func(id string) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		if node, ok := n.nodes[id]; ok && node.Kind == NodeOp {
+			for _, a := range node.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(root)
+	var out []string
+	for _, id := range n.order {
+		if !reach[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterCompound compiles the network and registers the result, making
+// the compound operator available exactly like a primitive one.
+func (n *Network) RegisterCompound(reg *Registry) (*Operator, error) {
+	op, err := n.Compile(reg)
+	if err != nil {
+		return nil, err
+	}
+	if err := reg.Register(op); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

@@ -1,0 +1,259 @@
+package adt
+
+import (
+	"strings"
+	"testing"
+
+	"gaea/internal/imgops"
+	"gaea/internal/raster"
+	"gaea/internal/value"
+)
+
+// buildPCANetwork wires Figure 4's dataflow: SET OF image → convert →
+// covariance → eigenvector → linear-combination (on centred pixels) →
+// convert-matrix-image, parameterised by component index and output shape.
+func buildPCANetwork(t *testing.T, rows, cols int) *Network {
+	t.Helper()
+	n := NewNetwork("pca_net", []value.Type{value.SetOf(value.TypeImage), value.TypeInt})
+	n.Doc = "Figure 4 PCA compound operator"
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.AddInput("bands", 0))
+	must(n.AddInput("component", 1))
+	must(n.AddConst("rows", value.Int(rows)))
+	must(n.AddConst("cols", value.Int(cols)))
+	must(n.AddOp("mat", "convert_image_matrix", "bands"))
+	must(n.AddOp("cov", "compute_covariance", "mat"))
+	must(n.AddOp("eig", "get_eigen_vector", "cov", "component"))
+	must(n.AddOp("centered", "center_rows", "mat"))
+	must(n.AddOp("proj", "linear_combination", "centered", "eig"))
+	must(n.AddOp("imgset", "convert_matrix_image", "proj", "rows", "cols"))
+	n.SetOutput("imgset")
+	return n
+}
+
+func scene(t *testing.T) []*raster.Image {
+	t.Helper()
+	l := raster.NewLandscape(17)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 12, Cols: 12, DayOfYear: 150, Year: 1987, Noise: 0.005}
+	bands, err := l.GenerateScene(spec, []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bands
+}
+
+func bandsValue(t *testing.T, bands []*raster.Image) value.Set {
+	t.Helper()
+	items := make([]value.Value, len(bands))
+	for i, b := range bands {
+		items[i] = value.Image{Img: b}
+	}
+	s, err := value.NewSet(value.TypeImage, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPCANetworkCompilesAndMatchesFused(t *testing.T) {
+	r := NewStandardRegistry()
+	bands := scene(t)
+	net := buildPCANetwork(t, 12, 12)
+	op, err := net.Compile(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Compound {
+		t.Error("compiled network should be marked compound")
+	}
+	if op.Out != value.SetOf(value.TypeImage) {
+		t.Errorf("network output type = %s", op.Out)
+	}
+
+	out, err := op.Fn([]value.Value{bandsValue(t, bands), value.Int(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs, err := value.AsImageSet(out)
+	if err != nil || len(imgs) != 1 {
+		t.Fatalf("network output: %v, %v", out, err)
+	}
+
+	fused, err := imgops.PCA(bands, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := imgs[0].MaxAbsDiff(fused.Components[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-4 {
+		t.Errorf("network PC1 differs from fused PCA by %g", d)
+	}
+}
+
+func TestNetworkRegisterCompound(t *testing.T) {
+	r := NewStandardRegistry()
+	net := buildPCANetwork(t, 12, 12)
+	op, err := net.RegisterCompound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now callable through the registry like any primitive operator.
+	bands := scene(t)
+	out, err := r.Apply(op.Name, bandsValue(t, bands), value.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := value.AsImageSet(out); err != nil {
+		t.Fatal(err)
+	}
+	// And it shows up in the browse.
+	found := false
+	for _, name := range r.Names() {
+		if name == "pca_net" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compound operator not listed")
+	}
+}
+
+func TestNetworkCycleDetection(t *testing.T) {
+	r := NewStandardRegistry()
+	n := NewNetwork("cyclic", []value.Type{value.TypeImage})
+	if err := n.AddInput("in", 0); err != nil {
+		t.Fatal(err)
+	}
+	// a depends on b depends on a.
+	if err := n.AddOp("a", "img_add", "in", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddOp("b", "img_add", "in", "a"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetOutput("a")
+	if _, err := n.Compile(r); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestNetworkTypeErrors(t *testing.T) {
+	r := NewStandardRegistry()
+
+	// Arg type mismatch: feeding an int where an image is expected.
+	n := NewNetwork("badtype", []value.Type{value.TypeImage})
+	n.AddInput("in", 0)
+	n.AddConst("k", value.Int(3))
+	n.AddOp("bad", "img_add", "in", "k")
+	n.SetOutput("bad")
+	if _, err := n.Compile(r); err == nil {
+		t.Error("type mismatch must fail compile")
+	}
+
+	// Wrong arity.
+	n2 := NewNetwork("badarity", []value.Type{value.TypeImage})
+	n2.AddInput("in", 0)
+	n2.AddOp("bad", "img_add", "in")
+	n2.SetOutput("bad")
+	if _, err := n2.Compile(r); err == nil {
+		t.Error("arity mismatch must fail compile")
+	}
+
+	// Unknown operator.
+	n3 := NewNetwork("badop", []value.Type{value.TypeImage})
+	n3.AddInput("in", 0)
+	n3.AddOp("bad", "no_such", "in")
+	n3.SetOutput("bad")
+	if _, err := n3.Compile(r); err == nil {
+		t.Error("unknown operator must fail compile")
+	}
+
+	// Undefined node reference.
+	n4 := NewNetwork("dangling", []value.Type{value.TypeImage})
+	n4.AddInput("in", 0)
+	n4.AddOp("bad", "img_add", "in", "ghost")
+	n4.SetOutput("bad")
+	if _, err := n4.Compile(r); err == nil {
+		t.Error("dangling reference must fail compile")
+	}
+
+	// Missing output designation.
+	n5 := NewNetwork("noout", []value.Type{value.TypeImage})
+	n5.AddInput("in", 0)
+	if _, err := n5.Compile(r); err == nil {
+		t.Error("missing output must fail compile")
+	}
+
+	// Output node never defined.
+	n6 := NewNetwork("ghostout", []value.Type{value.TypeImage})
+	n6.AddInput("in", 0)
+	n6.SetOutput("ghost")
+	if _, err := n6.Compile(r); err == nil {
+		t.Error("undefined output node must fail compile")
+	}
+}
+
+func TestNetworkNodeValidation(t *testing.T) {
+	n := NewNetwork("v", []value.Type{value.TypeImage})
+	if err := n.AddInput("", 0); err == nil {
+		t.Error("empty node id must fail")
+	}
+	if err := n.AddInput("x", 5); err == nil {
+		t.Error("input index out of range must fail")
+	}
+	if err := n.AddConst("c", nil); err == nil {
+		t.Error("nil const must fail")
+	}
+	if err := n.AddInput("in", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddInput("in", 0); err == nil {
+		t.Error("duplicate node id must fail")
+	}
+}
+
+func TestNetworkMemoisesSharedNodes(t *testing.T) {
+	// A diamond network: the shared upstream node must execute once.
+	r := NewRegistry()
+	calls := 0
+	r.Register(&Operator{
+		Name: "count_me", In: []value.Type{value.TypeInt}, Out: value.TypeInt,
+		Fn: func(a []value.Value) (value.Value, error) {
+			calls++
+			return a[0], nil
+		},
+	})
+	r.Register(&Operator{
+		Name: "sum2", In: []value.Type{value.TypeInt, value.TypeInt}, Out: value.TypeInt,
+		Fn: func(a []value.Value) (value.Value, error) {
+			return a[0].(value.Int) + a[1].(value.Int), nil
+		},
+	})
+	n := NewNetwork("diamond", []value.Type{value.TypeInt})
+	n.AddInput("in", 0)
+	n.AddOp("shared", "count_me", "in")
+	n.AddOp("l", "count_me", "shared")
+	n.AddOp("rgt", "count_me", "shared")
+	n.AddOp("out", "sum2", "l", "rgt")
+	n.SetOutput("out")
+	op, err := n.Compile(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := op.Fn([]value.Value{value.Int(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(value.Int) != 42 {
+		t.Errorf("diamond output = %v", out)
+	}
+	if calls != 3 { // shared once, l once, rgt once
+		t.Errorf("shared node evaluated %d times, want 3", calls)
+	}
+}

@@ -1,0 +1,278 @@
+// Package concept implements the high-level semantics layer of §2.1.1:
+// Concepts. "A concept is a representation of a spatio-temporal entity set
+// extended with an imprecise definition ... formally, each type of base
+// data and each process for deriving data defines a unique class; a
+// concept is simply a set of classes."
+//
+// DESERTIC REGION means "the same thing" to every scientist at the highest
+// level of abstraction, but each derivation (rainfall < 250 mm vs < 200 mm)
+// pins down a different class; the concept collects them. Concepts form
+// specialization hierarchies (hot trade-wind desert ISA desert), which the
+// paper allows to be general DAGs (footnote 4).
+package concept
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"gaea/internal/catalog"
+	"gaea/internal/storage"
+)
+
+// Errors returned by the manager.
+var (
+	ErrExists   = errors.New("concept: already defined")
+	ErrNotFound = errors.New("concept: not found")
+	ErrBad      = errors.New("concept: invalid definition")
+	ErrCycle    = errors.New("concept: ISA cycle")
+)
+
+// Concept is one named concept.
+type Concept struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc,omitempty"`
+	// Classes are the member non-primitive classes — the dashed expansion
+	// arrows of Figure 2 (hot trade-wind desert → {C2, C3, C4, C5}).
+	Classes []string `json:"classes"`
+	// Parents are ISA links to more general concepts.
+	Parents []string `json:"parents,omitempty"`
+}
+
+var identRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9_ -]*$`)
+
+// Manager is the persistent concept registry.
+type Manager struct {
+	mu       sync.RWMutex
+	store    *storage.Store
+	cat      *catalog.Catalog
+	concepts map[string]*Concept
+}
+
+const conceptKeyPrefix = "concept/"
+
+// OpenManager loads concepts from the store.
+func OpenManager(st *storage.Store, cat *catalog.Catalog) (*Manager, error) {
+	m := &Manager{store: st, cat: cat, concepts: make(map[string]*Concept)}
+	for _, key := range st.MetaKeys(conceptKeyPrefix) {
+		raw, ok := st.MetaGet(key)
+		if !ok {
+			continue
+		}
+		var c Concept
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("concept: corrupt definition at %s: %w", key, err)
+		}
+		m.concepts[c.Name] = &c
+	}
+	return m, nil
+}
+
+// Define validates and persists a concept. Parents must already exist
+// (define general concepts first); member classes must exist in the
+// catalog. The paper notes users may create silly concepts (CLOUD ∪
+// CENSUS) — "we leave it to the user to avoid such" — so semantic sanity
+// is not checked, only referential integrity.
+func (m *Manager) Define(c *Concept) error {
+	if !identRe.MatchString(c.Name) {
+		return fmt.Errorf("%w: bad name %q", ErrBad, c.Name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.concepts[c.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, c.Name)
+	}
+	seen := map[string]bool{}
+	for _, cls := range c.Classes {
+		if !m.cat.Exists(cls) {
+			return fmt.Errorf("%w: member class %q unknown", ErrBad, cls)
+		}
+		if seen[cls] {
+			return fmt.Errorf("%w: duplicate member class %q", ErrBad, cls)
+		}
+		seen[cls] = true
+	}
+	for _, p := range c.Parents {
+		if p == c.Name {
+			return fmt.Errorf("%w: %s ISA itself", ErrCycle, c.Name)
+		}
+		if _, ok := m.concepts[p]; !ok {
+			return fmt.Errorf("%w: parent concept %q unknown", ErrBad, p)
+		}
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	if err := m.store.MetaSet(conceptKeyPrefix+c.Name, raw); err != nil {
+		return err
+	}
+	cp := *c
+	cp.Classes = append([]string(nil), c.Classes...)
+	cp.Parents = append([]string(nil), c.Parents...)
+	m.concepts[c.Name] = &cp
+	return nil
+}
+
+// AddClass extends a concept with another member class — a scientist
+// registering a new derivation of the shared concept.
+func (m *Manager) AddClass(concept, class string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.concepts[concept]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, concept)
+	}
+	if !m.cat.Exists(class) {
+		return fmt.Errorf("%w: class %q unknown", ErrBad, class)
+	}
+	for _, existing := range c.Classes {
+		if existing == class {
+			return fmt.Errorf("%w: class %q already a member of %s", ErrBad, class, concept)
+		}
+	}
+	c.Classes = append(c.Classes, class)
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	return m.store.MetaSet(conceptKeyPrefix+concept, raw)
+}
+
+// Get returns a concept by name.
+func (m *Manager) Get(name string) (*Concept, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.concepts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	cp := *c
+	cp.Classes = append([]string(nil), c.Classes...)
+	cp.Parents = append([]string(nil), c.Parents...)
+	return &cp, nil
+}
+
+// Exists reports whether a concept is defined.
+func (m *Manager) Exists(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.concepts[name]
+	return ok
+}
+
+// Names lists all concepts, sorted.
+func (m *Manager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.concepts))
+	for n := range m.concepts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Children returns the concepts directly specialising the given one.
+func (m *Manager) Children(name string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for n, c := range m.concepts {
+		for _, p := range c.Parents {
+			if p == name {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns the transitive ISA parents, sorted.
+func (m *Manager) Ancestors(name string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.concepts[name]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	seen := map[string]bool{}
+	var walk func(n string)
+	walk = func(n string) {
+		for _, p := range m.concepts[n].Parents {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(name)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// MemberClasses returns the classes of a concept including those of all
+// specialising concepts — querying DESERT covers hot trade-wind deserts
+// and ice/snow deserts. Sorted, deduplicated.
+func (m *Manager) MemberClasses(name string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.concepts[name]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// Build the child relation once.
+	children := map[string][]string{}
+	for n, c := range m.concepts {
+		for _, p := range c.Parents {
+			children[p] = append(children[p], n)
+		}
+	}
+	classes := map[string]bool{}
+	seen := map[string]bool{}
+	var walk func(n string)
+	walk = func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, cls := range m.concepts[n].Classes {
+			classes[cls] = true
+		}
+		for _, ch := range children[n] {
+			walk(ch)
+		}
+	}
+	walk(name)
+	out := make([]string, 0, len(classes))
+	for cls := range classes {
+		out = append(out, cls)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ConceptsOfClass returns the concepts a class belongs to directly,
+// sorted — the reverse mapping from the derivation layer up.
+func (m *Manager) ConceptsOfClass(class string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for n, c := range m.concepts {
+		for _, cls := range c.Classes {
+			if cls == class {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package filegis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gaea/internal/raster"
+)
+
+func scene(t *testing.T, band raster.Band) *raster.Image {
+	t.Helper()
+	l := raster.NewLandscape(5)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 8, Cols: 8, DayOfYear: 150, Year: 1986, Noise: 0.01}
+	img, err := l.GenerateBand(spec, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestImportLoadList(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := scene(t, raster.BandRed)
+	if err := w.Import("africa_red_8601", red); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Load("africa_red_8601")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualPixels(red) {
+		t.Error("load lost pixels")
+	}
+	if !w.Exists("africa_red_8601") || w.Exists("ghost") {
+		t.Error("Exists wrong")
+	}
+	names, err := w.List()
+	if err != nil || len(names) != 1 || names[0] != "africa_red_8601" {
+		t.Errorf("List = %v, %v", names, err)
+	}
+	if _, err := w.Load("ghost"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("missing load err = %v", err)
+	}
+}
+
+func TestSilentOverwriteHazard(t *testing.T) {
+	// The paper's §4.1 hazard: a second import under the same name
+	// silently clobbers the first.
+	w, _ := Open(t.TempDir())
+	w.Import("map", scene(t, raster.BandRed))
+	nir := scene(t, raster.BandNIR)
+	if err := w.Import("map", nir); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.Load("map")
+	if !got.EqualPixels(nir) {
+		t.Error("expected the overwrite to win (that is the hazard)")
+	}
+}
+
+func TestAnalysisCommandsAndTranscript(t *testing.T) {
+	w, _ := Open(t.TempDir())
+	w.Import("red88", scene(t, raster.BandRed))
+	w.Import("nir88", scene(t, raster.BandNIR))
+	w.Import("swir88", scene(t, raster.BandSWIR))
+
+	if err := w.NDVI("ndvi88", "red88", "nir88"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Subtract("diff", "ndvi88", "ndvi88"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Ratio("rat", "ndvi88", "ndvi88"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Classify("lc88", []string{"red88", "nir88", "swir88"}, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Threshold("dry", "ndvi88", "<", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs exist and are loadable.
+	for _, name := range []string{"ndvi88", "diff", "rat", "lc88", "dry"} {
+		if !w.Exists(name) {
+			t.Errorf("output %s missing", name)
+		}
+	}
+	// diff of x with itself is zero.
+	diff, _ := w.Load("diff")
+	if st := diff.Stats(); st.Min != 0 || st.Max != 0 {
+		t.Errorf("self-subtract should be zero: %+v", st)
+	}
+	// Transcript recorded every command.
+	text, err := w.Transcript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"import red88", "ndvi red88 nir88 -> ndvi88", "classify red88,nir88,swir88 k=6 -> lc88", "threshold ndvi88 < 0.2 -> dry"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transcript missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCommandsFailOnMissingInputs(t *testing.T) {
+	w, _ := Open(t.TempDir())
+	if err := w.NDVI("out", "nope", "nada"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("ndvi err = %v", err)
+	}
+	if err := w.Classify("out", []string{"nope"}, 3); !errors.Is(err, ErrNoFile) {
+		t.Errorf("classify err = %v", err)
+	}
+	if err := w.Threshold("out", "nope", "<", 1); !errors.Is(err, ErrNoFile) {
+		t.Errorf("threshold err = %v", err)
+	}
+}
+
+func TestDerivationOfIsOnlyGrep(t *testing.T) {
+	// The §1 scenario in the baseline: two change maps with
+	// indistinguishable metadata unless the transcript happens to say.
+	w, _ := Open(t.TempDir())
+	w.Import("red88", scene(t, raster.BandRed))
+	w.Import("nir88", scene(t, raster.BandNIR))
+	w.NDVI("ndvi88", "red88", "nir88")
+	w.Subtract("change_a", "ndvi88", "ndvi88")
+	w.Ratio("change_b", "ndvi88", "ndvi88")
+
+	linesA, err := w.DerivationOf("change_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(linesA) != 1 || !strings.Contains(linesA[0], "subtract") {
+		t.Errorf("DerivationOf(change_a) = %v", linesA)
+	}
+	// But the structure is free text: renaming the file orphans the
+	// lineage entirely.
+	if lines, _ := w.DerivationOf("renamed_change"); len(lines) != 0 {
+		t.Errorf("renamed file should have no greppable lineage: %v", lines)
+	}
+	// Empty workspace has an empty transcript.
+	w2, _ := Open(t.TempDir())
+	if text, err := w2.Transcript(); err != nil || text != "" {
+		t.Errorf("fresh transcript = %q, %v", text, err)
+	}
+}

@@ -1,0 +1,242 @@
+package imgops
+
+import (
+	"fmt"
+	"math"
+
+	"gaea/internal/raster"
+)
+
+// Unsupervised classification — the unsuperclassify() operator of process
+// P20 (Figure 3): group pixels of a composited multi-band image into k land
+// cover classes by similarity. We implement k-means with deterministic
+// k-means++-style seeding driven by a caller-supplied seed, because the
+// paper's reproducibility goal requires that re-running a task yields the
+// same classification.
+
+// ClassifyOptions tunes Unsuperclassify.
+type ClassifyOptions struct {
+	MaxIter int    // maximum Lloyd iterations; default 50
+	Seed    uint64 // deterministic seeding; default 1
+}
+
+func (o ClassifyOptions) withDefaults() ClassifyOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Unsuperclassify clusters the pixels of the given co-registered bands into
+// k classes and returns a char image of class codes 0..k-1. It is
+// deterministic for a given (input, k, options) triple.
+func Unsuperclassify(bands []*raster.Image, k int, opts ClassifyOptions) (*raster.Image, error) {
+	if err := checkSameShape(bands); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > 255 {
+		return nil, fmt.Errorf("%w: k = %d (want 1..255)", ErrBadParam, k)
+	}
+	opts = opts.withDefaults()
+	d := len(bands)
+	n := bands[0].Pixels()
+	if k > n {
+		return nil, fmt.Errorf("%w: k = %d exceeds pixel count %d", ErrBadParam, k, n)
+	}
+
+	// Pixel vectors, pixel-major for cache-friendly distance loops.
+	px := make([]float64, n*d)
+	for b, im := range bands {
+		vals := im.Float64s()
+		for i, v := range vals {
+			px[i*d+b] = v
+		}
+	}
+
+	centers := seedCenters(px, n, d, k, opts.Seed)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*d)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			v := px[i*d : (i+1)*d]
+			for c := 0; c < k; c++ {
+				dist := sqDist(v, centers[c*d:(c+1)*d])
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		if iter > 0 && changed == 0 {
+			break
+		}
+		// Recompute centers.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			v := px[i*d : (i+1)*d]
+			dst := sums[c*d : (c+1)*d]
+			for j := range v {
+				dst[j] += v[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// center, deterministically: pick the globally worst-fitted
+				// pixel.
+				worst, worstD := 0, -1.0
+				for i := 0; i < n; i++ {
+					dd := sqDist(px[i*d:(i+1)*d], centers[assign[i]*d:(assign[i]+1)*d])
+					if dd > worstD {
+						worst, worstD = i, dd
+					}
+				}
+				copy(centers[c*d:(c+1)*d], px[worst*d:(worst+1)*d])
+				continue
+			}
+			for j := 0; j < d; j++ {
+				centers[c*d+j] = sums[c*d+j] / float64(counts[c])
+			}
+		}
+	}
+
+	out, err := raster.New(bands[0].Rows(), bands[0].Cols(), raster.PixChar)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]float64, n)
+	for i, c := range assign {
+		codes[i] = float64(c)
+	}
+	if err := out.SetFloat64s(codes); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// seedCenters picks k initial centers k-means++-style with a deterministic
+// splitmix64 stream.
+func seedCenters(px []float64, n, d, k int, seed uint64) []float64 {
+	centers := make([]float64, k*d)
+	state := seed
+	next := func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	first := int(next() * float64(n))
+	if first >= n {
+		first = n - 1
+	}
+	copy(centers[0:d], px[first*d:(first+1)*d])
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(px[i*d:(i+1)*d], centers[0:d])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, dd := range dist {
+			total += dd
+		}
+		idx := 0
+		if total > 0 {
+			target := next() * total
+			var acc float64
+			for i, dd := range dist {
+				acc += dd
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		} else {
+			// All points coincide with chosen centers; spread deterministically.
+			idx = (c * n) / k
+		}
+		copy(centers[c*d:(c+1)*d], px[idx*d:(idx+1)*d])
+		for i := range dist {
+			if dd := sqDist(px[i*d:(i+1)*d], centers[c*d:(c+1)*d]); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// WithinClusterSS returns the total within-cluster sum of squared distances
+// of a classification against its source bands — the objective k-means
+// minimises. Tests use it to verify classification quality invariants.
+func WithinClusterSS(bands []*raster.Image, classes *raster.Image) (float64, error) {
+	if err := checkSameShape(append([]*raster.Image{classes}, bands...)); err != nil {
+		return 0, err
+	}
+	d := len(bands)
+	n := classes.Pixels()
+	codes := classes.Float64s()
+	k := 0
+	for _, c := range codes {
+		if int(c) >= k {
+			k = int(c) + 1
+		}
+	}
+	sums := make([]float64, k*d)
+	counts := make([]int, k)
+	px := make([]float64, n*d)
+	for b, im := range bands {
+		vals := im.Float64s()
+		for i, v := range vals {
+			px[i*d+b] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := int(codes[i])
+		counts[c]++
+		for j := 0; j < d; j++ {
+			sums[c*d+j] += px[i*d+j]
+		}
+	}
+	centers := make([]float64, k*d)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			centers[c*d+j] = sums[c*d+j] / float64(counts[c])
+		}
+	}
+	var ss float64
+	for i := 0; i < n; i++ {
+		c := int(codes[i])
+		ss += sqDist(px[i*d:(i+1)*d], centers[c*d:(c+1)*d])
+	}
+	return ss, nil
+}

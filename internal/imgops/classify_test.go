@@ -1,0 +1,194 @@
+package imgops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gaea/internal/raster"
+)
+
+// twoClusterBands builds bands whose pixels form two well-separated
+// clusters: left half near (0,0), right half near (10,10).
+func twoClusterBands(t *testing.T, rows, cols int) []*raster.Image {
+	t.Helper()
+	a := raster.MustNew(rows, cols, raster.PixFloat8)
+	b := raster.MustNew(rows, cols, raster.PixFloat8)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := 0.0
+			if c >= cols/2 {
+				v = 10
+			}
+			jitter := float64((r*31+c*17)%7) * 0.01
+			a.Set(r, c, v+jitter)
+			b.Set(r, c, v-jitter)
+		}
+	}
+	return []*raster.Image{a, b}
+}
+
+func TestUnsuperclassifySeparatesClusters(t *testing.T) {
+	bands := twoClusterBands(t, 8, 8)
+	out, err := Unsuperclassify(bands, 2, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All left-half pixels share one class, all right-half the other.
+	left, _ := out.At(0, 0)
+	right, _ := out.At(0, 7)
+	if left == right {
+		t.Fatal("clusters not separated")
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			v, _ := out.At(r, c)
+			want := left
+			if c >= 4 {
+				want = right
+			}
+			if v != want {
+				t.Fatalf("pixel (%d,%d) = %g, want %g", r, c, v, want)
+			}
+		}
+	}
+}
+
+func TestUnsuperclassifyDeterminism(t *testing.T) {
+	bands := twoClusterBands(t, 8, 8)
+	a, err := Unsuperclassify(bands, 3, ClassifyOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Unsuperclassify(bands, 3, ClassifyOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualPixels(b) {
+		t.Error("same seed must reproduce the same classification")
+	}
+}
+
+func TestUnsuperclassifyValidation(t *testing.T) {
+	bands := twoClusterBands(t, 4, 4)
+	if _, err := Unsuperclassify(bands, 0, ClassifyOptions{}); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := Unsuperclassify(bands, 256, ClassifyOptions{}); err == nil {
+		t.Error("k>255 must fail")
+	}
+	if _, err := Unsuperclassify(bands, 17, ClassifyOptions{}); err == nil {
+		t.Error("k > pixel count must fail")
+	}
+	if _, err := Unsuperclassify(nil, 2, ClassifyOptions{}); err == nil {
+		t.Error("no bands must fail")
+	}
+	mixed := []*raster.Image{bands[0], raster.MustNew(5, 5, raster.PixFloat8)}
+	if _, err := Unsuperclassify(mixed, 2, ClassifyOptions{}); err == nil {
+		t.Error("shape mismatch must fail")
+	}
+}
+
+func TestUnsuperclassifyClassCodesInRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 4+r.Intn(6), 4+r.Intn(6)
+		img := raster.MustNew(rows, cols, raster.PixFloat8)
+		vals := make([]float64, rows*cols)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 10
+		}
+		img.SetFloat64s(vals)
+		k := 1 + r.Intn(5)
+		out, err := Unsuperclassify([]*raster.Image{img}, k, ClassifyOptions{Seed: uint64(seed) + 1})
+		if err != nil {
+			return false
+		}
+		for _, v := range out.Float64s() {
+			if v < 0 || v >= float64(k) || v != float64(int(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsuperclassifyKEqualsPixels(t *testing.T) {
+	// k == n is legal: every pixel may be its own class.
+	img := raster.MustNew(2, 2, raster.PixFloat8)
+	img.SetFloat64s([]float64{1, 2, 3, 4})
+	out, err := Unsuperclassify([]*raster.Image{img}, 4, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, v := range out.Float64s() {
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct pixels with k=n should each get a class, got %d classes", len(seen))
+	}
+}
+
+func TestUnsuperclassifyConstantImage(t *testing.T) {
+	// All pixels identical: must terminate and assign everything to one
+	// class code without panicking on empty clusters.
+	img := raster.MustNew(4, 4, raster.PixFloat8)
+	out, err := Unsuperclassify([]*raster.Image{img}, 3, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := out.At(0, 0)
+	for _, v := range out.Float64s() {
+		if v != first {
+			t.Fatal("constant image should classify uniformly")
+		}
+	}
+}
+
+func TestWithinClusterSSImprovesWithK(t *testing.T) {
+	bands := twoClusterBands(t, 8, 8)
+	one, err := Unsuperclassify(bands, 1, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Unsuperclassify(bands, 2, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss1, err := WithinClusterSS(bands, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := WithinClusterSS(bands, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss2 >= ss1 {
+		t.Errorf("k=2 SS %g should beat k=1 SS %g", ss2, ss1)
+	}
+}
+
+func TestUnsuperclassifyOnSyntheticScene(t *testing.T) {
+	// End-to-end: classify a synthetic scene into 12 classes like P20.
+	l := raster.NewLandscape(42)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 24, Cols: 24, DayOfYear: 180, Year: 1986, Noise: 0.01}
+	bands, err := l.GenerateScene(spec, []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unsuperclassify(bands, 12, ClassifyOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := out.Stats()
+	if st.Min < 0 || st.Max > 11 {
+		t.Errorf("class codes out of range: %+v", st)
+	}
+	if st.StdDev == 0 {
+		t.Error("classification should not be uniform on a varied scene")
+	}
+}

@@ -1,0 +1,505 @@
+// Package object manages scientific data objects — the instances of
+// non-primitive classes (§2.1.2). Every object carries an OID, its class
+// name, attribute values, and its spatio-temporal extent. Objects persist
+// in the storage engine; large image payloads are offloaded to the blob
+// store (the paper's image ADT likewise stores a filepath, not inline
+// pixels). Per-class grid and interval indexes serve the extent-qualified
+// retrieval that is step 1 of the §2.1.5 query sequence.
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gaea/internal/catalog"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/storage"
+	"gaea/internal/value"
+)
+
+// OID identifies a data object globally.
+type OID uint64
+
+// Errors returned by the object store.
+var (
+	ErrNotFound = errors.New("object: not found")
+	ErrBadAttr  = errors.New("object: attribute error")
+)
+
+// Object is one scientific data object.
+type Object struct {
+	OID    OID
+	Class  string
+	Attrs  map[string]value.Value
+	Extent sptemp.Extent
+}
+
+// Attr returns an attribute value, including the automatic extent
+// accessors spatialextent and timestamp.
+func (o *Object) Attr(name string) (value.Value, error) {
+	switch name {
+	case "spatialextent":
+		return value.Box(o.Extent.Space), nil
+	case "timestamp":
+		if !o.Extent.HasTime {
+			return nil, fmt.Errorf("%w: object %d has no temporal extent", ErrBadAttr, o.OID)
+		}
+		return value.AbsTime(o.Extent.TimeIv.Start), nil
+	}
+	v, ok := o.Attrs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %d (class %s) has no attribute %q", ErrBadAttr, o.OID, o.Class, name)
+	}
+	return v, nil
+}
+
+// Store persists objects and serves extent queries.
+type Store struct {
+	mu   sync.RWMutex
+	st   *storage.Store
+	cat  *catalog.Catalog
+	rids map[OID]ridRef
+	// Per-class extent indexes and membership, rebuilt at open.
+	spatial  map[string]*sptemp.GridIndex
+	temporal map[string]*sptemp.IntervalIndex
+	members  map[string][]OID
+	// blobsByOID tracks blob ids owned by each object for deletion.
+	blobsByOID map[OID][]storage.BlobID
+}
+
+type ridRef struct {
+	heap string
+	rid  storage.RID
+}
+
+func heapFor(class string) string { return "obj_" + class }
+
+// Open loads the object store, rebuilding in-memory indexes by scanning
+// each class heap.
+func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
+	s := &Store{
+		st:         st,
+		cat:        cat,
+		rids:       make(map[OID]ridRef),
+		spatial:    make(map[string]*sptemp.GridIndex),
+		temporal:   make(map[string]*sptemp.IntervalIndex),
+		members:    make(map[string][]OID),
+		blobsByOID: make(map[OID][]storage.BlobID),
+	}
+	for _, class := range cat.Names() {
+		heap := heapFor(class)
+		var scanErr error
+		err := st.Scan(heap, func(rid storage.RID, rec []byte) bool {
+			obj, blobIDs, err := decodeObject(rec)
+			if err != nil {
+				scanErr = fmt.Errorf("object: corrupt record %s in %s: %w", rid, heap, err)
+				return false
+			}
+			s.rids[obj.OID] = ridRef{heap: heap, rid: rid}
+			s.indexLocked(class, obj)
+			s.blobsByOID[obj.OID] = blobIDs
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) indexLocked(class string, obj *Object) {
+	gi, ok := s.spatial[class]
+	if !ok {
+		gi = sptemp.NewGridIndex(spatialCellFor(obj.Extent.Space))
+		s.spatial[class] = gi
+	}
+	gi.Insert(uint64(obj.OID), obj.Extent.Space)
+	ti, ok := s.temporal[class]
+	if !ok {
+		ti = sptemp.NewIntervalIndex()
+		s.temporal[class] = ti
+	}
+	if obj.Extent.HasTime {
+		ti.Insert(uint64(obj.OID), obj.Extent.TimeIv)
+	}
+	s.members[class] = insertSorted(s.members[class], obj.OID)
+}
+
+func insertSorted(s []OID, o OID) []OID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= o })
+	if i < len(s) && s[i] == o {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = o
+	return s
+}
+
+func removeSorted(s []OID, o OID) []OID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= o })
+	if i < len(s) && s[i] == o {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// spatialCellFor sizes grid cells off the first-seen extent so typical
+// scene-sized boxes land in a handful of cells.
+func spatialCellFor(b sptemp.Box) float64 {
+	w := b.Width()
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// Insert validates the object against its class schema, assigns an OID,
+// persists it (offloading images to blobs), and indexes it.
+func (s *Store) Insert(obj *Object) (OID, error) {
+	cls, err := s.cat.Class(obj.Class)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.validate(cls, obj); err != nil {
+		return 0, err
+	}
+	id, err := s.st.NextID("oid")
+	if err != nil {
+		return 0, err
+	}
+	obj.OID = OID(id)
+
+	rec, blobIDs, err := s.encodeObject(obj)
+	if err != nil {
+		return 0, err
+	}
+	heap := heapFor(obj.Class)
+	rid, err := s.st.Insert(heap, rec)
+	if err != nil {
+		for _, b := range blobIDs {
+			s.st.Blobs().Delete(b)
+		}
+		return 0, err
+	}
+	s.mu.Lock()
+	s.rids[obj.OID] = ridRef{heap: heap, rid: rid}
+	s.indexLocked(obj.Class, obj)
+	s.blobsByOID[obj.OID] = blobIDs
+	s.mu.Unlock()
+	return obj.OID, nil
+}
+
+func (s *Store) validate(cls *catalog.Class, obj *Object) error {
+	for name, v := range obj.Attrs {
+		a, ok := cls.Attr(name)
+		if !ok {
+			return fmt.Errorf("%w: class %s has no attribute %q", ErrBadAttr, cls.Name, name)
+		}
+		if v == nil {
+			return fmt.Errorf("%w: attribute %q is nil", ErrBadAttr, name)
+		}
+		if v.Type() != a.Type {
+			// A singleton scalar satisfies a set-typed attribute.
+			if elem, isSet := a.Type.IsSet(); !isSet || v.Type() != elem {
+				return fmt.Errorf("%w: attribute %q is %s, schema says %s", ErrBadAttr, name, v.Type(), a.Type)
+			}
+		}
+	}
+	for _, a := range cls.Attrs {
+		if _, ok := obj.Attrs[a.Name]; !ok {
+			return fmt.Errorf("%w: attribute %q missing", ErrBadAttr, a.Name)
+		}
+	}
+	if cls.HasSpatial && obj.Extent.Space.IsEmpty() {
+		return fmt.Errorf("%w: class %s requires a spatial extent", ErrBadAttr, cls.Name)
+	}
+	if cls.HasSpatial && !obj.Extent.Frame.Compatible(cls.Frame) {
+		return fmt.Errorf("%w: object frame %s, class frame %s", ErrBadAttr, obj.Extent.Frame, cls.Frame)
+	}
+	if cls.HasTemporal && !obj.Extent.HasTime {
+		return fmt.Errorf("%w: class %s requires a temporal extent", ErrBadAttr, cls.Name)
+	}
+	return nil
+}
+
+// Get loads an object by OID, materialising blob-stored images.
+func (s *Store) Get(oid OID) (*Object, error) {
+	s.mu.RLock()
+	ref, ok := s.rids[oid]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
+	}
+	rec, err := s.st.Get(ref.heap, ref.rid)
+	if err != nil {
+		return nil, err
+	}
+	obj, _, err := decodeObject(rec)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve blob references into image values.
+	for name, v := range obj.Attrs {
+		if ref, ok := v.(blobRef); ok {
+			data, err := s.st.Blobs().Get(ref.id)
+			if err != nil {
+				return nil, fmt.Errorf("object: oid %d attribute %q: %w", oid, name, err)
+			}
+			img, err := raster.Unmarshal(data)
+			if err != nil {
+				return nil, fmt.Errorf("object: oid %d attribute %q: %w", oid, name, err)
+			}
+			obj.Attrs[name] = value.Image{Img: img}
+		}
+	}
+	return obj, nil
+}
+
+// Delete removes an object and its blobs.
+func (s *Store) Delete(oid OID) error {
+	s.mu.Lock()
+	ref, ok := s.rids[oid]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
+	}
+	class := ref.heap[len("obj_"):]
+	blobIDs := s.blobsByOID[oid]
+	delete(s.rids, oid)
+	delete(s.blobsByOID, oid)
+	if gi := s.spatial[class]; gi != nil {
+		gi.Delete(uint64(oid))
+	}
+	if ti := s.temporal[class]; ti != nil {
+		ti.Delete(uint64(oid))
+	}
+	s.members[class] = removeSorted(s.members[class], oid)
+	s.mu.Unlock()
+
+	if err := s.st.Delete(ref.heap, ref.rid); err != nil {
+		return err
+	}
+	for _, b := range blobIDs {
+		if err := s.st.Blobs().Delete(b); err != nil && !errors.Is(err, storage.ErrBlobNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Members returns all OIDs of a class, ascending.
+func (s *Store) Members(class string) []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]OID(nil), s.members[class]...)
+}
+
+// Count returns the number of stored objects of a class.
+func (s *Store) Count(class string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.members[class])
+}
+
+// Query returns the OIDs of class objects whose extent matches the
+// predicate, ascending. An empty predicate space matches everything.
+func (s *Store) Query(class string, pred sptemp.Extent) ([]OID, error) {
+	if !s.cat.Exists(class) {
+		return nil, fmt.Errorf("%w: class %q", catalog.ErrClassNotFound, class)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Candidate set from the more selective index available.
+	var candidates []OID
+	switch {
+	case !pred.Space.IsEmpty() && s.spatial[class] != nil:
+		for _, id := range s.spatial[class].Search(pred.Space) {
+			candidates = append(candidates, OID(id))
+		}
+	case pred.HasTime && s.temporal[class] != nil:
+		for _, id := range s.temporal[class].Search(pred.TimeIv) {
+			candidates = append(candidates, OID(id))
+		}
+	default:
+		candidates = append(candidates, s.members[class]...)
+	}
+	// Verify the full predicate per candidate (the index covers one
+	// dimension only).
+	var out []OID
+	for _, oid := range candidates {
+		ref := s.rids[oid]
+		rec, err := s.st.Get(ref.heap, ref.rid)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := decodeExtentOnly(rec)
+		if err != nil {
+			return nil, err
+		}
+		if ext.Matches(pred) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// NearestInTime returns up to k class members closest in time to t,
+// used by temporal interpolation to find bracketing observations.
+func (s *Store) NearestInTime(class string, t sptemp.AbsTime, k int) []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ti := s.temporal[class]
+	if ti == nil {
+		return nil
+	}
+	ids := ti.Nearest(t, k)
+	out := make([]OID, len(ids))
+	for i, id := range ids {
+		out[i] = OID(id)
+	}
+	return out
+}
+
+// blobRef is the placeholder value stored inline for offloaded images.
+type blobRef struct{ id storage.BlobID }
+
+func (blobRef) Type() value.Type { return value.TypeImage }
+func (r blobRef) String() string { return fmt.Sprintf("(image blob %d)", r.id) }
+
+// Object record layout (little endian):
+//
+//	magic "GOBJ", oid u64, classLen u16, class,
+//	extent: frameSysLen u16 + sys, frameUnitLen u16 + unit,
+//	        4 x f64 box, hasTime u8, 2 x i64 interval,
+//	nattrs u16, then per attribute:
+//	        nameLen u16, name, kind u8 (0 inline, 1 blob),
+//	        inline: valLen u32 + value.Encode bytes
+//	        blob:   blobID u64
+const objMagic = "GOBJ"
+
+func (s *Store) encodeObject(obj *Object) ([]byte, []storage.BlobID, error) {
+	buf := []byte(objMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.OID))
+	buf = appendStr16(buf, obj.Class)
+	buf = appendStr16(buf, string(obj.Extent.Frame.System))
+	buf = appendStr16(buf, string(obj.Extent.Frame.Unit))
+	for _, f := range []float64{obj.Extent.Space.MinX, obj.Extent.Space.MinY, obj.Extent.Space.MaxX, obj.Extent.Space.MaxY} {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(f))
+	}
+	if obj.Extent.HasTime {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.Extent.TimeIv.Start))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.Extent.TimeIv.End))
+
+	names := make([]string, 0, len(obj.Attrs))
+	for n := range obj.Attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(names)))
+	var blobIDs []storage.BlobID
+	for _, n := range names {
+		v := obj.Attrs[n]
+		buf = appendStr16(buf, n)
+		if img, ok := v.(value.Image); ok && img.Img != nil {
+			id, err := s.st.NextID("blob")
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := s.st.Blobs().Put(storage.BlobID(id), raster.Marshal(img.Img)); err != nil {
+				return nil, nil, err
+			}
+			blobIDs = append(blobIDs, storage.BlobID(id))
+			buf = append(buf, 1)
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			continue
+		}
+		enc, err := value.Encode(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("object: attribute %q: %w", n, err)
+		}
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, blobIDs, nil
+}
+
+func decodeObject(rec []byte) (*Object, []storage.BlobID, error) {
+	r := &reader{buf: rec}
+	if string(r.bytes(4)) != objMagic {
+		return nil, nil, fmt.Errorf("bad object magic")
+	}
+	obj := &Object{Attrs: make(map[string]value.Value)}
+	obj.OID = OID(r.u64())
+	obj.Class = r.str16()
+	obj.Extent.Frame.System = sptemp.RefSystem(r.str16())
+	obj.Extent.Frame.Unit = sptemp.RefUnit(r.str16())
+	obj.Extent.Space = sptemp.Box{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+	obj.Extent.HasTime = r.u8() == 1
+	obj.Extent.TimeIv = sptemp.Interval{Start: sptemp.AbsTime(r.u64()), End: sptemp.AbsTime(r.u64())}
+	n := int(r.u16())
+	var blobIDs []storage.BlobID
+	for i := 0; i < n; i++ {
+		name := r.str16()
+		kind := r.u8()
+		if kind == 1 {
+			id := storage.BlobID(r.u64())
+			obj.Attrs[name] = blobRef{id: id}
+			blobIDs = append(blobIDs, id)
+			continue
+		}
+		vn := int(r.u32())
+		enc := r.bytes(vn)
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		v, err := value.Decode(enc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("attribute %q: %w", name, err)
+		}
+		obj.Attrs[name] = v
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return obj, blobIDs, nil
+}
+
+// decodeExtentOnly reads just the extent header, skipping attribute decode
+// for fast predicate checks.
+func decodeExtentOnly(rec []byte) (sptemp.Extent, error) {
+	r := &reader{buf: rec}
+	if string(r.bytes(4)) != objMagic {
+		return sptemp.Extent{}, fmt.Errorf("bad object magic")
+	}
+	r.u64()
+	r.str16()
+	var e sptemp.Extent
+	e.Frame.System = sptemp.RefSystem(r.str16())
+	e.Frame.Unit = sptemp.RefUnit(r.str16())
+	e.Space = sptemp.Box{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+	e.HasTime = r.u8() == 1
+	e.TimeIv = sptemp.Interval{Start: sptemp.AbsTime(r.u64()), End: sptemp.AbsTime(r.u64())}
+	return e, r.err
+}
+
+func appendStr16(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func floatBits(f float64) uint64 { return mathFloat64bits(f) }

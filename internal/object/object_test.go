@@ -1,0 +1,364 @@
+package object
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gaea/internal/catalog"
+	"gaea/internal/raster"
+	"gaea/internal/sptemp"
+	"gaea/internal/storage"
+	"gaea/internal/value"
+)
+
+type fixture struct {
+	st  *storage.Store
+	cat *catalog.Catalog
+	obj *Store
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cat, err := catalog.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestClasses(t, cat)
+	obj, err := Open(st, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{st: st, cat: cat, obj: obj}
+}
+
+func defineTestClasses(t *testing.T, cat *catalog.Catalog) {
+	t.Helper()
+	scenes := &catalog.Class{
+		Name: "landsat_tm", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{
+			{Name: "band", Type: value.TypeString},
+			{Name: "data", Type: value.TypeImage},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+	}
+	if err := cat.Define(scenes); err != nil {
+		t.Fatal(err)
+	}
+	stats := &catalog.Class{
+		Name: "region_stats", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{
+			{Name: "name", Type: value.TypeString},
+			{Name: "mean_rain", Type: value.TypeFloat},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}
+	if err := cat.Define(stats); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sceneObject(band string, x float64, t sptemp.AbsTime) *Object {
+	img := raster.MustNew(4, 4, raster.PixFloat4)
+	img.Set(0, 0, 0.5)
+	return &Object{
+		Class: "landsat_tm",
+		Attrs: map[string]value.Value{
+			"band": value.String_(band),
+			"data": value.Image{Img: img},
+		},
+		Extent: sptemp.AtInstant(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+100, 100), t),
+	}
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	oid, err := f.obj.Insert(sceneObject("red", 0, sptemp.Date(1986, 1, 15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.obj.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != "landsat_tm" || got.OID != oid {
+		t.Errorf("identity wrong: %+v", got)
+	}
+	band, err := got.Attr("band")
+	if err != nil || band.(value.String_) != "red" {
+		t.Errorf("band = %v, %v", band, err)
+	}
+	img, err := value.AsImage(got.Attrs["data"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := img.At(0, 0); v != 0.5 {
+		t.Errorf("image pixel lost: %g", v)
+	}
+	// Extent accessors.
+	se, err := got.Attr("spatialextent")
+	if err != nil || se.(value.Box).Box().IsEmpty() {
+		t.Errorf("spatialextent = %v, %v", se, err)
+	}
+	ts, err := got.Attr("timestamp")
+	if err != nil || ts.(value.AbsTime).Time() != sptemp.Date(1986, 1, 15) {
+		t.Errorf("timestamp = %v, %v", ts, err)
+	}
+	if _, err := got.Attr("nope"); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("missing attr err = %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	f := newFixture(t)
+	// Unknown class.
+	bad := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	bad.Class = "ghost"
+	if _, err := f.obj.Insert(bad); err == nil {
+		t.Error("unknown class must fail")
+	}
+	// Missing attribute.
+	m := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	delete(m.Attrs, "band")
+	if _, err := f.obj.Insert(m); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("missing attr err = %v", err)
+	}
+	// Extra attribute.
+	e := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	e.Attrs["extra"] = value.Int(1)
+	if _, err := f.obj.Insert(e); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("extra attr err = %v", err)
+	}
+	// Wrong type.
+	w := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	w.Attrs["band"] = value.Int(3)
+	if _, err := f.obj.Insert(w); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("wrong type err = %v", err)
+	}
+	// Missing temporal extent on temporal class.
+	n := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	n.Extent.HasTime = false
+	if _, err := f.obj.Insert(n); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("missing time err = %v", err)
+	}
+	// Wrong frame.
+	fr := sceneObject("red", 0, sptemp.Date(1986, 1, 1))
+	fr.Extent.Frame = sptemp.Frame{System: sptemp.RefLongLat, Unit: sptemp.UnitDegree}
+	if _, err := f.obj.Insert(fr); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("wrong frame err = %v", err)
+	}
+}
+
+func TestQueryBySpaceAndTime(t *testing.T) {
+	f := newFixture(t)
+	jan := sptemp.Date(1986, 1, 15)
+	jun := sptemp.Date(1986, 6, 15)
+	o1, _ := f.obj.Insert(sceneObject("red", 0, jan))    // west, january
+	o2, _ := f.obj.Insert(sceneObject("red", 1000, jan)) // east, january
+	o3, _ := f.obj.Insert(sceneObject("red", 0, jun))    // west, june
+
+	// Spatial only: west box.
+	got, err := f.obj.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 50, 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []OID{o1, o3}) {
+		t.Errorf("west query = %v, want [%d %d]", got, o1, o3)
+	}
+	// Spatio-temporal: west + january.
+	pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 50, 50),
+		sptemp.NewInterval(sptemp.Date(1986, 1, 1), sptemp.Date(1986, 2, 1)))
+	got, err = f.obj.Query("landsat_tm", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []OID{o1}) {
+		t.Errorf("west+jan query = %v, want [%d]", got, o1)
+	}
+	// Temporal only.
+	tpred := sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox(),
+		TimeIv: sptemp.NewInterval(sptemp.Date(1986, 1, 1), sptemp.Date(1986, 2, 1)), HasTime: true}
+	got, err = f.obj.Query("landsat_tm", tpred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []OID{o1, o2}) {
+		t.Errorf("january query = %v", got)
+	}
+	// No predicate at all: all members.
+	all, err := f.obj.Query("landsat_tm", sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("all query = %v", all)
+	}
+	// Unknown class.
+	if _, err := f.obj.Query("ghost", sptemp.Extent{}); err == nil {
+		t.Error("unknown class must fail")
+	}
+}
+
+func TestDeleteRemovesEverything(t *testing.T) {
+	f := newFixture(t)
+	oid, _ := f.obj.Insert(sceneObject("red", 0, sptemp.Date(1986, 1, 15)))
+	blobs, _ := f.st.Blobs().IDs()
+	if len(blobs) != 1 {
+		t.Fatalf("expected 1 blob, got %d", len(blobs))
+	}
+	if err := f.obj.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.obj.Get(oid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted get err = %v", err)
+	}
+	if err := f.obj.Delete(oid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	blobs, _ = f.st.Blobs().IDs()
+	if len(blobs) != 0 {
+		t.Errorf("blobs leaked: %v", blobs)
+	}
+	if got, _ := f.obj.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 50, 50))); len(got) != 0 {
+		t.Errorf("index still returns deleted object: %v", got)
+	}
+	if f.obj.Count("landsat_tm") != 0 {
+		t.Error("count wrong after delete")
+	}
+}
+
+func TestReopenRebuildsIndexes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := catalog.Open(st)
+	defineTestClasses(t, cat)
+	obj, _ := Open(st, cat)
+	oid, err := obj.Insert(sceneObject("nir", 0, sptemp.Date(1989, 6, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cat2, _ := catalog.Open(st2)
+	obj2, err := Open(st2, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs["band"].(value.String_) != "nir" {
+		t.Error("reloaded object wrong")
+	}
+	// Indexes answer queries after reopen.
+	hits, err := obj2.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 10, 10)))
+	if err != nil || len(hits) != 1 || hits[0] != oid {
+		t.Errorf("query after reopen = %v, %v", hits, err)
+	}
+	if !reflect.DeepEqual(obj2.Members("landsat_tm"), []OID{oid}) {
+		t.Error("members after reopen wrong")
+	}
+}
+
+func TestTimelessClass(t *testing.T) {
+	f := newFixture(t)
+	o := &Object{
+		Class: "region_stats",
+		Attrs: map[string]value.Value{
+			"name":      value.String_("sahel"),
+			"mean_rain": value.Float(220),
+		},
+		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 10, 10)),
+	}
+	oid, err := f.obj.Insert(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.obj.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Attr("timestamp"); err == nil {
+		t.Error("timeless object has no timestamp accessor")
+	}
+	// Timed predicate still matches timeless objects.
+	pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 5, 5), sptemp.Instant(sptemp.Date(1990, 1, 1)))
+	hits, err := f.obj.Query("region_stats", pred)
+	if err != nil || len(hits) != 1 {
+		t.Errorf("timeless query = %v, %v", hits, err)
+	}
+}
+
+func TestNearestInTime(t *testing.T) {
+	f := newFixture(t)
+	o1, _ := f.obj.Insert(sceneObject("red", 0, sptemp.Date(1986, 1, 1)))
+	o2, _ := f.obj.Insert(sceneObject("red", 0, sptemp.Date(1986, 6, 1)))
+	o3, _ := f.obj.Insert(sceneObject("red", 0, sptemp.Date(1987, 1, 1)))
+	got := f.obj.NearestInTime("landsat_tm", sptemp.Date(1986, 5, 1), 2)
+	if !reflect.DeepEqual(got, []OID{o2, o1}) {
+		t.Errorf("NearestInTime = %v, want [%d %d]", got, o2, o1)
+	}
+	_ = o3
+	if got := f.obj.NearestInTime("ghost", sptemp.Date(1986, 1, 1), 1); got != nil {
+		t.Errorf("unknown class nearest = %v", got)
+	}
+}
+
+func TestMultipleImageAttributes(t *testing.T) {
+	f := newFixture(t)
+	cls := &catalog.Class{
+		Name: "pair", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{
+			{Name: "a", Type: value.TypeImage},
+			{Name: "b", Type: value.TypeImage},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}
+	if err := f.cat.Define(cls); err != nil {
+		t.Fatal(err)
+	}
+	imgA := raster.MustNew(2, 2, raster.PixChar)
+	imgA.Set(0, 0, 1)
+	imgB := raster.MustNew(3, 3, raster.PixChar)
+	imgB.Set(1, 1, 2)
+	oid, err := f.obj.Insert(&Object{
+		Class:  "pair",
+		Attrs:  map[string]value.Value{"a": value.Image{Img: imgA}, "b": value.Image{Img: imgB}},
+		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.obj.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := value.AsImage(got.Attrs["a"])
+	b, _ := value.AsImage(got.Attrs["b"])
+	if a.Rows() != 2 || b.Rows() != 3 {
+		t.Error("image attributes swapped or lost")
+	}
+	if va, _ := a.At(0, 0); va != 1 {
+		t.Error("image a content wrong")
+	}
+	if vb, _ := b.At(1, 1); vb != 2 {
+		t.Error("image b content wrong")
+	}
+}

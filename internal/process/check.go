@@ -1,0 +1,345 @@
+package process
+
+import (
+	"errors"
+	"fmt"
+
+	"gaea/internal/adt"
+	"gaea/internal/catalog"
+	"gaea/internal/value"
+)
+
+// Definition-time type checking. A process definition is validated against
+// the class catalog and the operator registry before it is accepted, so
+// assertion and mapping errors surface when the scientist defines the
+// process, not when a task fires years later.
+
+// ErrCheck wraps all definition-time validation failures.
+var ErrCheck = errors.New("process: definition error")
+
+// pseudo-types used only during inference.
+const (
+	typeArgSet value.Type = "argset" // a bare ArgRef (object set)
+)
+
+// Check validates a primitive process definition.
+func Check(pr *Process, cat *catalog.Catalog, reg *adt.Registry) error {
+	if pr.Name == "" {
+		return fmt.Errorf("%w: process needs a name", ErrCheck)
+	}
+	outClass, err := cat.Class(pr.OutClass)
+	if err != nil {
+		return fmt.Errorf("%w: output class %q: %v", ErrCheck, pr.OutClass, err)
+	}
+	if outClass.Kind != catalog.KindDerived {
+		return fmt.Errorf("%w: output class %q is not a derived class", ErrCheck, pr.OutClass)
+	}
+	seen := map[string]bool{}
+	for _, a := range pr.Args {
+		if seen[a.Name] {
+			return fmt.Errorf("%w: duplicate argument %q", ErrCheck, a.Name)
+		}
+		seen[a.Name] = true
+		if !cat.Exists(a.Class) {
+			return fmt.Errorf("%w: argument %q has unknown class %q", ErrCheck, a.Name, a.Class)
+		}
+		if a.MinCard < 1 {
+			return fmt.Errorf("%w: argument %q min cardinality %d", ErrCheck, a.Name, a.MinCard)
+		}
+		if !a.IsSet && a.MinCard != 1 {
+			return fmt.Errorf("%w: scalar argument %q cannot require %d objects", ErrCheck, a.Name, a.MinCard)
+		}
+	}
+	ck := &checker{pr: pr, cat: cat, reg: reg}
+	for _, a := range pr.Assertions {
+		t, err := ck.infer(a)
+		if err != nil {
+			return err
+		}
+		// An assertion is a boolean test or a common() guard (which
+		// succeeds or fails as a side condition).
+		if t != value.TypeBool {
+			if call, ok := a.(*Call); !ok || call.Fn != "common" {
+				return fmt.Errorf("%w: assertion %q is %s, want bool or common()", ErrCheck, a, t)
+			}
+		}
+	}
+	// Mappings must cover every output attribute exactly once, plus the
+	// extent accessors the output class declares.
+	covered := map[string]bool{}
+	for _, m := range pr.Mappings {
+		if covered[m.Attr] {
+			return fmt.Errorf("%w: attribute %q mapped twice", ErrCheck, m.Attr)
+		}
+		covered[m.Attr] = true
+		t, err := ck.infer(m.Expr)
+		if err != nil {
+			return err
+		}
+		var want value.Type
+		switch m.Attr {
+		case "spatialextent":
+			if !outClass.HasSpatial {
+				return fmt.Errorf("%w: class %s declares no spatial extent", ErrCheck, outClass.Name)
+			}
+			want = value.TypeBox
+		case "timestamp":
+			if !outClass.HasTemporal {
+				return fmt.Errorf("%w: class %s declares no temporal extent", ErrCheck, outClass.Name)
+			}
+			want = value.TypeAbsTime
+		default:
+			attr, ok := outClass.Attr(m.Attr)
+			if !ok {
+				return fmt.Errorf("%w: class %s has no attribute %q", ErrCheck, outClass.Name, m.Attr)
+			}
+			want = attr.Type
+		}
+		if !assignable(t, want) {
+			return fmt.Errorf("%w: mapping %s.%s: expression is %s, attribute is %s", ErrCheck, pr.OutAlias, m.Attr, t, want)
+		}
+	}
+	for _, a := range outClass.Attrs {
+		if !covered[a.Name] {
+			return fmt.Errorf("%w: attribute %q of %s is not mapped", ErrCheck, a.Name, outClass.Name)
+		}
+	}
+	if outClass.HasSpatial && !covered["spatialextent"] {
+		return fmt.Errorf("%w: spatial extent of %s is not mapped", ErrCheck, outClass.Name)
+	}
+	if outClass.HasTemporal && !covered["timestamp"] {
+		return fmt.Errorf("%w: temporal extent of %s is not mapped", ErrCheck, outClass.Name)
+	}
+	return nil
+}
+
+// assignable reports whether an expression of type got may populate a slot
+// of type want: exact match, Int widening to Float, or a scalar where a
+// singleton set is accepted.
+func assignable(got, want value.Type) bool {
+	if got == want {
+		return true
+	}
+	if got == value.TypeInt && want == value.TypeFloat {
+		return true
+	}
+	if elem, ok := want.IsSet(); ok && got == elem {
+		return true
+	}
+	return false
+}
+
+type checker struct {
+	pr  *Process
+	cat *catalog.Catalog
+	reg *adt.Registry
+}
+
+// infer returns the static type of an expression.
+func (ck *checker) infer(e Expr) (value.Type, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val.Type(), nil
+	case *ArgRef:
+		if _, ok := ck.pr.Arg(x.Name); !ok {
+			return "", fmt.Errorf("%w: unknown argument %q", ErrCheck, x.Name)
+		}
+		return typeArgSet, nil
+	case *AttrPath:
+		spec, ok := ck.pr.Arg(x.Arg)
+		if !ok {
+			return "", fmt.Errorf("%w: unknown argument %q in %s", ErrCheck, x.Arg, x)
+		}
+		cls, err := ck.cat.Class(spec.Class)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrCheck, err)
+		}
+		var t value.Type
+		switch x.Attr {
+		case "spatialextent":
+			if !cls.HasSpatial {
+				return "", fmt.Errorf("%w: class %s has no spatial extent (%s)", ErrCheck, cls.Name, x)
+			}
+			t = value.TypeBox
+		case "timestamp":
+			if !cls.HasTemporal {
+				return "", fmt.Errorf("%w: class %s has no temporal extent (%s)", ErrCheck, cls.Name, x)
+			}
+			t = value.TypeAbsTime
+		default:
+			attr, ok := cls.Attr(x.Attr)
+			if !ok {
+				return "", fmt.Errorf("%w: class %s has no attribute %q (%s)", ErrCheck, cls.Name, x.Attr, x)
+			}
+			t = attr.Type
+		}
+		if spec.IsSet {
+			return value.SetOf(t), nil
+		}
+		return t, nil
+	case *Call:
+		return ck.inferCall(x)
+	case *Compare:
+		lt, err := ck.infer(x.Left)
+		if err != nil {
+			return "", err
+		}
+		rt, err := ck.infer(x.Right)
+		if err != nil {
+			return "", err
+		}
+		numeric := func(t value.Type) bool { return t == value.TypeInt || t == value.TypeFloat }
+		if numeric(lt) && numeric(rt) {
+			return value.TypeBool, nil
+		}
+		if lt == rt {
+			switch x.Op {
+			case "=", "!=":
+				return value.TypeBool, nil
+			}
+			if lt == value.TypeAbsTime || lt == value.TypeString {
+				return value.TypeBool, nil
+			}
+		}
+		return "", fmt.Errorf("%w: cannot compare %s %s %s", ErrCheck, lt, x.Op, rt)
+	default:
+		return "", fmt.Errorf("%w: unknown expression %T", ErrCheck, e)
+	}
+}
+
+func (ck *checker) inferCall(c *Call) (value.Type, error) {
+	switch c.Fn {
+	case "card":
+		if len(c.Args) != 1 {
+			return "", fmt.Errorf("%w: card() takes one argument", ErrCheck)
+		}
+		t, err := ck.infer(c.Args[0])
+		if err != nil {
+			return "", err
+		}
+		if t == typeArgSet {
+			return value.TypeInt, nil
+		}
+		if _, ok := t.IsSet(); ok {
+			return value.TypeInt, nil
+		}
+		return "", fmt.Errorf("%w: card() needs a set, got %s", ErrCheck, t)
+	case "anyof":
+		if len(c.Args) != 1 {
+			return "", fmt.Errorf("%w: ANYOF takes one expression", ErrCheck)
+		}
+		t, err := ck.infer(c.Args[0])
+		if err != nil {
+			return "", err
+		}
+		if elem, ok := t.IsSet(); ok {
+			return elem, nil
+		}
+		// ANYOF over a scalar is the scalar itself.
+		if t == typeArgSet {
+			return "", fmt.Errorf("%w: ANYOF needs an attribute path, not a bare argument", ErrCheck)
+		}
+		return t, nil
+	case "common":
+		if len(c.Args) != 1 {
+			return "", fmt.Errorf("%w: common() takes one argument", ErrCheck)
+		}
+		t, err := ck.infer(c.Args[0])
+		if err != nil {
+			return "", err
+		}
+		elem, ok := t.IsSet()
+		if !ok {
+			elem = t // common over a scalar is trivially that scalar
+		}
+		switch elem {
+		case value.TypeBox, value.TypeAbsTime, value.TypeInterval:
+			return elem, nil
+		}
+		return "", fmt.Errorf("%w: common() applies to extents, got %s", ErrCheck, t)
+	default:
+		op, err := ck.reg.Lookup(c.Fn)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrCheck, err)
+		}
+		if len(c.Args) != len(op.In) {
+			return "", fmt.Errorf("%w: %s takes %d args, got %d", ErrCheck, c.Fn, len(op.In), len(c.Args))
+		}
+		for i, a := range c.Args {
+			t, err := ck.infer(a)
+			if err != nil {
+				return "", err
+			}
+			if t == typeArgSet {
+				return "", fmt.Errorf("%w: bare argument %q passed to %s; use an attribute path", ErrCheck, a, c.Fn)
+			}
+			if !assignable(t, op.In[i]) {
+				return "", fmt.Errorf("%w: %s arg %d is %s, want %s", ErrCheck, c.Fn, i, t, op.In[i])
+			}
+		}
+		return op.Out, nil
+	}
+}
+
+// CheckCompound validates a compound process: every step invokes a known
+// process (primitive or compound) with class-compatible arguments, results
+// are unique, the dataflow is acyclic by construction (steps may only
+// reference earlier results), and the designated output step produces the
+// compound's output class.
+func CheckCompound(c *Compound, resolve func(name string) (args []ArgSpec, outClass string, err error), cat *catalog.Catalog) error {
+	if len(c.Steps) == 0 {
+		return fmt.Errorf("%w: compound %s has no steps", ErrCheck, c.Name)
+	}
+	if !cat.Exists(c.OutClass) {
+		return fmt.Errorf("%w: compound %s output class %q unknown", ErrCheck, c.Name, c.OutClass)
+	}
+	// Name → class of every bindable name.
+	classOf := map[string]string{}
+	isSet := map[string]bool{}
+	seenArg := map[string]bool{}
+	for _, a := range c.Args {
+		if seenArg[a.Name] {
+			return fmt.Errorf("%w: compound %s duplicate argument %q", ErrCheck, c.Name, a.Name)
+		}
+		seenArg[a.Name] = true
+		if !cat.Exists(a.Class) {
+			return fmt.Errorf("%w: compound %s argument %q class %q unknown", ErrCheck, c.Name, a.Name, a.Class)
+		}
+		classOf[a.Name] = a.Class
+		isSet[a.Name] = a.IsSet
+	}
+	var outSeen bool
+	for i, s := range c.Steps {
+		if _, dup := classOf[s.Result]; dup {
+			return fmt.Errorf("%w: compound %s step %d redefines %q", ErrCheck, c.Name, i, s.Result)
+		}
+		specs, outClass, err := resolve(s.Process)
+		if err != nil {
+			return fmt.Errorf("%w: compound %s step %d: %v", ErrCheck, c.Name, i, err)
+		}
+		if len(s.Args) != len(specs) {
+			return fmt.Errorf("%w: compound %s step %d: %s takes %d args, got %d", ErrCheck, c.Name, i, s.Process, len(specs), len(s.Args))
+		}
+		for j, argName := range s.Args {
+			cls, ok := classOf[argName]
+			if !ok {
+				return fmt.Errorf("%w: compound %s step %d: %q is not a compound argument or earlier result", ErrCheck, c.Name, i, argName)
+			}
+			if cls != specs[j].Class {
+				return fmt.Errorf("%w: compound %s step %d: arg %q is class %s, %s wants %s", ErrCheck, c.Name, i, argName, cls, s.Process, specs[j].Class)
+			}
+		}
+		classOf[s.Result] = outClass
+		isSet[s.Result] = false
+		if s.Result == c.OutAlias {
+			outSeen = true
+			if outClass != c.OutClass {
+				return fmt.Errorf("%w: compound %s output step yields %s, declared %s", ErrCheck, c.Name, outClass, c.OutClass)
+			}
+		}
+	}
+	if !outSeen {
+		return fmt.Errorf("%w: compound %s has no step producing output %q", ErrCheck, c.Name, c.OutAlias)
+	}
+	return nil
+}

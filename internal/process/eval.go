@@ -1,0 +1,366 @@
+package process
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gaea/internal/adt"
+	"gaea/internal/catalog"
+	"gaea/internal/object"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+// Run-time evaluation of a process template over bound input objects. The
+// task layer calls Bind → CheckAssertions → EvalMappings; an assertion
+// failure means the process is not enabled for these inputs (the Petri-net
+// guard of §2.1.6 item 3).
+
+// Errors returned during evaluation.
+var (
+	ErrBind      = errors.New("process: binding error")
+	ErrAssertion = errors.New("process: assertion failed")
+	ErrEval      = errors.New("process: evaluation error")
+)
+
+// CommonTimeTolerance is how far apart timestamps may lie and still count
+// as "the same time" for common(x.timestamp): one month, matching the
+// paper's scene granularity ("land use classification for January 1986").
+const CommonTimeTolerance = 31 * 24 * time.Hour
+
+// Binding holds the concrete input objects of one instantiation (task).
+type Binding struct {
+	pr   *Process
+	objs map[string][]*object.Object
+}
+
+// Bind validates concrete inputs against the argument specs: class match,
+// scalar arguments bind exactly one object, SETOF arguments at least
+// MinCard.
+func (p *Process) Bind(inputs map[string][]*object.Object) (*Binding, error) {
+	for name := range inputs {
+		if _, ok := p.Arg(name); !ok {
+			return nil, fmt.Errorf("%w: process %s has no argument %q", ErrBind, p.Name, name)
+		}
+	}
+	for _, spec := range p.Args {
+		objs, ok := inputs[spec.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: argument %q not bound", ErrBind, spec.Name)
+		}
+		if spec.IsSet {
+			if len(objs) < spec.MinCard {
+				return nil, fmt.Errorf("%w: argument %q needs at least %d objects, got %d", ErrBind, spec.Name, spec.MinCard, len(objs))
+			}
+		} else if len(objs) != 1 {
+			return nil, fmt.Errorf("%w: scalar argument %q needs exactly 1 object, got %d", ErrBind, spec.Name, len(objs))
+		}
+		for _, o := range objs {
+			if o == nil {
+				return nil, fmt.Errorf("%w: argument %q has a nil object", ErrBind, spec.Name)
+			}
+			if o.Class != spec.Class {
+				return nil, fmt.Errorf("%w: argument %q wants class %s, object %d is %s", ErrBind, spec.Name, spec.Class, o.OID, o.Class)
+			}
+		}
+	}
+	return &Binding{pr: p, objs: inputs}, nil
+}
+
+// InputOIDs returns the bound object ids per argument, for task records.
+func (b *Binding) InputOIDs() map[string][]object.OID {
+	out := make(map[string][]object.OID, len(b.objs))
+	for name, objs := range b.objs {
+		ids := make([]object.OID, len(objs))
+		for i, o := range objs {
+			ids[i] = o.OID
+		}
+		out[name] = ids
+	}
+	return out
+}
+
+// evalResult is either a plain value or an object set (bare ArgRef).
+type evalResult struct {
+	val  value.Value
+	objs []*object.Object
+}
+
+// CheckAssertions evaluates every assertion; the first failure is
+// reported. Boolean assertions must be true; common() assertions succeed
+// when the shared extent exists.
+func (b *Binding) CheckAssertions(reg *adt.Registry) error {
+	for _, a := range b.pr.Assertions {
+		res, err := b.eval(a, reg)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrAssertion, a, err)
+		}
+		if bv, ok := res.val.(value.Bool); ok && !bool(bv) {
+			return fmt.Errorf("%w: %s", ErrAssertion, a)
+		}
+	}
+	return nil
+}
+
+// EvalMappings computes the output attributes and extent. The output
+// class's frame is applied to the extent (the "invariant" transfer arcs of
+// Figure 2 carry the frame through).
+func (b *Binding) EvalMappings(reg *adt.Registry, outClass *catalog.Class) (map[string]value.Value, sptemp.Extent, error) {
+	attrs := make(map[string]value.Value)
+	ext := sptemp.Extent{Frame: outClass.Frame, Space: sptemp.EmptyBox()}
+	for _, m := range b.pr.Mappings {
+		res, err := b.eval(m.Expr, reg)
+		if err != nil {
+			return nil, ext, fmt.Errorf("%w: mapping %s.%s: %v", ErrEval, b.pr.OutAlias, m.Attr, err)
+		}
+		if res.val == nil {
+			return nil, ext, fmt.Errorf("%w: mapping %s.%s produced no value", ErrEval, b.pr.OutAlias, m.Attr)
+		}
+		switch m.Attr {
+		case "spatialextent":
+			bx, ok := res.val.(value.Box)
+			if !ok {
+				return nil, ext, fmt.Errorf("%w: spatialextent mapping is %s", ErrEval, res.val.Type())
+			}
+			ext.Space = bx.Box()
+		case "timestamp":
+			ts, ok := res.val.(value.AbsTime)
+			if !ok {
+				return nil, ext, fmt.Errorf("%w: timestamp mapping is %s", ErrEval, res.val.Type())
+			}
+			ext.TimeIv = sptemp.Instant(ts.Time())
+			ext.HasTime = true
+		default:
+			attr, ok := outClass.Attr(m.Attr)
+			if !ok {
+				return nil, ext, fmt.Errorf("%w: class %s has no attribute %q", ErrEval, outClass.Name, m.Attr)
+			}
+			attrs[m.Attr] = coerce(res.val, attr.Type)
+		}
+	}
+	return attrs, ext, nil
+}
+
+// coerce widens Int to Float where the schema expects a float.
+func coerce(v value.Value, want value.Type) value.Value {
+	if iv, ok := v.(value.Int); ok && want == value.TypeFloat {
+		return value.Float(iv)
+	}
+	return v
+}
+
+func (b *Binding) eval(e Expr, reg *adt.Registry) (evalResult, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return evalResult{val: x.Val}, nil
+	case *ArgRef:
+		objs, ok := b.objs[x.Name]
+		if !ok {
+			return evalResult{}, fmt.Errorf("unbound argument %q", x.Name)
+		}
+		return evalResult{objs: objs}, nil
+	case *AttrPath:
+		spec, ok := b.pr.Arg(x.Arg)
+		if !ok {
+			return evalResult{}, fmt.Errorf("unknown argument %q", x.Arg)
+		}
+		objs := b.objs[x.Arg]
+		vals := make([]value.Value, len(objs))
+		for i, o := range objs {
+			v, err := o.Attr(x.Attr)
+			if err != nil {
+				return evalResult{}, err
+			}
+			vals[i] = v
+		}
+		if !spec.IsSet {
+			return evalResult{val: vals[0]}, nil
+		}
+		elemType := value.TypeString
+		if len(vals) > 0 {
+			elemType = vals[0].Type()
+		}
+		set, err := value.NewSet(elemType, vals)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{val: set}, nil
+	case *Call:
+		return b.evalCall(x, reg)
+	case *Compare:
+		return b.evalCompare(x, reg)
+	default:
+		return evalResult{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func (b *Binding) evalCall(c *Call, reg *adt.Registry) (evalResult, error) {
+	switch c.Fn {
+	case "card":
+		res, err := b.eval(c.Args[0], reg)
+		if err != nil {
+			return evalResult{}, err
+		}
+		if res.objs != nil {
+			return evalResult{val: value.Int(len(res.objs))}, nil
+		}
+		if s, ok := res.val.(value.Set); ok {
+			return evalResult{val: value.Int(s.Card())}, nil
+		}
+		return evalResult{}, fmt.Errorf("card() needs a set")
+	case "anyof":
+		res, err := b.eval(c.Args[0], reg)
+		if err != nil {
+			return evalResult{}, err
+		}
+		if s, ok := res.val.(value.Set); ok {
+			if s.Card() == 0 {
+				return evalResult{}, fmt.Errorf("ANYOF over an empty set")
+			}
+			return evalResult{val: s.Items[0]}, nil
+		}
+		return res, nil
+	case "common":
+		res, err := b.eval(c.Args[0], reg)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return commonOf(res.val)
+	default:
+		op, err := reg.Lookup(c.Fn)
+		if err != nil {
+			return evalResult{}, err
+		}
+		args := make([]value.Value, len(c.Args))
+		for i, a := range c.Args {
+			res, err := b.eval(a, reg)
+			if err != nil {
+				return evalResult{}, err
+			}
+			if res.val == nil {
+				return evalResult{}, fmt.Errorf("bare argument passed to %s", c.Fn)
+			}
+			if i < len(op.In) {
+				args[i] = coerce(res.val, op.In[i])
+			} else {
+				args[i] = res.val
+			}
+		}
+		out, err := reg.Apply(c.Fn, args...)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{val: out}, nil
+	}
+}
+
+// commonOf implements common() over a set (or scalar) of extent values.
+func commonOf(v value.Value) (evalResult, error) {
+	set, ok := v.(value.Set)
+	if !ok {
+		// Scalar: trivially common.
+		switch v.(type) {
+		case value.Box, value.AbsTime, value.Interval:
+			return evalResult{val: v}, nil
+		}
+		return evalResult{}, fmt.Errorf("common() applies to extents, got %s", v.Type())
+	}
+	switch set.Elem {
+	case value.TypeBox:
+		boxes := make([]sptemp.Box, set.Card())
+		for i, it := range set.Items {
+			boxes[i] = it.(value.Box).Box()
+		}
+		shared, err := sptemp.CommonBox(boxes)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{val: value.Box(shared)}, nil
+	case value.TypeAbsTime:
+		ts := make([]sptemp.AbsTime, set.Card())
+		for i, it := range set.Items {
+			ts[i] = it.(value.AbsTime).Time()
+		}
+		shared, err := sptemp.CommonTimestamps(ts, CommonTimeTolerance)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{val: value.AbsTime(shared)}, nil
+	case value.TypeInterval:
+		ivs := make([]sptemp.Interval, set.Card())
+		for i, it := range set.Items {
+			ivs[i] = it.(value.Interval).Interval()
+		}
+		shared, err := sptemp.CommonInterval(ivs)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{val: value.Interval(shared)}, nil
+	default:
+		return evalResult{}, fmt.Errorf("common() applies to extents, got set of %s", set.Elem)
+	}
+}
+
+func (b *Binding) evalCompare(c *Compare, reg *adt.Registry) (evalResult, error) {
+	lres, err := b.eval(c.Left, reg)
+	if err != nil {
+		return evalResult{}, err
+	}
+	rres, err := b.eval(c.Right, reg)
+	if err != nil {
+		return evalResult{}, err
+	}
+	lv, rv := lres.val, rres.val
+	if lv == nil || rv == nil {
+		return evalResult{}, fmt.Errorf("bare argument in comparison")
+	}
+	// Numeric comparison when both sides are numeric.
+	lf, lerr := value.AsFloat(lv)
+	rf, rerr := value.AsFloat(rv)
+	if lerr == nil && rerr == nil {
+		var out bool
+		switch c.Op {
+		case "=":
+			out = lf == rf
+		case "!=":
+			out = lf != rf
+		case "<":
+			out = lf < rf
+		case "<=":
+			out = lf <= rf
+		case ">":
+			out = lf > rf
+		case ">=":
+			out = lf >= rf
+		default:
+			return evalResult{}, fmt.Errorf("unknown comparison %q", c.Op)
+		}
+		return evalResult{val: value.Bool(out)}, nil
+	}
+	// Structural equality for same-typed values.
+	switch c.Op {
+	case "=":
+		return evalResult{val: value.Bool(value.Equal(lv, rv))}, nil
+	case "!=":
+		return evalResult{val: value.Bool(!value.Equal(lv, rv))}, nil
+	}
+	// Ordered comparison on timestamps.
+	if lt, ok := lv.(value.AbsTime); ok {
+		if rt, ok := rv.(value.AbsTime); ok {
+			var out bool
+			switch c.Op {
+			case "<":
+				out = lt < rt
+			case "<=":
+				out = lt <= rt
+			case ">":
+				out = lt > rt
+			case ">=":
+				out = lt >= rt
+			}
+			return evalResult{val: value.Bool(out)}, nil
+		}
+	}
+	return evalResult{}, fmt.Errorf("cannot compare %s %s %s", lv.Type(), c.Op, rv.Type())
+}

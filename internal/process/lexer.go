@@ -1,0 +1,112 @@
+package process
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Token kinds of the definition language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) { } . , ; : =  != <= >= < >
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"DEFINE": true, "PROCESS": true, "COMPOUND": true,
+	"OUTPUT": true, "ARGUMENT": true, "TEMPLATE": true,
+	"ASSERTIONS": true, "MAPPINGS": true, "SETOF": true,
+	"ANYOF": true, "STEPS": true, "DOC": true,
+	"TRUE": true, "FALSE": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenises a definition. Comments run from // to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= n || src[j] != '"' {
+				return nil, fmt.Errorf("process: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], line: line})
+			i = j + 1
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[strings.ToUpper(word)] {
+				kind = tokKeyword
+				word = strings.ToUpper(word)
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '-' || src[j] == '+') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], line: line})
+			i = j
+		case c == '!' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{kind: tokPunct, text: "!=", line: line})
+			i += 2
+		case c == '<' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{kind: tokPunct, text: "<=", line: line})
+			i += 2
+		case c == '>' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{kind: tokPunct, text: ">=", line: line})
+			i += 2
+		case strings.ContainsRune("(){}.,;:=<>", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("process: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

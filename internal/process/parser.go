@@ -1,0 +1,442 @@
+package process
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gaea/internal/value"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one DEFINE PROCESS or DEFINE COMPOUND PROCESS definition.
+// It returns exactly one of the two result types.
+func Parse(src string) (*Process, *Compound, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	if err := p.expectKeyword("DEFINE"); err != nil {
+		return nil, nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "COMPOUND" {
+		p.next()
+		if err := p.expectKeyword("PROCESS"); err != nil {
+			return nil, nil, err
+		}
+		c, err := p.parseCompound()
+		if err != nil {
+			return nil, nil, err
+		}
+		c.Source = src
+		return nil, c, nil
+	}
+	if err := p.expectKeyword("PROCESS"); err != nil {
+		return nil, nil, err
+	}
+	pr, err := p.parseProcess()
+	if err != nil {
+		return nil, nil, err
+	}
+	pr.Source = src
+	return pr, nil, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("process: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf(t, "expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(pu string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != pu {
+		return p.errf(t, "expected %q, got %s", pu, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+// parseProcess parses after "DEFINE PROCESS".
+func (p *parser) parseProcess() (*Process, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	pr := &Process{Name: name, Version: 1}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	// Optional DOC "..." first.
+	if p.peek().kind == tokKeyword && p.peek().text == "DOC" {
+		p.next()
+		t := p.next()
+		if t.kind != tokString {
+			return nil, p.errf(t, "DOC needs a string")
+		}
+		pr.Doc = t.text
+	}
+	if err := p.expectKeyword("OUTPUT"); err != nil {
+		return nil, err
+	}
+	if pr.OutAlias, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if pr.OutClass, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "ARGUMENT" {
+		p.next()
+		spec, err := p.parseArgSpec()
+		if err != nil {
+			return nil, err
+		}
+		pr.Args = append(pr.Args, spec)
+	}
+	if len(pr.Args) == 0 {
+		return nil, p.errf(p.peek(), "process %s needs at least one ARGUMENT", name)
+	}
+	if err := p.expectKeyword("TEMPLATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	// ASSERTIONS: section is optional; MAPPINGS: is required.
+	if p.peek().kind == tokKeyword && p.peek().text == "ASSERTIONS" {
+		p.next()
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		for !(p.peek().kind == tokKeyword && p.peek().text == "MAPPINGS") {
+			e, err := p.parseAssertion()
+			if err != nil {
+				return nil, err
+			}
+			pr.Assertions = append(pr.Assertions, e)
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKeyword("MAPPINGS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	for !(p.peek().kind == tokPunct && p.peek().text == "}") {
+		m, err := p.parseMapping(pr.OutAlias)
+		if err != nil {
+			return nil, err
+		}
+		pr.Mappings = append(pr.Mappings, m)
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // consume }
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	extractMinCards(pr)
+	return pr, nil
+}
+
+// parseArgSpec parses "( SETOF name class )" or "( name class )".
+func (p *parser) parseArgSpec() (ArgSpec, error) {
+	var spec ArgSpec
+	if err := p.expectPunct("("); err != nil {
+		return spec, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "SETOF" {
+		p.next()
+		spec.IsSet = true
+	}
+	var err error
+	if spec.Name, err = p.expectIdent(); err != nil {
+		return spec, err
+	}
+	if spec.Class, err = p.expectIdent(); err != nil {
+		return spec, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return spec, err
+	}
+	spec.MinCard = 1
+	return spec, nil
+}
+
+// parseAssertion parses an expression with an optional comparison.
+func (p *parser) parseAssertion() (Expr, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Compare{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+// parseMapping parses "ALIAS.attr = expr".
+func (p *parser) parseMapping(outAlias string) (Mapping, error) {
+	var m Mapping
+	alias, err := p.expectIdent()
+	if err != nil {
+		return m, err
+	}
+	if alias != outAlias {
+		return m, p.errf(p.toks[p.pos-1], "mapping target %q is not the output alias %q", alias, outAlias)
+	}
+	if err := p.expectPunct("."); err != nil {
+		return m, err
+	}
+	if m.Attr, err = p.expectIdent(); err != nil {
+		return m, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return m, err
+	}
+	if m.Expr, err = p.parseExpr(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// parseExpr parses literals, ANYOF, argument/attribute references, and
+// calls.
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokKeyword && t.text == "ANYOF":
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Call{Fn: "anyof", Args: []Expr{inner}}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		return &Lit{Val: value.Bool(t.text == "TRUE")}, nil
+	case t.kind == tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf(t, "bad number %q", t.text)
+			}
+			return &Lit{Val: value.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q", t.text)
+		}
+		return &Lit{Val: value.Int(n)}, nil
+	case t.kind == tokString:
+		return &Lit{Val: value.String_(t.text)}, nil
+	case t.kind == tokIdent:
+		// call?
+		if p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.next()
+			call := &Call{Fn: t.text}
+			if p.peek().kind == tokPunct && p.peek().text == ")" {
+				p.next()
+				return call, nil
+			}
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				nt := p.next()
+				if nt.kind == tokPunct && nt.text == "," {
+					continue
+				}
+				if nt.kind == tokPunct && nt.text == ")" {
+					return call, nil
+				}
+				return nil, p.errf(nt, "expected , or ) in call to %s, got %s", t.text, nt)
+			}
+		}
+		// attribute path?
+		if p.peek().kind == tokPunct && p.peek().text == "." {
+			p.next()
+			attr, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &AttrPath{Arg: t.text, Attr: attr}, nil
+		}
+		return &ArgRef{Name: t.text}, nil
+	default:
+		return nil, p.errf(t, "unexpected token %s in expression", t)
+	}
+}
+
+// parseCompound parses after "DEFINE COMPOUND PROCESS".
+func (p *parser) parseCompound() (*Compound, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compound{Name: name, Version: 1}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "DOC" {
+		p.next()
+		t := p.next()
+		if t.kind != tokString {
+			return nil, p.errf(t, "DOC needs a string")
+		}
+		c.Doc = t.text
+	}
+	if err := p.expectKeyword("OUTPUT"); err != nil {
+		return nil, err
+	}
+	if c.OutAlias, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if c.OutClass, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "ARGUMENT" {
+		p.next()
+		spec, err := p.parseArgSpec()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, spec)
+	}
+	if len(c.Args) == 0 {
+		return nil, p.errf(p.peek(), "compound %s needs at least one ARGUMENT", name)
+	}
+	if err := p.expectKeyword("STEPS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.peek().kind == tokPunct && p.peek().text == "}") {
+		var s Step
+		if s.Result, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if s.Process, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if !(p.peek().kind == tokPunct && p.peek().text == ")") {
+			for {
+				arg, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				s.Args = append(s.Args, arg)
+				nt := p.next()
+				if nt.kind == tokPunct && nt.text == "," {
+					continue
+				}
+				if nt.kind == tokPunct && nt.text == ")" {
+					break
+				}
+				return nil, p.errf(nt, "expected , or ) in step args, got %s", nt)
+			}
+		} else {
+			p.next()
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		c.Steps = append(c.Steps, s)
+	}
+	p.next() // }
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(c.Steps) == 0 {
+		return nil, fmt.Errorf("process: compound %s has no steps", name)
+	}
+	return c, nil
+}
+
+// extractMinCards scans card() assertions and records Petri thresholds on
+// the argument specs (§2.1.6 item 2).
+func extractMinCards(pr *Process) {
+	for _, a := range pr.Assertions {
+		cmp, ok := a.(*Compare)
+		if !ok {
+			continue
+		}
+		call, ok := cmp.Left.(*Call)
+		if !ok || call.Fn != "card" || len(call.Args) != 1 {
+			continue
+		}
+		ref, ok := call.Args[0].(*ArgRef)
+		if !ok {
+			continue
+		}
+		lit, ok := cmp.Right.(*Lit)
+		if !ok {
+			continue
+		}
+		n, err := value.AsInt(lit.Val)
+		if err != nil || n < 1 {
+			continue
+		}
+		for i := range pr.Args {
+			if pr.Args[i].Name != ref.Name {
+				continue
+			}
+			switch cmp.Op {
+			case "=", ">=":
+				pr.Args[i].MinCard = int(n)
+			case ">":
+				pr.Args[i].MinCard = int(n) + 1
+			}
+		}
+	}
+}

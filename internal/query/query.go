@@ -1,0 +1,302 @@
+// Package query implements the §2.1.5 query sequence over derived
+// spatio-temporal concepts:
+//
+//  1. Direct data retrieval from the non-primitive classes corresponding
+//     to the concept of interest.
+//  2. Data interpolation (temporal or spatial) when data are missing.
+//  3. Data computed from the derivation relationship (Petri-net backward
+//     chaining, then plan execution).
+//
+// "Steps 2 and 3 are prioritized according to the user's needs" — the
+// request carries an ordered strategy list.
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"gaea/internal/catalog"
+	"gaea/internal/concept"
+	"gaea/internal/interp"
+	"gaea/internal/object"
+	"gaea/internal/petri"
+	"gaea/internal/process"
+	"gaea/internal/sptemp"
+	"gaea/internal/task"
+)
+
+// Strategy names one step of the §2.1.5 sequence.
+type Strategy string
+
+// The three strategies. Retrieval always runs first; the request orders
+// the other two.
+const (
+	Retrieve    Strategy = "retrieve"
+	Interpolate Strategy = "interpolate"
+	Derive      Strategy = "derive"
+)
+
+// Request is one query against a class or a concept.
+type Request struct {
+	// Class or Concept must be set (not both). A concept fans out to its
+	// member classes, including specializations.
+	Class   string
+	Concept string
+	// Pred is the spatio-temporal predicate. An empty-space predicate
+	// matches everywhere.
+	Pred sptemp.Extent
+	// Strategies orders the fallback steps after retrieval; default
+	// [Interpolate, Derive] (the paper's order).
+	Strategies []Strategy
+	// User tags derivations run on behalf of this query.
+	User string
+}
+
+// Result reports how a query was satisfied.
+type Result struct {
+	// OIDs are the answering objects.
+	OIDs []object.OID
+	// How records the strategy that produced each OID (parallel slice).
+	How []Strategy
+	// TasksRun lists derivation tasks executed (empty for pure retrieval).
+	TasksRun []task.ID
+	// PlanText is the executed derivation plan, when derivation ran.
+	PlanText string
+}
+
+// Errors returned by the executor.
+var (
+	ErrBadRequest  = errors.New("query: bad request")
+	ErrUnsatisfied = errors.New("query: cannot satisfy request")
+)
+
+// Executor wires the layers together.
+type Executor struct {
+	Cat      *catalog.Catalog
+	Obj      *object.Store
+	Concepts *concept.Manager
+	Planner  *petri.Planner
+	Interp   *interp.Interpolator
+	Exec     *task.Executor
+}
+
+// Run answers a request.
+func (qe *Executor) Run(req Request) (*Result, error) {
+	classes, err := qe.targetClasses(req)
+	if err != nil {
+		return nil, err
+	}
+	strategies := req.Strategies
+	if len(strategies) == 0 {
+		strategies = []Strategy{Interpolate, Derive}
+	}
+	res := &Result{}
+
+	// Step 1: direct retrieval across all member classes.
+	for _, cls := range classes {
+		oids, err := qe.Obj.Query(cls, req.Pred)
+		if err != nil {
+			return nil, err
+		}
+		for _, oid := range oids {
+			res.OIDs = append(res.OIDs, oid)
+			res.How = append(res.How, Retrieve)
+		}
+	}
+	if len(res.OIDs) > 0 {
+		return res, nil
+	}
+
+	// Fallback steps in the requested order, first success wins.
+	var lastErr error
+	for _, s := range strategies {
+		switch s {
+		case Interpolate:
+			oid, err := qe.tryInterpolate(classes, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			res.OIDs = append(res.OIDs, oid)
+			res.How = append(res.How, Interpolate)
+			if t, ok := qe.Exec.Producer(oid); ok {
+				res.TasksRun = append(res.TasksRun, t.ID)
+			}
+			return res, nil
+		case Derive:
+			oids, tasks, planText, err := qe.tryDerive(classes, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			res.PlanText = planText
+			res.TasksRun = tasks
+			for _, oid := range oids {
+				res.OIDs = append(res.OIDs, oid)
+				res.How = append(res.How, Derive)
+			}
+			return res, nil
+		case Retrieve:
+			// Already attempted above.
+		default:
+			return nil, fmt.Errorf("%w: unknown strategy %q", ErrBadRequest, s)
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsatisfied, lastErr)
+	}
+	return nil, ErrUnsatisfied
+}
+
+func (qe *Executor) targetClasses(req Request) ([]string, error) {
+	switch {
+	case req.Class != "" && req.Concept != "":
+		return nil, fmt.Errorf("%w: set Class or Concept, not both", ErrBadRequest)
+	case req.Class != "":
+		if !qe.Cat.Exists(req.Class) {
+			return nil, fmt.Errorf("%w: class %q unknown", ErrBadRequest, req.Class)
+		}
+		return []string{req.Class}, nil
+	case req.Concept != "":
+		classes, err := qe.Concepts.MemberClasses(req.Concept)
+		if err != nil {
+			return nil, err
+		}
+		if len(classes) == 0 {
+			return nil, fmt.Errorf("%w: concept %q has no member classes", ErrBadRequest, req.Concept)
+		}
+		return classes, nil
+	default:
+		return nil, fmt.Errorf("%w: neither class nor concept given", ErrBadRequest)
+	}
+}
+
+// tryInterpolate attempts temporal interpolation at the predicate's
+// instant (requires a timed predicate), per class.
+func (qe *Executor) tryInterpolate(classes []string, req Request) (object.OID, error) {
+	if !req.Pred.HasTime {
+		return 0, fmt.Errorf("interpolation needs a temporal predicate")
+	}
+	at := req.Pred.TimeIv.Start
+	var lastErr error
+	for _, cls := range classes {
+		oid, err := qe.Interp.Temporal(cls, at, req.Pred.Space, task.RunOptions{User: req.User, Note: "query interpolation"})
+		if err == nil {
+			return oid, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// tryDerive plans and executes a derivation for each candidate class.
+func (qe *Executor) tryDerive(classes []string, req Request) ([]object.OID, []task.ID, string, error) {
+	var lastErr error
+	for _, cls := range classes {
+		// The planner plans against a relaxed predicate: derivation may
+		// need inputs outside the query window (e.g. both dates of a
+		// change pair), so plan with the spatial part only.
+		planPred := sptemp.Extent{Frame: req.Pred.Frame, Space: req.Pred.Space}
+		plan, err := qe.Planner.Plan(cls, planPred)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		oids, tasks, err := qe.ExecutePlan(plan, req.User)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Filter derived outputs by the full predicate; an unqualified
+		// derivation result still answers the query.
+		var matching []object.OID
+		for _, oid := range oids {
+			o, err := qe.Obj.Get(oid)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			if o.Extent.Matches(req.Pred) {
+				matching = append(matching, oid)
+			}
+		}
+		if len(matching) == 0 {
+			matching = oids
+		}
+		return matching, tasks, plan.String(), nil
+	}
+	return nil, nil, "", lastErr
+}
+
+// ExecutePlan runs a derivation plan through the task executor, memoising
+// repeated steps, and returns the final objects and the tasks run.
+func (qe *Executor) ExecutePlan(plan *petri.Plan, user string) ([]object.OID, []task.ID, error) {
+	if len(plan.Steps) == 0 {
+		return plan.Existing, nil, nil
+	}
+	stepOut := make([]object.OID, len(plan.Steps))
+	var tasks []task.ID
+	for i, step := range plan.Steps {
+		inputs := make(map[string][]object.OID, len(step.Inputs))
+		for arg, refs := range step.Inputs {
+			oids := make([]object.OID, len(refs))
+			for j, ref := range refs {
+				if ref.FromStep {
+					if ref.Step >= i {
+						return nil, nil, fmt.Errorf("query: plan step %d references later step %d", i, ref.Step)
+					}
+					oids[j] = stepOut[ref.Step]
+				} else {
+					oids[j] = ref.OID
+				}
+			}
+			inputs[arg] = oids
+		}
+		t, _, err := qe.Exec.RunVersion(step.Process, step.Version, inputs, task.RunOptions{User: user, Note: "query derivation"})
+		if err != nil {
+			return nil, nil, fmt.Errorf("query: executing plan step %d (%s): %w", i, step.Process, err)
+		}
+		stepOut[i] = t.Output
+		tasks = append(tasks, t.ID)
+	}
+	return []object.OID{stepOut[len(plan.Steps)-1]}, tasks, nil
+}
+
+// Explain previews how a request would be satisfied without executing
+// anything: which classes would be consulted, whether stored data match,
+// and the derivation plan if one exists.
+func (qe *Executor) Explain(req Request) (string, error) {
+	classes, err := qe.targetClasses(req)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("query over classes %v\n", classes)
+	total := 0
+	for _, cls := range classes {
+		oids, err := qe.Obj.Query(cls, req.Pred)
+		if err != nil {
+			return "", err
+		}
+		total += len(oids)
+		out += fmt.Sprintf("  %s: %d stored objects match\n", cls, len(oids))
+	}
+	if total > 0 {
+		out += "  -> satisfied by retrieval\n"
+		return out, nil
+	}
+	for _, cls := range classes {
+		planPred := sptemp.Extent{Frame: req.Pred.Frame, Space: req.Pred.Space}
+		plan, err := qe.Planner.Plan(cls, planPred)
+		if err != nil {
+			out += fmt.Sprintf("  %s: no derivation (%v)\n", cls, err)
+			continue
+		}
+		out += "  -> derivable:\n" + plan.String()
+		return out, nil
+	}
+	out += "  -> unsatisfiable\n"
+	return out, nil
+}
+
+// ensure the process package's error type is linked for callers matching
+// assertion failures surfaced through plan execution.
+var _ = process.ErrAssertion

@@ -1,0 +1,141 @@
+package raster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The paper's external representation for the image class is
+// "(nrows, ncols, pixtype, filepath)": image payloads live in files outside
+// the record. This file implements that on-disk format — a small
+// self-describing header followed by the raw little-endian pixel buffer —
+// used both by the blob store and by the IDRISI/GRASS-style file baseline.
+
+const (
+	imgMagic   = "GIMG"
+	imgVersion = 1
+)
+
+// ErrBadImageFile is returned when decoding a corrupt or foreign file.
+var ErrBadImageFile = errors.New("raster: not a gaea image file")
+
+// Encode writes the image to w in the Gaea image file format.
+func Encode(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imgMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 32)
+	hdr = binary.LittleEndian.AppendUint16(hdr, imgVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(im.rows))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(im.cols))
+	pt := []byte(im.pixType)
+	hdr = append(hdr, byte(len(pt)))
+	hdr = append(hdr, pt...)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads an image in the Gaea image file format.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imgMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImageFile, err)
+	}
+	if string(magic) != imgMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImageFile, magic)
+	}
+	fixed := make([]byte, 2+4+4+1)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadImageFile, err)
+	}
+	if v := binary.LittleEndian.Uint16(fixed[0:2]); v != imgVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImageFile, v)
+	}
+	rows := int(binary.LittleEndian.Uint32(fixed[2:6]))
+	cols := int(binary.LittleEndian.Uint32(fixed[6:10]))
+	ptLen := int(fixed[10])
+	ptBytes := make([]byte, ptLen)
+	if _, err := io.ReadFull(br, ptBytes); err != nil {
+		return nil, fmt.Errorf("%w: truncated pixtype: %v", ErrBadImageFile, err)
+	}
+	pt := PixType(ptBytes)
+	if !pt.Valid() {
+		return nil, fmt.Errorf("%w: pixtype %q", ErrBadImageFile, pt)
+	}
+	if rows <= 0 || cols <= 0 || rows*cols > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible dims %dx%d", ErrBadImageFile, rows, cols)
+	}
+	data := make([]byte, rows*cols*pt.Size())
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("%w: truncated pixels: %v", ErrBadImageFile, err)
+	}
+	return FromData(rows, cols, pt, data)
+}
+
+// WriteFile stores the image at path (the img_filepath the paper's internal
+// representation records).
+func WriteFile(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads an image previously written by WriteFile.
+func ReadFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Marshal returns the image encoded as a byte slice (header + pixels),
+// the form stored in the blob store.
+func Marshal(im *Image) []byte {
+	buf := make([]byte, 0, len(imgMagic)+11+len(im.pixType)+len(im.data))
+	buf = append(buf, imgMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, imgVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(im.rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(im.cols))
+	buf = append(buf, byte(len(im.pixType)))
+	buf = append(buf, im.pixType...)
+	buf = append(buf, im.data...)
+	return buf
+}
+
+// Unmarshal decodes an image produced by Marshal.
+func Unmarshal(b []byte) (*Image, error) {
+	return Decode(&sliceReader{b: b})
+}
+
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}

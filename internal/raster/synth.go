@@ -1,0 +1,278 @@
+package raster
+
+import (
+	"math"
+)
+
+// Synthetic scene generation.
+//
+// The paper's experiments run over Landsat TM and AVHRR satellite imagery,
+// which is unavailable offline. This generator produces the closest
+// synthetic equivalent the derivation experiments need: multi-band,
+// co-registered rasters over a persistent "landscape" whose bands are
+// correlated mixtures of latent surface fields (vegetation, soil moisture,
+// water) plus a seasonal signal and sensor noise. Because the landscape is
+// a pure function of (seed, position), re-generating a scene for the same
+// region and date is deterministic — exactly what reproducibility
+// experiments require — while different dates shift vegetation the way
+// NDVI-change studies expect.
+
+// splitmix64 is a tiny, high-quality hash-to-random mapping; it gives the
+// generator deterministic per-coordinate noise without carrying rand state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit maps integer lattice coordinates to a uniform float in [0, 1).
+func hashUnit(seed uint64, ix, iy int64) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(ix)*0x9e3779b97f4a7c15) ^ splitmix64(uint64(iy)*0xc2b2ae3d27d4eb4f))
+	return float64(h>>11) / float64(1<<53)
+}
+
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise2D is smooth value noise over the real plane.
+func valueNoise2D(seed uint64, x, y float64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	tx, ty := smooth(x-x0), smooth(y-y0)
+	ix, iy := int64(x0), int64(y0)
+	v00 := hashUnit(seed, ix, iy)
+	v10 := hashUnit(seed, ix+1, iy)
+	v01 := hashUnit(seed, ix, iy+1)
+	v11 := hashUnit(seed, ix+1, iy+1)
+	a := v00 + (v10-v00)*tx
+	b := v01 + (v11-v01)*tx
+	return a + (b-a)*ty
+}
+
+// fbm layers octaves of value noise into a natural-looking field in [0, 1].
+func fbm(seed uint64, x, y float64, octaves int) float64 {
+	var sum, norm float64
+	amp, freq := 1.0, 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise2D(seed+uint64(o)*1000003, x*freq, y*freq)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// Landscape is a deterministic synthetic earth surface. WorldX/WorldY place
+// the scene in world coordinates so overlapping scenes sample the same
+// latent fields (co-registration).
+type Landscape struct {
+	Seed uint64
+	// Scale is the world-units-per-noise-cell factor; larger values make
+	// broader geographic features.
+	Scale float64
+}
+
+// NewLandscape returns a landscape with a sensible feature scale.
+func NewLandscape(seed uint64) *Landscape {
+	return &Landscape{Seed: seed, Scale: 64}
+}
+
+// Latent surface fields, each in [0, 1].
+func (l *Landscape) elevation(x, y float64) float64 {
+	return fbm(l.Seed^0xE1E7, x/l.Scale, y/l.Scale, 5)
+}
+
+func (l *Landscape) moisture(x, y float64) float64 {
+	return fbm(l.Seed^0x301C, x/l.Scale*1.3+100, y/l.Scale*1.3-40, 4)
+}
+
+// Vegetation responds to moisture and elevation plus a seasonal cycle.
+// dayOfYear in [0, 365); amplitude grows with moisture so arid regions stay
+// flat across seasons, as real NDVI does.
+func (l *Landscape) vegetation(x, y float64, dayOfYear float64) float64 {
+	m := l.moisture(x, y)
+	e := l.elevation(x, y)
+	season := 0.5 + 0.5*math.Sin(2*math.Pi*(dayOfYear-80)/365)
+	v := m*0.7 + (1-e)*0.2 + 0.25*season*m
+	return clamp(v, 0, 1)
+}
+
+// water is 1 where elevation falls below the water table.
+func (l *Landscape) water(x, y float64) float64 {
+	if l.elevation(x, y) < 0.22 {
+		return 1
+	}
+	return 0
+}
+
+// Band identifies a simulated sensor band.
+type Band int
+
+// Simulated bands: the visible/NIR bands NDVI and classification need.
+const (
+	BandBlue Band = iota
+	BandGreen
+	BandRed
+	BandNIR
+	BandSWIR
+	BandThermal
+	NumBands int = 6
+)
+
+var bandNames = [...]string{"blue", "green", "red", "nir", "swir", "thermal"}
+
+// String returns the band's conventional name.
+func (b Band) String() string {
+	if b < 0 || int(b) >= len(bandNames) {
+		return "band?"
+	}
+	return bandNames[b]
+}
+
+// SceneSpec describes one scene acquisition: a world-coordinate window,
+// raster shape, acquisition day-of-year, and sensor noise level.
+type SceneSpec struct {
+	OriginX, OriginY float64 // world coordinates of pixel (0, 0)
+	CellSize         float64 // world units per pixel
+	Rows, Cols       int
+	DayOfYear        float64 // acquisition date within the year
+	Year             int     // shifts the vegetation field slightly year-on-year
+	Noise            float64 // sensor noise stddev in reflectance units (0-1 scale)
+	PixType          PixType // output pixel type; default float4
+}
+
+// reflectance computes a band's surface reflectance at a world point as a
+// linear mixture of the latent fields. Coefficients are loosely modelled on
+// vegetation/soil/water spectral signatures: vegetation absorbs red and
+// reflects NIR strongly, water absorbs NIR, soil is flat.
+func (l *Landscape) reflectance(b Band, x, y float64, dayOfYear float64, year int) float64 {
+	veg := l.vegetation(x, y, dayOfYear+float64(year%7)*3.1)
+	wat := l.water(x, y)
+	soil := clamp(1-veg-wat, 0, 1)
+	var r float64
+	switch b {
+	case BandBlue:
+		r = 0.06*veg + 0.10*soil + 0.08*wat
+	case BandGreen:
+		r = 0.12*veg + 0.14*soil + 0.06*wat
+	case BandRed:
+		r = 0.05*veg + 0.22*soil + 0.04*wat
+	case BandNIR:
+		r = 0.55*veg + 0.30*soil + 0.02*wat
+	case BandSWIR:
+		r = 0.25*veg + 0.35*soil + 0.01*wat
+	case BandThermal:
+		e := l.elevation(x, y)
+		r = 0.6 - 0.3*e - 0.15*veg
+	}
+	return clamp(r, 0, 1)
+}
+
+// GenerateBand renders one band of a scene. Sensor noise is deterministic
+// in (seed, band, pixel, year, day) so identical specs yield identical
+// scenes.
+func (l *Landscape) GenerateBand(spec SceneSpec, b Band) (*Image, error) {
+	pt := spec.PixType
+	if pt == "" {
+		pt = PixFloat4
+	}
+	img, err := New(spec.Rows, spec.Cols, pt)
+	if err != nil {
+		return nil, err
+	}
+	noiseSeed := l.Seed ^ splitmix64(uint64(b)+0xBAD) ^ splitmix64(uint64(spec.Year)*366+uint64(spec.DayOfYear))
+	vals := make([]float64, spec.Rows*spec.Cols)
+	i := 0
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			x := spec.OriginX + float64(c)*spec.CellSize
+			y := spec.OriginY + float64(r)*spec.CellSize
+			v := l.reflectance(b, x, y, spec.DayOfYear, spec.Year)
+			if spec.Noise > 0 {
+				// Deterministic pseudo-Gaussian noise via sum of uniforms.
+				var u float64
+				for k := int64(0); k < 4; k++ {
+					u += hashUnit(noiseSeed, int64(i)*4+k, int64(b))
+				}
+				v += spec.Noise * (u - 2) // mean 0, stddev ~ spec.Noise*0.577
+			}
+			if pt == PixChar {
+				v *= 255 // scale reflectance to byte range
+			}
+			vals[i] = clamp(v, 0, math.Inf(1))
+			i++
+		}
+	}
+	if err := img.SetFloat64s(vals); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// GenerateScene renders the requested bands of a scene, co-registered.
+func (l *Landscape) GenerateScene(spec SceneSpec, bands []Band) ([]*Image, error) {
+	out := make([]*Image, 0, len(bands))
+	for _, b := range bands {
+		img, err := l.GenerateBand(spec, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, img)
+	}
+	return out, nil
+}
+
+// RainfallField renders an annual-precipitation raster (mm/year) for the
+// desert-concept experiments: rainfall follows moisture with an elevation
+// bonus, ranging roughly 0–1000 mm.
+func (l *Landscape) RainfallField(spec SceneSpec) (*Image, error) {
+	pt := spec.PixType
+	if pt == "" {
+		pt = PixFloat4
+	}
+	img, err := New(spec.Rows, spec.Cols, pt)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, spec.Rows*spec.Cols)
+	i := 0
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			x := spec.OriginX + float64(c)*spec.CellSize
+			y := spec.OriginY + float64(r)*spec.CellSize
+			vals[i] = 1000*math.Pow(l.moisture(x, y), 1.5) + 150*l.elevation(x, y)
+			i++
+		}
+	}
+	if err := img.SetFloat64s(vals); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// TemperatureField renders a mean-temperature raster (°C): hot lowlands,
+// cold highlands, modulated by day of year.
+func (l *Landscape) TemperatureField(spec SceneSpec) (*Image, error) {
+	pt := spec.PixType
+	if pt == "" {
+		pt = PixFloat4
+	}
+	img, err := New(spec.Rows, spec.Cols, pt)
+	if err != nil {
+		return nil, err
+	}
+	season := 10 * math.Sin(2*math.Pi*(spec.DayOfYear-80)/365)
+	vals := make([]float64, spec.Rows*spec.Cols)
+	i := 0
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			x := spec.OriginX + float64(c)*spec.CellSize
+			y := spec.OriginY + float64(r)*spec.CellSize
+			vals[i] = 32 - 28*l.elevation(x, y) + season
+			i++
+		}
+	}
+	if err := img.SetFloat64s(vals); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

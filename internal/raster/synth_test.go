@@ -1,0 +1,198 @@
+package raster
+
+import (
+	"math"
+	"testing"
+)
+
+func testSpec(rows, cols int) SceneSpec {
+	return SceneSpec{
+		OriginX: 1000, OriginY: 2000, CellSize: 30,
+		Rows: rows, Cols: cols,
+		DayOfYear: 180, Year: 1986, Noise: 0.01,
+	}
+}
+
+func TestGenerateBandDeterminism(t *testing.T) {
+	l := NewLandscape(42)
+	a, err := l.GenerateBand(testSpec(16, 16), BandRed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.GenerateBand(testSpec(16, 16), BandRed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualPixels(b) {
+		t.Error("same spec must generate identical scenes (reproducibility)")
+	}
+	// Different seed differs.
+	l2 := NewLandscape(43)
+	c, _ := l2.GenerateBand(testSpec(16, 16), BandRed)
+	if a.EqualPixels(c) {
+		t.Error("different seeds should differ")
+	}
+	// Different band differs.
+	d, _ := l.GenerateBand(testSpec(16, 16), BandNIR)
+	if a.EqualPixels(d) {
+		t.Error("different bands should differ")
+	}
+}
+
+func TestGenerateSceneCoRegistration(t *testing.T) {
+	// Two scenes whose windows overlap must agree (up to noise) on the
+	// shared latent surface; verify via the noiseless reflectance.
+	l := NewLandscape(7)
+	spec1 := testSpec(16, 16)
+	spec1.Noise = 0
+	spec2 := spec1
+	spec2.OriginX += 8 * spec1.CellSize // shift 8 pixels east
+
+	a, err := l.GenerateBand(spec1, BandNIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.GenerateBand(spec2, BandNIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column c of b equals column c+8 of a for the overlapping window.
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 8; c++ {
+			va, _ := a.At(r, c+8)
+			vb, _ := b.At(r, c)
+			if math.Abs(va-vb) > 1e-6 {
+				t.Fatalf("co-registration broken at (%d,%d): %g vs %g", r, c, va, vb)
+			}
+		}
+	}
+}
+
+func TestVegetationSeasonalSignal(t *testing.T) {
+	// NIR reflectance in summer should exceed winter on average (vegetation
+	// seasonal cycle), which is what NDVI-change experiments detect.
+	l := NewLandscape(11)
+	summer := testSpec(32, 32)
+	summer.Noise = 0
+	summer.DayOfYear = 172
+	winter := summer
+	winter.DayOfYear = 355
+
+	s, err := l.GenerateBand(summer, BandNIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.GenerateBand(winter, BandNIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Mean <= w.Stats().Mean {
+		t.Errorf("summer NIR mean %g should exceed winter %g", s.Stats().Mean, w.Stats().Mean)
+	}
+}
+
+func TestBandSpectralShape(t *testing.T) {
+	// On a vegetated landscape NIR should exceed red on average — the
+	// premise behind NDVI.
+	l := NewLandscape(5)
+	spec := testSpec(32, 32)
+	spec.Noise = 0
+	red, _ := l.GenerateBand(spec, BandRed)
+	nir, _ := l.GenerateBand(spec, BandNIR)
+	if nir.Stats().Mean <= red.Stats().Mean {
+		t.Errorf("NIR mean %g should exceed red mean %g", nir.Stats().Mean, red.Stats().Mean)
+	}
+}
+
+func TestGenerateSceneMultiBand(t *testing.T) {
+	l := NewLandscape(3)
+	bands := []Band{BandBlue, BandGreen, BandRed, BandNIR}
+	imgs, err := l.GenerateScene(testSpec(8, 8), bands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 4 {
+		t.Fatalf("got %d bands", len(imgs))
+	}
+	for i, im := range imgs {
+		if im.Rows() != 8 || im.Cols() != 8 {
+			t.Errorf("band %d shape %s", i, im)
+		}
+	}
+	// Bad spec propagates.
+	bad := testSpec(0, 8)
+	if _, err := l.GenerateScene(bad, bands); err == nil {
+		t.Error("bad spec should fail")
+	}
+}
+
+func TestGenerateBandPixTypes(t *testing.T) {
+	l := NewLandscape(9)
+	spec := testSpec(8, 8)
+	spec.PixType = PixChar
+	im, err := l.GenerateBand(spec, BandGreen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := im.Stats()
+	if st.Max > 255 || st.Min < 0 {
+		t.Errorf("char band out of range: %+v", st)
+	}
+	if st.Max <= 1 {
+		t.Errorf("char band should be scaled to byte range, max = %g", st.Max)
+	}
+}
+
+func TestRainfallAndTemperatureFields(t *testing.T) {
+	l := NewLandscape(21)
+	spec := testSpec(32, 32)
+	rain, err := l.RainfallField(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rain.Stats()
+	if rs.Min < 0 || rs.Max > 1500 {
+		t.Errorf("rainfall out of plausible range: %+v", rs)
+	}
+	if rs.StdDev == 0 {
+		t.Error("rainfall field should vary")
+	}
+	temp, err := l.TemperatureField(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := temp.Stats()
+	if ts.Min < -30 || ts.Max > 60 {
+		t.Errorf("temperature out of plausible range: %+v", ts)
+	}
+	// Determinism.
+	rain2, _ := l.RainfallField(spec)
+	if !rain.EqualPixels(rain2) {
+		t.Error("rainfall field must be deterministic")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if BandNIR.String() != "nir" {
+		t.Errorf("BandNIR = %q", BandNIR)
+	}
+	if Band(99).String() != "band?" {
+		t.Errorf("unknown band = %q", Band(99))
+	}
+}
+
+func TestNoiseIsDeterministicButNonZero(t *testing.T) {
+	l := NewLandscape(13)
+	spec := testSpec(16, 16)
+	spec.Noise = 0.05
+	a, _ := l.GenerateBand(spec, BandRed)
+	b, _ := l.GenerateBand(spec, BandRed)
+	if !a.EqualPixels(b) {
+		t.Error("noisy generation must still be deterministic")
+	}
+	spec.Noise = 0
+	clean, _ := l.GenerateBand(spec, BandRed)
+	if a.EqualPixels(clean) {
+		t.Error("noise should change pixels")
+	}
+}

@@ -1,0 +1,260 @@
+package sptemp
+
+import (
+	"sort"
+)
+
+// GridIndex is a uniform-grid spatial index mapping boxes to uint64 ids
+// (object identifiers). Gaea's query layer uses it for step 1 of the
+// retrieval sequence (§2.1.5): find the stored objects whose spatial extent
+// intersects the query box. A uniform grid is adequate because scene
+// extents in a study are similarly sized; the index degrades gracefully to
+// a scan when boxes are huge.
+type GridIndex struct {
+	cell    float64
+	cells   map[gridKey][]uint64
+	entries map[uint64]Box
+}
+
+type gridKey struct{ cx, cy int }
+
+// NewGridIndex returns a grid index with the given cell size. Cell size
+// must be positive.
+func NewGridIndex(cell float64) *GridIndex {
+	if cell <= 0 {
+		cell = 1
+	}
+	return &GridIndex{
+		cell:    cell,
+		cells:   make(map[gridKey][]uint64),
+		entries: make(map[uint64]Box),
+	}
+}
+
+// Len returns the number of indexed entries.
+func (g *GridIndex) Len() int { return len(g.entries) }
+
+func (g *GridIndex) keysFor(b Box) []gridKey {
+	if b.IsEmpty() {
+		return nil
+	}
+	x0 := int(b.MinX / g.cell)
+	x1 := int(b.MaxX / g.cell)
+	y0 := int(b.MinY / g.cell)
+	y1 := int(b.MaxY / g.cell)
+	if b.MinX < 0 {
+		x0--
+	}
+	if b.MaxX < 0 {
+		x1--
+	}
+	if b.MinY < 0 {
+		y0--
+	}
+	if b.MaxY < 0 {
+		y1--
+	}
+	keys := make([]gridKey, 0, (x1-x0+1)*(y1-y0+1))
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			keys = append(keys, gridKey{cx, cy})
+		}
+	}
+	return keys
+}
+
+// Insert adds (or re-adds) id with the given box. Inserting an existing id
+// replaces its previous box.
+func (g *GridIndex) Insert(id uint64, b Box) {
+	if _, ok := g.entries[id]; ok {
+		g.Delete(id)
+	}
+	g.entries[id] = b
+	for _, k := range g.keysFor(b) {
+		g.cells[k] = append(g.cells[k], id)
+	}
+}
+
+// Delete removes id from the index. Deleting an absent id is a no-op.
+func (g *GridIndex) Delete(id uint64) {
+	b, ok := g.entries[id]
+	if !ok {
+		return
+	}
+	delete(g.entries, id)
+	for _, k := range g.keysFor(b) {
+		ids := g.cells[k]
+		for i, v := range ids {
+			if v == id {
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(g.cells, k)
+		} else {
+			g.cells[k] = ids
+		}
+	}
+}
+
+// Search returns the ids whose boxes intersect q, sorted ascending for
+// deterministic results.
+func (g *GridIndex) Search(q Box) []uint64 {
+	if q.IsEmpty() {
+		return nil
+	}
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	for _, k := range g.keysFor(q) {
+		for _, id := range g.cells[k] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			if g.entries[id].Intersects(q) {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every indexed id, sorted ascending.
+func (g *GridIndex) All() []uint64 {
+	out := make([]uint64, 0, len(g.entries))
+	for id := range g.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntervalIndex indexes temporal intervals by id for overlap queries. It
+// keeps entries sorted by start time; stabbing and range queries binary-
+// search the start list and filter by end, which is O(log n + answer + k)
+// where k is the number of long intervals spanning the probe — fine for the
+// scene-catalogue sizes Gaea manages.
+type IntervalIndex struct {
+	byStart []intervalEntry // sorted by Start, then id
+	byID    map[uint64]Interval
+	dirty   bool
+}
+
+type intervalEntry struct {
+	iv Interval
+	id uint64
+}
+
+// NewIntervalIndex returns an empty temporal index.
+func NewIntervalIndex() *IntervalIndex {
+	return &IntervalIndex{byID: make(map[uint64]Interval)}
+}
+
+// Len returns the number of indexed entries.
+func (x *IntervalIndex) Len() int { return len(x.byID) }
+
+// Insert adds (or replaces) id with the given interval.
+func (x *IntervalIndex) Insert(id uint64, iv Interval) {
+	if _, ok := x.byID[id]; ok {
+		x.Delete(id)
+	}
+	x.byID[id] = iv
+	x.byStart = append(x.byStart, intervalEntry{iv: iv, id: id})
+	x.dirty = true
+}
+
+// Delete removes id from the index.
+func (x *IntervalIndex) Delete(id uint64) {
+	if _, ok := x.byID[id]; !ok {
+		return
+	}
+	delete(x.byID, id)
+	for i, e := range x.byStart {
+		if e.id == id {
+			x.byStart = append(x.byStart[:i], x.byStart[i+1:]...)
+			break
+		}
+	}
+}
+
+func (x *IntervalIndex) ensureSorted() {
+	if !x.dirty {
+		return
+	}
+	sort.Slice(x.byStart, func(i, j int) bool {
+		if x.byStart[i].iv.Start != x.byStart[j].iv.Start {
+			return x.byStart[i].iv.Start < x.byStart[j].iv.Start
+		}
+		return x.byStart[i].id < x.byStart[j].id
+	})
+	x.dirty = false
+}
+
+// Search returns the ids whose intervals intersect q, sorted ascending.
+func (x *IntervalIndex) Search(q Interval) []uint64 {
+	if q.IsEmpty() {
+		return nil
+	}
+	x.ensureSorted()
+	// Every match has Start <= q.End; scan that prefix and filter by End.
+	n := sort.Search(len(x.byStart), func(i int) bool { return x.byStart[i].iv.Start > q.End })
+	var out []uint64
+	for _, e := range x.byStart[:n] {
+		if e.iv.Intersects(q) {
+			out = append(out, e.id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nearest returns up to k ids whose intervals are closest to the instant t
+// (distance 0 when the interval contains t), ordered by distance then id.
+// Temporal interpolation uses it to pick bracketing observations.
+func (x *IntervalIndex) Nearest(t AbsTime, k int) []uint64 {
+	x.ensureSorted()
+	type cand struct {
+		dist int64
+		id   uint64
+	}
+	cands := make([]cand, 0, len(x.byStart))
+	for _, e := range x.byStart {
+		var d int64
+		switch {
+		case e.iv.Contains(t):
+			d = 0
+		case t < e.iv.Start:
+			d = int64(e.iv.Start - t)
+		default:
+			d = int64(t - e.iv.End)
+		}
+		cands = append(cands, cand{dist: d, id: e.id})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]uint64, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// All returns every indexed id, sorted ascending.
+func (x *IntervalIndex) All() []uint64 {
+	out := make([]uint64, 0, len(x.byID))
+	for id := range x.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

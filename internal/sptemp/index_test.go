@@ -1,0 +1,208 @@
+package sptemp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridIndexBasics(t *testing.T) {
+	g := NewGridIndex(10)
+	g.Insert(1, box(0, 0, 5, 5))
+	g.Insert(2, box(20, 20, 25, 25))
+	g.Insert(3, box(3, 3, 22, 22)) // spans multiple cells
+
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	got := g.Search(box(1, 1, 4, 4))
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Errorf("Search = %v, want [1 3]", got)
+	}
+	got = g.Search(box(21, 21, 24, 24))
+	if !reflect.DeepEqual(got, []uint64{2, 3}) {
+		t.Errorf("Search = %v, want [2 3]", got)
+	}
+	if got := g.Search(box(100, 100, 110, 110)); len(got) != 0 {
+		t.Errorf("Search far away = %v, want none", got)
+	}
+	if got := g.Search(EmptyBox()); got != nil {
+		t.Errorf("Search empty box = %v", got)
+	}
+	if !reflect.DeepEqual(g.All(), []uint64{1, 2, 3}) {
+		t.Errorf("All = %v", g.All())
+	}
+}
+
+func TestGridIndexDeleteAndReplace(t *testing.T) {
+	g := NewGridIndex(10)
+	g.Insert(1, box(0, 0, 5, 5))
+	g.Delete(1)
+	if g.Len() != 0 || len(g.Search(box(0, 0, 10, 10))) != 0 {
+		t.Error("delete failed")
+	}
+	g.Delete(42) // absent id is a no-op
+	g.Insert(1, box(0, 0, 5, 5))
+	g.Insert(1, box(50, 50, 55, 55)) // replace moves the entry
+	if got := g.Search(box(0, 0, 10, 10)); len(got) != 0 {
+		t.Errorf("old position still indexed: %v", got)
+	}
+	if got := g.Search(box(49, 49, 56, 56)); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("new position not indexed: %v", got)
+	}
+}
+
+func TestGridIndexNegativeCoordinates(t *testing.T) {
+	g := NewGridIndex(10)
+	g.Insert(1, box(-25, -25, -15, -15))
+	if got := g.Search(box(-20, -20, -18, -18)); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("negative-coordinate search = %v", got)
+	}
+	if got := g.Search(box(5, 5, 6, 6)); len(got) != 0 {
+		t.Errorf("should not match positive quadrant: %v", got)
+	}
+}
+
+// TestGridIndexAgainstLinearScan cross-checks the index against brute force
+// on random workloads.
+func TestGridIndexAgainstLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGridIndex(7)
+		boxes := make(map[uint64]Box)
+		n := 5 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			id := uint64(i + 1)
+			b := NewBox(r.Float64()*100-50, r.Float64()*100-50, r.Float64()*100-50, r.Float64()*100-50)
+			boxes[id] = b
+			g.Insert(id, b)
+		}
+		// Random deletions.
+		for id := range boxes {
+			if r.Intn(4) == 0 {
+				g.Delete(id)
+				delete(boxes, id)
+			}
+		}
+		q := NewBox(r.Float64()*100-50, r.Float64()*100-50, r.Float64()*100-50, r.Float64()*100-50)
+		got := g.Search(q)
+		var want []uint64
+		for id, b := range boxes {
+			if b.Intersects(q) {
+				want = append(want, id)
+			}
+		}
+		sortUint64(want)
+		return reflect.DeepEqual(got, want) || (len(got) == 0 && len(want) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func TestIntervalIndexBasics(t *testing.T) {
+	x := NewIntervalIndex()
+	x.Insert(1, NewInterval(Date(1986, 1, 1), Date(1986, 2, 1)))
+	x.Insert(2, NewInterval(Date(1986, 3, 1), Date(1986, 4, 1)))
+	x.Insert(3, NewInterval(Date(1986, 1, 15), Date(1986, 3, 15)))
+
+	got := x.Search(NewInterval(Date(1986, 1, 20), Date(1986, 1, 25)))
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Errorf("Search = %v, want [1 3]", got)
+	}
+	if got := x.Search(Instant(Date(1986, 3, 10))); !reflect.DeepEqual(got, []uint64{2, 3}) {
+		t.Errorf("stab = %v, want [2 3]", got)
+	}
+	if got := x.Search(NewInterval(Date(1990, 1, 1), Date(1991, 1, 1))); len(got) != 0 {
+		t.Errorf("future search = %v", got)
+	}
+	if got := x.Search(EmptyInterval()); got != nil {
+		t.Errorf("empty search = %v", got)
+	}
+	if x.Len() != 3 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}
+
+func TestIntervalIndexDeleteReplace(t *testing.T) {
+	x := NewIntervalIndex()
+	x.Insert(1, NewInterval(Date(1986, 1, 1), Date(1986, 2, 1)))
+	x.Delete(1)
+	if x.Len() != 0 {
+		t.Error("delete failed")
+	}
+	x.Delete(9) // no-op
+	x.Insert(1, NewInterval(Date(1986, 1, 1), Date(1986, 2, 1)))
+	x.Insert(1, NewInterval(Date(1987, 1, 1), Date(1987, 2, 1)))
+	if got := x.Search(Instant(Date(1986, 1, 15))); len(got) != 0 {
+		t.Errorf("stale interval matched: %v", got)
+	}
+	if got := x.Search(Instant(Date(1987, 1, 15))); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("replacement not found: %v", got)
+	}
+}
+
+func TestIntervalIndexNearest(t *testing.T) {
+	x := NewIntervalIndex()
+	x.Insert(1, Instant(Date(1986, 1, 1)))
+	x.Insert(2, Instant(Date(1986, 6, 1)))
+	x.Insert(3, Instant(Date(1987, 1, 1)))
+
+	got := x.Nearest(Date(1986, 5, 1), 2)
+	if !reflect.DeepEqual(got, []uint64{2, 1}) {
+		t.Errorf("Nearest = %v, want [2 1]", got)
+	}
+	// Contained instant has distance zero.
+	x.Insert(4, NewInterval(Date(1986, 4, 1), Date(1986, 7, 1)))
+	got = x.Nearest(Date(1986, 5, 1), 1)
+	if !reflect.DeepEqual(got, []uint64{4}) {
+		t.Errorf("Nearest containing = %v, want [4]", got)
+	}
+	// k larger than population returns all.
+	if got := x.Nearest(Date(1986, 5, 1), 99); len(got) != 4 {
+		t.Errorf("Nearest big k = %v", got)
+	}
+}
+
+func TestIntervalIndexAgainstLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := NewIntervalIndex()
+		ivs := make(map[uint64]Interval)
+		n := 5 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			id := uint64(i + 1)
+			iv := randInterval(r)
+			if iv.IsEmpty() {
+				iv = Instant(AbsTime(r.Int63n(1000)))
+			}
+			ivs[id] = iv
+			x.Insert(id, iv)
+		}
+		q := randInterval(r)
+		if q.IsEmpty() {
+			return x.Search(q) == nil
+		}
+		got := x.Search(q)
+		var want []uint64
+		for id, iv := range ivs {
+			if iv.Intersects(q) {
+				want = append(want, id)
+			}
+		}
+		sortUint64(want)
+		return reflect.DeepEqual(got, want) || (len(got) == 0 && len(want) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

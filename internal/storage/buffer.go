@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// bufferPool caches heap pages with LRU eviction. Dirty pages are written
+// back on eviction and on flushAll. The pool is not itself concurrency-
+// safe; the owning Heap serialises access.
+type bufferPool struct {
+	cap    int
+	read   func(uint32) (*page, error)
+	write  func(uint32, *page) error
+	frames map[uint32]*list.Element
+	lru    *list.List // front = most recently used
+	// Hits/Misses are exported through Stats for the S1 benchmark.
+	hits, misses uint64
+}
+
+type frame struct {
+	no    uint32
+	p     *page
+	dirty bool
+}
+
+func newBufferPool(capacity int, read func(uint32) (*page, error), write func(uint32, *page) error) *bufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &bufferPool{
+		cap:    capacity,
+		read:   read,
+		write:  write,
+		frames: make(map[uint32]*list.Element, capacity),
+		lru:    list.New(),
+	}
+}
+
+// get returns the cached page, loading (and possibly evicting) as needed.
+func (b *bufferPool) get(no uint32) (*page, error) {
+	if el, ok := b.frames[no]; ok {
+		b.hits++
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).p, nil
+	}
+	b.misses++
+	p, err := b.read(no)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.insertFrame(no, p, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// put installs a page that was just created/written by the caller.
+func (b *bufferPool) put(no uint32, p *page) {
+	if el, ok := b.frames[no]; ok {
+		fr := el.Value.(*frame)
+		fr.p = p
+		b.lru.MoveToFront(el)
+		return
+	}
+	// Creation already wrote the page; cache it clean.
+	_ = b.insertFrame(no, p, false)
+}
+
+func (b *bufferPool) insertFrame(no uint32, p *page, dirty bool) error {
+	for b.lru.Len() >= b.cap {
+		if err := b.evictOne(); err != nil {
+			return err
+		}
+	}
+	el := b.lru.PushFront(&frame{no: no, p: p, dirty: dirty})
+	b.frames[no] = el
+	return nil
+}
+
+func (b *bufferPool) evictOne() error {
+	el := b.lru.Back()
+	if el == nil {
+		return fmt.Errorf("storage: buffer pool empty during eviction")
+	}
+	fr := el.Value.(*frame)
+	if fr.dirty {
+		if err := b.write(fr.no, fr.p); err != nil {
+			return err
+		}
+	}
+	b.lru.Remove(el)
+	delete(b.frames, fr.no)
+	return nil
+}
+
+// markDirty flags a cached page as modified.
+func (b *bufferPool) markDirty(no uint32) {
+	if el, ok := b.frames[no]; ok {
+		el.Value.(*frame).dirty = true
+	}
+}
+
+// flushAll writes every dirty page back, keeping frames cached.
+func (b *bufferPool) flushAll() error {
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := b.write(fr.no, fr.p); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats reports cache effectiveness.
+func (b *bufferPool) Stats() (hits, misses uint64) { return b.hits, b.misses }

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := newPage()
+	s1, err := p.insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("slots must differ")
+	}
+	r1, err := p.get(s1)
+	if err != nil || string(r1) != "hello" {
+		t.Fatalf("get s1 = %q, %v", r1, err)
+	}
+	if err := p.del(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.get(s1); !errors.Is(err, ErrRecDeleted) {
+		t.Errorf("deleted get err = %v", err)
+	}
+	if err := p.del(s1); !errors.Is(err, ErrRecDeleted) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := p.get(99); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("bad slot err = %v", err)
+	}
+	// Slot of deleted record is reused.
+	s3, err := p.insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Errorf("dead slot not reused: %d vs %d", s3, s1)
+	}
+}
+
+func TestPageRejections(t *testing.T) {
+	p := newPage()
+	if _, err := p.insert(nil); err == nil {
+		t.Error("empty record must fail")
+	}
+	if _, err := p.insert(make([]byte, MaxRecordLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized record must fail")
+	}
+	// Exactly max fits.
+	if _, err := p.insert(make([]byte, MaxRecordLen)); err != nil {
+		t.Errorf("max record should fit: %v", err)
+	}
+	// Nothing else fits now.
+	if _, err := p.insert([]byte("x")); !errors.Is(err, ErrPageFull) {
+		t.Error("full page must reject")
+	}
+}
+
+func TestPageCompactionReclaimsSpace(t *testing.T) {
+	p := newPage()
+	var slots []int
+	rec := make([]byte, 512)
+	for {
+		s, err := p.insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 10 {
+		t.Fatalf("only %d records fit", len(slots))
+	}
+	// Delete every other record; the free space is fragmented.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.del(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A larger record should now fit thanks to compaction.
+	big := make([]byte, 1500)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	s, err := p.insert(big)
+	if err != nil {
+		t.Fatalf("insert after fragmentation: %v", err)
+	}
+	got, err := p.get(s)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatal("compaction corrupted record")
+	}
+	// Survivors unharmed.
+	for i := 1; i < len(slots); i += 2 {
+		if r, err := p.get(slots[i]); err != nil || len(r) != 512 {
+			t.Fatalf("survivor %d damaged: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageChecksum(t *testing.T) {
+	p := newPage()
+	p.insert([]byte("payload"))
+	p.seal()
+	if err := p.verify(); err != nil {
+		t.Fatalf("sealed page should verify: %v", err)
+	}
+	p.buf[PageSize-1] ^= 0xFF
+	if err := p.verify(); !errors.Is(err, ErrCorruptPage) {
+		t.Errorf("corrupted page err = %v", err)
+	}
+	p.buf[PageSize-1] ^= 0xFF
+	p.buf[0] = 0 // break magic
+	if err := p.verify(); !errors.Is(err, ErrCorruptPage) {
+		t.Errorf("bad magic err = %v", err)
+	}
+}
+
+func TestPageInsertAtIdempotent(t *testing.T) {
+	p := newPage()
+	rec := []byte("replayed")
+	if err := p.insertAt(3, rec); err != nil {
+		t.Fatal(err)
+	}
+	if p.nslots() != 4 {
+		t.Errorf("nslots = %d, want 4", p.nslots())
+	}
+	// Identical replay is a no-op.
+	if err := p.insertAt(3, rec); err != nil {
+		t.Errorf("idempotent replay failed: %v", err)
+	}
+	// Conflicting replay fails.
+	if err := p.insertAt(3, []byte("different")); err == nil {
+		t.Error("conflicting replay must fail")
+	}
+	// Intervening slots are dead.
+	if _, err := p.get(0); !errors.Is(err, ErrRecDeleted) {
+		t.Errorf("intervening slot should be dead: %v", err)
+	}
+	got, err := p.get(3)
+	if err != nil || !bytes.Equal(got, rec) {
+		t.Fatal("insertAt record wrong")
+	}
+}
+
+// TestPagePropertyRandomOps cross-checks the page against a map model
+// under random insert/delete workloads.
+func TestPagePropertyRandomOps(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := newPage()
+		model := make(map[int][]byte)
+		for op := 0; op < 300; op++ {
+			if r.Intn(3) != 0 {
+				rec := make([]byte, 1+r.Intn(200))
+				r.Read(rec)
+				s, err := p.insert(rec)
+				if err != nil {
+					if errors.Is(err, ErrPageFull) {
+						continue
+					}
+					return false
+				}
+				if _, live := model[s]; live {
+					return false // overwrote a live slot
+				}
+				model[s] = rec
+			} else if len(model) > 0 {
+				// Delete a random live slot.
+				var victim int
+				k := r.Intn(len(model))
+				for s := range model {
+					if k == 0 {
+						victim = s
+						break
+					}
+					k--
+				}
+				if err := p.del(victim); err != nil {
+					return false
+				}
+				delete(model, victim)
+			}
+		}
+		// Verify every live record.
+		for s, want := range model {
+			got, err := p.get(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		// Seal/verify round trip.
+		p.seal()
+		return p.verify() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

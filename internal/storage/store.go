@@ -1,0 +1,408 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the embedded database: named heaps + meta key/value map +
+// sequences + blob store, all durable through one WAL. Directory layout:
+//
+//	<dir>/heap_<name>.db   slotted-page heap files
+//	<dir>/wal.log          redo log
+//	<dir>/meta.db          meta snapshot (rewritten at checkpoint)
+//	<dir>/blobs/           large objects
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	opts  Options
+	heaps map[string]*Heap
+	meta  map[string][]byte
+	wal   *wal
+	blobs *BlobStore
+}
+
+// Options tunes a Store.
+type Options struct {
+	// PoolFrames is the buffer-pool capacity per heap (default 64).
+	PoolFrames int
+	// NoSync disables per-append fsync of the WAL. Faster, loses the last
+	// writes on a crash; tests and benchmarks use it.
+	NoSync bool
+}
+
+// Open opens (or creates) a store in dir and recovers any logged-but-
+// unflushed state from the WAL.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.PoolFrames == 0 {
+		opts.PoolFrames = 64
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	blobs, err := openBlobStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		heaps: make(map[string]*Heap),
+		meta:  make(map[string][]byte),
+		blobs: blobs,
+	}
+	if err := s.loadMetaSnapshot(); err != nil {
+		return nil, err
+	}
+	// Open heaps that already exist on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "heap_") && strings.HasSuffix(name, ".db") {
+			hn := strings.TrimSuffix(strings.TrimPrefix(name, "heap_"), ".db")
+			h, err := openHeap(filepath.Join(dir, name), hn, opts.PoolFrames)
+			if err != nil {
+				return nil, err
+			}
+			s.heaps[hn] = h
+		}
+	}
+	// Recover: replay the WAL, then checkpoint so the log starts clean.
+	if err := s.recover(); err != nil {
+		s.closeHeaps()
+		return nil, err
+	}
+	s.wal, err = openWAL(filepath.Join(dir, "wal.log"), !opts.NoSync)
+	if err != nil {
+		s.closeHeaps()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) recover() error {
+	entries, err := readWAL(filepath.Join(s.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	for _, e := range entries {
+		switch e.op {
+		case opInsert:
+			h, err := s.heapLocked(e.heap)
+			if err != nil {
+				return err
+			}
+			if err := h.insertAt(e.rid, e.rec); err != nil {
+				return fmt.Errorf("storage: recovery insert %s %s: %w", e.heap, e.rid, err)
+			}
+		case opDelete:
+			h, err := s.heapLocked(e.heap)
+			if err != nil {
+				return err
+			}
+			if err := h.del(e.rid); err != nil && !errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("storage: recovery delete %s %s: %w", e.heap, e.rid, err)
+			}
+		case opMetaSet:
+			s.meta[e.key] = e.val
+		case opMetaDel:
+			delete(s.meta, e.key)
+		}
+	}
+	// Make the replayed state durable and clear the log.
+	for _, h := range s.heaps {
+		if err := h.flush(); err != nil {
+			return err
+		}
+	}
+	if err := s.writeMetaSnapshot(); err != nil {
+		return err
+	}
+	return os.Truncate(filepath.Join(s.dir, "wal.log"), 0)
+}
+
+// heapLocked returns (creating if necessary) the named heap. Caller holds
+// no lock during Open; afterwards Store.mu guards the map.
+func (s *Store) heapLocked(name string) (*Heap, error) {
+	if h, ok := s.heaps[name]; ok {
+		return h, nil
+	}
+	if name == "" || strings.ContainsAny(name, "/\\ ") {
+		return nil, fmt.Errorf("storage: bad heap name %q", name)
+	}
+	h, err := openHeap(filepath.Join(s.dir, "heap_"+name+".db"), name, s.opts.PoolFrames)
+	if err != nil {
+		return nil, err
+	}
+	s.heaps[name] = h
+	return h, nil
+}
+
+// Insert appends a record to the named heap, WAL-first.
+func (s *Store) Insert(heap string, rec []byte) (RID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, err := s.heapLocked(heap)
+	if err != nil {
+		return RID{}, err
+	}
+	rid, err := h.insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	if err := s.wal.logInsert(heap, rid, rec); err != nil {
+		// The page change is buffered and unlogged; undo it so memory and
+		// log agree.
+		_ = h.del(rid)
+		return RID{}, err
+	}
+	return rid, nil
+}
+
+// Get reads a record from the named heap.
+func (s *Store) Get(heap string, rid RID) ([]byte, error) {
+	s.mu.Lock()
+	h, ok := s.heaps[heap]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: heap %q", ErrNotFound, heap)
+	}
+	return h.get(rid)
+}
+
+// Delete removes a record from the named heap, WAL-first.
+func (s *Store) Delete(heap string, rid RID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.heaps[heap]
+	if !ok {
+		return fmt.Errorf("%w: heap %q", ErrNotFound, heap)
+	}
+	if err := s.wal.logDelete(heap, rid); err != nil {
+		return err
+	}
+	return h.del(rid)
+}
+
+// Scan visits all live records of the named heap in RID order. Scanning a
+// heap that does not exist yet visits nothing.
+func (s *Store) Scan(heap string, fn func(rid RID, rec []byte) bool) error {
+	s.mu.Lock()
+	h, ok := s.heaps[heap]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return h.scan(fn)
+}
+
+// MetaSet durably sets a key in the meta map.
+func (s *Store) MetaSet(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.logMetaSet(key, val); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), val...)
+	s.meta[key] = cp
+	return nil
+}
+
+// MetaGet reads a key from the meta map.
+func (s *Store) MetaGet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.meta[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// MetaDelete removes a key from the meta map.
+func (s *Store) MetaDelete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.meta[key]; !ok {
+		return nil
+	}
+	if err := s.wal.logMetaDel(key); err != nil {
+		return err
+	}
+	delete(s.meta, key)
+	return nil
+}
+
+// MetaKeys lists meta keys with the given prefix, sorted.
+func (s *Store) MetaKeys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.meta {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NextID returns the next value of a named persistent sequence (1-based).
+func (s *Store) NextID(sequence string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := "seq/" + sequence
+	var cur uint64
+	if v, ok := s.meta[key]; ok && len(v) == 8 {
+		cur = binary.LittleEndian.Uint64(v)
+	}
+	cur++
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, cur)
+	if err := s.wal.logMetaSet(key, buf); err != nil {
+		return 0, err
+	}
+	s.meta[key] = buf
+	return cur, nil
+}
+
+// Blobs exposes the blob store.
+func (s *Store) Blobs() *BlobStore { return s.blobs }
+
+// Checkpoint flushes all heaps and the meta snapshot, then truncates the
+// WAL. After a checkpoint, recovery has nothing to replay.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.heaps {
+		if err := h.flush(); err != nil {
+			return err
+		}
+	}
+	if err := s.writeMetaSnapshot(); err != nil {
+		return err
+	}
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	return s.wal.truncate()
+}
+
+// Close checkpoints and releases all files.
+func (s *Store) Close() error {
+	if err := s.Checkpoint(); err != nil {
+		s.closeHeaps()
+		s.wal.close()
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, h := range s.heaps {
+		if err := h.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.heaps = map[string]*Heap{}
+	if err := s.wal.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (s *Store) closeHeaps() {
+	for _, h := range s.heaps {
+		h.f.Close()
+	}
+}
+
+// Meta snapshot format: magic, count, then length-prefixed key/value
+// pairs, with a trailing crc32.
+const metaMagic = "GMETA1\n"
+
+func (s *Store) writeMetaSnapshot() error {
+	buf := []byte(metaMagic)
+	keys := make([]string, 0, len(s.meta))
+	for k := range s.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		v := s.meta[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	tmp := filepath.Join(s.dir, "meta.db.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, "meta.db"))
+}
+
+func (s *Store) loadMetaSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, "meta.db"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) < len(metaMagic)+8 || string(data[:len(metaMagic)]) != metaMagic {
+		return fmt.Errorf("storage: corrupt meta snapshot header")
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return fmt.Errorf("storage: corrupt meta snapshot checksum")
+	}
+	off := len(metaMagic)
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	for i := 0; i < count; i++ {
+		if off+2 > len(body) {
+			return fmt.Errorf("storage: truncated meta snapshot")
+		}
+		kn := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+kn+4 > len(body) {
+			return fmt.Errorf("storage: truncated meta snapshot key")
+		}
+		k := string(body[off : off+kn])
+		off += kn
+		vn := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+vn > len(body) {
+			return fmt.Errorf("storage: truncated meta snapshot value")
+		}
+		s.meta[k] = append([]byte(nil), body[off:off+vn]...)
+		off += vn
+	}
+	return nil
+}
+
+// HeapStats reports page and record counts of a heap, for benchmarks.
+func (s *Store) HeapStats(heap string) (pages, records int) {
+	s.mu.Lock()
+	h, ok := s.heaps[heap]
+	s.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return h.stats()
+}

@@ -1,0 +1,380 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreInsertGetDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+
+	rid, err := s.Insert("objects", []byte("landcover africa 1986"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("objects", rid)
+	if err != nil || string(got) != "landcover africa 1986" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s.Delete("objects", rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("objects", rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted get err = %v", err)
+	}
+	if err := s.Delete("objects", rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := s.Get("nope", RID{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown heap err = %v", err)
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		rec := fmt.Sprintf("record-%03d", i)
+		if _, err := s.Insert("scan", []byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		want[rec] = true
+	}
+	seen := 0
+	err := s.Scan("scan", func(rid RID, rec []byte) bool {
+		if !want[string(rec)] {
+			t.Errorf("unexpected record %q", rec)
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 {
+		t.Errorf("scanned %d records, want 100", seen)
+	}
+	// Early stop.
+	n := 0
+	s.Scan("scan", func(RID, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Scanning a missing heap visits nothing.
+	if err := s.Scan("ghost", func(RID, []byte) bool { t.Fatal("visited"); return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMultiPageSpill(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+
+	// ~4KB records force one per page roughly; 50 of them spill pages.
+	rec := make([]byte, 4000)
+	rids := make([]RID, 50)
+	for i := range rids {
+		rec[0] = byte(i)
+		rid, err := s.Insert("big", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	pages, live := s.HeapStats("big")
+	if pages < 25 {
+		t.Errorf("expected many pages, got %d", pages)
+	}
+	if live != 50 {
+		t.Errorf("live = %d", live)
+	}
+	for i, rid := range rids {
+		got, err := s.Get("big", rid)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("record %d damaged: %v", i, err)
+		}
+	}
+}
+
+func TestStoreRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+	if _, err := s.Insert("x", make([]byte, MaxRecordLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized err = %v", err)
+	}
+}
+
+func TestStorePersistenceAcrossClose(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	rid, err := s.Insert("objects", []byte("persist me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MetaSet("schema/version", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir)
+	defer s2.Close()
+	got, err := s2.Get("objects", rid)
+	if err != nil || string(got) != "persist me" {
+		t.Fatalf("after reopen: %q, %v", got, err)
+	}
+	v, ok := s2.MetaGet("schema/version")
+	if !ok || string(v) != "7" {
+		t.Errorf("meta after reopen = %q, %v", v, ok)
+	}
+}
+
+func TestStoreCrashRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	// Use synced WAL so a "crash" loses nothing logged.
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 20; i++ {
+		rid, err := s.Insert("objects", []byte(fmt.Sprintf("obj-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := s.Delete("objects", rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MetaSet("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextID("tasks"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: abandon s without Close (buffered pages unflushed).
+	s.closeHeaps()
+	s.wal.close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	for i, rid := range rids {
+		got, err := s2.Get("objects", rid)
+		if i == 3 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Errorf("deleted record resurrected: %q, %v", got, err)
+			}
+			continue
+		}
+		if err != nil || string(got) != fmt.Sprintf("obj-%d", i) {
+			t.Errorf("record %d after recovery: %q, %v", i, got, err)
+		}
+	}
+	if v, ok := s2.MetaGet("k"); !ok || string(v) != "v" {
+		t.Error("meta lost in recovery")
+	}
+	// Sequence continues past the recovered value.
+	id, err := s2.NextID("tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("sequence after recovery = %d, want 2", id)
+	}
+}
+
+func TestStoreWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := s.Insert("objects", []byte("committed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.closeHeaps()
+	s.wal.close()
+
+	// Append garbage to the WAL to simulate a torn write.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xDE, 0xAD, 0xBE})
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn WAL: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Get("objects", rid)
+	if err != nil || string(got) != "committed" {
+		t.Errorf("committed record lost: %q, %v", got, err)
+	}
+}
+
+func TestStoreSequences(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	for i := 1; i <= 5; i++ {
+		id, err := s.NextID("oid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(i) {
+			t.Errorf("NextID = %d, want %d", id, i)
+		}
+	}
+	other, _ := s.NextID("task")
+	if other != 1 {
+		t.Errorf("independent sequence = %d", other)
+	}
+	s.Close()
+	s2 := openTestStore(t, dir)
+	defer s2.Close()
+	id, _ := s2.NextID("oid")
+	if id != 6 {
+		t.Errorf("sequence after reopen = %d, want 6", id)
+	}
+}
+
+func TestStoreMetaOps(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+	s.MetaSet("class/landcover", []byte("def1"))
+	s.MetaSet("class/ndvi", []byte("def2"))
+	s.MetaSet("other", []byte("x"))
+	keys := s.MetaKeys("class/")
+	if len(keys) != 2 || keys[0] != "class/landcover" || keys[1] != "class/ndvi" {
+		t.Errorf("MetaKeys = %v", keys)
+	}
+	if err := s.MetaDelete("class/ndvi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.MetaGet("class/ndvi"); ok {
+		t.Error("deleted meta key still present")
+	}
+	if err := s.MetaDelete("never-existed"); err != nil {
+		t.Errorf("deleting absent key should be a no-op: %v", err)
+	}
+	// Mutating the returned slice must not affect the store.
+	v, _ := s.MetaGet("other")
+	v[0] = 'y'
+	v2, _ := s.MetaGet("other")
+	if string(v2) != "x" {
+		t.Error("MetaGet returned aliased storage")
+	}
+}
+
+func TestBlobStore(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+	blobs := s.Blobs()
+
+	data := bytes.Repeat([]byte("pixels"), 10_000)
+	id, err := s.NextID("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blobs.Put(BlobID(id), data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := blobs.Get(BlobID(id))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("blob round trip failed: %v", err)
+	}
+	ids, err := blobs.IDs()
+	if err != nil || len(ids) != 1 || ids[0] != BlobID(id) {
+		t.Errorf("IDs = %v, %v", ids, err)
+	}
+	// Corruption is detected.
+	path := blobs.Path(BlobID(id))
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0xFF
+	os.WriteFile(path, raw, 0o644)
+	if _, err := blobs.Get(BlobID(id)); err == nil {
+		t.Error("corrupt blob should fail checksum")
+	}
+	if err := blobs.Delete(BlobID(id)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blobs.Get(BlobID(id)); !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("missing blob err = %v", err)
+	}
+	if err := blobs.Delete(BlobID(id)); !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestStoreBadHeapName(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+	for _, name := range []string{"", "a/b", "a b", `a\b`} {
+		if _, err := s.Insert(name, []byte("x")); err == nil {
+			t.Errorf("heap name %q should be rejected", name)
+		}
+	}
+}
+
+func TestStoreDeleteFreesSpaceForReuse(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	defer s.Close()
+	rec := make([]byte, 3000)
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, err := s.Insert("reuse", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pagesBefore, _ := s.HeapStats("reuse")
+	for _, rid := range rids {
+		if err := s.Delete("reuse", rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Insert("reuse", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pagesAfter, live := s.HeapStats("reuse")
+	if live != 10 {
+		t.Errorf("live = %d", live)
+	}
+	if pagesAfter > pagesBefore {
+		t.Errorf("space not reused: %d pages grew to %d", pagesBefore, pagesAfter)
+	}
+}

@@ -1,0 +1,263 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Redo-only write-ahead log. Every mutation of a heap or of the meta map
+// is appended here before the in-memory/buffered state changes; pages are
+// written back lazily. On open, entries recorded after the last checkpoint
+// are replayed into the heaps, which makes the store crash-safe: a crash
+// loses nothing that was logged and synced.
+//
+// Entry wire format:
+//
+//	length  uint32  (payload bytes)
+//	crc32   uint32  (over payload)
+//	payload: opcode byte + opcode-specific body
+//
+// Replay stops at the first torn or corrupt entry (standard redo-log
+// convention: a torn tail is an interrupted append, not corruption of
+// committed state).
+const (
+	opInsert  byte = 1 // heapName, rid, record
+	opDelete  byte = 2 // heapName, rid
+	opMetaSet byte = 3 // key, value
+	opMetaDel byte = 4 // key
+)
+
+// walEntry is one decoded log record.
+type walEntry struct {
+	op   byte
+	heap string
+	rid  RID
+	rec  []byte
+	key  string
+	val  []byte
+}
+
+type wal struct {
+	f       *os.File
+	path    string
+	syncOps bool // fsync after every append (durability on), default true
+	dirty   bool
+}
+
+func openWAL(path string, syncOps bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, syncOps: syncOps}, nil
+}
+
+func (w *wal) append(payload []byte) error {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	w.dirty = true
+	if w.syncOps {
+		return w.sync()
+	}
+	return nil
+}
+
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// logInsert records a heap insert.
+func (w *wal) logInsert(heap string, rid RID, rec []byte) error {
+	buf := make([]byte, 0, 1+2+len(heap)+6+4+len(rec))
+	buf = append(buf, opInsert)
+	buf = appendString(buf, heap)
+	buf = appendRID(buf, rid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	buf = append(buf, rec...)
+	return w.append(buf)
+}
+
+// logDelete records a heap delete.
+func (w *wal) logDelete(heap string, rid RID) error {
+	buf := make([]byte, 0, 1+2+len(heap)+6)
+	buf = append(buf, opDelete)
+	buf = appendString(buf, heap)
+	buf = appendRID(buf, rid)
+	return w.append(buf)
+}
+
+// logMetaSet records a meta key update.
+func (w *wal) logMetaSet(key string, val []byte) error {
+	buf := make([]byte, 0, 1+2+len(key)+4+len(val))
+	buf = append(buf, opMetaSet)
+	buf = appendString(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	return w.append(buf)
+}
+
+// logMetaDel records a meta key removal.
+func (w *wal) logMetaDel(key string) error {
+	buf := make([]byte, 0, 1+2+len(key))
+	buf = append(buf, opMetaDel)
+	buf = appendString(buf, key)
+	return w.append(buf)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendRID(buf []byte, rid RID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, rid.Page)
+	return binary.LittleEndian.AppendUint16(buf, rid.Slot)
+}
+
+// truncate resets the log after a checkpoint.
+func (w *wal) truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readAll decodes entries from the start of the log, stopping silently at
+// a torn tail.
+func readWAL(path string) ([]walEntry, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []walEntry
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if off+8+n > len(data) {
+			break // torn tail
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt tail
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			break
+		}
+		entries = append(entries, e)
+		off += 8 + n
+	}
+	return entries, nil
+}
+
+func decodeEntry(p []byte) (walEntry, error) {
+	if len(p) < 1 {
+		return walEntry{}, fmt.Errorf("storage: empty wal payload")
+	}
+	e := walEntry{op: p[0]}
+	rest := p[1:]
+	readString := func() (string, error) {
+		if len(rest) < 2 {
+			return "", fmt.Errorf("storage: truncated wal string")
+		}
+		n := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return "", fmt.Errorf("storage: truncated wal string body")
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	readRID := func() (RID, error) {
+		if len(rest) < 6 {
+			return RID{}, fmt.Errorf("storage: truncated wal rid")
+		}
+		r := RID{Page: binary.LittleEndian.Uint32(rest), Slot: binary.LittleEndian.Uint16(rest[4:])}
+		rest = rest[6:]
+		return r, nil
+	}
+	var err error
+	switch e.op {
+	case opInsert:
+		if e.heap, err = readString(); err != nil {
+			return e, err
+		}
+		if e.rid, err = readRID(); err != nil {
+			return e, err
+		}
+		if len(rest) < 4 {
+			return e, fmt.Errorf("storage: truncated wal record length")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return e, fmt.Errorf("storage: truncated wal record")
+		}
+		e.rec = append([]byte(nil), rest[:n]...)
+	case opDelete:
+		if e.heap, err = readString(); err != nil {
+			return e, err
+		}
+		if e.rid, err = readRID(); err != nil {
+			return e, err
+		}
+	case opMetaSet:
+		if e.key, err = readString(); err != nil {
+			return e, err
+		}
+		if len(rest) < 4 {
+			return e, fmt.Errorf("storage: truncated wal meta length")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return e, fmt.Errorf("storage: truncated wal meta value")
+		}
+		e.val = append([]byte(nil), rest[:n]...)
+	case opMetaDel:
+		if e.key, err = readString(); err != nil {
+			return e, err
+		}
+	default:
+		return e, fmt.Errorf("storage: unknown wal opcode %d", e.op)
+	}
+	return e, nil
+}

@@ -1,0 +1,525 @@
+// Package task implements the Task construct of §2.1.2: "the instantiation
+// of a process with input data objects is called a task. Every task will
+// generate a set of objects (most of the time just one) for the output
+// class." Tasks are the data-object-level derivation records (§2.1.5 item
+// 2): each one stores which process version ran, over which input OIDs,
+// producing which output OID — the derivation history that makes shared
+// data interpretable and experiments reproducible.
+//
+// The executor also provides memoisation (an identical instantiation is
+// answered from the recorded task instead of recomputed) and lineage
+// queries (ancestors, descendants, and a human-readable derivation
+// explanation).
+package task
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gaea/internal/adt"
+	"gaea/internal/catalog"
+	"gaea/internal/object"
+	"gaea/internal/process"
+	"gaea/internal/storage"
+	"gaea/internal/value"
+)
+
+// ID identifies a task.
+type ID uint64
+
+// Errors returned by the executor.
+var (
+	ErrTaskNotFound = errors.New("task: not found")
+	ErrExec         = errors.New("task: execution failed")
+)
+
+// Task is one recorded derivation.
+type Task struct {
+	ID      ID     `json:"id"`
+	Process string `json:"process"`
+	Version int    `json:"version"`
+	User    string `json:"user,omitempty"`
+	// Inputs maps argument names to the OIDs bound to them, in binding
+	// order.
+	Inputs map[string][]object.OID `json:"inputs"`
+	Output object.OID              `json:"output"`
+	// OutClass denormalises the output class for lineage display.
+	OutClass string `json:"out_class"`
+	// Micros is the execution wall time in microseconds.
+	Micros int64 `json:"micros"`
+	// Note is free-form provenance commentary (e.g. the experiment name).
+	Note string `json:"note,omitempty"`
+}
+
+// Key canonicalises (process, version, inputs) for memoisation.
+func memoKey(proc string, version int, inputs map[string][]object.OID) string {
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d", proc, version)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s=", n)
+		for i, oid := range inputs[n] {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", oid)
+		}
+	}
+	return b.String()
+}
+
+// Executor runs processes and records tasks.
+type Executor struct {
+	mu  sync.RWMutex
+	st  *storage.Store
+	cat *catalog.Catalog
+	reg *adt.Registry
+	obj *object.Store
+	mgr *process.Manager
+
+	byID     map[ID]*Task
+	byOutput map[object.OID]ID
+	byInput  map[object.OID][]ID
+	memo     map[string]ID
+}
+
+const tasksHeap = "tasks"
+
+// OpenExecutor loads the task log and rebuilds the lineage indexes.
+func OpenExecutor(st *storage.Store, cat *catalog.Catalog, reg *adt.Registry, obj *object.Store, mgr *process.Manager) (*Executor, error) {
+	e := &Executor{
+		st: st, cat: cat, reg: reg, obj: obj, mgr: mgr,
+		byID:     make(map[ID]*Task),
+		byOutput: make(map[object.OID]ID),
+		byInput:  make(map[object.OID][]ID),
+		memo:     make(map[string]ID),
+	}
+	var scanErr error
+	err := st.Scan(tasksHeap, func(rid storage.RID, rec []byte) bool {
+		var t Task
+		if err := json.Unmarshal(rec, &t); err != nil {
+			scanErr = fmt.Errorf("task: corrupt record %s: %w", rid, err)
+			return false
+		}
+		e.indexLocked(&t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return e, nil
+}
+
+func (e *Executor) indexLocked(t *Task) {
+	e.byID[t.ID] = t
+	e.byOutput[t.Output] = t.ID
+	for _, oids := range t.Inputs {
+		for _, oid := range oids {
+			e.byInput[oid] = append(e.byInput[oid], t.ID)
+		}
+	}
+	e.memo[memoKey(t.Process, t.Version, t.Inputs)] = t.ID
+}
+
+// RunOptions tunes one execution.
+type RunOptions struct {
+	User string
+	Note string
+	// NoMemo forces re-execution even when an identical task exists.
+	NoMemo bool
+}
+
+// Run instantiates the latest version of a primitive process over the
+// given input objects, creating (or reusing) the output object. Memoised
+// hits return the previously recorded task with Reused=true.
+func (e *Executor) Run(procName string, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+	pr, err := e.mgr.Lookup(procName)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.runVersion(pr, inputs, opts)
+}
+
+// RunVersion instantiates a specific process version (reproducing an old
+// task must use the process as it was).
+func (e *Executor) RunVersion(procName string, version int, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+	pr, err := e.mgr.LookupVersion(procName, version)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.runVersion(pr, inputs, opts)
+}
+
+func (e *Executor) runVersion(pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+	key := memoKey(pr.Name, pr.Version, inputs)
+	if !opts.NoMemo {
+		e.mu.RLock()
+		if id, ok := e.memo[key]; ok {
+			t := e.byID[id]
+			e.mu.RUnlock()
+			return t, true, nil
+		}
+		e.mu.RUnlock()
+	}
+
+	// Materialise the input objects.
+	bound := make(map[string][]*object.Object, len(inputs))
+	for name, oids := range inputs {
+		objs := make([]*object.Object, len(oids))
+		for i, oid := range oids {
+			o, err := e.obj.Get(oid)
+			if err != nil {
+				return nil, false, fmt.Errorf("%w: input %s[%d]: %v", ErrExec, name, i, err)
+			}
+			objs[i] = o
+		}
+		bound[name] = objs
+	}
+	b, err := pr.Bind(bound)
+	if err != nil {
+		return nil, false, err
+	}
+	start := time.Now()
+	if err := b.CheckAssertions(e.reg); err != nil {
+		return nil, false, err
+	}
+	outClass, err := e.cat.Class(pr.OutClass)
+	if err != nil {
+		return nil, false, err
+	}
+	attrs, ext, err := b.EvalMappings(e.reg, outClass)
+	if err != nil {
+		return nil, false, err
+	}
+	out := &object.Object{Class: pr.OutClass, Attrs: attrs, Extent: ext}
+	outOID, err := e.obj.Insert(out)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: storing output: %v", ErrExec, err)
+	}
+	elapsed := time.Since(start)
+
+	id, err := e.st.NextID("task")
+	if err != nil {
+		return nil, false, err
+	}
+	t := &Task{
+		ID:       ID(id),
+		Process:  pr.Name,
+		Version:  pr.Version,
+		User:     opts.User,
+		Inputs:   b.InputOIDs(),
+		Output:   outOID,
+		OutClass: pr.OutClass,
+		Micros:   elapsed.Microseconds(),
+		Note:     opts.Note,
+	}
+	rec, err := json.Marshal(t)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := e.st.Insert(tasksHeap, rec); err != nil {
+		return nil, false, err
+	}
+	e.mu.Lock()
+	e.indexLocked(t)
+	e.mu.Unlock()
+	return t, false, nil
+}
+
+// RunCompound expands a compound process (Figure 5) and executes its
+// primitive steps in order, memoising each step. It returns the step
+// tasks in execution order and the OID of the compound's output.
+func (e *Executor) RunCompound(name string, inputs map[string][]object.OID, opts RunOptions) ([]*Task, object.OID, error) {
+	steps, outputName, err := e.mgr.Expand(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := e.mgr.LookupCompound(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Validate compound-level bindings.
+	bindings := make(map[string][]object.OID, len(inputs))
+	for _, a := range c.Args {
+		oids, ok := inputs[a.Name]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: compound argument %q not bound", ErrExec, a.Name)
+		}
+		if !a.IsSet && len(oids) != 1 {
+			return nil, 0, fmt.Errorf("%w: scalar compound argument %q bound to %d objects", ErrExec, a.Name, len(oids))
+		}
+		bindings[a.Name] = oids
+	}
+	var tasks []*Task
+	for _, s := range steps {
+		pr, err := e.mgr.Lookup(s.Process)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(pr.Args) != len(s.Args) {
+			return nil, 0, fmt.Errorf("%w: step %s arity mismatch", ErrExec, s.Result)
+		}
+		stepInputs := make(map[string][]object.OID, len(s.Args))
+		for i, argName := range s.Args {
+			oids, ok := bindings[argName]
+			if !ok {
+				return nil, 0, fmt.Errorf("%w: step %s: unbound name %q", ErrExec, s.Result, argName)
+			}
+			stepInputs[pr.Args[i].Name] = oids
+		}
+		stepOpts := opts
+		if stepOpts.Note == "" {
+			stepOpts.Note = "step " + s.Result + " of " + name
+		}
+		t, _, err := e.Run(s.Process, stepInputs, stepOpts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: step %s (%s): %v", ErrExec, s.Result, s.Process, err)
+		}
+		tasks = append(tasks, t)
+		bindings[s.Result] = []object.OID{t.Output}
+	}
+	out, ok := bindings[outputName]
+	if !ok || len(out) != 1 {
+		return nil, 0, fmt.Errorf("%w: compound %s produced no output", ErrExec, name)
+	}
+	return tasks, out[0], nil
+}
+
+// Get returns a recorded task.
+func (e *Executor) Get(id ID) (*Task, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrTaskNotFound, id)
+	}
+	return t, nil
+}
+
+// All returns every recorded task, by id ascending.
+func (e *Executor) All() []*Task {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Task, 0, len(e.byID))
+	for _, t := range e.byID {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Producer returns the task that generated the given object, if any. Base
+// data has no producer.
+func (e *Executor) Producer(oid object.OID) (*Task, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	id, ok := e.byOutput[oid]
+	if !ok {
+		return nil, false
+	}
+	return e.byID[id], true
+}
+
+// Consumers returns the tasks that used the given object as input.
+func (e *Executor) Consumers(oid object.OID) []*Task {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := e.byInput[oid]
+	out := make([]*Task, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, e.byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ancestors returns the transitive input OIDs an object derives from
+// (excluding itself), sorted. Base data returns an empty set.
+func (e *Executor) Ancestors(oid object.OID) []object.OID {
+	seen := map[object.OID]bool{}
+	var walk func(object.OID)
+	walk = func(o object.OID) {
+		t, ok := e.Producer(o)
+		if !ok {
+			return
+		}
+		for _, oids := range t.Inputs {
+			for _, in := range oids {
+				if !seen[in] {
+					seen[in] = true
+					walk(in)
+				}
+			}
+		}
+	}
+	walk(oid)
+	out := make([]object.OID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Descendants returns the transitive outputs derived from an object,
+// sorted.
+func (e *Executor) Descendants(oid object.OID) []object.OID {
+	seen := map[object.OID]bool{}
+	var walk func(object.OID)
+	walk = func(o object.OID) {
+		for _, t := range e.Consumers(o) {
+			if !seen[t.Output] {
+				seen[t.Output] = true
+				walk(t.Output)
+			}
+		}
+	}
+	walk(oid)
+	out := make([]object.OID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Explain renders the derivation history of an object as an indented
+// tree — the "derivation history | how they are produced" the paper argues
+// shared data must carry (§1).
+func (e *Executor) Explain(oid object.OID) string {
+	var b strings.Builder
+	e.explain(&b, oid, 0, map[object.OID]bool{})
+	return b.String()
+}
+
+func (e *Executor) explain(b *strings.Builder, oid object.OID, depth int, onPath map[object.OID]bool) {
+	indent := strings.Repeat("  ", depth)
+	t, ok := e.Producer(oid)
+	if !ok {
+		fmt.Fprintf(b, "%sobject %d: base data\n", indent, oid)
+		return
+	}
+	fmt.Fprintf(b, "%sobject %d (%s) <- task %d: %s v%d", indent, oid, t.OutClass, t.ID, t.Process, t.Version)
+	if t.User != "" {
+		fmt.Fprintf(b, " by %s", t.User)
+	}
+	b.WriteByte('\n')
+	if onPath[oid] {
+		fmt.Fprintf(b, "%s  (cycle)\n", indent)
+		return
+	}
+	onPath[oid] = true
+	names := make([]string, 0, len(t.Inputs))
+	for n := range t.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(b, "%s  %s:\n", indent, n)
+		for _, in := range t.Inputs[n] {
+			e.explain(b, in, depth+2, onPath)
+		}
+	}
+	delete(onPath, oid)
+}
+
+// Reproduce re-executes a recorded task with the same process version and
+// inputs, bypassing the memo, and reports whether the fresh output equals
+// the recorded one attribute-for-attribute — the paper's "reproducibility
+// of experiments" capability.
+func (e *Executor) Reproduce(id ID, opts RunOptions) (*Task, bool, error) {
+	orig, err := e.Get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	opts.NoMemo = true
+	if opts.Note == "" {
+		opts.Note = fmt.Sprintf("reproduction of task %d", id)
+	}
+	fresh, _, err := e.RunVersion(orig.Process, orig.Version, orig.Inputs, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	same, err := e.outputsEqual(orig.Output, fresh.Output)
+	if err != nil {
+		return fresh, false, err
+	}
+	return fresh, same, nil
+}
+
+// outputsEqual compares two objects attribute-for-attribute.
+func (e *Executor) outputsEqual(a, b object.OID) (bool, error) {
+	oa, err := e.obj.Get(a)
+	if err != nil {
+		return false, err
+	}
+	ob, err := e.obj.Get(b)
+	if err != nil {
+		return false, err
+	}
+	if oa.Class != ob.Class || len(oa.Attrs) != len(ob.Attrs) {
+		return false, nil
+	}
+	for name, va := range oa.Attrs {
+		vb, ok := ob.Attrs[name]
+		if !ok || !valueEqual(va, vb) {
+			return false, nil
+		}
+	}
+	return oa.Extent.Equal(ob.Extent), nil
+}
+
+// valueEqual delegates to the value package's structural equality.
+func valueEqual(a, b interface{ Type() value.Type }) bool {
+	av, aok := a.(value.Value)
+	bv, bok := b.(value.Value)
+	if !aok || !bok {
+		return false
+	}
+	return value.Equal(av, bv)
+}
+
+// RecordExternal records a task for a derivation performed outside the
+// process manager — interpolation (the generic derivation process of
+// §2.1.5 step 2) and base-data loads. Version 0 marks external
+// derivations; they participate in lineage but are not memoised as
+// process instantiations.
+func (e *Executor) RecordExternal(procName string, inputs map[string][]object.OID, output object.OID, outClass string, opts RunOptions) (*Task, error) {
+	id, err := e.st.NextID("task")
+	if err != nil {
+		return nil, err
+	}
+	t := &Task{
+		ID:       ID(id),
+		Process:  procName,
+		Version:  0,
+		User:     opts.User,
+		Inputs:   inputs,
+		Output:   output,
+		OutClass: outClass,
+		Note:     opts.Note,
+	}
+	rec, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.st.Insert(tasksHeap, rec); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.indexLocked(t)
+	e.mu.Unlock()
+	return t, nil
+}

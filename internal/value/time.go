@@ -1,0 +1,16 @@
+package value
+
+import (
+	"time"
+
+	"gaea/internal/sptemp"
+)
+
+// timeParse parses a timestamp in the given layout, in UTC.
+func timeParse(layout, s string) (sptemp.AbsTime, error) {
+	t, err := time.ParseInLocation(layout, s, time.UTC)
+	if err != nil {
+		return 0, err
+	}
+	return sptemp.AbsTimeOf(t), nil
+}
