@@ -7,7 +7,9 @@
 package gaea
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"gaea/internal/adt"
@@ -196,13 +198,13 @@ func BenchmarkFig2ConceptResolution(b *testing.B) {
 		b.Fatal(err)
 	}
 	scene := loadBenchScene(b, k, 32, 1986)
-	if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
+	if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	req := Request{Concept: "land cover", Pred: anyPredBench()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := k.Query(req)
+		res, err := k.Query(context.Background(), req)
 		if err != nil || len(res.OIDs) == 0 {
 			b.Fatalf("concept query failed: %v", err)
 		}
@@ -231,7 +233,7 @@ func BenchmarkFig3UnsupervisedClassification(b *testing.B) {
 			in := map[string][]object.OID{"bands": scene}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
+				if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -284,7 +286,7 @@ func BenchmarkFig5LandChange(b *testing.B) {
 			tm2 := loadBenchScene(b, k, size, 1989)
 			in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
 			b.StartTimer()
-			if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+			if _, _, err := k.RunCompound(context.Background(), "land_change_detection", in, RunOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -294,12 +296,12 @@ func BenchmarkFig5LandChange(b *testing.B) {
 		tm1 := loadBenchScene(b, k, size, 1986)
 		tm2 := loadBenchScene(b, k, size, 1989)
 		in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
-		if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+		if _, _, err := k.RunCompound(context.Background(), "land_change_detection", in, RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := k.RunCompound("land_change_detection", in, RunOptions{}); err != nil {
+			if _, _, err := k.RunCompound(context.Background(), "land_change_detection", in, RunOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -341,13 +343,13 @@ func BenchmarkQ1QueryFallback(b *testing.B) {
 	b.Run("retrieve", func(b *testing.B) {
 		k := benchKernel(b)
 		scene := loadBenchScene(b, k, size, 1986)
-		if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
+		if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 		req := Request{Class: "landcover", Pred: anyPredBench()}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := k.Query(req); err != nil {
+			if _, err := k.Query(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -357,7 +359,7 @@ func BenchmarkQ1QueryFallback(b *testing.B) {
 		s1 := loadBenchScene(b, k, size, 1986)
 		s2 := loadBenchScene(b, k, size, 1988)
 		for _, s := range [][]object.OID{s1, s2} {
-			if _, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": s}, RunOptions{}); err != nil {
+			if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": s}, RunOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -369,7 +371,7 @@ func BenchmarkQ1QueryFallback(b *testing.B) {
 			_ = at
 			pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(),
 				sptemp.Instant(sptemp.Date(1987, 6, 1)+sptemp.AbsTime(i+1)))
-			if _, err := k.Query(Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Interpolate}}); err != nil {
+			if _, err := k.Query(context.Background(), Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Interpolate}}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -381,7 +383,7 @@ func BenchmarkQ1QueryFallback(b *testing.B) {
 			loadBenchScene(b, k, size, 1986)
 			req := Request{Class: "landcover", Pred: anyPredBench()}
 			b.StartTimer()
-			if _, err := k.Query(req); err != nil {
+			if _, err := k.Query(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -449,7 +451,7 @@ DEFINE PROCESS p%d (
 			pred := sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				plan, err := pl.Plan(mk(depth), pred)
+				plan, err := pl.Plan(context.Background(), mk(depth), pred)
 				if err != nil || len(plan.Steps) != depth {
 					b.Fatalf("plan: %v (%d steps)", err, len(plan.Steps))
 				}
@@ -492,12 +494,12 @@ func BenchmarkT1TaskMemoisation(b *testing.B) {
 		k := benchKernel(b)
 		scene := loadBenchScene(b, k, size, 1986)
 		in := map[string][]object.OID{"bands": scene}
-		if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil {
+		if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			_, reused, err := k.RunProcess("unsupervised_classification", in, RunOptions{})
+			_, reused, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{})
 			if err != nil || !reused {
 				b.Fatalf("memo miss: %v", err)
 			}
@@ -509,7 +511,7 @@ func BenchmarkT1TaskMemoisation(b *testing.B) {
 		in := map[string][]object.OID{"bands": scene}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
+			if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{NoMemo: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -596,14 +598,186 @@ func BenchmarkS1Storage(b *testing.B) {
 		k := benchKernel(b)
 		scene := loadBenchScene(b, k, 16, 1986)
 		in := map[string][]object.OID{"bands": scene}
-		if _, _, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil {
+		if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, reused, err := k.RunProcess("unsupervised_classification", in, RunOptions{}); err != nil || !reused {
+			if _, reused, err := k.RunProcess(context.Background(), "unsupervised_classification", in, RunOptions{}); err != nil || !reused {
 				b.Fatal("memo miss")
 			}
 		}
 	})
+}
+
+// ---------- C1: concurrent derivation engine ----------
+
+// benchKernelAt opens a durable kernel (WAL fsync on, as in production)
+// with the Figure 3/5 schema and the given worker-pool size.
+func benchKernelAt(b *testing.B, workers int) *Kernel {
+	b.Helper()
+	k, err := Open(b.TempDir(), Options{User: "bench", Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { k.Close() })
+	for _, c := range []*catalog.Class{
+		{
+			Name: "landsat_tm", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{
+				{Name: "band", Type: value.TypeString},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+			Attrs: []catalog.Attr{
+				{Name: "numclass", Type: value.TypeInt},
+				{Name: "data", Type: value.TypeImage},
+			},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+		{
+			Name: "land_cover_changes", Kind: catalog.KindDerived, DerivedBy: "change_map",
+			Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+		},
+	} {
+		if err := k.DefineClass(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, src := range []string{p20Bench, changeMapBench, lcdBench} {
+		if _, err := k.DefineProcess(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return k
+}
+
+// BenchmarkConcurrentQueries is the concurrent-query scenario: each
+// operation ingests one scene into a fresh spatial tile and answers the
+// landcover query for that tile through the full §2.1.5 path (plan +
+// derive + record lineage), against a durable kernel. workers=N runs N
+// client goroutines on a kernel with an N-sized worker pool; throughput
+// scales with workers because independent derivations overlap their
+// commit I/O (and, on multi-core hosts, their classification CPU).
+func BenchmarkConcurrentQueries(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			k := benchKernelAt(b, workers)
+			imgs := benchScene(b, 16, 1986)
+			day := sptemp.Date(1986, 6, 19)
+			b.ResetTimer()
+			// Buffered to b.N so the feeding loop never blocks even if
+			// workers bail out early on an error.
+			work := make(chan int, b.N)
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for c := 0; c < workers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						off := float64(i) * 1000
+						box := sptemp.NewBox(off, 0, off+480, 480)
+						for j, img := range imgs {
+							if _, err := k.CreateObject(&object.Object{
+								Class: "landsat_tm",
+								Attrs: map[string]value.Value{
+									"band": value.String_(fmt.Sprintf("b%d", j)),
+									"data": value.Image{Img: img},
+								},
+								Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+							}, ""); err != nil {
+								errCh <- err
+								return
+							}
+						}
+						res, err := k.Query(context.Background(), Request{
+							Class: "landcover",
+							Pred:  sptemp.TimelessExtent(sptemp.DefaultFrame, box),
+						})
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if len(res.OIDs) == 0 {
+							errCh <- fmt.Errorf("tile %d: empty result", i)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCompound measures one compound derivation at pool
+// sizes 1 vs 4: the two unsupervised classifications of Figure 5 are
+// independent and run as one parallel stage.
+func BenchmarkParallelCompound(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			k := benchKernelAt(b, workers)
+			tm1 := loadBenchScene(b, k, 16, 1986)
+			tm2 := loadBenchScene(b, k, 16, 1989)
+			in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := k.RunCompound(context.Background(), "land_change_detection", in,
+					RunOptions{NoMemo: true, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleFlightFanIn measures the thundering-herd case of the
+// concurrent-query scenario: per round, one fresh execution is in flight
+// (the NoMemo run) while N clients request the identical derivation and
+// are answered from the flight or the memo. Each round completes N+1
+// requests for the price of one derivation, so the reported queries/s
+// scale with the client count even on one core — the single-flight
+// throughput win.
+func BenchmarkSingleFlightFanIn(b *testing.B) {
+	for _, clients := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			k := benchKernelAt(b, clients)
+			scene := loadBenchScene(b, k, 16, 1986)
+			in := map[string][]object.OID{"bands": scene}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in,
+							RunOptions{}); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				if _, _, err := k.RunProcess(context.Background(), "unsupervised_classification", in,
+					RunOptions{NoMemo: true}); err != nil {
+					b.Error(err)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(b.N*(clients+1))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }

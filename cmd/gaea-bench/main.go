@@ -7,8 +7,12 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"gaea"
@@ -22,13 +26,21 @@ import (
 	"gaea/internal/value"
 )
 
+// workers sizes the kernel's derivation worker pool and the client
+// goroutines of the concurrent-query scenario.
+var workers = flag.Int("workers", runtime.GOMAXPROCS(0), "derivation worker-pool size (and C1 client count)")
+
+var ctx = context.Background()
+
 func main() {
-	fmt.Println("gaea-bench: regenerating the EXPERIMENTS.md tables")
+	flag.Parse()
+	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d)\n", *workers)
 	fmt.Println()
 	expF3()
 	expF4()
 	expF5T1()
 	expQ1()
+	expC1()
 	expP1()
 	fmt.Println("done")
 }
@@ -41,8 +53,13 @@ func must(err error) {
 }
 
 func mustKernel(dir string) *gaea.Kernel {
-	k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench"})
+	k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench", Workers: *workers})
 	must(err)
+	seedBenchSchema(k)
+	return k
+}
+
+func seedBenchSchema(k *gaea.Kernel) {
 	must(k.DefineClass(&catalog.Class{
 		Name: "landsat_tm", Kind: catalog.KindBase,
 		Attrs: []catalog.Attr{
@@ -106,7 +123,6 @@ DEFINE COMPOUND PROCESS land_change_detection (
 		_, err := k.DefineProcess(src)
 		must(err)
 	}
-	return k
 }
 
 func genScene(size, year int) []*raster.Image {
@@ -137,6 +153,30 @@ func loadScene(k *gaea.Kernel, size, year int) []object.OID {
 	return oids
 }
 
+// loadSceneTile stores one scene in a disjoint spatial tile and returns
+// the tile's box (for tile-local queries).
+func loadSceneTile(k *gaea.Kernel, size, year, tile int) sptemp.Box {
+	l := raster.NewLandscape(uint64(100 + tile))
+	off := float64(tile) * float64(size*30+300)
+	spec := raster.SceneSpec{OriginX: off, OriginY: 0, CellSize: 30, Rows: size, Cols: size, DayOfYear: 170, Year: year, Noise: 0.01}
+	imgs, err := l.GenerateScene(spec, []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR})
+	must(err)
+	day := sptemp.Date(year, 6, 19)
+	box := sptemp.NewBox(off, 0, off+float64(size*30), float64(size*30))
+	for i, img := range imgs {
+		_, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(fmt.Sprintf("b%d", i)),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, "")
+		must(err)
+	}
+	return box
+}
+
 func timeIt(n int, f func()) time.Duration {
 	start := time.Now()
 	for i := 0; i < n; i++ {
@@ -162,7 +202,7 @@ func expF3() {
 		scene := loadScene(k, size, 1986)
 		in := map[string][]object.OID{"bands": scene}
 		viaProc := timeIt(3, func() {
-			_, _, err := k.RunProcess("unsupervised_classification", in, gaea.RunOptions{NoMemo: true})
+			_, _, err := k.RunProcess(ctx, "unsupervised_classification", in, gaea.RunOptions{NoMemo: true})
 			must(err)
 		})
 		k.Close()
@@ -212,12 +252,12 @@ func expF5T1() {
 	in := map[string][]object.OID{"tm1": tm1, "tm2": tm2}
 
 	start := time.Now()
-	_, out, err := k.RunCompound("land_change_detection", in, gaea.RunOptions{})
+	_, out, err := k.RunCompound(ctx, "land_change_detection", in, gaea.RunOptions{})
 	must(err)
 	cold := time.Since(start)
 
 	warm := timeIt(10, func() {
-		_, out2, err := k.RunCompound("land_change_detection", in, gaea.RunOptions{})
+		_, out2, err := k.RunCompound(ctx, "land_change_detection", in, gaea.RunOptions{})
 		must(err)
 		if out2 != out {
 			must(fmt.Errorf("memo returned different output"))
@@ -258,12 +298,12 @@ func expQ1() {
 	s1 := loadScene(k, size, 1986)
 	s2 := loadScene(k, size, 1988)
 	for _, s := range [][]object.OID{s1, s2} {
-		_, _, err := k.RunProcess("unsupervised_classification", map[string][]object.OID{"bands": s}, gaea.RunOptions{})
+		_, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": s}, gaea.RunOptions{})
 		must(err)
 	}
 	pred := gaea.Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
 	retrieve := timeIt(20, func() {
-		_, err := k.Query(pred)
+		_, err := k.Query(ctx, pred)
 		must(err)
 	})
 	i := 0
@@ -272,7 +312,7 @@ func expQ1() {
 		p := gaea.Request{Class: "landcover",
 			Pred:       sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(), sptemp.Instant(sptemp.Date(1987, 6, 1)+sptemp.AbsTime(i))),
 			Strategies: []gaea.Strategy{gaea.Interpolate}}
-		_, err := k.Query(p)
+		_, err := k.Query(ctx, p)
 		must(err)
 	})
 	// Fresh kernel without the derived landcover: full derivation.
@@ -283,7 +323,7 @@ func expQ1() {
 	defer k2.Close()
 	loadScene(k2, size, 1986)
 	start := time.Now()
-	_, err = k2.Query(pred)
+	_, err = k2.Query(ctx, pred)
 	must(err)
 	derive := time.Since(start)
 
@@ -293,6 +333,65 @@ func expQ1() {
 	fmt.Printf("| 2. temporal interpolation | %v |\n", interpolate.Round(time.Microsecond))
 	fmt.Printf("| 3. derivation (plan + classify) | %v |\n", derive.Round(time.Microsecond))
 	fmt.Println()
+}
+
+// C1: concurrent-query throughput. Scenes are loaded in disjoint spatial
+// tiles; each query asks for the landcover of one tile, forcing a
+// distinct derivation. Engine concurrency n means n client goroutines on
+// a kernel opened with Workers=n. Future BENCH_*.json entries track the
+// queries/sec columns.
+func expC1() {
+	fmt.Println("## C1 — concurrent derivation queries (worker pool + single-flight memo)")
+	const size = 32
+	const queries = 48
+	run := func(n int) (qps float64) {
+		dir, err := os.MkdirTemp("", "gaea-bench-c1-*")
+		must(err)
+		defer os.RemoveAll(dir)
+		k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench", Workers: n})
+		must(err)
+		defer k.Close()
+		seedBenchSchema(k)
+		boxes := make([]sptemp.Box, queries)
+		for i := 0; i < queries; i++ {
+			boxes[i] = loadSceneTile(k, size, 1986, i)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		next := make(chan int, queries)
+		for i := 0; i < queries; i++ {
+			next <- i
+		}
+		close(next)
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					pred := sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i])
+					if _, err := k.Query(ctx, gaea.Request{Class: "landcover", Pred: pred}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			must(err)
+		default:
+		}
+		return float64(queries) / time.Since(start).Seconds()
+	}
+	seq := run(1)
+	par := run(*workers)
+	fmt.Println("| engine concurrency | derivation queries/sec |")
+	fmt.Println("|---|---|")
+	fmt.Printf("| 1 | %.1f |\n", seq)
+	fmt.Printf("| %d | %.1f |\n", *workers, par)
+	fmt.Printf("\nparallel speedup: %.2fx\n\n", par/seq)
 }
 
 // P1: planner scaling with chain depth.

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -182,7 +183,7 @@ func main() {
 				req.Concept = args[0]
 			}
 			if len(args) > 1 && args[1] == "preview" {
-				text, err := k.ExplainQuery(req)
+				text, err := k.ExplainQuery(context.Background(), req)
 				if err != nil {
 					fmt.Println(err)
 					continue
@@ -190,7 +191,7 @@ func main() {
 				fmt.Print(text)
 				continue
 			}
-			res, err := k.Query(req)
+			res, err := k.Query(context.Background(), req)
 			if err != nil {
 				fmt.Println(err)
 				continue

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "gaea-desert-*")
 	if err != nil {
 		log.Fatal(err)
@@ -146,15 +148,15 @@ DEFINE PROCESS hot_trade_wind_desert (
 	tempOID := mustCreate(k, "temperature", temp, box, day, "WMO climatology")
 
 	// Derive all three desert maps.
-	t250, _, err := k.RunProcess("desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-1"})
+	t250, _, err := k.RunProcess(ctx, "desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-1"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	t200, _, err := k.RunProcess("desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-2"})
+	t200, _, err := k.RunProcess(ctx, "desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-2"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	thot, _, err := k.RunProcess("hot_trade_wind_desert", map[string][]object.OID{"rain": {rainOID}, "temp": {tempOID}}, gaea.RunOptions{User: "scientist-3"})
+	thot, _, err := k.RunProcess(ctx, "hot_trade_wind_desert", map[string][]object.OID{"rain": {rainOID}, "temp": {tempOID}}, gaea.RunOptions{User: "scientist-3"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -176,7 +178,7 @@ DEFINE PROCESS hot_trade_wind_desert (
 
 	// Concept query: DESERT fans out over the ISA hierarchy to all member
 	// classes, returning all three derivations.
-	res, err := k.Query(gaea.Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
+	res, err := k.Query(ctx, gaea.Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "gaea-landchange-*")
 	if err != nil {
 		log.Fatal(err)
@@ -49,7 +51,7 @@ func main() {
 	fmt.Printf("  output: %s\n\n", output)
 
 	start := time.Now()
-	tasks, out, err := k.RunCompound("land_change_detection",
+	tasks, out, err := k.RunCompound(ctx, "land_change_detection",
 		map[string][]object.OID{"tm1": tm86, "tm2": tm89}, gaea.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -70,7 +72,7 @@ func main() {
 
 	// Re-run: all three steps are memoised.
 	start = time.Now()
-	_, out2, err := k.RunCompound("land_change_detection",
+	_, out2, err := k.RunCompound(ctx, "land_change_detection",
 		map[string][]object.OID{"tm1": tm86, "tm2": tm89}, gaea.RunOptions{})
 	if err != nil {
 		log.Fatal(err)

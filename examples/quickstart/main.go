@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "gaea-quickstart-*")
 	if err != nil {
 		log.Fatal(err)
@@ -97,13 +99,13 @@ DEFINE PROCESS ndvi_map (
 
 	// 4. Ask for NDVI. Nothing stored -> the kernel plans and derives.
 	pred := gaea.Request{Class: "ndvi", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}}
-	plan, err := k.ExplainQuery(pred)
+	plan, err := k.ExplainQuery(ctx, pred)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nquery preview:\n%s\n", plan)
 
-	res, err := k.Query(pred)
+	res, err := k.Query(ctx, pred)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +123,7 @@ DEFINE PROCESS ndvi_map (
 	fmt.Printf("\nderivation history:\n%s", k.Explain(res.OIDs[0]))
 
 	// 6. Asking again retrieves the materialised object; no recompute.
-	res2, err := k.Query(pred)
+	res2, err := k.Query(ctx, pred)
 	if err != nil {
 		log.Fatal(err)
 	}

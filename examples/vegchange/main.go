@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,6 +28,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "gaea-vegchange-*")
 	if err != nil {
 		log.Fatal(err)
@@ -45,12 +47,12 @@ func main() {
 	scene89 := loadScene(k, 1989)
 
 	// NDVI per year (shared pre-step both scientists agree on).
-	nd88 := run(k, "ndvi_map", map[string][]object.OID{"red": {scene88[0]}, "nir": {scene88[1]}}, "shared")
-	nd89 := run(k, "ndvi_map", map[string][]object.OID{"red": {scene89[0]}, "nir": {scene89[1]}}, "shared")
+	nd88 := run(ctx, k, "ndvi_map", map[string][]object.OID{"red": {scene88[0]}, "nir": {scene88[1]}}, "shared")
+	nd89 := run(ctx, k, "ndvi_map", map[string][]object.OID{"red": {scene89[0]}, "nir": {scene89[1]}}, "shared")
 
 	// Scientist 1: subtract. Scientist 2: ratio.
-	sub := run(k, "veg_change_subtract", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-1")
-	rat := run(k, "veg_change_ratio", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-2")
+	sub := run(ctx, k, "veg_change_subtract", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-1")
+	rat := run(ctx, k, "veg_change_ratio", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, "scientist-2")
 
 	fmt.Println("two vegetation-change objects in class veg_change:")
 	for _, tk := range []*task.Task{sub, rat} {
@@ -73,8 +75,8 @@ func main() {
 	}
 
 	// Part 2: PCA vs SPCA on the two NDVI maps (Eastman's comparison).
-	pcaT := run(k, "veg_change_pca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
-	spcaT := run(k, "veg_change_spca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
+	pcaT := run(ctx, k, "veg_change_pca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
+	spcaT := run(ctx, k, "veg_change_spca", map[string][]object.OID{"a": {nd88.Output}, "b": {nd89.Output}}, "eastman")
 	fmt.Println("\nPCA vs SPCA change components (same conceptual outcome, different derivations):")
 	for _, tk := range []*task.Task{pcaT, spcaT} {
 		o, _ := k.Objects.Get(tk.Output)
@@ -84,7 +86,7 @@ func main() {
 	}
 
 	// Reproducibility: re-run Eastman's SPCA task and verify it matches.
-	_, same, err := k.Reproduce(spcaT.ID)
+	_, same, err := k.Reproduce(ctx, spcaT.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,8 +215,8 @@ func loadScene(k *gaea.Kernel, year int) []object.OID {
 	return oids
 }
 
-func run(k *gaea.Kernel, proc string, in map[string][]object.OID, user string) *task.Task {
-	tk, _, err := k.RunProcess(proc, in, gaea.RunOptions{User: user})
+func run(ctx context.Context, k *gaea.Kernel, proc string, in map[string][]object.OID, user string) *task.Task {
+	tk, _, err := k.RunProcess(ctx, proc, in, gaea.RunOptions{User: user})
 	if err != nil {
 		log.Fatalf("%s: %v", proc, err)
 	}

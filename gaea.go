@@ -22,11 +22,20 @@
 //	k.DefineClass(&catalog.Class{...})
 //	k.DefineProcess(`DEFINE PROCESS ndvi_map ( ... )`)
 //	oid, _ := k.CreateObject(&object.Object{...})
-//	res, _ := k.Query(gaea.Request{Class: "ndvi", Pred: pred})
+//	res, _ := k.Query(ctx, gaea.Request{Class: "ndvi", Pred: pred})
 //	fmt.Print(k.Explain(res.OIDs[0]))
+//
+// The kernel is safe for concurrent use: queries, process runs, and
+// compound derivations may be issued from many goroutines. Independent
+// steps of one derivation also run in parallel on a worker pool sized by
+// Options.Workers (per-run override: RunOptions.Parallelism), identical
+// concurrent derivations collapse into one execution (single-flight
+// memoisation), and every execution entry point takes a context for
+// cancellation and deadlines.
 package gaea
 
 import (
+	"context"
 	"fmt"
 
 	"gaea/internal/adt"
@@ -69,6 +78,10 @@ type Options struct {
 	NoSync bool
 	// User is the default user recorded on tasks.
 	User string
+	// Workers caps the goroutines used per derivation for independent
+	// compound steps and plan stages (0 = GOMAXPROCS). Individual runs
+	// may override it with RunOptions.Parallelism.
+	Workers int
 }
 
 // Kernel is an open Gaea database. All sub-managers are exported for
@@ -115,6 +128,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		st.Close()
 		return nil, err
 	}
+	k.Tasks.Workers = opts.Workers
 	if k.Concepts, err = concept.OpenManager(st, k.Catalog); err != nil {
 		st.Close()
 		return nil, err
@@ -172,40 +186,44 @@ func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, erro
 }
 
 // RunProcess instantiates a primitive process over stored objects,
-// returning the recorded task; identical instantiations are memoised.
-func (k *Kernel) RunProcess(name string, inputs map[string][]object.OID, opts RunOptions) (*task.Task, bool, error) {
+// returning the recorded task; identical instantiations are memoised
+// (single-flight: concurrent identical runs execute once).
+func (k *Kernel) RunProcess(ctx context.Context, name string, inputs map[string][]object.OID, opts RunOptions) (*task.Task, bool, error) {
 	if opts.User == "" {
 		opts.User = k.user
 	}
-	return k.Tasks.Run(name, inputs, opts)
+	return k.Tasks.Run(ctx, name, inputs, opts)
 }
 
-// RunCompound expands and executes a compound process (Figure 5).
-func (k *Kernel) RunCompound(name string, inputs map[string][]object.OID, opts RunOptions) ([]*task.Task, object.OID, error) {
+// RunCompound expands and executes a compound process (Figure 5),
+// running independent steps in parallel.
+func (k *Kernel) RunCompound(ctx context.Context, name string, inputs map[string][]object.OID, opts RunOptions) ([]*task.Task, object.OID, error) {
 	if opts.User == "" {
 		opts.User = k.user
 	}
-	return k.Tasks.RunCompound(name, inputs, opts)
+	return k.Tasks.RunCompound(ctx, name, inputs, opts)
 }
 
 // Query answers a spatio-temporal request per the §2.1.5 sequence.
-func (k *Kernel) Query(req Request) (*Result, error) {
+func (k *Kernel) Query(ctx context.Context, req Request) (*Result, error) {
 	if req.User == "" {
 		req.User = k.user
 	}
-	return k.Queries.Run(req)
+	return k.Queries.Run(ctx, req)
 }
 
 // ExplainQuery previews how a request would be satisfied.
-func (k *Kernel) ExplainQuery(req Request) (string, error) { return k.Queries.Explain(req) }
+func (k *Kernel) ExplainQuery(ctx context.Context, req Request) (string, error) {
+	return k.Queries.Explain(ctx, req)
+}
 
 // Explain renders the derivation history of an object.
 func (k *Kernel) Explain(oid object.OID) string { return k.Tasks.Explain(oid) }
 
 // Reproduce re-executes a recorded task and reports whether the output
 // matched.
-func (k *Kernel) Reproduce(id task.ID) (*task.Task, bool, error) {
-	return k.Tasks.Reproduce(id, task.RunOptions{User: k.user})
+func (k *Kernel) Reproduce(ctx context.Context, id task.ID) (*task.Task, bool, error) {
+	return k.Tasks.Reproduce(ctx, id, task.RunOptions{User: k.user})
 }
 
 // Net builds the current derivation diagram (places = classes,

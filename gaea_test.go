@@ -1,7 +1,9 @@
 package gaea
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"gaea/internal/catalog"
@@ -102,7 +104,7 @@ func TestKernelEndToEnd(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("CanDerive = %v, %v", ok, err)
 	}
-	res, err := k.Query(pred)
+	res, err := k.Query(context.Background(), pred)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestKernelEndToEnd(t *testing.T) {
 	}
 	// Reproduction.
 	prod, _ := k.Tasks.Producer(res.OIDs[0])
-	_, same, err := k.Reproduce(prod.ID)
+	_, same, err := k.Reproduce(context.Background(), prod.ID)
 	if err != nil || !same {
 		t.Errorf("reproduce = %v, %v", same, err)
 	}
@@ -170,16 +172,93 @@ func TestKernelPersistence(t *testing.T) {
 	if !k2.Concepts.Exists("rainfall") {
 		t.Error("concept lost")
 	}
-	res, err := k2.Query(Request{Concept: "rainfall", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
+	res, err := k2.Query(context.Background(), Request{Concept: "rainfall", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
 	if err != nil || len(res.OIDs) != 1 {
 		t.Errorf("concept query after reopen = %+v, %v", res, err)
+	}
+}
+
+// loadSceneTile stores one scene in a disjoint spatial tile.
+func loadSceneTile(t *testing.T, k *Kernel, tile int) sptemp.Box {
+	t.Helper()
+	l := raster.NewLandscape(uint64(40 + tile))
+	off := float64(tile * 1000)
+	spec := raster.SceneSpec{OriginX: off, OriginY: 0, CellSize: 30, Rows: 10, Cols: 10, DayOfYear: 160, Year: 1986, Noise: 0.01}
+	day := sptemp.Date(1986, 6, 9)
+	box := sptemp.NewBox(off, 0, off+300, 300)
+	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR} {
+		img, err := l.GenerateBand(spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.CreateObject(&object.Object{
+			Class: "landsat_tm",
+			Attrs: map[string]value.Value{
+				"band": value.String_(b.String()),
+				"data": value.Image{Img: img},
+			},
+			Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
+		}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return box
+}
+
+// TestKernelConcurrentQueries drives the concurrent derivation engine end
+// to end: many goroutines querying (and thereby deriving) disjoint tiles
+// plus repeated queries on a shared tile, all against one kernel.
+func TestKernelConcurrentQueries(t *testing.T) {
+	k := openKernel(t)
+	const tiles = 6
+	boxes := make([]sptemp.Box, tiles)
+	for i := 0; i < tiles; i++ {
+		boxes[i] = loadSceneTile(t, k, i)
+	}
+	const clients = 12 // two clients per tile: one derives, one joins via single-flight
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	oids := make([]object.OID, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			pred := Request{Class: "landcover", Pred: sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[c%tiles])}
+			res, err := k.Query(context.Background(), pred)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if len(res.OIDs) == 0 {
+				t.Errorf("client %d: empty result", c)
+				return
+			}
+			oids[c] = res.OIDs[0]
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	// Both clients of a tile must agree on the derived object.
+	for c := tiles; c < clients; c++ {
+		if oids[c] != oids[c-tiles] {
+			t.Errorf("tile %d: clients saw objects %d and %d", c-tiles, oids[c-tiles], oids[c])
+		}
+	}
+	// Exactly one derivation per tile (single-flight): `tiles` landcover
+	// objects exist.
+	if got := k.Objects.Count("landcover"); got != tiles {
+		t.Errorf("landcover objects = %d, want %d", got, tiles)
 	}
 }
 
 func TestKernelExplainQueryAndNet(t *testing.T) {
 	k := openKernel(t)
 	loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
-	text, err := k.ExplainQuery(Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
+	text, err := k.ExplainQuery(context.Background(), Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}})
 	if err != nil || !strings.Contains(text, "derivable") {
 		t.Errorf("ExplainQuery = %q, %v", text, err)
 	}

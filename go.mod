@@ -1,0 +1,3 @@
+module gaea
+
+go 1.24

@@ -1,6 +1,7 @@
 package gaea
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -109,11 +110,11 @@ DEFINE PROCESS desert_by_rain_200 (
 	}); err != nil {
 		t.Fatal(err)
 	}
-	t250, _, err := k.RunProcess("desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
+	t250, _, err := k.RunProcess(context.Background(), "desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t200, _, err := k.RunProcess("desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
+	t200, _, err := k.RunProcess(context.Background(), "desert_by_rain_200", map[string][]object.OID{"rain": {rainOID}}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ DEFINE PROCESS desert_by_rain_200 (
 	}
 
 	// Concept query fans out over both classes.
-	res, err := k.Query(Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
+	res, err := k.Query(context.Background(), Request{Concept: "desert", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ DEFINE PROCESS desert_by_rain_200 (
 	}
 
 	// Reproduce the whole experiment.
-	report, err := k.Experiments.Reproduce("desert-extent-1986", RunOptions{User: "referee"})
+	report, err := k.Experiments.Reproduce(context.Background(), "desert-extent-1986", RunOptions{User: "referee"})
 	if err != nil {
 		t.Fatal(err)
 	}

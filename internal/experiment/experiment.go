@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -173,13 +174,16 @@ func (r *ReproductionReport) AllIdentical() bool {
 // Reproduce re-executes every task of an experiment against the recorded
 // process versions and inputs, comparing outputs — external confirmation
 // of the experiment's results.
-func (m *Manager) Reproduce(name string, opts task.RunOptions) (*ReproductionReport, error) {
+func (m *Manager) Reproduce(ctx context.Context, name string, opts task.RunOptions) (*ReproductionReport, error) {
 	e, err := m.Get(name)
 	if err != nil {
 		return nil, err
 	}
 	report := &ReproductionReport{Experiment: name}
 	for _, id := range e.Tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		orig, err := m.exec.Get(id)
 		if err != nil {
 			report.PerTask = append(report.PerTask, TaskReproduction{Original: id, Err: err.Error()})
@@ -191,7 +195,7 @@ func (m *Manager) Reproduce(name string, opts task.RunOptions) (*ReproductionRep
 			report.PerTask = append(report.PerTask, TaskReproduction{Original: id, Err: "external derivation; not re-runnable"})
 			continue
 		}
-		fresh, same, err := m.exec.Reproduce(id, opts)
+		fresh, same, err := m.exec.Reproduce(ctx, id, opts)
 		tr := TaskReproduction{Original: id, Identical: same}
 		if err != nil {
 			tr.Err = err.Error()

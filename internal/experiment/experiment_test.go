@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -119,7 +120,7 @@ func TestCreateAttachGet(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	tk, _, err := w.exec.Run("ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{User: "alice"})
+	tk, _, err := w.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{User: "alice"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,13 +160,13 @@ func TestReproduceExperiment(t *testing.T) {
 	w := newWorld(t)
 	red, nir := w.insertPair(t)
 	w.mgr.Create(&Experiment{Name: "repro-study", User: "alice"})
-	tk, _, err := w.exec.Run("ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
+	tk, _, err := w.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.mgr.AttachTask("repro-study", tk.ID)
 
-	report, err := w.mgr.Reproduce("repro-study", task.RunOptions{User: "referee"})
+	report, err := w.mgr.Reproduce(context.Background(), "repro-study", task.RunOptions{User: "referee"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,12 +177,12 @@ func TestReproduceExperiment(t *testing.T) {
 		t.Error("reproduction must be a fresh task")
 	}
 	// Reproducing an unknown experiment fails.
-	if _, err := w.mgr.Reproduce("ghost", task.RunOptions{}); !errors.Is(err, ErrNotFound) {
+	if _, err := w.mgr.Reproduce(context.Background(), "ghost", task.RunOptions{}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("missing err = %v", err)
 	}
 	// Empty experiment: AllIdentical is false (nothing confirmed).
 	w.mgr.Create(&Experiment{Name: "empty"})
-	empty, _ := w.mgr.Reproduce("empty", task.RunOptions{})
+	empty, _ := w.mgr.Reproduce(context.Background(), "empty", task.RunOptions{})
 	if empty.AllIdentical() {
 		t.Error("empty experiment confirms nothing")
 	}
@@ -196,7 +197,7 @@ func TestReproduceSkipsExternalTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.mgr.AttachTask("with-external", ext.ID)
-	report, err := w.mgr.Reproduce("with-external", task.RunOptions{})
+	report, err := w.mgr.Reproduce(context.Background(), "with-external", task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestCompareExperiments(t *testing.T) {
 	w.mgr.Create(&Experiment{Name: "study-a", User: "alice"})
 	w.mgr.Create(&Experiment{Name: "study-b", User: "bob"})
 
-	tk, _, err := w.exec.Run("ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
+	tk, _, err := w.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestExperimentPersistence(t *testing.T) {
 	w := newWorld(t)
 	red, nir := w.insertPair(t)
 	w.mgr.Create(&Experiment{Name: "persisted", User: "alice"})
-	tk, _, _ := w.exec.Run("ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
+	tk, _, _ := w.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {red}, "nir": {nir}}, task.RunOptions{})
 	w.mgr.AttachTask("persisted", tk.ID)
 
 	m2, err := OpenManager(w.st, w.exec)

@@ -10,6 +10,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"gaea/internal/adt"
 	"gaea/internal/catalog"
 	"gaea/internal/object"
+	"gaea/internal/sflight"
 	"gaea/internal/sptemp"
 	"gaea/internal/task"
 	"gaea/internal/value"
@@ -29,12 +31,18 @@ var (
 	ErrBadClass   = errors.New("interp: class not interpolatable")
 )
 
-// Interpolator derives missing objects from stored ones.
+// Interpolator derives missing objects from stored ones. Concurrent
+// identical interpolations are single-flight: N callers asking for the
+// same class/instant/box share one stored object instead of inserting N
+// duplicates (sequential repeats are answered by retrieval at the query
+// layer, so in-flight dedup closes the only duplication window).
 type Interpolator struct {
 	Cat  *catalog.Catalog
 	Obj  *object.Store
 	Reg  *adt.Registry
 	Exec *task.Executor
+
+	flights sflight.Group[object.OID]
 }
 
 // Temporal derives an object of the class at the requested instant by
@@ -42,7 +50,18 @@ type Interpolator struct {
 // it (within the spatial predicate). Image and float attributes are
 // blended; other attributes are copied from the nearer endpoint. The new
 // object is stored and its derivation recorded.
-func (ip *Interpolator) Temporal(class string, at sptemp.AbsTime, spatial sptemp.Box, opts task.RunOptions) (object.OID, error) {
+func (ip *Interpolator) Temporal(ctx context.Context, class string, at sptemp.AbsTime, spatial sptemp.Box, opts task.RunOptions) (object.OID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	key := fmt.Sprintf("T|%s|%d|%v", class, at, spatial)
+	oid, _, err := ip.flights.Do(ctx, key, func() (object.OID, error) {
+		return ip.temporal(ctx, class, at, spatial, opts)
+	})
+	return oid, err
+}
+
+func (ip *Interpolator) temporal(ctx context.Context, class string, at sptemp.AbsTime, spatial sptemp.Box, opts task.RunOptions) (object.OID, error) {
 	cls, err := ip.Cat.Class(class)
 	if err != nil {
 		return 0, err
@@ -147,7 +166,21 @@ func (ip *Interpolator) blendPair(cls *catalog.Class, a, b *object.Object, frac 
 // Spatial derives an object covering the target box at the given instant
 // by inverse-distance weighting over the k nearest stored objects
 // (matching the instant). All image attributes must share shape.
-func (ip *Interpolator) Spatial(class string, target sptemp.Box, at sptemp.AbsTime, k int, opts task.RunOptions) (object.OID, error) {
+func (ip *Interpolator) Spatial(ctx context.Context, class string, target sptemp.Box, at sptemp.AbsTime, k int, opts task.RunOptions) (object.OID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		k = 2
+	}
+	key := fmt.Sprintf("S|%s|%d|%v|%d", class, at, target, k)
+	oid, _, err := ip.flights.Do(ctx, key, func() (object.OID, error) {
+		return ip.spatial(ctx, class, target, at, k, opts)
+	})
+	return oid, err
+}
+
+func (ip *Interpolator) spatial(ctx context.Context, class string, target sptemp.Box, at sptemp.AbsTime, k int, opts task.RunOptions) (object.OID, error) {
 	cls, err := ip.Cat.Class(class)
 	if err != nil {
 		return 0, err

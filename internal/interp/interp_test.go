@@ -1,8 +1,10 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"gaea/internal/adt"
@@ -98,7 +100,7 @@ func TestTemporalInterpolationMidpoint(t *testing.T) {
 	after := w.insertNDVI(t, sptemp.Date(1986, 3, 1), 0.6, 0.5, box)
 
 	mid := sptemp.Date(1986, 1, 30) // not exactly halfway; compute fraction
-	oid, err := w.ip.Temporal("ndvi", mid, sptemp.EmptyBox(), task.RunOptions{User: "interp-test"})
+	oid, err := w.ip.Temporal(context.Background(), "ndvi", mid, sptemp.EmptyBox(), task.RunOptions{User: "interp-test"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,19 +145,19 @@ func TestTemporalInterpolationOutOfRange(t *testing.T) {
 	w.insertNDVI(t, sptemp.Date(1986, 1, 1), 0.2, 0.9, box)
 	w.insertNDVI(t, sptemp.Date(1986, 3, 1), 0.6, 0.5, box)
 	// Before the first observation.
-	if _, err := w.ip.Temporal("ndvi", sptemp.Date(1985, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrNoBracket) {
+	if _, err := w.ip.Temporal(context.Background(), "ndvi", sptemp.Date(1985, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrNoBracket) {
 		t.Errorf("early err = %v", err)
 	}
 	// After the last.
-	if _, err := w.ip.Temporal("ndvi", sptemp.Date(1990, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrNoBracket) {
+	if _, err := w.ip.Temporal(context.Background(), "ndvi", sptemp.Date(1990, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrNoBracket) {
 		t.Errorf("late err = %v", err)
 	}
 	// Timeless class rejected.
-	if _, err := w.ip.Temporal("static_map", sptemp.Date(1986, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrBadClass) {
+	if _, err := w.ip.Temporal(context.Background(), "static_map", sptemp.Date(1986, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); !errors.Is(err, ErrBadClass) {
 		t.Errorf("timeless err = %v", err)
 	}
 	// Unknown class.
-	if _, err := w.ip.Temporal("ghost", sptemp.Date(1986, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); err == nil {
+	if _, err := w.ip.Temporal(context.Background(), "ghost", sptemp.Date(1986, 1, 1), sptemp.EmptyBox(), task.RunOptions{}); err == nil {
 		t.Error("unknown class must fail")
 	}
 }
@@ -168,7 +170,7 @@ func TestSpatialInterpolationIDW(t *testing.T) {
 	w.insertNDVI(t, day, 0.6, 0, sptemp.NewBox(200, 0, 300, 100)) // center (250,50)
 	target := sptemp.NewBox(100, 0, 200, 100)                     // center (150,50)
 
-	oid, err := w.ip.Spatial("ndvi", target, day, 2, task.RunOptions{})
+	oid, err := w.ip.Spatial(context.Background(), "ndvi", target, day, 2, task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestSpatialInterpolationExactHit(t *testing.T) {
 	w.insertNDVI(t, day, 0.3, 1, sptemp.NewBox(0, 0, 100, 100))
 	w.insertNDVI(t, day, 0.9, 1, sptemp.NewBox(500, 500, 600, 600))
 	// Target centered exactly on the first tile: weight collapses to it.
-	oid, err := w.ip.Spatial("ndvi", sptemp.NewBox(0, 0, 100, 100), day, 2, task.RunOptions{})
+	oid, err := w.ip.Spatial(context.Background(), "ndvi", sptemp.NewBox(0, 0, 100, 100), day, 2, task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestSpatialInterpolationExactHit(t *testing.T) {
 
 func TestSpatialInterpolationNoNeighbors(t *testing.T) {
 	w := newWorld(t)
-	if _, err := w.ip.Spatial("ndvi", sptemp.NewBox(0, 0, 1, 1), sptemp.Date(1986, 1, 1), 2, task.RunOptions{}); !errors.Is(err, ErrNoNeighbor) {
+	if _, err := w.ip.Spatial(context.Background(), "ndvi", sptemp.NewBox(0, 0, 1, 1), sptemp.Date(1986, 1, 1), 2, task.RunOptions{}); !errors.Is(err, ErrNoNeighbor) {
 		t.Errorf("no neighbours err = %v", err)
 	}
 }
@@ -230,5 +232,45 @@ func TestBlendValuesValidation(t *testing.T) {
 	v, err := blendValues(reg, value.TypeInt, []value.Value{value.Int(1), value.Int(2)}, []float64{0.5, 0.5})
 	if err != nil || v.(value.Int) != 2 {
 		t.Errorf("int blend = %v, %v", v, err)
+	}
+}
+
+// TestTemporalSingleFlight: concurrent identical interpolations must
+// share one stored object instead of inserting duplicates.
+func TestTemporalSingleFlight(t *testing.T) {
+	w := newWorld(t)
+	box := sptemp.NewBox(0, 0, 100, 100)
+	w.insertNDVI(t, sptemp.Date(1986, 1, 1), 0.2, 0.9, box)
+	w.insertNDVI(t, sptemp.Date(1986, 3, 1), 0.6, 0.5, box)
+	mid := sptemp.Date(1986, 1, 31)
+
+	const n = 8
+	var wg sync.WaitGroup
+	oids := make([]object.OID, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			oids[i], errs[i] = w.ip.Temporal(context.Background(), "ndvi", mid, sptemp.EmptyBox(), task.RunOptions{})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if oids[i] != oids[0] {
+			t.Errorf("caller %d got object %d, want shared %d", i, oids[i], oids[0])
+		}
+	}
+	// 2 stored observations + exactly 1 interpolated object.
+	if got := w.obj.Count("ndvi"); got != 3 {
+		t.Errorf("ndvi objects = %d, want 3 (no duplicate interpolations)", got)
 	}
 }

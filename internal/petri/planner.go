@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -180,11 +181,16 @@ func groupSignature(class string, oids []object.OID) string {
 // Plan finds a derivation plan for the target class under the given
 // extent predicate. If stored objects already match, the plan is pure
 // retrieval. Otherwise the planner backward-chains through the processes
-// producing the class.
-func (pl *Planner) Plan(target string, pred sptemp.Extent) (*Plan, error) {
-	if pl.MaxDepth <= 0 {
-		pl.MaxDepth = 8
+// producing the class. Planning honours ctx cancellation; the Planner
+// itself is stateless per call and safe for concurrent use.
+func (pl *Planner) Plan(ctx context.Context, target string, pred sptemp.Extent) (*Plan, error) {
+	// Read the depth bound into the search state instead of mutating the
+	// shared Planner (concurrent Plan calls race on writes).
+	maxDepth := pl.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 8
 	}
+	st := &search{ctx: ctx, maxDepth: maxDepth}
 	p := &Plan{Target: target}
 	existing, err := pl.Obj.Query(target, pred)
 	if err != nil {
@@ -194,15 +200,24 @@ func (pl *Planner) Plan(target string, pred sptemp.Extent) (*Plan, error) {
 		p.Existing = existing
 		return p, nil
 	}
-	if _, err := pl.satisfyOne(target, pred, map[string]bool{}, 0, p, newExclusions()); err != nil {
+	if _, err := pl.satisfyOne(st, target, pred, map[string]bool{}, 0, p, newExclusions()); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
+// search carries the per-call state of one backward-chaining run.
+type search struct {
+	ctx      context.Context
+	maxDepth int
+}
+
 // satisfyOne produces one object of class cls matching pred, appending
 // steps to the plan, and returns the reference to it.
-func (pl *Planner) satisfyOne(cls string, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) (InputRef, error) {
+func (pl *Planner) satisfyOne(st *search, cls string, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) (InputRef, error) {
+	if err := st.ctx.Err(); err != nil {
+		return InputRef{}, err
+	}
 	// Direct retrieval first (§2.1.5 step 1), preferring an unclaimed
 	// stored object.
 	stored, err := pl.Obj.Query(cls, pred)
@@ -220,7 +235,7 @@ func (pl *Planner) satisfyOne(cls string, pred sptemp.Extent, onPath map[string]
 		excl.claimScalar(cls, chosen)
 		return InputRef{OID: chosen}, nil
 	}
-	if depth >= pl.MaxDepth {
+	if depth >= st.maxDepth {
 		return InputRef{}, fmt.Errorf("%w: depth limit at class %s", ErrNoPlan, cls)
 	}
 	if onPath[cls] {
@@ -235,7 +250,7 @@ func (pl *Planner) satisfyOne(cls string, pred sptemp.Extent, onPath map[string]
 	var lastErr error
 	for _, pr := range pl.Mgr.ProcessesProducing(cls) {
 		mark := len(plan.Steps)
-		inputs, err := pl.satisfyProcess(pr, pred, onPath, depth, plan, excl)
+		inputs, err := pl.satisfyProcess(st, pr, pred, onPath, depth, plan, excl)
 		if err != nil {
 			plan.Steps = plan.Steps[:mark] // roll back partial work
 			lastErr = err
@@ -252,11 +267,11 @@ func (pl *Planner) satisfyOne(cls string, pred sptemp.Extent, onPath map[string]
 }
 
 // satisfyProcess binds every argument of a process, recursing as needed.
-func (pl *Planner) satisfyProcess(pr *process.Process, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) (map[string][]InputRef, error) {
+func (pl *Planner) satisfyProcess(st *search, pr *process.Process, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) (map[string][]InputRef, error) {
 	inputs := make(map[string][]InputRef, len(pr.Args))
 	for _, spec := range pr.Args {
 		if !spec.IsSet {
-			ref, err := pl.satisfyOne(spec.Class, pred, onPath, depth+1, plan, excl)
+			ref, err := pl.satisfyOne(st, spec.Class, pred, onPath, depth+1, plan, excl)
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +280,7 @@ func (pl *Planner) satisfyProcess(pr *process.Process, pred sptemp.Extent, onPat
 		}
 		// SETOF argument: gather MinCard guard-compatible stored objects;
 		// only if none exist, try deriving them.
-		refs, err := pl.gatherSet(spec, pred, onPath, depth, plan, excl)
+		refs, err := pl.gatherSet(st, spec, pred, onPath, depth, plan, excl)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +293,7 @@ func (pl *Planner) satisfyProcess(pr *process.Process, pred sptemp.Extent, onPat
 // mutually guard-compatible (intersecting boxes, timestamps within the
 // common() tolerance), preferring an unclaimed group. When stored objects
 // are insufficient it derives the shortfall.
-func (pl *Planner) gatherSet(spec process.ArgSpec, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) ([]InputRef, error) {
+func (pl *Planner) gatherSet(st *search, spec process.ArgSpec, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) ([]InputRef, error) {
 	stored, err := pl.Obj.Query(spec.Class, pred)
 	if err != nil {
 		return nil, err
@@ -294,7 +309,7 @@ func (pl *Planner) gatherSet(spec process.ArgSpec, pred sptemp.Extent, onPath ma
 	// Not enough compatible stored objects: derive MinCard fresh ones.
 	refs := make([]InputRef, 0, spec.MinCard)
 	for i := 0; i < spec.MinCard; i++ {
-		ref, err := pl.satisfyOne(spec.Class, pred, onPath, depth+1, plan, excl)
+		ref, err := pl.satisfyOne(st, spec.Class, pred, onPath, depth+1, plan, excl)
 		if err != nil {
 			return nil, fmt.Errorf("%w (argument %s needs %d of class %s)", err, spec.Name, spec.MinCard, spec.Class)
 		}

@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -165,7 +166,7 @@ func TestCurrentMarking(t *testing.T) {
 func TestPlanDirectRetrieval(t *testing.T) {
 	w := newWorld(t)
 	oids := w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
-	plan, err := w.planner().Plan("landsat_tm", anyPred())
+	plan, err := w.planner().Plan(context.Background(), "landsat_tm", anyPred())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestPlanDirectRetrieval(t *testing.T) {
 func TestPlanSingleDerivation(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
-	plan, err := w.planner().Plan("landcover", anyPred())
+	plan, err := w.planner().Plan(context.Background(), "landcover", anyPred())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestPlanChainedDerivation(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
 	w.insertScene(t, 3, sptemp.Date(1989, 1, 15), 1989)
-	plan, err := w.planner().Plan("veg_change", anyPred())
+	plan, err := w.planner().Plan(context.Background(), "veg_change", anyPred())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,12 +243,12 @@ func TestPlanChainedDerivation(t *testing.T) {
 
 func TestPlanFailsWithoutBaseData(t *testing.T) {
 	w := newWorld(t)
-	if _, err := w.planner().Plan("landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
+	if _, err := w.planner().Plan(context.Background(), "landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
 		t.Errorf("plan err = %v", err)
 	}
 	// Two scenes are below the card(bands)=3 threshold.
 	w.insertScene(t, 2, sptemp.Date(1986, 1, 15), 1986)
-	if _, err := w.planner().Plan("landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
+	if _, err := w.planner().Plan(context.Background(), "landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
 		t.Errorf("undercard plan err = %v", err)
 	}
 }
@@ -255,7 +256,7 @@ func TestPlanFailsWithoutBaseData(t *testing.T) {
 func TestPlanFailsForOrphanClass(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
-	if _, err := w.planner().Plan("orphan", anyPred()); !errors.Is(err, ErrNoPlan) {
+	if _, err := w.planner().Plan(context.Background(), "orphan", anyPred()); !errors.Is(err, ErrNoPlan) {
 		t.Errorf("orphan plan err = %v", err)
 	}
 }
@@ -267,7 +268,7 @@ func TestPlanGuardsRejectIncompatibleGroups(t *testing.T) {
 	w.insertScene(t, 1, sptemp.Date(1986, 1, 15), 1986)
 	w.insertScene(t, 1, sptemp.Date(1987, 6, 15), 1987)
 	w.insertScene(t, 1, sptemp.Date(1989, 11, 15), 1989)
-	if _, err := w.planner().Plan("landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
+	if _, err := w.planner().Plan(context.Background(), "landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
 		t.Errorf("incompatible group plan err = %v", err)
 	}
 	// The abstract net analysis would say "derivable" (3 tokens) — the
@@ -284,12 +285,12 @@ func TestPlanSpatialPredicate(t *testing.T) {
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
 	// Predicate disjoint from the stored scenes: nothing to plan from.
 	far := sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(100000, 100000, 100100, 100100))
-	if _, err := w.planner().Plan("landcover", far); !errors.Is(err, ErrNoPlan) {
+	if _, err := w.planner().Plan(context.Background(), "landcover", far); !errors.Is(err, ErrNoPlan) {
 		t.Errorf("disjoint predicate err = %v", err)
 	}
 	// Overlapping predicate works.
 	near := sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 50, 50))
-	plan, err := w.planner().Plan("landcover", near)
+	plan, err := w.planner().Plan(context.Background(), "landcover", near)
 	if err != nil {
 		t.Fatal(err)
 	}

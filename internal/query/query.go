@@ -12,6 +12,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,6 +51,9 @@ type Request struct {
 	Strategies []Strategy
 	// User tags derivations run on behalf of this query.
 	User string
+	// Parallelism caps the workers used for this query's plan stages
+	// (0 = the task executor's Workers setting, then GOMAXPROCS).
+	Parallelism int
 }
 
 // Result reports how a query was satisfied.
@@ -80,8 +84,13 @@ type Executor struct {
 	Exec     *task.Executor
 }
 
-// Run answers a request.
-func (qe *Executor) Run(req Request) (*Result, error) {
+// Run answers a request. The executor is stateless per call and safe for
+// concurrent use: many queries may run (and derive) at once, sharing the
+// task executor's single-flight memo.
+func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	classes, err := qe.targetClasses(req)
 	if err != nil {
 		return nil, err
@@ -112,7 +121,7 @@ func (qe *Executor) Run(req Request) (*Result, error) {
 	for _, s := range strategies {
 		switch s {
 		case Interpolate:
-			oid, err := qe.tryInterpolate(classes, req)
+			oid, err := qe.tryInterpolate(ctx, classes, req)
 			if err != nil {
 				lastErr = err
 				continue
@@ -124,7 +133,7 @@ func (qe *Executor) Run(req Request) (*Result, error) {
 			}
 			return res, nil
 		case Derive:
-			oids, tasks, planText, err := qe.tryDerive(classes, req)
+			oids, tasks, planText, err := qe.tryDerive(ctx, classes, req)
 			if err != nil {
 				lastErr = err
 				continue
@@ -173,14 +182,14 @@ func (qe *Executor) targetClasses(req Request) ([]string, error) {
 
 // tryInterpolate attempts temporal interpolation at the predicate's
 // instant (requires a timed predicate), per class.
-func (qe *Executor) tryInterpolate(classes []string, req Request) (object.OID, error) {
+func (qe *Executor) tryInterpolate(ctx context.Context, classes []string, req Request) (object.OID, error) {
 	if !req.Pred.HasTime {
 		return 0, fmt.Errorf("interpolation needs a temporal predicate")
 	}
 	at := req.Pred.TimeIv.Start
 	var lastErr error
 	for _, cls := range classes {
-		oid, err := qe.Interp.Temporal(cls, at, req.Pred.Space, task.RunOptions{User: req.User, Note: "query interpolation"})
+		oid, err := qe.Interp.Temporal(ctx, cls, at, req.Pred.Space, task.RunOptions{User: req.User, Note: "query interpolation"})
 		if err == nil {
 			return oid, nil
 		}
@@ -190,19 +199,19 @@ func (qe *Executor) tryInterpolate(classes []string, req Request) (object.OID, e
 }
 
 // tryDerive plans and executes a derivation for each candidate class.
-func (qe *Executor) tryDerive(classes []string, req Request) ([]object.OID, []task.ID, string, error) {
+func (qe *Executor) tryDerive(ctx context.Context, classes []string, req Request) ([]object.OID, []task.ID, string, error) {
 	var lastErr error
 	for _, cls := range classes {
 		// The planner plans against a relaxed predicate: derivation may
 		// need inputs outside the query window (e.g. both dates of a
 		// change pair), so plan with the spatial part only.
 		planPred := sptemp.Extent{Frame: req.Pred.Frame, Space: req.Pred.Space}
-		plan, err := qe.Planner.Plan(cls, planPred)
+		plan, err := qe.Planner.Plan(ctx, cls, planPred)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		oids, tasks, err := qe.ExecutePlan(plan, req.User)
+		oids, tasks, err := qe.ExecutePlan(ctx, plan, task.RunOptions{User: req.User, Parallelism: req.Parallelism})
 		if err != nil {
 			lastErr = err
 			continue
@@ -229,42 +238,77 @@ func (qe *Executor) tryDerive(classes []string, req Request) ([]object.OID, []ta
 
 // ExecutePlan runs a derivation plan through the task executor, memoising
 // repeated steps, and returns the final objects and the tasks run.
-func (qe *Executor) ExecutePlan(plan *petri.Plan, user string) ([]object.OID, []task.ID, error) {
+// Independent plan stages — steps with no dataflow between them, computed
+// from the plan's topological order — execute in parallel on the task
+// executor's worker pool. Tasks are reported in plan-step order.
+func (qe *Executor) ExecutePlan(ctx context.Context, plan *petri.Plan, opts task.RunOptions) ([]object.OID, []task.ID, error) {
 	if len(plan.Steps) == 0 {
 		return plan.Existing, nil, nil
 	}
-	stepOut := make([]object.OID, len(plan.Steps))
-	var tasks []task.ID
+	// Validate references up front so scheduling sees a well-formed DAG.
 	for i, step := range plan.Steps {
-		inputs := make(map[string][]object.OID, len(step.Inputs))
-		for arg, refs := range step.Inputs {
-			oids := make([]object.OID, len(refs))
-			for j, ref := range refs {
-				if ref.FromStep {
-					if ref.Step >= i {
-						return nil, nil, fmt.Errorf("query: plan step %d references later step %d", i, ref.Step)
-					}
-					oids[j] = stepOut[ref.Step]
-				} else {
-					oids[j] = ref.OID
+		for _, refs := range step.Inputs {
+			for _, ref := range refs {
+				if ref.FromStep && ref.Step >= i {
+					return nil, nil, fmt.Errorf("query: plan step %d references later step %d", i, ref.Step)
 				}
 			}
-			inputs[arg] = oids
 		}
-		t, _, err := qe.Exec.RunVersion(step.Process, step.Version, inputs, task.RunOptions{User: user, Note: "query derivation"})
-		if err != nil {
-			return nil, nil, fmt.Errorf("query: executing plan step %d (%s): %w", i, step.Process, err)
-		}
-		stepOut[i] = t.Output
-		tasks = append(tasks, t.ID)
 	}
-	return []object.OID{stepOut[len(plan.Steps)-1]}, tasks, nil
+	levels := task.Levels(len(plan.Steps), func(i int) []int {
+		var deps []int
+		for _, refs := range plan.Steps[i].Inputs {
+			for _, ref := range refs {
+				if ref.FromStep {
+					deps = append(deps, ref.Step)
+				}
+			}
+		}
+		return deps
+	})
+	// Workers within a level write disjoint slice elements, and the pool
+	// barrier between levels publishes them to the next level's readers.
+	stepOut := make([]object.OID, len(plan.Steps))
+	taskIDs := make([]task.ID, len(plan.Steps))
+	workers := qe.Exec.StageParallelism(opts)
+	for _, level := range levels {
+		fns := make([]func(context.Context) error, 0, len(level))
+		for _, idx := range level {
+			i, step := idx, plan.Steps[idx]
+			fns = append(fns, func(ctx context.Context) error {
+				inputs := make(map[string][]object.OID, len(step.Inputs))
+				for arg, refs := range step.Inputs {
+					oids := make([]object.OID, len(refs))
+					for j, ref := range refs {
+						if ref.FromStep {
+							oids[j] = stepOut[ref.Step] // earlier level, already published
+						} else {
+							oids[j] = ref.OID
+						}
+					}
+					inputs[arg] = oids
+				}
+				t, _, err := qe.Exec.RunVersion(ctx, step.Process, step.Version, inputs,
+					task.RunOptions{User: opts.User, Parallelism: opts.Parallelism, Note: "query derivation"})
+				if err != nil {
+					return fmt.Errorf("query: executing plan step %d (%s): %w", i, step.Process, err)
+				}
+				stepOut[i] = t.Output
+				taskIDs[i] = t.ID
+				return nil
+			})
+		}
+		if err := task.Parallel(ctx, workers, fns); err != nil {
+			return nil, nil, err
+		}
+	}
+	return []object.OID{stepOut[len(plan.Steps)-1]}, taskIDs, nil
 }
 
 // Explain previews how a request would be satisfied without executing
 // anything: which classes would be consulted, whether stored data match,
 // and the derivation plan if one exists.
-func (qe *Executor) Explain(req Request) (string, error) {
+func (qe *Executor) Explain(ctx context.Context, req Request) (string, error) {
 	classes, err := qe.targetClasses(req)
 	if err != nil {
 		return "", err
@@ -285,7 +329,7 @@ func (qe *Executor) Explain(req Request) (string, error) {
 	}
 	for _, cls := range classes {
 		planPred := sptemp.Extent{Frame: req.Pred.Frame, Space: req.Pred.Space}
-		plan, err := qe.Planner.Plan(cls, planPred)
+		plan, err := qe.Planner.Plan(ctx, cls, planPred)
 		if err != nil {
 			out += fmt.Sprintf("  %s: no derivation (%v)\n", cls, err)
 			continue

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -128,7 +129,7 @@ func (w *world) insertScene(t *testing.T, n int, day sptemp.AbsTime, year int) [
 
 func (w *world) runClassify(t *testing.T, scene []object.OID) object.OID {
 	t.Helper()
-	tk, _, err := w.exec.Run("classify", map[string][]object.OID{"bands": scene}, task.RunOptions{})
+	tk, _, err := w.exec.Run(context.Background(), "classify", map[string][]object.OID{"bands": scene}, task.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestQueryRetrievalPath(t *testing.T) {
 	scene := w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
 	lc := w.runClassify(t, scene)
 
-	res, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()})
+	res, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestQueryDerivationPath(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
 
-	res, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred(), User: "alice"})
+	res, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred(), User: "alice"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestQueryDerivationPath(t *testing.T) {
 		t.Errorf("derived object = %+v, %v", out, err)
 	}
 	// The derived object is now stored: the same query is retrieval.
-	res2, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()})
+	res2, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestQueryInterpolationPath(t *testing.T) {
 	w.runClassify(t, s2)
 
 	pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(), sptemp.Instant(sptemp.Date(1986, 2, 14)))
-	res, err := w.qe.Run(Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Interpolate, Derive}})
+	res, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Interpolate, Derive}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestQueryStrategyOrdering(t *testing.T) {
 	// Derive-first ordering produces a derivation even though
 	// interpolation is possible.
 	pred := sptemp.NewExtent(sptemp.DefaultFrame, sptemp.EmptyBox(), sptemp.Instant(sptemp.Date(1986, 2, 14)))
-	res, err := w.qe.Run(Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Derive, Interpolate}})
+	res, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: pred, Strategies: []Strategy{Derive, Interpolate}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestQueryConceptFanOut(t *testing.T) {
 	w := newWorld(t)
 	scene := w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
 	w.runClassify(t, scene)
-	res, err := w.qe.Run(Request{Concept: "land cover", Pred: anyPred()})
+	res, err := w.qe.Run(context.Background(), Request{Concept: "land cover", Pred: anyPred()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,23 +251,23 @@ func TestQueryConceptFanOut(t *testing.T) {
 func TestQueryFailures(t *testing.T) {
 	w := newWorld(t)
 	// No data at all: unsatisfiable.
-	if _, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()}); !errors.Is(err, ErrUnsatisfied) {
+	if _, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()}); !errors.Is(err, ErrUnsatisfied) {
 		t.Errorf("unsatisfied err = %v", err)
 	}
 	// Bad requests.
-	if _, err := w.qe.Run(Request{}); !errors.Is(err, ErrBadRequest) {
+	if _, err := w.qe.Run(context.Background(), Request{}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("empty request err = %v", err)
 	}
-	if _, err := w.qe.Run(Request{Class: "x", Concept: "y"}); !errors.Is(err, ErrBadRequest) {
+	if _, err := w.qe.Run(context.Background(), Request{Class: "x", Concept: "y"}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("both-set err = %v", err)
 	}
-	if _, err := w.qe.Run(Request{Class: "ghost"}); !errors.Is(err, ErrBadRequest) {
+	if _, err := w.qe.Run(context.Background(), Request{Class: "ghost"}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("unknown class err = %v", err)
 	}
-	if _, err := w.qe.Run(Request{Concept: "ghost"}); err == nil {
+	if _, err := w.qe.Run(context.Background(), Request{Concept: "ghost"}); err == nil {
 		t.Error("unknown concept must fail")
 	}
-	if _, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred(), Strategies: []Strategy{"teleport"}}); !errors.Is(err, ErrBadRequest) {
+	if _, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred(), Strategies: []Strategy{"teleport"}}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("unknown strategy err = %v", err)
 	}
 }
@@ -274,7 +275,7 @@ func TestQueryFailures(t *testing.T) {
 func TestQueryExplain(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
-	text, err := w.qe.Explain(Request{Class: "landcover", Pred: anyPred()})
+	text, err := w.qe.Explain(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,16 +283,16 @@ func TestQueryExplain(t *testing.T) {
 		t.Errorf("explain = %q", text)
 	}
 	// After materialising, explain reports retrieval.
-	if _, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()}); err != nil {
+	if _, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()}); err != nil {
 		t.Fatal(err)
 	}
-	text, _ = w.qe.Explain(Request{Class: "landcover", Pred: anyPred()})
+	text, _ = w.qe.Explain(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if !strings.Contains(text, "satisfied by retrieval") {
 		t.Errorf("explain after materialise = %q", text)
 	}
 	// Nothing anywhere.
 	w2 := newWorld(t)
-	text, err = w2.qe.Explain(Request{Class: "landcover", Pred: anyPred()})
+	text, err = w2.qe.Explain(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil || !strings.Contains(text, "no derivation") {
 		t.Errorf("explain unsatisfiable = %q, %v", text, err)
 	}
@@ -300,7 +301,7 @@ func TestQueryExplain(t *testing.T) {
 func TestQueryMemoisedDerivation(t *testing.T) {
 	w := newWorld(t)
 	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
-	res1, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()})
+	res1, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestQueryMemoisedDerivation(t *testing.T) {
 	if err := w.obj.Delete(res1.OIDs[0]); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := w.qe.Run(Request{Class: "landcover", Pred: anyPred()})
+	res2, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
 	if err != nil {
 		// Acceptable: the memoised task points at a deleted object. The
 		// documented recovery is NoMemo re-derivation, which the kernel

@@ -3,12 +3,16 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // bufferPool caches heap pages with LRU eviction. Dirty pages are written
-// back on eviction and on flushAll. The pool is not itself concurrency-
-// safe; the owning Heap serialises access.
+// back on eviction and on flushAll. The pool guards its own bookkeeping
+// (frame map, LRU list, counters) with an internal mutex so concurrent
+// readers holding the Heap's read lock can share it; page *contents* are
+// protected by the owning Heap's RWMutex (mutators hold the write lock).
 type bufferPool struct {
+	mu     sync.Mutex
 	cap    int
 	read   func(uint32) (*page, error)
 	write  func(uint32, *page) error
@@ -38,16 +42,35 @@ func newBufferPool(capacity int, read func(uint32) (*page, error), write func(ui
 }
 
 // get returns the cached page, loading (and possibly evicting) as needed.
+// The pool lock is released across the disk read so a miss does not
+// serialize concurrent hits on other pages. This is safe because a page
+// absent from the frame map is clean on disk: a dirty page is only
+// evicted after its write-back completes, both under the pool lock, so
+// no write to the page's offset can overlap the unlocked read. Two
+// simultaneous misses on one page may both read it; the loser discards
+// its copy on the re-check.
 func (b *bufferPool) get(no uint32) (*page, error) {
+	b.mu.Lock()
 	if el, ok := b.frames[no]; ok {
 		b.hits++
 		b.lru.MoveToFront(el)
-		return el.Value.(*frame).p, nil
+		p := el.Value.(*frame).p
+		b.mu.Unlock()
+		return p, nil
 	}
 	b.misses++
+	b.mu.Unlock()
 	p, err := b.read(no)
 	if err != nil {
 		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.frames[no]; ok {
+		// Another reader loaded it meanwhile; keep the cached frame (it
+		// may already carry buffered mutations).
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).p, nil
 	}
 	if err := b.insertFrame(no, p, false); err != nil {
 		return nil, err
@@ -57,6 +80,8 @@ func (b *bufferPool) get(no uint32) (*page, error) {
 
 // put installs a page that was just created/written by the caller.
 func (b *bufferPool) put(no uint32, p *page) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if el, ok := b.frames[no]; ok {
 		fr := el.Value.(*frame)
 		fr.p = p
@@ -78,6 +103,11 @@ func (b *bufferPool) insertFrame(no uint32, p *page, dirty bool) error {
 	return nil
 }
 
+// evictOne is called with b.mu held and keeps it held across a dirty
+// victim's write-back: writePage is a buffered WriteAt (no fsync), so
+// the hold is microseconds, and insertFrame's duplicate check and the
+// unlocked miss-read in get both rely on eviction being atomic under
+// the lock.
 func (b *bufferPool) evictOne() error {
 	el := b.lru.Back()
 	if el == nil {
@@ -96,6 +126,8 @@ func (b *bufferPool) evictOne() error {
 
 // markDirty flags a cached page as modified.
 func (b *bufferPool) markDirty(no uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if el, ok := b.frames[no]; ok {
 		el.Value.(*frame).dirty = true
 	}
@@ -103,6 +135,8 @@ func (b *bufferPool) markDirty(no uint32) {
 
 // flushAll writes every dirty page back, keeping frames cached.
 func (b *bufferPool) flushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for el := b.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
@@ -116,4 +150,8 @@ func (b *bufferPool) flushAll() error {
 }
 
 // Stats reports cache effectiveness.
-func (b *bufferPool) Stats() (hits, misses uint64) { return b.hits, b.misses }
+func (b *bufferPool) Stats() (hits, misses uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}

@@ -24,8 +24,14 @@ var ErrNotFound = errors.New("storage: record not found")
 // Heap is a slotted-page heap file behind a small buffer pool. All
 // mutations go through the owning Store so they are WAL-logged; Heap
 // methods themselves only touch pages.
+//
+// Locking: mu is a reader/writer lock. Readers (get, scan, stats) share
+// it, so lookups on one heap proceed in parallel; mutators (insert, del,
+// flush) take it exclusively, which also makes page contents safe to
+// read without further locking. The buffer pool's bookkeeping has its
+// own internal mutex so concurrent readers may miss/evict safely.
 type Heap struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	name  string
 	f     *os.File
 	pages int // page count on disk
@@ -157,8 +163,8 @@ func (h *Heap) insertAt(rid RID, rec []byte) error {
 
 // get returns a copy of the record at rid.
 func (h *Heap) get(rid RID) ([]byte, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if rid.Page >= uint32(h.pages) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
@@ -214,8 +220,8 @@ func (h *Heap) rehint(no uint32) {
 // scan visits every live record in RID order. Returning false from fn
 // stops the scan.
 func (h *Heap) scan(fn func(rid RID, rec []byte) bool) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	for no := 0; no < h.pages; no++ {
 		p, err := h.pool.get(uint32(no))
 		if err != nil {
@@ -257,8 +263,8 @@ func (h *Heap) close() error {
 
 // stats for benchmarks and tests.
 func (h *Heap) stats() (pages int, liveRecords int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	pages = h.pages
 	for no := 0; no < h.pages; no++ {
 		p, err := h.pool.get(uint32(no))

@@ -19,8 +19,15 @@ import (
 //	<dir>/wal.log          redo log
 //	<dir>/meta.db          meta snapshot (rewritten at checkpoint)
 //	<dir>/blobs/           large objects
+//
+// Locking: mu is a reader/writer lock over the heap map and the meta
+// map. Record reads and writes take it only briefly to resolve the heap,
+// then proceed under that heap's own lock, so operations on different
+// heaps — and reads within one heap — run in parallel; writers contend
+// only on the WAL's internal mutex. Meta mutations and checkpoints take
+// mu exclusively.
 type Store struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	dir   string
 	opts  Options
 	heaps map[string]*Heap
@@ -135,7 +142,7 @@ func (s *Store) recover() error {
 }
 
 // heapLocked returns (creating if necessary) the named heap. Caller holds
-// no lock during Open; afterwards Store.mu guards the map.
+// no lock during Open/recovery; afterwards use heap() instead.
 func (s *Store) heapLocked(name string) (*Heap, error) {
 	if h, ok := s.heaps[name]; ok {
 		return h, nil
@@ -151,14 +158,31 @@ func (s *Store) heapLocked(name string) (*Heap, error) {
 	return h, nil
 }
 
-// Insert appends a record to the named heap, WAL-first.
-func (s *Store) Insert(heap string, rec []byte) (RID, error) {
+// heap resolves (creating if necessary) the named heap, taking the map
+// lock shared on the fast path.
+func (s *Store) heap(name string) (*Heap, error) {
+	s.mu.RLock()
+	h, ok := s.heaps[name]
+	s.mu.RUnlock()
+	if ok {
+		return h, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, err := s.heapLocked(heap)
+	return s.heapLocked(name)
+}
+
+// Insert appends a record to the named heap, WAL-first.
+func (s *Store) Insert(heap string, rec []byte) (RID, error) {
+	h, err := s.heap(heap)
 	if err != nil {
 		return RID{}, err
 	}
+	// Hold the store lock shared across the page-change + WAL-append pair
+	// so a concurrent Checkpoint (exclusive) cannot flush and truncate
+	// between them; inserters still run in parallel with each other.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rid, err := h.insert(rec)
 	if err != nil {
 		return RID{}, err
@@ -174,9 +198,9 @@ func (s *Store) Insert(heap string, rec []byte) (RID, error) {
 
 // Get reads a record from the named heap.
 func (s *Store) Get(heap string, rid RID) ([]byte, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[heap]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: heap %q", ErrNotFound, heap)
 	}
@@ -185,8 +209,8 @@ func (s *Store) Get(heap string, rid RID) ([]byte, error) {
 
 // Delete removes a record from the named heap, WAL-first.
 func (s *Store) Delete(heap string, rid RID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	h, ok := s.heaps[heap]
 	if !ok {
 		return fmt.Errorf("%w: heap %q", ErrNotFound, heap)
@@ -200,9 +224,9 @@ func (s *Store) Delete(heap string, rid RID) error {
 // Scan visits all live records of the named heap in RID order. Scanning a
 // heap that does not exist yet visits nothing.
 func (s *Store) Scan(heap string, fn func(rid RID, rec []byte) bool) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[heap]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -223,8 +247,8 @@ func (s *Store) MetaSet(key string, val []byte) error {
 
 // MetaGet reads a key from the meta map.
 func (s *Store) MetaGet(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.meta[key]
 	if !ok {
 		return nil, false
@@ -248,8 +272,8 @@ func (s *Store) MetaDelete(key string) error {
 
 // MetaKeys lists meta keys with the given prefix, sorted.
 func (s *Store) MetaKeys(prefix string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []string
 	for k := range s.meta {
 		if strings.HasPrefix(k, prefix) {
@@ -398,9 +422,9 @@ func (s *Store) loadMetaSnapshot() error {
 
 // HeapStats reports page and record counts of a heap, for benchmarks.
 func (s *Store) HeapStats(heap string) (pages, records int) {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[heap]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return 0, 0
 	}

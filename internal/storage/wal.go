@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // Redo-only write-ahead log. Every mutation of a heap or of the meta map
@@ -41,7 +42,10 @@ type walEntry struct {
 	val  []byte
 }
 
+// wal serialises its own appends: concurrent writers to different heaps
+// contend only here, not on one store-wide lock.
 type wal struct {
+	mu      sync.Mutex
 	f       *os.File
 	path    string
 	syncOps bool // fsync after every append (durability on), default true
@@ -61,6 +65,8 @@ func openWAL(path string, syncOps bool) (*wal, error) {
 }
 
 func (w *wal) append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	hdr := make([]byte, 8)
 	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
@@ -72,12 +78,18 @@ func (w *wal) append(payload []byte) error {
 	}
 	w.dirty = true
 	if w.syncOps {
-		return w.sync()
+		return w.syncLocked()
 	}
 	return nil
 }
 
 func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
 	if !w.dirty {
 		return nil
 	}
@@ -138,6 +150,8 @@ func appendRID(buf []byte, rid RID) []byte {
 
 // truncate resets the log after a checkpoint.
 func (w *wal) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
@@ -148,7 +162,9 @@ func (w *wal) truncate() error {
 }
 
 func (w *wal) close() error {
-	if err := w.sync(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
 		w.f.Close()
 		return err
 	}

@@ -1,0 +1,124 @@
+package task
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// The concurrent derivation engine schedules independent derivation steps
+// onto a bounded worker pool. Both compound-process expansions (Figure 5)
+// and derivation plans (§2.1.6) are DAGs: a step consumes the outputs of
+// earlier steps. Steps with no path between them are independent — the
+// Petri-net firing rule places no order on concurrently enabled
+// transitions — so the engine groups steps into topological levels and
+// executes each level's steps in parallel.
+
+// Levels groups the items 0..n-1 into topological stages: item i is
+// placed one level below the deepest of its dependencies, so every level
+// contains only mutually independent items, and all of an item's
+// dependencies live in strictly earlier levels. Dependencies must point
+// at lower indexes (both compound expansion and plan construction emit
+// steps in topological order); any dep ≥ i is ignored.
+func Levels(n int, deps func(int) []int) [][]int {
+	level := make([]int, n)
+	maxLevel := -1
+	for i := 0; i < n; i++ {
+		l := 0
+		for _, d := range deps(i) {
+			if d >= 0 && d < i && level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]int, maxLevel+1)
+	for i := 0; i < n; i++ {
+		out[level[i]] = append(out[level[i]], i)
+	}
+	return out
+}
+
+// Parallel runs the functions concurrently on at most limit goroutines,
+// returning the first error. On error (or on cancellation of ctx) the
+// context passed to the remaining functions is cancelled and unstarted
+// functions are skipped; Parallel always waits for started functions to
+// finish before returning. A limit of 1 degenerates to sequential
+// execution in slice order.
+func Parallel(ctx context.Context, limit int, fns []func(context.Context) error) error {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if len(fns) == 0 {
+		return ctx.Err()
+	}
+	if limit == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, limit)
+	for _, fn := range fns {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(fn func(context.Context) error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}(fn)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// parallelism resolves the worker count for one run: the per-run override
+// wins, then the executor-wide Workers option, then GOMAXPROCS.
+func (e *Executor) parallelism(opts RunOptions) int {
+	if opts.Parallelism > 0 {
+		return opts.Parallelism
+	}
+	if n := e.Workers; n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// StageParallelism exposes the resolved worker count so the query layer
+// can schedule plan stages with the same policy.
+func (e *Executor) StageParallelism(opts RunOptions) int { return e.parallelism(opts) }

@@ -10,9 +10,16 @@
 // answered from the recorded task instead of recomputed) and lineage
 // queries (ancestors, descendants, and a human-readable derivation
 // explanation).
+//
+// Execution is concurrent: independent steps of a compound process run in
+// parallel on a bounded worker pool (see scheduler.go), memoisation is
+// single-flight (N identical concurrent instantiations execute once; the
+// other N−1 callers receive the memoised task), and every entry point
+// takes a context for cancellation and deadlines.
 package task
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +32,7 @@ import (
 	"gaea/internal/catalog"
 	"gaea/internal/object"
 	"gaea/internal/process"
+	"gaea/internal/sflight"
 	"gaea/internal/storage"
 	"gaea/internal/value"
 )
@@ -79,6 +87,11 @@ func memoKey(proc string, version int, inputs map[string][]object.OID) string {
 
 // Executor runs processes and records tasks.
 type Executor struct {
+	// Workers caps the goroutines used per compound/plan run when the
+	// RunOptions carry no Parallelism override (0 = GOMAXPROCS). Set it
+	// before issuing concurrent runs.
+	Workers int
+
 	mu  sync.RWMutex
 	st  *storage.Store
 	cat *catalog.Catalog
@@ -90,6 +103,18 @@ type Executor struct {
 	byOutput map[object.OID]ID
 	byInput  map[object.OID][]ID
 	memo     map[string]ID
+	// flights deduplicates executions in progress per memo key
+	// (single-flight): concurrent identical instantiations wait for the
+	// leader instead of re-deriving.
+	flights sflight.Group[flightVal]
+}
+
+// flightVal is what one execution publishes to its single-flight
+// waiters; fresh distinguishes an actual execution from a memo hit the
+// leader discovered on entry.
+type flightVal struct {
+	task  *Task
+	fresh bool
 }
 
 const tasksHeap = "tasks"
@@ -139,41 +164,80 @@ type RunOptions struct {
 	Note string
 	// NoMemo forces re-execution even when an identical task exists.
 	NoMemo bool
+	// Parallelism caps the worker pool for this run's independent steps
+	// (compound steps, plan stages). 0 falls back to Executor.Workers,
+	// then GOMAXPROCS.
+	Parallelism int
 }
 
 // Run instantiates the latest version of a primitive process over the
 // given input objects, creating (or reusing) the output object. Memoised
 // hits return the previously recorded task with Reused=true.
-func (e *Executor) Run(procName string, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+func (e *Executor) Run(ctx context.Context, procName string, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
 	pr, err := e.mgr.Lookup(procName)
 	if err != nil {
 		return nil, false, err
 	}
-	return e.runVersion(pr, inputs, opts)
+	return e.runVersion(ctx, pr, inputs, opts)
 }
 
 // RunVersion instantiates a specific process version (reproducing an old
 // task must use the process as it was).
-func (e *Executor) RunVersion(procName string, version int, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+func (e *Executor) RunVersion(ctx context.Context, procName string, version int, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
 	pr, err := e.mgr.LookupVersion(procName, version)
 	if err != nil {
 		return nil, false, err
 	}
-	return e.runVersion(pr, inputs, opts)
+	return e.runVersion(ctx, pr, inputs, opts)
 }
 
-func (e *Executor) runVersion(pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
-	key := memoKey(pr.Name, pr.Version, inputs)
-	if !opts.NoMemo {
-		e.mu.RLock()
-		if id, ok := e.memo[key]; ok {
-			t := e.byID[id]
-			e.mu.RUnlock()
-			return t, true, nil
-		}
-		e.mu.RUnlock()
+// runVersion answers from the memo, joins an in-progress identical
+// execution (single-flight), or executes and records a fresh task.
+func (e *Executor) runVersion(ctx context.Context, pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
+	if opts.NoMemo {
+		t, err := e.execute(ctx, pr, inputs, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		return t, false, nil
+	}
+	key := memoKey(pr.Name, pr.Version, inputs)
+	// Fast path: memo hits are answered under the shared lock so
+	// concurrent memoised lookups proceed in parallel.
+	if t, ok := e.memoised(key); ok {
+		return t, true, nil
+	}
+	v, joined, err := e.flights.Do(ctx, key, func() (flightVal, error) {
+		// Re-check as leader: a previous leader may have published the
+		// memo between our fast-path miss and the flight election.
+		if t, ok := e.memoised(key); ok {
+			return flightVal{task: t}, nil
+		}
+		t, err := e.execute(ctx, pr, inputs, opts)
+		return flightVal{task: t, fresh: true}, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.task, joined || !v.fresh, nil
+}
 
+// memoised answers a memo lookup under the shared lock.
+func (e *Executor) memoised(key string) (*Task, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	id, ok := e.memo[key]
+	if !ok {
+		return nil, false
+	}
+	return e.byID[id], true
+}
+
+// execute performs one derivation unconditionally and records its task.
+func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, error) {
 	// Materialise the input objects.
 	bound := make(map[string][]*object.Object, len(inputs))
 	for name, oids := range inputs {
@@ -181,7 +245,7 @@ func (e *Executor) runVersion(pr *process.Process, inputs map[string][]object.OI
 		for i, oid := range oids {
 			o, err := e.obj.Get(oid)
 			if err != nil {
-				return nil, false, fmt.Errorf("%w: input %s[%d]: %v", ErrExec, name, i, err)
+				return nil, fmt.Errorf("%w: input %s[%d]: %v", ErrExec, name, i, err)
 			}
 			objs[i] = o
 		}
@@ -189,30 +253,36 @@ func (e *Executor) runVersion(pr *process.Process, inputs map[string][]object.OI
 	}
 	b, err := pr.Bind(bound)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	start := time.Now()
 	if err := b.CheckAssertions(e.reg); err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	outClass, err := e.cat.Class(pr.OutClass)
 	if err != nil {
-		return nil, false, err
+		return nil, err
+	}
+	// Last cancellation point before the (possibly expensive) mapping
+	// evaluation; past here the derivation runs to completion so the
+	// output object and the task record stay consistent.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	attrs, ext, err := b.EvalMappings(e.reg, outClass)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	out := &object.Object{Class: pr.OutClass, Attrs: attrs, Extent: ext}
 	outOID, err := e.obj.Insert(out)
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: storing output: %v", ErrExec, err)
+		return nil, fmt.Errorf("%w: storing output: %v", ErrExec, err)
 	}
 	elapsed := time.Since(start)
 
 	id, err := e.st.NextID("task")
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	t := &Task{
 		ID:       ID(id),
@@ -227,21 +297,27 @@ func (e *Executor) runVersion(pr *process.Process, inputs map[string][]object.OI
 	}
 	rec, err := json.Marshal(t)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	if _, err := e.st.Insert(tasksHeap, rec); err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	e.mu.Lock()
 	e.indexLocked(t)
 	e.mu.Unlock()
-	return t, false, nil
+	return t, nil
 }
 
 // RunCompound expands a compound process (Figure 5) and executes its
-// primitive steps in order, memoising each step. It returns the step
-// tasks in execution order and the OID of the compound's output.
-func (e *Executor) RunCompound(name string, inputs map[string][]object.OID, opts RunOptions) ([]*Task, object.OID, error) {
+// primitive steps, memoising each step. Steps that do not consume each
+// other's results — concurrently enabled transitions of the derivation
+// diagram — run in parallel on the worker pool, one topological level at
+// a time. It returns the step tasks in expansion order and the OID of
+// the compound's output.
+func (e *Executor) RunCompound(ctx context.Context, name string, inputs map[string][]object.OID, opts RunOptions) ([]*Task, object.OID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	steps, outputName, err := e.mgr.Expand(name)
 	if err != nil {
 		return nil, 0, err
@@ -262,33 +338,65 @@ func (e *Executor) RunCompound(name string, inputs map[string][]object.OID, opts
 		}
 		bindings[a.Name] = oids
 	}
-	var tasks []*Task
-	for _, s := range steps {
-		pr, err := e.mgr.Lookup(s.Process)
-		if err != nil {
+	// Stage the steps: step i depends on step j when it consumes j's
+	// result (expansion emits steps in topological order).
+	producer := make(map[string]int, len(steps))
+	for i, s := range steps {
+		producer[s.Result] = i
+	}
+	levels := Levels(len(steps), func(i int) []int {
+		var deps []int
+		for _, a := range steps[i].Args {
+			if j, ok := producer[a]; ok {
+				deps = append(deps, j)
+			}
+		}
+		return deps
+	})
+	tasks := make([]*Task, len(steps))
+	workers := e.parallelism(opts)
+	for _, level := range levels {
+		fns := make([]func(context.Context) error, 0, len(level))
+		for _, idx := range level {
+			i, s := idx, steps[idx]
+			fns = append(fns, func(ctx context.Context) error {
+				pr, err := e.mgr.Lookup(s.Process)
+				if err != nil {
+					return err
+				}
+				if len(pr.Args) != len(s.Args) {
+					return fmt.Errorf("%w: step %s arity mismatch", ErrExec, s.Result)
+				}
+				stepInputs := make(map[string][]object.OID, len(s.Args))
+				for j, argName := range s.Args {
+					oids, ok := bindings[argName]
+					if !ok {
+						return fmt.Errorf("%w: step %s: unbound name %q", ErrExec, s.Result, argName)
+					}
+					stepInputs[pr.Args[j].Name] = oids
+				}
+				stepOpts := opts
+				if stepOpts.Note == "" {
+					stepOpts.Note = "step " + s.Result + " of " + name
+				}
+				t, _, err := e.runVersion(ctx, pr, stepInputs, stepOpts)
+				if err != nil {
+					// Double %w keeps both the ErrExec classification and
+					// the cause (context.Canceled, assertion errors, …)
+					// visible to errors.Is.
+					return fmt.Errorf("%w: step %s (%s): %w", ErrExec, s.Result, s.Process, err)
+				}
+				tasks[i] = t
+				return nil
+			})
+		}
+		if err := Parallel(ctx, workers, fns); err != nil {
 			return nil, 0, err
 		}
-		if len(pr.Args) != len(s.Args) {
-			return nil, 0, fmt.Errorf("%w: step %s arity mismatch", ErrExec, s.Result)
+		// Publish the level's results before the next level reads them.
+		for _, idx := range level {
+			bindings[steps[idx].Result] = []object.OID{tasks[idx].Output}
 		}
-		stepInputs := make(map[string][]object.OID, len(s.Args))
-		for i, argName := range s.Args {
-			oids, ok := bindings[argName]
-			if !ok {
-				return nil, 0, fmt.Errorf("%w: step %s: unbound name %q", ErrExec, s.Result, argName)
-			}
-			stepInputs[pr.Args[i].Name] = oids
-		}
-		stepOpts := opts
-		if stepOpts.Note == "" {
-			stepOpts.Note = "step " + s.Result + " of " + name
-		}
-		t, _, err := e.Run(s.Process, stepInputs, stepOpts)
-		if err != nil {
-			return nil, 0, fmt.Errorf("%w: step %s (%s): %v", ErrExec, s.Result, s.Process, err)
-		}
-		tasks = append(tasks, t)
-		bindings[s.Result] = []object.OID{t.Output}
 	}
 	out, ok := bindings[outputName]
 	if !ok || len(out) != 1 {
@@ -439,7 +547,7 @@ func (e *Executor) explain(b *strings.Builder, oid object.OID, depth int, onPath
 // inputs, bypassing the memo, and reports whether the fresh output equals
 // the recorded one attribute-for-attribute — the paper's "reproducibility
 // of experiments" capability.
-func (e *Executor) Reproduce(id ID, opts RunOptions) (*Task, bool, error) {
+func (e *Executor) Reproduce(ctx context.Context, id ID, opts RunOptions) (*Task, bool, error) {
 	orig, err := e.Get(id)
 	if err != nil {
 		return nil, false, err
@@ -448,7 +556,7 @@ func (e *Executor) Reproduce(id ID, opts RunOptions) (*Task, bool, error) {
 	if opts.Note == "" {
 		opts.Note = fmt.Sprintf("reproduction of task %d", id)
 	}
-	fresh, _, err := e.RunVersion(orig.Process, orig.Version, orig.Inputs, opts)
+	fresh, _, err := e.RunVersion(ctx, orig.Process, orig.Version, orig.Inputs, opts)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -182,7 +183,7 @@ func insertScene(t *testing.T, e *env, n int, day sptemp.AbsTime, year int) []ob
 func TestRunRecordsTask(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
-	tk, reused, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{User: "alice"})
+	tk, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{User: "alice"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestMemoisation(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
 	in := map[string][]object.OID{"bands": scene}
-	t1, _, err := e.exec.Run("unsupervised_classification", in, RunOptions{})
+	t1, _, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, reused, err := e.exec.Run("unsupervised_classification", in, RunOptions{})
+	t2, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestMemoisation(t *testing.T) {
 		t.Error("identical instantiation should be memoised")
 	}
 	// NoMemo forces a fresh run with a new output.
-	t3, reused, err := e.exec.Run("unsupervised_classification", in, RunOptions{NoMemo: true})
+	t3, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{NoMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestMemoisation(t *testing.T) {
 	}
 	// Different input order is a different binding -> different task.
 	swapped := map[string][]object.OID{"bands": {scene[1], scene[0], scene[2]}}
-	t4, reused, err := e.exec.Run("unsupervised_classification", swapped, RunOptions{})
+	t4, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", swapped, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestRunFailuresAreClean(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 4, sptemp.Date(1986, 1, 15), 1986)
 	// Assertion failure: card = 4.
-	if _, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); !errors.Is(err, process.ErrAssertion) {
+	if _, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{}); !errors.Is(err, process.ErrAssertion) {
 		t.Errorf("assertion err = %v", err)
 	}
 	// No task recorded.
@@ -262,11 +263,11 @@ func TestRunFailuresAreClean(t *testing.T) {
 		t.Error("failed run must not record a task")
 	}
 	// Unknown process.
-	if _, _, err := e.exec.Run("ghost", nil, RunOptions{}); !errors.Is(err, process.ErrProcessNotFound) {
+	if _, _, err := e.exec.Run(context.Background(), "ghost", nil, RunOptions{}); !errors.Is(err, process.ErrProcessNotFound) {
 		t.Errorf("unknown process err = %v", err)
 	}
 	// Missing input object.
-	if _, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": {9999, 9998, 9997}}, RunOptions{}); !errors.Is(err, ErrExec) {
+	if _, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": {9999, 9998, 9997}}, RunOptions{}); !errors.Is(err, ErrExec) {
 		t.Errorf("missing input err = %v", err)
 	}
 }
@@ -275,7 +276,7 @@ func TestRunCompoundLandChangeDetection(t *testing.T) {
 	e := newEnv(t)
 	scene86 := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
 	scene89 := insertScene(t, e, 3, sptemp.Date(1989, 1, 15), 1989)
-	tasks, out, err := e.exec.RunCompound("land_change_detection",
+	tasks, out, err := e.exec.RunCompound(context.Background(), "land_change_detection",
 		map[string][]object.OID{"tm1": scene86, "tm2": scene89}, RunOptions{User: "bob"})
 	if err != nil {
 		t.Fatal(err)
@@ -312,7 +313,7 @@ func TestRunCompoundLandChangeDetection(t *testing.T) {
 		t.Errorf("descendants of scene missing output: %v", desc)
 	}
 	// Re-running the compound reuses all three memoised steps.
-	tasks2, out2, err := e.exec.RunCompound("land_change_detection",
+	tasks2, out2, err := e.exec.RunCompound(context.Background(), "land_change_detection",
 		map[string][]object.OID{"tm1": scene86, "tm2": scene89}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -331,11 +332,11 @@ func TestRunCompoundBindingErrors(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
 	// Missing argument.
-	if _, _, err := e.exec.RunCompound("land_change_detection", map[string][]object.OID{"tm1": scene}, RunOptions{}); !errors.Is(err, ErrExec) {
+	if _, _, err := e.exec.RunCompound(context.Background(), "land_change_detection", map[string][]object.OID{"tm1": scene}, RunOptions{}); !errors.Is(err, ErrExec) {
 		t.Errorf("missing arg err = %v", err)
 	}
 	// Unknown compound.
-	if _, _, err := e.exec.RunCompound("ghost", nil, RunOptions{}); !errors.Is(err, process.ErrProcessNotFound) {
+	if _, _, err := e.exec.RunCompound(context.Background(), "ghost", nil, RunOptions{}); !errors.Is(err, process.ErrProcessNotFound) {
 		t.Errorf("unknown compound err = %v", err)
 	}
 }
@@ -344,7 +345,7 @@ func TestExplainRendersLineageTree(t *testing.T) {
 	e := newEnv(t)
 	scene86 := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
 	scene89 := insertScene(t, e, 3, sptemp.Date(1989, 1, 15), 1989)
-	_, out, err := e.exec.RunCompound("land_change_detection",
+	_, out, err := e.exec.RunCompound(context.Background(), "land_change_detection",
 		map[string][]object.OID{"tm1": scene86, "tm2": scene89}, RunOptions{User: "carol"})
 	if err != nil {
 		t.Fatal(err)
@@ -365,11 +366,11 @@ func TestExplainRendersLineageTree(t *testing.T) {
 func TestReproduceMatchesOriginal(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
-	orig, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
+	orig, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, same, err := e.exec.Reproduce(orig.ID, RunOptions{User: "referee"})
+	fresh, same, err := e.exec.Reproduce(context.Background(), orig.ID, RunOptions{User: "referee"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestReproduceMatchesOriginal(t *testing.T) {
 	if fresh.ID == orig.ID || fresh.Output == orig.Output {
 		t.Error("reproduction must create a fresh task and output")
 	}
-	if _, _, err := e.exec.Reproduce(9999, RunOptions{}); !errors.Is(err, ErrTaskNotFound) {
+	if _, _, err := e.exec.Reproduce(context.Background(), 9999, RunOptions{}); !errors.Is(err, ErrTaskNotFound) {
 		t.Errorf("missing task err = %v", err)
 	}
 }
@@ -387,7 +388,7 @@ func TestReproduceMatchesOriginal(t *testing.T) {
 func TestReproduceUsesRecordedVersion(t *testing.T) {
 	e := newEnv(t)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
-	orig, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
+	orig, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +397,7 @@ func TestReproduceUsesRecordedVersion(t *testing.T) {
 	if _, _, err := e.mgr.Redefine(v2); err != nil {
 		t.Fatal(err)
 	}
-	fresh, same, err := e.exec.Reproduce(orig.ID, RunOptions{})
+	fresh, same, err := e.exec.Reproduce(context.Background(), orig.ID, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestReproduceUsesRecordedVersion(t *testing.T) {
 		t.Errorf("reproduction used version %d", fresh.Version)
 	}
 	// A fresh Run uses v2 and yields numclass 8.
-	t2, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
+	t2, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestTaskLogPersistsAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	e := openEnv(t, dir, false)
 	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
-	tk, _, err := e.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{User: "dave"})
+	tk, _, err := e.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{User: "dave"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestTaskLogPersistsAcrossReopen(t *testing.T) {
 		t.Errorf("reloaded task = %+v", got)
 	}
 	// Memo survives: same run is still reused.
-	t2, reused, err := e2.exec.Run("unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
+	t2, reused, err := e2.exec.Run(context.Background(), "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,19 +462,19 @@ func TestTwoScientistsScenario(t *testing.T) {
 	scene88 := insertScene(t, e, 3, sptemp.Date(1988, 6, 15), 1988)
 	scene89 := insertScene(t, e, 3, sptemp.Date(1989, 6, 15), 1989)
 
-	nd88, _, err := e.exec.Run("ndvi_map", map[string][]object.OID{"red": {scene88[0]}, "nir": {scene88[1]}}, RunOptions{})
+	nd88, _, err := e.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {scene88[0]}, "nir": {scene88[1]}}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd89, _, err := e.exec.Run("ndvi_map", map[string][]object.OID{"red": {scene89[0]}, "nir": {scene89[1]}}, RunOptions{})
+	nd89, _, err := e.exec.Run(context.Background(), "ndvi_map", map[string][]object.OID{"red": {scene89[0]}, "nir": {scene89[1]}}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, _, err := e.exec.Run("veg_change_subtract", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, RunOptions{User: "scientist-1"})
+	sub, _, err := e.exec.Run(context.Background(), "veg_change_subtract", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, RunOptions{User: "scientist-1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rat, _, err := e.exec.Run("veg_change_ratio", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, RunOptions{User: "scientist-2"})
+	rat, _, err := e.exec.Run(context.Background(), "veg_change_ratio", map[string][]object.OID{"recent": {nd89.Output}, "old": {nd88.Output}}, RunOptions{User: "scientist-2"})
 	if err != nil {
 		t.Fatal(err)
 	}
