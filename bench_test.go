@@ -781,3 +781,99 @@ func BenchmarkSingleFlightFanIn(b *testing.B) {
 		})
 	}
 }
+
+// ---------- C2: update propagation and invalidation fan-out ----------
+
+// BenchmarkUpdateInvalidate measures the derived-data manager's update
+// path: one base scene fans out to fanout change maps (all sharing the
+// 1986 landcover), so updating a single band invalidates fanout+1
+// derived objects, and RefreshStale recomputes them — the independent
+// change maps in parallel on the worker pool. Throughput should scale
+// with workers because the fan-out refreshes are independent.
+func BenchmarkUpdateInvalidate(b *testing.B) {
+	const fanout = 6
+	const size = 16
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			k, err := Open(b.TempDir(), Options{
+				NoSync: true, User: "bench", Workers: workers,
+				RefreshPolicy: ManualRefresh, // refresh timing under the benchmark's control
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { k.Close() })
+			for _, c := range []*catalog.Class{
+				{
+					Name: "landsat_tm", Kind: catalog.KindBase,
+					Attrs: []catalog.Attr{
+						{Name: "band", Type: value.TypeString},
+						{Name: "data", Type: value.TypeImage},
+					},
+					Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+				},
+				{
+					Name: "landcover", Kind: catalog.KindDerived, DerivedBy: "unsupervised_classification",
+					Attrs: []catalog.Attr{
+						{Name: "numclass", Type: value.TypeInt},
+						{Name: "data", Type: value.TypeImage},
+					},
+					Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+				},
+				{
+					Name: "land_cover_changes", Kind: catalog.KindDerived, DerivedBy: "change_map",
+					Attrs: []catalog.Attr{{Name: "data", Type: value.TypeImage}},
+					Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+				},
+			} {
+				if err := k.DefineClass(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, src := range []string{p20Bench, changeMapBench} {
+				if _, err := k.DefineProcess(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			base := loadBenchScene(b, k, size, 1986)
+			lc0, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": base}, RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < fanout; i++ {
+				scene := loadBenchScene(b, k, size, 1990+i)
+				lci, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": scene}, RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := k.RunProcess(ctx, "change_map", map[string][]object.OID{
+					"a": {lc0.Output}, "b": {lci.Output},
+				}, RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Two variants of the red band to alternate between.
+			variants := [2]*raster.Image{benchScene(b, size, 1986)[0], benchScene(b, size, 1987)[0]}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := k.Objects.Get(base[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				o.Attrs["data"] = value.Image{Img: variants[i%2]}
+				if err := k.UpdateObject(o); err != nil {
+					b.Fatal(err)
+				}
+				n, err := k.RefreshStale(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != fanout+1 {
+					b.Fatalf("refreshed %d, want %d", n, fanout+1)
+				}
+			}
+			b.ReportMetric(float64(b.N*(fanout+1))/b.Elapsed().Seconds(), "refreshes/s")
+		})
+	}
+}

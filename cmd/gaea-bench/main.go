@@ -30,17 +30,22 @@ import (
 // goroutines of the concurrent-query scenario.
 var workers = flag.Int("workers", runtime.GOMAXPROCS(0), "derivation worker-pool size (and C1 client count)")
 
+// refresh picks the C2 scenario's refresh policy: how invalidated derived
+// objects are brought up to date (lazy, eager, or manual).
+var refresh = flag.String("refresh", "lazy", "C2 refresh policy: lazy|eager|manual")
+
 var ctx = context.Background()
 
 func main() {
 	flag.Parse()
-	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d)\n", *workers)
+	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d refresh=%s)\n", *workers, *refresh)
 	fmt.Println()
 	expF3()
 	expF4()
 	expF5T1()
 	expQ1()
 	expC1()
+	expC2()
 	expP1()
 	fmt.Println("done")
 }
@@ -392,6 +397,79 @@ func expC1() {
 	fmt.Printf("| 1 | %.1f |\n", seq)
 	fmt.Printf("| %d | %.1f |\n", *workers, par)
 	fmt.Printf("\nparallel speedup: %.2fx\n\n", par/seq)
+}
+
+// C2: mixed update/query workload — invalidation fan-out throughput.
+// One base scene fans out to `fanout` change maps; every update of a base
+// band invalidates the shared landcover plus all change maps, and the
+// chosen -refresh policy brings them back: lazy re-derives on the next
+// query, eager recomputes in the background, manual uses RefreshStale.
+// Fan-out refreshes are independent, so throughput scales with -workers.
+func expC2() {
+	fmt.Printf("## C2 — update propagation: invalidation fan-out (policy=%s)\n", *refresh)
+	const size = 16
+	const fanout = 6
+	const rounds = 8
+	policy := gaea.RefreshPolicy(*refresh)
+	run := func(n int) float64 {
+		dir, err := os.MkdirTemp("", "gaea-bench-c2-*")
+		must(err)
+		defer os.RemoveAll(dir)
+		k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench", Workers: n, RefreshPolicy: policy})
+		must(err)
+		defer k.Close()
+		seedBenchSchema(k)
+		base := loadScene(k, size, 1986)
+		lc0, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": base}, gaea.RunOptions{})
+		must(err)
+		others := make([]object.OID, fanout)
+		for i := 0; i < fanout; i++ {
+			scene := loadScene(k, size, 1990+i)
+			lci, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": scene}, gaea.RunOptions{})
+			must(err)
+			others[i] = lci.Output
+			_, _, err = k.RunProcess(ctx, "change_map", map[string][]object.OID{"a": {lc0.Output}, "b": {lci.Output}}, gaea.RunOptions{})
+			must(err)
+		}
+		variants := [2]*raster.Image{genScene(size, 1986)[0], genScene(size, 1987)[0]}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			o, err := k.Objects.Get(base[0])
+			must(err)
+			o.Attrs["data"] = value.Image{Img: variants[i%2]}
+			must(k.UpdateObject(o))
+			switch policy {
+			case gaea.ManualRefresh:
+				_, err := k.RefreshStale(ctx)
+				must(err)
+			case gaea.EagerRefresh:
+				for len(k.Stale()) > 0 {
+					time.Sleep(200 * time.Microsecond)
+				}
+			default:
+				// Lazy: clients re-issue their standing derivations; the
+				// stale memo hits refresh the recorded objects in place.
+				_, _, err := k.RunProcess(ctx, "unsupervised_classification", map[string][]object.OID{"bands": base}, gaea.RunOptions{})
+				must(err)
+				for _, lci := range others {
+					_, _, err := k.RunProcess(ctx, "change_map", map[string][]object.OID{"a": {lc0.Output}, "b": {lci}}, gaea.RunOptions{})
+					must(err)
+				}
+				if n := len(k.Stale()); n > 0 {
+					must(fmt.Errorf("C2: %d objects still stale after lazy touch", n))
+				}
+			}
+		}
+		invalidated := float64(rounds * (fanout + 1))
+		return invalidated / time.Since(start).Seconds()
+	}
+	seq := run(1)
+	par := run(*workers)
+	fmt.Println("| engine concurrency | invalidations recovered/sec |")
+	fmt.Println("|---|---|")
+	fmt.Printf("| 1 | %.1f |\n", seq)
+	fmt.Printf("| %d | %.1f |\n", *workers, par)
+	fmt.Printf("\nfan-out recovery speedup: %.2fx\n\n", par/seq)
 }
 
 // P1: planner scaling with chain depth.

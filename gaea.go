@@ -41,6 +41,7 @@ import (
 	"gaea/internal/adt"
 	"gaea/internal/catalog"
 	"gaea/internal/concept"
+	"gaea/internal/deriv"
 	"gaea/internal/experiment"
 	"gaea/internal/interp"
 	"gaea/internal/object"
@@ -63,6 +64,10 @@ type (
 	Strategy = query.Strategy
 	// RunOptions tunes process executions.
 	RunOptions = task.RunOptions
+	// RefreshPolicy governs when stale derived objects are recomputed.
+	RefreshPolicy = deriv.Policy
+	// CostModel tunes the rematerialisation decision.
+	CostModel = deriv.CostModel
 )
 
 // Query strategies.
@@ -70,6 +75,20 @@ const (
 	Retrieve    = query.Retrieve
 	Interpolate = query.Interpolate
 	Derive      = query.Derive
+)
+
+// Refresh policies for derived data invalidated by updates (see
+// Options.RefreshPolicy).
+const (
+	// LazyRefresh (the default): queries skip stale objects and
+	// transparently re-derive them on touch.
+	LazyRefresh = deriv.Lazy
+	// EagerRefresh: a background refresher recomputes stale objects as
+	// soon as they are invalidated.
+	EagerRefresh = deriv.Eager
+	// ManualRefresh: stale objects stay stale (queries return them
+	// flagged) until RefreshStale is called.
+	ManualRefresh = deriv.Manual
 )
 
 // Options tunes a Kernel.
@@ -82,6 +101,13 @@ type Options struct {
 	// compound steps and plan stages (0 = GOMAXPROCS). Individual runs
 	// may override it with RunOptions.Parallelism.
 	Workers int
+	// RefreshPolicy governs how stale derived objects (dependents of
+	// updated or deleted data) are brought up to date: LazyRefresh
+	// (default), EagerRefresh, or ManualRefresh.
+	RefreshPolicy RefreshPolicy
+	// Cost tunes the rematerialisation decision applied to invalidated
+	// derived objects (zero fields take defaults).
+	Cost CostModel
 }
 
 // Kernel is an open Gaea database. All sub-managers are exported for
@@ -101,6 +127,7 @@ type Kernel struct {
 	Planner     *petri.Planner
 	Interp      *interp.Interpolator
 	Queries     *query.Executor
+	Deriv       *deriv.Manager
 }
 
 // Open opens (or creates) a Gaea database in dir, recovering from the WAL
@@ -137,21 +164,37 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		st.Close()
 		return nil, err
 	}
-	k.Planner = &petri.Planner{Cat: k.Catalog, Mgr: k.Processes, Obj: k.Objects}
-	k.Interp = &interp.Interpolator{Cat: k.Catalog, Obj: k.Objects, Reg: k.Registry, Exec: k.Tasks}
+	// The derived-data manager wires the executor's staleness hooks and
+	// must open after the task log, before the planning/query layers.
+	if k.Deriv, err = deriv.Open(st, k.Objects, k.Tasks, deriv.Config{
+		Policy:  opts.RefreshPolicy,
+		Workers: opts.Workers,
+		Cost:    opts.Cost,
+	}); err != nil {
+		st.Close()
+		return nil, err
+	}
+	k.Planner = &petri.Planner{Cat: k.Catalog, Mgr: k.Processes, Obj: k.Objects, Stale: k.Deriv.IsStale}
+	k.Interp = &interp.Interpolator{Cat: k.Catalog, Obj: k.Objects, Reg: k.Registry, Exec: k.Tasks, Stale: k.Deriv.IsStale}
 	k.Queries = &query.Executor{
-		Cat:      k.Catalog,
-		Obj:      k.Objects,
-		Concepts: k.Concepts,
-		Planner:  k.Planner,
-		Interp:   k.Interp,
-		Exec:     k.Tasks,
+		Cat:        k.Catalog,
+		Obj:        k.Objects,
+		Concepts:   k.Concepts,
+		Planner:    k.Planner,
+		Interp:     k.Interp,
+		Exec:       k.Tasks,
+		Stale:      k.Deriv.IsStale,
+		ServeStale: k.Deriv.Policy() == ManualRefresh,
 	}
 	return k, nil
 }
 
-// Close checkpoints and closes the database.
-func (k *Kernel) Close() error { return k.Store.Close() }
+// Close stops the derived-data refresher, then checkpoints and closes the
+// database.
+func (k *Kernel) Close() error {
+	k.Deriv.Close()
+	return k.Store.Close()
+}
 
 // Dir returns the database directory.
 func (k *Kernel) Dir() string { return k.dir }
@@ -184,6 +227,42 @@ func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, erro
 	}
 	return oid, nil
 }
+
+// UpdateObject replaces the stored state of an existing object in place
+// (same OID, same class) and propagates the change: every transitive
+// dependent recorded in the derivation graph is marked stale under a
+// fresh epoch. What happens next depends on Options.RefreshPolicy —
+// stale objects are re-derived on query touch (lazy), recomputed in the
+// background (eager), or left to RefreshStale (manual) — and on the
+// cost-based rematerialisation decision, which may drop dependents that
+// are cheaper to re-derive than to keep.
+func (k *Kernel) UpdateObject(obj *object.Object) error {
+	if err := k.Objects.Update(obj); err != nil {
+		return err
+	}
+	return k.Deriv.ObjectUpdated(obj.OID)
+}
+
+// DeleteObject removes an object and propagates the deletion: its memo
+// entries are dropped (so identical instantiations re-execute) and every
+// transitive dependent is marked stale.
+func (k *Kernel) DeleteObject(oid object.OID) error {
+	if err := k.Objects.Delete(oid); err != nil {
+		return err
+	}
+	return k.Deriv.ObjectDeleted(oid)
+}
+
+// RefreshStale recomputes every stale derived object in place (ancestors
+// first, independent objects in parallel), returning how many were
+// refreshed. Stale objects that cannot be recomputed (external
+// derivations such as interpolations) are dropped and left to re-derive.
+func (k *Kernel) RefreshStale(ctx context.Context) (int, error) {
+	return k.Deriv.RefreshStale(ctx)
+}
+
+// Stale lists the OIDs currently marked stale, ascending.
+func (k *Kernel) Stale() []object.OID { return k.Deriv.Stale() }
 
 // RunProcess instantiates a primitive process over stored objects,
 // returning the recorded task; identical instantiations are memoised
@@ -251,7 +330,8 @@ func (k *Kernel) Stats() string {
 	for _, c := range classes {
 		total += k.Objects.Count(c)
 	}
-	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d",
+	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d deriv[%s policy=%s]",
 		len(classes), len(k.Processes.Names()), len(k.Concepts.Names()),
-		len(k.Experiments.Names()), total, len(k.Tasks.All()))
+		len(k.Experiments.Names()), total, len(k.Tasks.All()),
+		k.Deriv.Counters(), k.Deriv.Policy())
 }

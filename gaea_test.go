@@ -2,22 +2,30 @@ package gaea
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gaea/internal/catalog"
 	"gaea/internal/concept"
 	"gaea/internal/object"
 	"gaea/internal/raster"
 	"gaea/internal/sptemp"
+	"gaea/internal/task"
 	"gaea/internal/value"
 )
 
 // openKernel opens a kernel in a temp dir with the Figure 3 schema.
 func openKernel(t *testing.T) *Kernel {
 	t.Helper()
-	k, err := Open(t.TempDir(), Options{NoSync: true, User: "tester"})
+	return openKernelOpts(t, Options{NoSync: true, User: "tester"})
+}
+
+func openKernelOpts(t *testing.T, opts Options) *Kernel {
+	t.Helper()
+	k, err := Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,5 +276,230 @@ func TestKernelExplainQueryAndNet(t *testing.T) {
 	}
 	if !strings.Contains(n.String(), "unsupervised_classification: landsat_tm(>=3) -> landcover") {
 		t.Errorf("net = %s", n)
+	}
+}
+
+// replaceBand overwrites one stored band object with imagery from a
+// different year, through the kernel's update path.
+func replaceBand(t *testing.T, k *Kernel, oid object.OID, b raster.Band, year int) {
+	t.Helper()
+	l := raster.NewLandscape(13)
+	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 10, Cols: 10, DayOfYear: 160, Year: year, Noise: 0.05}
+	img, err := l.GenerateBand(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := k.Objects.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Attrs["data"] = value.Image{Img: img}
+	if err := k.UpdateObject(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelLazyUpdateRederivesOnQuery(t *testing.T) {
+	k := openKernel(t) // default policy: lazy
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	pred := Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+	res1, err := k.Query(context.Background(), pred)
+	if err != nil || len(res1.OIDs) != 1 {
+		t.Fatalf("initial derivation = %+v, %v", res1, err)
+	}
+	lc := res1.OIDs[0]
+	prod1, _ := k.Tasks.Producer(lc)
+
+	// Update a base band: the derived landcover goes stale.
+	replaceBand(t, k, scene[0], raster.BandRed, 1999)
+	if got := k.Stale(); len(got) != 1 || got[0] != lc {
+		t.Fatalf("stale after update = %v, want [%d]", got, lc)
+	}
+
+	// A lazy query transparently re-derives in place and returns fresh
+	// data under the same OID.
+	res2, err := k.Query(context.Background(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.OIDs) != 1 || res2.OIDs[0] != lc {
+		t.Fatalf("lazy re-derivation = %+v, want OID %d", res2, lc)
+	}
+	if res2.How[0] != Derive {
+		t.Errorf("how = %v, want derive", res2.How[0])
+	}
+	if len(k.Stale()) != 0 {
+		t.Errorf("still stale after lazy query: %v", k.Stale())
+	}
+	prod2, _ := k.Tasks.Producer(lc)
+	if prod2.ID == prod1.ID {
+		t.Error("producer task unchanged: the object was not recomputed")
+	}
+	// Subsequent queries retrieve the refreshed object directly.
+	res3, err := k.Query(context.Background(), pred)
+	if err != nil || res3.How[0] != Retrieve || res3.OIDs[0] != lc {
+		t.Errorf("follow-up query = %+v, %v", res3, err)
+	}
+	// Stats reports the deriv counters.
+	stats := k.Stats()
+	for _, want := range []string{"deriv[", "stale=0", "invalidated=1", "refreshed=1", "policy=lazy"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q: %s", want, stats)
+		}
+	}
+}
+
+func TestKernelEagerUpdateRefreshesWithoutQuery(t *testing.T) {
+	k := openKernelOpts(t, Options{NoSync: true, User: "tester", RefreshPolicy: EagerRefresh})
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	tk, _, err := k.RunProcess(context.Background(), "unsupervised_classification",
+		map[string][]object.OID{"bands": scene}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod1, _ := k.Tasks.Producer(tk.Output)
+
+	replaceBand(t, k, scene[1], raster.BandNIR, 1999)
+
+	// No query: the background refresher recomputes on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(k.Stale()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("eager refresher did not run: stale=%v", k.Stale())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	prod2, _ := k.Tasks.Producer(tk.Output)
+	if prod2.ID == prod1.ID {
+		t.Error("output was not recomputed by the eager refresher")
+	}
+	if !strings.Contains(k.Stats(), "policy=eager") {
+		t.Errorf("stats = %s", k.Stats())
+	}
+}
+
+func TestKernelManualPolicyFlagsStale(t *testing.T) {
+	k := openKernelOpts(t, Options{NoSync: true, User: "tester", RefreshPolicy: ManualRefresh})
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	pred := Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+	res1, err := k.Query(context.Background(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := res1.OIDs[0]
+
+	replaceBand(t, k, scene[2], raster.BandSWIR, 1999)
+
+	// Manual: the stale object is served, flagged, until RefreshStale.
+	res2, err := k.Query(context.Background(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.OIDs) != 1 || res2.OIDs[0] != lc || res2.How[0] != Retrieve {
+		t.Fatalf("manual query = %+v", res2)
+	}
+	if len(res2.Stale) != 1 || !res2.Stale[0] {
+		t.Fatalf("stale flag = %v, want [true]", res2.Stale)
+	}
+	n, err := k.RefreshStale(context.Background())
+	if err != nil || n != 1 {
+		t.Fatalf("RefreshStale = %d, %v", n, err)
+	}
+	res3, err := k.Query(context.Background(), pred)
+	if err != nil || res3.Stale != nil || len(k.Stale()) != 0 {
+		t.Fatalf("after refresh: res=%+v stale=%v err=%v", res3, k.Stale(), err)
+	}
+}
+
+func TestKernelReproduceAfterInputUpdate(t *testing.T) {
+	k := openKernel(t)
+	// A second derivation level over landcover, so a task can have a
+	// *derived* (and thus stale-able) input.
+	if err := k.DefineClass(&catalog.Class{
+		Name: "landcover_smooth", Kind: catalog.KindDerived, DerivedBy: "smooth",
+		Attrs: []catalog.Attr{
+			{Name: "numclass", Type: value.TypeInt},
+			{Name: "data", Type: value.TypeImage},
+		},
+		Frame: sptemp.DefaultFrame, HasSpatial: true, HasTemporal: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.DefineProcess(`
+DEFINE PROCESS smooth (
+  OUTPUT o landcover_smooth
+  ARGUMENT ( x landcover )
+  TEMPLATE {
+    MAPPINGS:
+      o.data = scale_offset ( x.data, 1, 0 );
+      o.numclass = x.numclass;
+      o.spatialextent = x.spatialextent;
+      o.timestamp = x.timestamp;
+  }
+)`); err != nil {
+		t.Fatal(err)
+	}
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	classify, _, err := k.RunProcess(context.Background(), "unsupervised_classification",
+		map[string][]object.OID{"bands": scene}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, _, err := k.RunProcess(context.Background(), "smooth",
+		map[string][]object.OID{"x": {classify.Output}}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: both reproduce exactly while everything is fresh.
+	if _, same, err := k.Reproduce(context.Background(), classify.ID); err != nil || !same {
+		t.Fatalf("fresh reproduce classify = %v, %v", same, err)
+	}
+	if _, same, err := k.Reproduce(context.Background(), smooth.ID); err != nil || !same {
+		t.Fatalf("fresh reproduce smooth = %v, %v", same, err)
+	}
+
+	// Update a base band. The classification's inputs are base data —
+	// the update is the new truth, so reproduction runs but reports a
+	// mismatch against the recorded output.
+	replaceBand(t, k, scene[0], raster.BandRed, 1999)
+	if _, same, err := k.Reproduce(context.Background(), classify.ID); err != nil {
+		t.Fatalf("reproduce after base update: %v", err)
+	} else if same {
+		t.Error("reproduction over updated base data reported an exact match")
+	}
+
+	// The smooth task's input (the landcover) is stale: reproduction
+	// must refuse rather than silently reproduce over stale state.
+	if !k.Deriv.IsStale(classify.Output) {
+		t.Fatal("landcover should be stale after the base update")
+	}
+	if _, _, err := k.Reproduce(context.Background(), smooth.ID); !errors.Is(err, task.ErrStaleInput) {
+		t.Fatalf("reproduce with stale input = %v, want ErrStaleInput", err)
+	}
+	// After refreshing, reproduction works again.
+	if _, err := k.RefreshStale(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := k.Reproduce(context.Background(), smooth.ID); err != nil {
+		t.Fatalf("reproduce after RefreshStale: %v", err)
+	}
+}
+
+func TestKernelDeleteObjectInvalidates(t *testing.T) {
+	k := openKernel(t)
+	scene := loadScene(t, k, sptemp.Date(1986, 1, 15), 1986)
+	tk, _, err := k.RunProcess(context.Background(), "unsupervised_classification",
+		map[string][]object.OID{"bands": scene}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DeleteObject(scene[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Deriv.IsStale(tk.Output) {
+		t.Error("dependent should be stale after input deletion")
+	}
+	if k.Objects.Exists(scene[0]) {
+		t.Error("object still exists after DeleteObject")
 	}
 }

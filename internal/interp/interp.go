@@ -41,8 +41,17 @@ type Interpolator struct {
 	Obj  *object.Store
 	Reg  *adt.Registry
 	Exec *task.Executor
+	// Stale reports whether an object is marked stale by the derived-data
+	// manager (nil: nothing is ever stale). Stale observations are
+	// excluded from bracketing and neighbour selection — interpolating
+	// over outdated data would launder it into fresh-looking objects.
+	Stale func(object.OID) bool
 
 	flights sflight.Group[object.OID]
+}
+
+func (ip *Interpolator) isStale(oid object.OID) bool {
+	return ip.Stale != nil && ip.Stale(oid)
 }
 
 // Temporal derives an object of the class at the requested instant by
@@ -121,6 +130,9 @@ func (ip *Interpolator) bracket(oids []object.OID, at sptemp.AbsTime) (before, a
 	}
 	var all []obs
 	for _, oid := range oids {
+		if ip.isStale(oid) {
+			continue
+		}
 		o, err := ip.Obj.Get(oid)
 		if err != nil || !o.Extent.HasTime {
 			continue
@@ -204,6 +216,9 @@ func (ip *Interpolator) spatial(ctx context.Context, class string, target sptemp
 	}
 	var ns []neigh
 	for _, oid := range oids {
+		if ip.isStale(oid) {
+			continue
+		}
 		o, err := ip.Obj.Get(oid)
 		if err != nil {
 			continue

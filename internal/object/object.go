@@ -79,7 +79,10 @@ type ridRef struct {
 func heapFor(class string) string { return "obj_" + class }
 
 // Open loads the object store, rebuilding in-memory indexes by scanning
-// each class heap.
+// each class heap. A crash between Update's new-record insert and its
+// old-record delete leaves two records for one OID; the per-record
+// revision stamp picks the newer one and the loser is removed here
+// (self-healing), so an acknowledged update can never silently revert.
 func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 	s := &Store{
 		st:         st,
@@ -90,18 +93,34 @@ func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 		members:    make(map[string][]OID),
 		blobsByOID: make(map[OID][]storage.BlobID),
 	}
+	type rec struct {
+		obj   *Object
+		blobs []storage.BlobID
+		rev   uint64
+		rid   storage.RID
+	}
 	for _, class := range cat.Names() {
 		heap := heapFor(class)
+		best := make(map[OID]rec)
+		var losers []rec
 		var scanErr error
-		err := st.Scan(heap, func(rid storage.RID, rec []byte) bool {
-			obj, blobIDs, err := decodeObject(rec)
+		err := st.Scan(heap, func(rid storage.RID, raw []byte) bool {
+			obj, blobIDs, rev, err := decodeObject(raw)
 			if err != nil {
 				scanErr = fmt.Errorf("object: corrupt record %s in %s: %w", rid, heap, err)
 				return false
 			}
-			s.rids[obj.OID] = ridRef{heap: heap, rid: rid}
-			s.indexLocked(class, obj)
-			s.blobsByOID[obj.OID] = blobIDs
+			cur := rec{obj: obj, blobs: blobIDs, rev: rev, rid: rid}
+			if prev, dup := best[obj.OID]; dup {
+				if cur.rev > prev.rev {
+					best[obj.OID] = cur
+					losers = append(losers, prev)
+				} else {
+					losers = append(losers, cur)
+				}
+				return true
+			}
+			best[obj.OID] = cur
 			return true
 		})
 		if err != nil {
@@ -109,6 +128,21 @@ func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 		}
 		if scanErr != nil {
 			return nil, scanErr
+		}
+		for _, r := range best {
+			s.rids[r.obj.OID] = ridRef{heap: heap, rid: r.rid}
+			s.indexLocked(class, r.obj)
+			s.blobsByOID[r.obj.OID] = r.blobs
+		}
+		for _, r := range losers {
+			if err := st.Delete(heap, r.rid); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				return nil, err
+			}
+			for _, b := range r.blobs {
+				if err := st.Blobs().Delete(b); err != nil && !errors.Is(err, storage.ErrBlobNotFound) {
+					return nil, err
+				}
+			}
 		}
 	}
 	return s, nil
@@ -230,6 +264,117 @@ func (s *Store) validate(cls *catalog.Class, obj *Object) error {
 	return nil
 }
 
+// Update replaces the stored state of an existing object in place,
+// keeping its OID and class. The new state is validated against the class
+// schema, persisted (new record + new blobs, then the old record and blobs
+// are removed), and the extent indexes are refreshed. Update does not
+// touch derivation metadata — the kernel's UpdateObject wraps it with
+// staleness propagation through the derived-data manager.
+func (s *Store) Update(obj *Object) error {
+	if obj.OID == 0 {
+		return fmt.Errorf("%w: update needs an OID", ErrBadAttr)
+	}
+	cls, err := s.cat.Class(obj.Class)
+	if err != nil {
+		return err
+	}
+	if err := s.validate(cls, obj); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	ref, ok := s.rids[obj.OID]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: oid %d", ErrNotFound, obj.OID)
+	}
+	if ref.heap != heapFor(obj.Class) {
+		return fmt.Errorf("%w: object %d is of class %s, not %s",
+			ErrBadAttr, obj.OID, ref.heap[len("obj_"):], obj.Class)
+	}
+	rec, newBlobs, err := s.encodeObject(obj)
+	if err != nil {
+		return err
+	}
+	rid, err := s.st.Insert(ref.heap, rec)
+	if err != nil {
+		for _, b := range newBlobs {
+			s.st.Blobs().Delete(b)
+		}
+		return err
+	}
+	s.mu.Lock()
+	cur, ok := s.rids[obj.OID]
+	if !ok || cur != ref {
+		// Lost a race with a concurrent Update/Delete of the same OID;
+		// undo our new record and report the conflict.
+		s.mu.Unlock()
+		s.st.Delete(ref.heap, rid)
+		for _, b := range newBlobs {
+			s.st.Blobs().Delete(b)
+		}
+		return fmt.Errorf("%w: oid %d changed concurrently", ErrNotFound, obj.OID)
+	}
+	oldBlobs := s.blobsByOID[obj.OID]
+	s.rids[obj.OID] = ridRef{heap: ref.heap, rid: rid}
+	s.blobsByOID[obj.OID] = newBlobs
+	// Refresh the extent indexes: the grid/interval indexes replace on
+	// re-insert, but a dropped temporal extent must be removed explicitly.
+	if ti := s.temporal[obj.Class]; ti != nil && !obj.Extent.HasTime {
+		ti.Delete(uint64(obj.OID))
+	}
+	s.indexLocked(obj.Class, obj)
+	s.mu.Unlock()
+
+	// The update is committed: the new record is durable and indexed.
+	// Removing the superseded record and blobs is best-effort cleanup —
+	// reporting a failure here would make callers believe the update did
+	// not happen. A leftover old record is resolved by the revision
+	// stamp on the next open.
+	_ = s.st.Delete(ref.heap, ref.rid)
+	for _, b := range oldBlobs {
+		_ = s.st.Blobs().Delete(b)
+	}
+	return nil
+}
+
+// Exists reports whether an OID currently resolves to a stored object.
+func (s *Store) Exists(oid OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.rids[oid]
+	return ok
+}
+
+// RecordSize returns the stored footprint of an object in bytes: its heap
+// record plus any offloaded blobs. The derived-data manager weighs this
+// against recorded recomputation cost when deciding whether to keep or
+// drop an invalidated derived object.
+func (s *Store) RecordSize(oid OID) (int64, error) {
+	s.mu.RLock()
+	ref, ok := s.rids[oid]
+	blobIDs := append([]storage.BlobID(nil), s.blobsByOID[oid]...)
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
+	}
+	rec, err := s.st.Get(ref.heap, ref.rid)
+	if err != nil {
+		return 0, err
+	}
+	total := int64(len(rec))
+	for _, b := range blobIDs {
+		n, err := s.st.Blobs().Size(b)
+		if err != nil {
+			if errors.Is(err, storage.ErrBlobNotFound) {
+				continue
+			}
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
 // Get loads an object by OID, materialising blob-stored images.
 func (s *Store) Get(oid OID) (*Object, error) {
 	s.mu.RLock()
@@ -242,7 +387,7 @@ func (s *Store) Get(oid OID) (*Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj, _, err := decodeObject(rec)
+	obj, _, _, err := decodeObject(rec)
 	if err != nil {
 		return nil, err
 	}
@@ -378,18 +523,31 @@ func (r blobRef) String() string { return fmt.Sprintf("(image blob %d)", r.id) }
 
 // Object record layout (little endian):
 //
-//	magic "GOBJ", oid u64, classLen u16, class,
+//	magic "GOB2", oid u64, rev u64, classLen u16, class,
 //	extent: frameSysLen u16 + sys, frameUnitLen u16 + unit,
 //	        4 x f64 box, hasTime u8, 2 x i64 interval,
 //	nattrs u16, then per attribute:
 //	        nameLen u16, name, kind u8 (0 inline, 1 blob),
 //	        inline: valLen u32 + value.Encode bytes
 //	        blob:   blobID u64
-const objMagic = "GOBJ"
+//
+// rev is a store-wide monotonic revision stamp: when a crashed Update
+// leaves two records for one OID, reopen keeps the higher revision.
+// Records with the legacy "GOBJ" magic (written before in-place updates
+// existed) carry no rev field and decode as rev 0.
+const (
+	objMagic       = "GOB2"
+	objMagicLegacy = "GOBJ"
+)
 
 func (s *Store) encodeObject(obj *Object) ([]byte, []storage.BlobID, error) {
+	rev, err := s.st.NextID("objrev")
+	if err != nil {
+		return nil, nil, err
+	}
 	buf := []byte(objMagic)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.OID))
+	buf = binary.LittleEndian.AppendUint64(buf, rev)
 	buf = appendStr16(buf, obj.Class)
 	buf = appendStr16(buf, string(obj.Extent.Frame.System))
 	buf = appendStr16(buf, string(obj.Extent.Frame.Unit))
@@ -438,13 +596,18 @@ func (s *Store) encodeObject(obj *Object) ([]byte, []storage.BlobID, error) {
 	return buf, blobIDs, nil
 }
 
-func decodeObject(rec []byte) (*Object, []storage.BlobID, error) {
+func decodeObject(rec []byte) (*Object, []storage.BlobID, uint64, error) {
 	r := &reader{buf: rec}
-	if string(r.bytes(4)) != objMagic {
-		return nil, nil, fmt.Errorf("bad object magic")
+	magic := string(r.bytes(4))
+	if magic != objMagic && magic != objMagicLegacy {
+		return nil, nil, 0, fmt.Errorf("bad object magic")
 	}
 	obj := &Object{Attrs: make(map[string]value.Value)}
 	obj.OID = OID(r.u64())
+	var rev uint64
+	if magic == objMagic {
+		rev = r.u64()
+	}
 	obj.Class = r.str16()
 	obj.Extent.Frame.System = sptemp.RefSystem(r.str16())
 	obj.Extent.Frame.Unit = sptemp.RefUnit(r.str16())
@@ -465,28 +628,32 @@ func decodeObject(rec []byte) (*Object, []storage.BlobID, error) {
 		vn := int(r.u32())
 		enc := r.bytes(vn)
 		if r.err != nil {
-			return nil, nil, r.err
+			return nil, nil, 0, r.err
 		}
 		v, err := value.Decode(enc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("attribute %q: %w", name, err)
+			return nil, nil, 0, fmt.Errorf("attribute %q: %w", name, err)
 		}
 		obj.Attrs[name] = v
 	}
 	if r.err != nil {
-		return nil, nil, r.err
+		return nil, nil, 0, r.err
 	}
-	return obj, blobIDs, nil
+	return obj, blobIDs, rev, nil
 }
 
 // decodeExtentOnly reads just the extent header, skipping attribute decode
 // for fast predicate checks.
 func decodeExtentOnly(rec []byte) (sptemp.Extent, error) {
 	r := &reader{buf: rec}
-	if string(r.bytes(4)) != objMagic {
+	magic := string(r.bytes(4))
+	if magic != objMagic && magic != objMagicLegacy {
 		return sptemp.Extent{}, fmt.Errorf("bad object magic")
 	}
-	r.u64()
+	r.u64() // oid
+	if magic == objMagic {
+		r.u64() // rev
+	}
 	r.str16()
 	var e sptemp.Extent
 	e.Frame.System = sptemp.RefSystem(r.str16())

@@ -1,6 +1,7 @@
 package object
 
 import (
+	"encoding/binary"
 	"errors"
 	"reflect"
 	"testing"
@@ -360,5 +361,326 @@ func TestMultipleImageAttributes(t *testing.T) {
 	}
 	if vb, _ := b.At(1, 1); vb != 2 {
 		t.Error("image b content wrong")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	f := newFixture(t)
+	day := sptemp.Date(1986, 6, 1)
+	oid, err := f.obj.Insert(sceneObject("red", 0, day))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace the payload and move the extent.
+	img := raster.MustNew(4, 4, raster.PixFloat4)
+	img.Set(0, 0, 0.9)
+	day2 := sptemp.Date(1989, 6, 1)
+	upd := &Object{
+		OID:   oid,
+		Class: "landsat_tm",
+		Attrs: map[string]value.Value{
+			"band": value.String_("nir"),
+			"data": value.Image{Img: img},
+		},
+		Extent: sptemp.AtInstant(sptemp.DefaultFrame, sptemp.NewBox(500, 0, 600, 100), day2),
+	}
+	if err := f.obj.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.obj.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OID != oid {
+		t.Errorf("OID changed: %d", got.OID)
+	}
+	if got.Attrs["band"].(value.String_) != "nir" {
+		t.Errorf("band = %v", got.Attrs["band"])
+	}
+	v, _ := got.Attrs["data"].(value.Image).Img.At(0, 0)
+	if v < 0.89 || v > 0.91 {
+		t.Errorf("updated pixel = %v", v)
+	}
+
+	// The extent indexes answer for the new extent only.
+	hits, err := f.obj.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(500, 0, 600, 100)))
+	if err != nil || len(hits) != 1 || hits[0] != oid {
+		t.Errorf("query new extent = %v, %v", hits, err)
+	}
+	hits, err = f.obj.Query("landsat_tm", sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 100, 100)))
+	if err != nil || len(hits) != 0 {
+		t.Errorf("query old extent = %v, %v", hits, err)
+	}
+
+	// One object, one live record, and the old blob is gone.
+	if n := f.obj.Count("landsat_tm"); n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	_, records := f.st.HeapStats("obj_landsat_tm")
+	if records != 1 {
+		t.Errorf("heap records = %d, want 1", records)
+	}
+	ids, err := f.st.Blobs().IDs()
+	if err != nil || len(ids) != 1 {
+		t.Errorf("blobs after update = %v, %v", ids, err)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	f := newFixture(t)
+	day := sptemp.Date(1986, 6, 1)
+	oid, err := f.obj.Insert(sceneObject("red", 0, day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown OID.
+	missing := sceneObject("red", 0, day)
+	missing.OID = oid + 999
+	if err := f.obj.Update(missing); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update unknown oid = %v", err)
+	}
+	// No OID at all.
+	if err := f.obj.Update(sceneObject("red", 0, day)); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("update without oid = %v", err)
+	}
+	// Class change is refused.
+	if _, err := f.obj.Insert(&Object{
+		Class:  "region_stats",
+		Attrs:  map[string]value.Value{"name": value.String_("x"), "mean_rain": value.Float(1)},
+		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wrong := sceneObject("red", 0, day)
+	wrong.OID = oid
+	wrong.Class = "region_stats"
+	wrong.Attrs = map[string]value.Value{"name": value.String_("x"), "mean_rain": value.Float(1)}
+	wrong.Extent = sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1))
+	if err := f.obj.Update(wrong); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("update with class change = %v", err)
+	}
+	// Schema violations are refused before anything is written.
+	bad := sceneObject("red", 0, day)
+	bad.OID = oid
+	delete(bad.Attrs, "band")
+	if err := f.obj.Update(bad); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("update missing attr = %v", err)
+	}
+}
+
+func TestUpdatePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestClasses(t, cat)
+	obj, err := Open(st, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := sptemp.Date(1986, 6, 1)
+	oid, err := obj.Insert(sceneObject("red", 0, day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := sceneObject("swir", 0, day)
+	upd.OID = oid
+	if err := obj.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	cat2, err := catalog.Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := Open(st2, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs["band"].(value.String_) != "swir" {
+		t.Errorf("band after reopen = %v", got.Attrs["band"])
+	}
+	if n := obj2.Count("landsat_tm"); n != 1 {
+		t.Errorf("count after reopen = %d", n)
+	}
+}
+
+func TestExistsAndRecordSize(t *testing.T) {
+	f := newFixture(t)
+	day := sptemp.Date(1986, 6, 1)
+	oid, err := f.obj.Insert(sceneObject("red", 0, day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.obj.Exists(oid) {
+		t.Error("Exists(live) = false")
+	}
+	if f.obj.Exists(oid + 999) {
+		t.Error("Exists(missing) = true")
+	}
+	n, err := f.obj.RecordSize(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x4 float image blob alone is 4*4*4+ bytes; the record adds more.
+	if n < 64 {
+		t.Errorf("record size = %d, implausibly small", n)
+	}
+	if err := f.obj.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if f.obj.Exists(oid) {
+		t.Error("Exists(deleted) = true")
+	}
+	if _, err := f.obj.RecordSize(oid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("RecordSize(deleted) = %v", err)
+	}
+}
+
+// TestReopenHealsInterruptedUpdate simulates a crash between Update's
+// new-record insert and its old-record delete: two records for one OID.
+// Reopen must keep the newer revision and remove the leftover.
+func TestReopenHealsInterruptedUpdate(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestClasses(t, cat)
+	obj, err := Open(st, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := sptemp.Date(1986, 6, 1)
+	oid, err := obj.Insert(sceneObject("red", 0, day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-insert a newer record for the same OID, as an interrupted
+	// Update would leave behind.
+	newer := sceneObject("nir", 0, day)
+	newer.OID = oid
+	rec, _, err := obj.encodeObject(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert(heapFor("landsat_tm"), rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	cat2, err := catalog.Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := Open(st2, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs["band"].(value.String_) != "nir" {
+		t.Errorf("band after heal = %v, want the newer revision", got.Attrs["band"])
+	}
+	if n := obj2.Count("landsat_tm"); n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	_, records := st2.HeapStats(heapFor("landsat_tm"))
+	if records != 1 {
+		t.Errorf("heap records after heal = %d, want 1", records)
+	}
+}
+
+// TestLegacyRecordDecode: records written before the revision stamp
+// (magic "GOBJ", no rev field) must still open and read correctly.
+func TestLegacyRecordDecode(t *testing.T) {
+	f := newFixture(t)
+	// Hand-encode a legacy record for a region_stats object (no blobs).
+	var buf []byte
+	buf = append(buf, "GOBJ"...)
+	oid := OID(4242)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(oid))
+	buf = appendStr16(buf, "region_stats")
+	buf = appendStr16(buf, string(sptemp.DefaultFrame.System))
+	buf = appendStr16(buf, string(sptemp.DefaultFrame.Unit))
+	for _, v := range []float64{0, 0, 10, 10} {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
+	}
+	buf = append(buf, 0)                           // no temporal extent
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // interval start
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // interval end
+	buf = binary.LittleEndian.AppendUint16(buf, 2) // two attrs, sorted
+	for _, a := range []struct {
+		name string
+		val  value.Value
+	}{{"mean_rain", value.Float(250)}, {"name", value.String_("west")}} {
+		buf = appendStr16(buf, a.name)
+		enc, err := value.Encode(a.val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+
+	obj, blobs, rev, err := decodeObject(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.OID != oid || obj.Class != "region_stats" || rev != 0 || len(blobs) != 0 {
+		t.Errorf("legacy decode = %+v rev=%d blobs=%v", obj, rev, blobs)
+	}
+	if obj.Attrs["mean_rain"].(value.Float) != 250 || obj.Attrs["name"].(value.String_) != "west" {
+		t.Errorf("legacy attrs = %v", obj.Attrs)
+	}
+	ext, err := decodeExtentOnly(buf)
+	if err != nil || ext.Space.MaxX != 10 || ext.HasTime {
+		t.Errorf("legacy extent = %+v, %v", ext, err)
+	}
+
+	// A legacy record in a heap coexists with new-format records across
+	// an open: insert it directly and rebuild the store.
+	if _, err := f.st.Insert(heapFor("region_stats"), buf); err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := Open(f.st, f.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.Get(oid)
+	if err != nil || got.Attrs["name"].(value.String_) != "west" {
+		t.Errorf("legacy via store = %+v, %v", got, err)
 	}
 }

@@ -101,6 +101,27 @@ type Planner struct {
 	Obj *object.Store
 	// MaxDepth bounds the recursion (default 8).
 	MaxDepth int
+	// Stale reports whether an object is marked stale by the derived-data
+	// manager (nil: nothing is ever stale). Stale objects disqualify plan
+	// reuse: they neither satisfy a target directly nor bind as inputs,
+	// so plans are built over fresh data only.
+	Stale func(object.OID) bool
+}
+
+// liveQuery retrieves the stored objects of a class matching pred,
+// excluding stale ones.
+func (pl *Planner) liveQuery(class string, pred sptemp.Extent) ([]object.OID, error) {
+	oids, err := pl.Obj.Query(class, pred)
+	if err != nil || pl.Stale == nil {
+		return oids, err
+	}
+	live := oids[:0:0]
+	for _, oid := range oids {
+		if !pl.Stale(oid) {
+			live = append(live, oid)
+		}
+	}
+	return live, nil
 }
 
 // BuildNet constructs the abstract derivation net from the current schema:
@@ -192,7 +213,7 @@ func (pl *Planner) Plan(ctx context.Context, target string, pred sptemp.Extent) 
 	}
 	st := &search{ctx: ctx, maxDepth: maxDepth}
 	p := &Plan{Target: target}
-	existing, err := pl.Obj.Query(target, pred)
+	existing, err := pl.liveQuery(target, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +241,7 @@ func (pl *Planner) satisfyOne(st *search, cls string, pred sptemp.Extent, onPath
 	}
 	// Direct retrieval first (§2.1.5 step 1), preferring an unclaimed
 	// stored object.
-	stored, err := pl.Obj.Query(cls, pred)
+	stored, err := pl.liveQuery(cls, pred)
 	if err != nil {
 		return InputRef{}, err
 	}
@@ -294,7 +315,7 @@ func (pl *Planner) satisfyProcess(st *search, pr *process.Process, pred sptemp.E
 // common() tolerance), preferring an unclaimed group. When stored objects
 // are insufficient it derives the shortfall.
 func (pl *Planner) gatherSet(st *search, spec process.ArgSpec, pred sptemp.Extent, onPath map[string]bool, depth int, plan *Plan, excl *exclusions) ([]InputRef, error) {
-	stored, err := pl.Obj.Query(spec.Class, pred)
+	stored, err := pl.liveQuery(spec.Class, pred)
 	if err != nil {
 		return nil, err
 	}

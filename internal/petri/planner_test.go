@@ -298,3 +298,51 @@ func TestPlanSpatialPredicate(t *testing.T) {
 		t.Errorf("plan = %s", plan)
 	}
 }
+
+// TestPlanSkipsStaleObjects: stale inputs disqualify plan reuse — a stale
+// target is re-derived from fresh base data, and stale base objects never
+// bind as plan inputs.
+func TestPlanSkipsStaleObjects(t *testing.T) {
+	w := newWorld(t)
+	scene := w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
+	pl := w.planner()
+
+	// Materialise a landcover so retrieval would normally satisfy the
+	// target directly.
+	plan, err := pl.Plan(context.Background(), "landcover", anyPred())
+	if err != nil || len(plan.Steps) != 1 {
+		t.Fatalf("seed plan = %+v, %v", plan, err)
+	}
+	img := raster.MustNew(4, 4, raster.PixFloat4)
+	lc, err := w.obj.Insert(&object.Object{
+		Class:  "landcover",
+		Attrs:  map[string]value.Value{"data": value.Image{Img: img}},
+		Extent: sptemp.AtInstant(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 240, 240), sptemp.Date(1986, 1, 15)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = pl.Plan(context.Background(), "landcover", anyPred())
+	if err != nil || len(plan.Existing) != 1 || plan.Existing[0] != lc {
+		t.Fatalf("plan with stored landcover = %+v, %v", plan, err)
+	}
+
+	// Mark the landcover stale: the planner must re-derive instead of
+	// retrieving it.
+	stale := map[object.OID]bool{lc: true}
+	pl.Stale = func(oid object.OID) bool { return stale[oid] }
+	plan, err = pl.Plan(context.Background(), "landcover", anyPred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Existing) != 0 || len(plan.Steps) != 1 {
+		t.Fatalf("plan over stale target = %+v", plan)
+	}
+
+	// Mark a base band stale too: it must not bind as an input, and with
+	// only two fresh bands the classify guard (card = 3) cannot be met.
+	stale[scene[0]] = true
+	if _, err := pl.Plan(context.Background(), "landcover", anyPred()); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("plan with stale base = %v, want ErrNoPlan", err)
+	}
+}

@@ -62,6 +62,10 @@ type Result struct {
 	OIDs []object.OID
 	// How records the strategy that produced each OID (parallel slice).
 	How []Strategy
+	// Stale flags returned OIDs that are marked stale (parallel to OIDs;
+	// nil when none are). Only the Manual refresh policy serves stale
+	// data — the others skip it and re-derive.
+	Stale []bool
 	// TasksRun lists derivation tasks executed (empty for pure retrieval).
 	TasksRun []task.ID
 	// PlanText is the executed derivation plan, when derivation ran.
@@ -82,6 +86,19 @@ type Executor struct {
 	Planner  *petri.Planner
 	Interp   *interp.Interpolator
 	Exec     *task.Executor
+	// Stale reports whether an object is marked stale by the derived-data
+	// manager (nil: nothing is ever stale).
+	Stale func(object.OID) bool
+	// ServeStale returns stale objects from retrieval, flagged in
+	// Result.Stale, instead of skipping them (the Manual refresh policy:
+	// the caller decides when to refresh). When false, stale objects are
+	// invisible to retrieval and the query falls through to
+	// interpolation/derivation, which re-derives fresh data.
+	ServeStale bool
+}
+
+func (qe *Executor) isStale(oid object.OID) bool {
+	return qe.Stale != nil && qe.Stale(oid)
 }
 
 // Run answers a request. The executor is stateless per call and safe for
@@ -101,20 +118,35 @@ func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
 	}
 	res := &Result{}
 
-	// Step 1: direct retrieval across all member classes.
+	// Step 1: direct retrieval across all member classes. Stale objects
+	// are skipped (so the fallback chain re-derives them) unless
+	// ServeStale returns them flagged.
+	servedStale := false
 	for _, cls := range classes {
 		oids, err := qe.Obj.Query(cls, req.Pred)
 		if err != nil {
 			return nil, err
 		}
 		for _, oid := range oids {
+			stale := qe.isStale(oid)
+			if stale && !qe.ServeStale {
+				continue
+			}
+			if stale {
+				servedStale = true
+			}
 			res.OIDs = append(res.OIDs, oid)
 			res.How = append(res.How, Retrieve)
+			res.Stale = append(res.Stale, stale)
 		}
 	}
 	if len(res.OIDs) > 0 {
+		if !servedStale {
+			res.Stale = nil
+		}
 		return res, nil
 	}
+	res.Stale = nil
 
 	// Fallback steps in the requested order, first success wins.
 	var lastErr error
@@ -320,8 +352,23 @@ func (qe *Executor) Explain(ctx context.Context, req Request) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		total += len(oids)
-		out += fmt.Sprintf("  %s: %d stored objects match\n", cls, len(oids))
+		live, stale := 0, 0
+		for _, oid := range oids {
+			if qe.isStale(oid) {
+				stale++
+			} else {
+				live++
+			}
+		}
+		if qe.ServeStale {
+			live += stale
+		}
+		total += live
+		if stale > 0 {
+			out += fmt.Sprintf("  %s: %d stored objects match (%d stale)\n", cls, len(oids), stale)
+		} else {
+			out += fmt.Sprintf("  %s: %d stored objects match\n", cls, len(oids))
+		}
 	}
 	if total > 0 {
 		out += "  -> satisfied by retrieval\n"

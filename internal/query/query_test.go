@@ -324,3 +324,57 @@ func TestQueryMemoisedDerivation(t *testing.T) {
 		t.Errorf("re-derivation = %+v", res2)
 	}
 }
+
+// TestQueryStaleRetrieve: the staleness-aware Retrieve step skips stale
+// objects (falling through to derivation) unless ServeStale flags them.
+func TestQueryStaleRetrieve(t *testing.T) {
+	w := newWorld(t)
+	w.insertScene(t, 3, sptemp.Date(1986, 1, 15), 1986)
+	res1, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
+	if err != nil || len(res1.OIDs) != 1 {
+		t.Fatalf("seed derivation = %+v, %v", res1, err)
+	}
+	lc := res1.OIDs[0]
+
+	stale := map[object.OID]bool{lc: true}
+	isStale := func(oid object.OID) bool { return stale[oid] }
+	w.qe.Stale = isStale
+	w.qe.Planner.Stale = isStale
+	w.qe.Interp.Stale = isStale
+	// Without a refresh hook the executor forgets the stale memo entry
+	// and derives a brand-new object (the kernel wires in-place refresh).
+	w.exec.Stale = isStale
+
+	// Skip mode (lazy/eager): retrieval ignores the stale object and the
+	// fallback chain derives a fresh one.
+	res2, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.OIDs) != 1 || res2.How[0] != Derive {
+		t.Fatalf("query over stale object = %+v", res2)
+	}
+	if res2.OIDs[0] == lc {
+		t.Error("stale object served from retrieval")
+	}
+
+	// Serve mode (manual): the stale object comes back flagged.
+	stale[res2.OIDs[0]] = true
+	w.qe.ServeStale = true
+	res3, err := w.qe.Run(context.Background(), Request{Class: "landcover", Pred: anyPred()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.OIDs) != 2 || len(res3.Stale) != 2 || !res3.Stale[0] || !res3.Stale[1] {
+		t.Fatalf("serve-stale query = %+v", res3)
+	}
+	if res3.How[0] != Retrieve {
+		t.Errorf("how = %v", res3.How)
+	}
+
+	// Explain reports the stale count.
+	text, err := w.qe.Explain(context.Background(), Request{Class: "landcover", Pred: anyPred()})
+	if err != nil || !strings.Contains(text, "(2 stale)") {
+		t.Errorf("explain = %q, %v", text, err)
+	}
+}

@@ -109,6 +109,24 @@ func (b *BlobStore) Delete(id BlobID) error {
 	return err
 }
 
+// Size returns the stored payload size of a blob in bytes (excluding the
+// checksum footer). The derived-data manager uses it to weigh storage cost
+// against recomputation cost.
+func (b *BlobStore) Size(id BlobID) (int64, error) {
+	fi, err := os.Stat(b.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %d", ErrBlobNotFound, id)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := fi.Size() - 8
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
 // IDs lists all stored blob ids, ascending.
 func (b *BlobStore) IDs() ([]BlobID, error) {
 	entries, err := os.ReadDir(b.dir)

@@ -33,6 +33,7 @@ import (
 	"gaea/internal/object"
 	"gaea/internal/process"
 	"gaea/internal/sflight"
+	"gaea/internal/sptemp"
 	"gaea/internal/storage"
 	"gaea/internal/value"
 )
@@ -44,6 +45,10 @@ type ID uint64
 var (
 	ErrTaskNotFound = errors.New("task: not found")
 	ErrExec         = errors.New("task: execution failed")
+	// ErrStaleInput is returned by Reproduce when a recorded input object
+	// is marked stale: re-running the task would not reproduce the
+	// recorded input state, so the mismatch is reported up front.
+	ErrStaleInput = errors.New("task: input is stale")
 )
 
 // Task is one recorded derivation.
@@ -91,6 +96,20 @@ type Executor struct {
 	// RunOptions carry no Parallelism override (0 = GOMAXPROCS). Set it
 	// before issuing concurrent runs.
 	Workers int
+
+	// Hooks wired by the derived-data manager at open time, before any
+	// concurrent use. All may be nil.
+	//
+	// OnRecord is called (without executor locks held) after every task is
+	// recorded, so the dependency graph can grow with fresh lineage.
+	OnRecord func(*Task)
+	// Stale reports whether an output object is marked stale; a memoised
+	// task whose output is stale is refreshed (or re-executed) instead of
+	// being served as-is.
+	Stale func(object.OID) bool
+	// Refresh brings a stale output object up to date in place (ancestors
+	// first). It is invoked on memo hits whose output is stale.
+	Refresh func(context.Context, object.OID) error
 
 	mu  sync.RWMutex
 	st  *storage.Store
@@ -206,15 +225,38 @@ func (e *Executor) runVersion(ctx context.Context, pr *process.Process, inputs m
 	}
 	key := memoKey(pr.Name, pr.Version, inputs)
 	// Fast path: memo hits are answered under the shared lock so
-	// concurrent memoised lookups proceed in parallel.
-	if t, ok := e.memoised(key); ok {
+	// concurrent memoised lookups proceed in parallel. A hit only counts
+	// when its output object still resolves and is not stale.
+	if t, ok := e.memoised(key); ok && e.outputLive(t) {
 		return t, true, nil
 	}
 	v, joined, err := e.flights.Do(ctx, key, func() (flightVal, error) {
 		// Re-check as leader: a previous leader may have published the
 		// memo between our fast-path miss and the flight election.
 		if t, ok := e.memoised(key); ok {
-			return flightVal{task: t}, nil
+			switch {
+			case e.outputLive(t):
+				return flightVal{task: t}, nil
+			case !e.obj.Exists(t.Output):
+				// The memoised output is gone: drop the dangling entries
+				// and derive anew.
+				e.ForgetOutput(t.Output)
+			case e.Refresh != nil:
+				// Output present but stale: recompute it in place so the
+				// caller gets fresh data under the recorded OID. On
+				// failure (external derivation, missing input, …) fall
+				// through to a fresh execution.
+				if err := e.Refresh(ctx, t.Output); err == nil {
+					if t2, ok := e.memoised(key); ok {
+						return flightVal{task: t2, fresh: true}, nil
+					}
+				}
+			default:
+				// Stale with no refresher (Manual policy): derive a fresh
+				// object. Recording it repoints the memo at the new task
+				// while the stale object keeps its producer entry, so a
+				// later RefreshStale can still recompute it in place.
+			}
 		}
 		t, err := e.execute(ctx, pr, inputs, opts)
 		return flightVal{task: t, fresh: true}, err
@@ -223,6 +265,34 @@ func (e *Executor) runVersion(ctx context.Context, pr *process.Process, inputs m
 		return nil, false, err
 	}
 	return v.task, joined || !v.fresh, nil
+}
+
+// outputLive reports whether a memoised task's output can be served
+// as-is: it must still resolve and must not be marked stale.
+func (e *Executor) outputLive(t *Task) bool {
+	if !e.obj.Exists(t.Output) {
+		return false
+	}
+	return e.Stale == nil || !e.Stale(t.Output)
+}
+
+// ForgetOutput drops the memo and producer entries pointing at an output
+// object that no longer resolves, so future identical instantiations
+// re-execute instead of returning a dangling task. The task itself stays
+// in the log (byID, byInput) as history.
+func (e *Executor) ForgetOutput(oid object.OID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, ok := e.byOutput[oid]
+	if !ok {
+		return
+	}
+	t := e.byID[id]
+	delete(e.byOutput, oid)
+	key := memoKey(t.Process, t.Version, t.Inputs)
+	if e.memo[key] == id {
+		delete(e.memo, key)
+	}
 }
 
 // memoised answers a memo lookup under the shared lock.
@@ -236,8 +306,11 @@ func (e *Executor) memoised(key string) (*Task, bool) {
 	return e.byID[id], true
 }
 
-// execute performs one derivation unconditionally and records its task.
-func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, error) {
+// derive binds and evaluates one process instantiation, returning the
+// computed output attributes/extent, the canonical input OIDs, and the
+// execution wall time. It does not store anything.
+func (e *Executor) derive(ctx context.Context, pr *process.Process, inputs map[string][]object.OID) (map[string]value.Value, sptemp.Extent, map[string][]object.OID, time.Duration, error) {
+	var zero sptemp.Extent
 	// Materialise the input objects.
 	bound := make(map[string][]*object.Object, len(inputs))
 	for name, oids := range inputs {
@@ -245,7 +318,9 @@ func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[
 		for i, oid := range oids {
 			o, err := e.obj.Get(oid)
 			if err != nil {
-				return nil, fmt.Errorf("%w: input %s[%d]: %v", ErrExec, name, i, err)
+				// Double %w keeps both the ErrExec classification and the
+				// cause (object.ErrNotFound for deleted inputs) matchable.
+				return nil, zero, nil, 0, fmt.Errorf("%w: input %s[%d]: %w", ErrExec, name, i, err)
 			}
 			objs[i] = o
 		}
@@ -253,48 +328,37 @@ func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[
 	}
 	b, err := pr.Bind(bound)
 	if err != nil {
-		return nil, err
+		return nil, zero, nil, 0, err
 	}
 	start := time.Now()
 	if err := b.CheckAssertions(e.reg); err != nil {
-		return nil, err
+		return nil, zero, nil, 0, err
 	}
 	outClass, err := e.cat.Class(pr.OutClass)
 	if err != nil {
-		return nil, err
+		return nil, zero, nil, 0, err
 	}
 	// Last cancellation point before the (possibly expensive) mapping
 	// evaluation; past here the derivation runs to completion so the
 	// output object and the task record stay consistent.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, zero, nil, 0, err
 	}
 	attrs, ext, err := b.EvalMappings(e.reg, outClass)
 	if err != nil {
-		return nil, err
+		return nil, zero, nil, 0, err
 	}
-	out := &object.Object{Class: pr.OutClass, Attrs: attrs, Extent: ext}
-	outOID, err := e.obj.Insert(out)
-	if err != nil {
-		return nil, fmt.Errorf("%w: storing output: %v", ErrExec, err)
-	}
-	elapsed := time.Since(start)
+	return attrs, ext, b.InputOIDs(), time.Since(start), nil
+}
 
+// record persists a task and publishes it to the lineage indexes and the
+// OnRecord hook.
+func (e *Executor) record(t *Task) (*Task, error) {
 	id, err := e.st.NextID("task")
 	if err != nil {
 		return nil, err
 	}
-	t := &Task{
-		ID:       ID(id),
-		Process:  pr.Name,
-		Version:  pr.Version,
-		User:     opts.User,
-		Inputs:   b.InputOIDs(),
-		Output:   outOID,
-		OutClass: pr.OutClass,
-		Micros:   elapsed.Microseconds(),
-		Note:     opts.Note,
-	}
+	t.ID = ID(id)
 	rec, err := json.Marshal(t)
 	if err != nil {
 		return nil, err
@@ -305,7 +369,73 @@ func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[
 	e.mu.Lock()
 	e.indexLocked(t)
 	e.mu.Unlock()
+	if e.OnRecord != nil {
+		e.OnRecord(t)
+	}
 	return t, nil
+}
+
+// execute performs one derivation unconditionally and records its task.
+func (e *Executor) execute(ctx context.Context, pr *process.Process, inputs map[string][]object.OID, opts RunOptions) (*Task, error) {
+	attrs, ext, inOIDs, elapsed, err := e.derive(ctx, pr, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := &object.Object{Class: pr.OutClass, Attrs: attrs, Extent: ext}
+	outOID, err := e.obj.Insert(out)
+	if err != nil {
+		return nil, fmt.Errorf("%w: storing output: %v", ErrExec, err)
+	}
+	return e.record(&Task{
+		Process:  pr.Name,
+		Version:  pr.Version,
+		User:     opts.User,
+		Inputs:   inOIDs,
+		Output:   outOID,
+		OutClass: pr.OutClass,
+		Micros:   elapsed.Microseconds(),
+		Note:     opts.Note,
+	})
+}
+
+// RecomputeTask re-executes a recorded task with its recorded process
+// version and inputs, writing the result over the existing output object
+// in place (same OID), and records a refresh task. The derived-data
+// manager uses it to bring stale objects up to date without changing
+// their identity; external derivations (version 0) cannot be recomputed.
+func (e *Executor) RecomputeTask(ctx context.Context, id ID, opts RunOptions) (*Task, error) {
+	orig, err := e.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if orig.Version == 0 {
+		return nil, fmt.Errorf("%w: external derivation %q cannot be recomputed", ErrExec, orig.Process)
+	}
+	pr, err := e.mgr.LookupVersion(orig.Process, orig.Version)
+	if err != nil {
+		return nil, err
+	}
+	attrs, ext, inOIDs, elapsed, err := e.derive(ctx, pr, orig.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := &object.Object{OID: orig.Output, Class: pr.OutClass, Attrs: attrs, Extent: ext}
+	if err := e.obj.Update(out); err != nil {
+		return nil, fmt.Errorf("%w: refreshing output %d: %v", ErrExec, orig.Output, err)
+	}
+	if opts.Note == "" {
+		opts.Note = fmt.Sprintf("refresh of task %d", id)
+	}
+	return e.record(&Task{
+		Process:  pr.Name,
+		Version:  pr.Version,
+		User:     opts.User,
+		Inputs:   inOIDs,
+		Output:   orig.Output,
+		OutClass: pr.OutClass,
+		Micros:   elapsed.Microseconds(),
+		Note:     opts.Note,
+	})
 }
 
 // RunCompound expands a compound process (Figure 5) and executes its
@@ -552,6 +682,19 @@ func (e *Executor) Reproduce(ctx context.Context, id ID, opts RunOptions) (*Task
 	if err != nil {
 		return nil, false, err
 	}
+	// Reproduction re-runs over the recorded input OIDs, so their current
+	// state must be trustworthy: a stale input would silently change what
+	// is being reproduced. (An updated *base* input is not stale — the
+	// update is the new truth — and surfaces as a mismatch instead.)
+	if e.Stale != nil {
+		for name, oids := range orig.Inputs {
+			for _, in := range oids {
+				if e.Stale(in) {
+					return nil, false, fmt.Errorf("%w: input %s=%d of task %d; refresh it first", ErrStaleInput, name, in, id)
+				}
+			}
+		}
+	}
 	opts.NoMemo = true
 	if opts.Note == "" {
 		opts.Note = fmt.Sprintf("reproduction of task %d", id)
@@ -605,12 +748,7 @@ func valueEqual(a, b interface{ Type() value.Type }) bool {
 // derivations; they participate in lineage but are not memoised as
 // process instantiations.
 func (e *Executor) RecordExternal(procName string, inputs map[string][]object.OID, output object.OID, outClass string, opts RunOptions) (*Task, error) {
-	id, err := e.st.NextID("task")
-	if err != nil {
-		return nil, err
-	}
-	t := &Task{
-		ID:       ID(id),
+	return e.record(&Task{
 		Process:  procName,
 		Version:  0,
 		User:     opts.User,
@@ -618,16 +756,5 @@ func (e *Executor) RecordExternal(procName string, inputs map[string][]object.OI
 		Output:   output,
 		OutClass: outClass,
 		Note:     opts.Note,
-	}
-	rec, err := json.Marshal(t)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := e.st.Insert(tasksHeap, rec); err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.indexLocked(t)
-	e.mu.Unlock()
-	return t, nil
+	})
 }

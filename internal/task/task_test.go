@@ -554,3 +554,111 @@ DEFINE PROCESS veg_change_ratio (
 		}
 	}
 }
+
+// TestMemoInvalidatedByOutputDelete is the regression test for memo and
+// byOutput entries surviving object deletion: a memo hit must never
+// return a task whose output OID no longer resolves.
+func TestMemoInvalidatedByOutputDelete(t *testing.T) {
+	e := newEnv(t)
+	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
+	in := map[string][]object.OID{"bands": scene}
+	t1, _, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the output directly through the object store (bypassing the
+	// kernel facade, as an embedded user might).
+	if err := e.obj.Delete(t1.Output); err != nil {
+		t.Fatal(err)
+	}
+	t2, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("memo hit returned a task whose output was deleted")
+	}
+	if t2.Output == t1.Output {
+		t.Fatalf("re-execution reused the deleted output OID %d", t1.Output)
+	}
+	if _, err := e.obj.Get(t2.Output); err != nil {
+		t.Fatalf("fresh output should resolve: %v", err)
+	}
+	// The producer entry for the deleted output is gone too.
+	if _, ok := e.exec.Producer(t1.Output); ok {
+		t.Error("Producer still indexes the deleted output")
+	}
+	// The fresh task is memoised normally.
+	t3, reused, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
+	if err != nil || !reused || t3.ID != t2.ID {
+		t.Fatalf("expected memo hit on fresh task: %v reused=%v", err, reused)
+	}
+}
+
+// TestRecomputeTaskRefreshesInPlace re-executes a recorded task over the
+// output's existing OID after an input changed.
+func TestRecomputeTaskRefreshesInPlace(t *testing.T) {
+	e := newEnv(t)
+	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
+	in := map[string][]object.OID{"bands": scene}
+	t1, _, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.obj.Get(t1.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.exec.RecomputeTask(context.Background(), t1.ID, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Output != t1.Output {
+		t.Fatalf("recompute changed the output OID: %d -> %d", t1.Output, t2.Output)
+	}
+	if t2.ID == t1.ID {
+		t.Error("recompute should record a fresh task")
+	}
+	after, err := e.obj.Get(t2.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Class != after.Class || len(before.Attrs) != len(after.Attrs) {
+		t.Errorf("refreshed object shape changed: %+v vs %+v", before, after)
+	}
+	// The refresh task is now the producer and holds the memo entry.
+	if prod, ok := e.exec.Producer(t1.Output); !ok || prod.ID != t2.ID {
+		t.Errorf("producer after recompute = %+v, %v", prod, ok)
+	}
+	// External (version 0) derivations cannot be recomputed.
+	ext, err := e.exec.RecordExternal("data_load", nil, scene[0], "landsat_tm", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.exec.RecomputeTask(context.Background(), ext.ID, RunOptions{}); !errors.Is(err, ErrExec) {
+		t.Errorf("recompute of external task = %v, want ErrExec", err)
+	}
+}
+
+// TestReproduceStaleInputFlagged verifies the staleness guard on
+// reproduction: a stale input means the recorded input state cannot be
+// reproduced, so Reproduce must say so instead of silently re-running.
+func TestReproduceStaleInputFlagged(t *testing.T) {
+	e := newEnv(t)
+	scene := insertScene(t, e, 3, sptemp.Date(1986, 1, 15), 1986)
+	in := map[string][]object.OID{"bands": scene}
+	t1, _, err := e.exec.Run(context.Background(), "unsupervised_classification", in, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := map[object.OID]bool{scene[1]: true}
+	e.exec.Stale = func(oid object.OID) bool { return stale[oid] }
+	if _, _, err := e.exec.Reproduce(context.Background(), t1.ID, RunOptions{}); !errors.Is(err, ErrStaleInput) {
+		t.Fatalf("reproduce with stale input = %v, want ErrStaleInput", err)
+	}
+	// Fresh inputs reproduce normally again.
+	stale = map[object.OID]bool{}
+	if _, same, err := e.exec.Reproduce(context.Background(), t1.ID, RunOptions{}); err != nil || !same {
+		t.Fatalf("reproduce after refresh = same=%v, %v", same, err)
+	}
+}
