@@ -877,3 +877,67 @@ func BenchmarkUpdateInvalidate(b *testing.B) {
 		})
 	}
 }
+
+// ---------- V2: session-batched ingest ----------
+
+// BenchmarkSessionBatchIngest compares loading a batch of objects through
+// N single-op CreateObject commits (each its own WAL commit, load-task
+// record, and invalidation sweep) against ONE session commit (one atomic
+// WAL group, one sweep). The session path is the v2 API's batch-ingest
+// shape.
+func BenchmarkSessionBatchIngest(b *testing.B) {
+	const batch = 64
+	openIngest := func(b *testing.B) *Kernel {
+		b.Helper()
+		k, err := Open(b.TempDir(), Options{NoSync: true, User: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { k.Close() })
+		if err := k.DefineClass(&catalog.Class{
+			Name: "gauge", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return k
+	}
+	gauge := func(i int) *object.Object {
+		x := float64(i * 20)
+		return &object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+		}
+	}
+
+	b.Run("per-op", func(b *testing.B) {
+		k := openIngest(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				if _, err := k.CreateObject(gauge(i*batch+j), "tape"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "objects/s")
+	})
+	b.Run("session", func(b *testing.B) {
+		k := openIngest(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := k.Begin(context.Background())
+			for j := 0; j < batch; j++ {
+				if _, err := s.Create(gauge(i*batch+j), "tape"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "objects/s")
+	})
+}

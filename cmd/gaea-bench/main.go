@@ -34,11 +34,15 @@ var workers = flag.Int("workers", runtime.GOMAXPROCS(0), "derivation worker-pool
 // objects are brought up to date (lazy, eager, or manual).
 var refresh = flag.String("refresh", "lazy", "C2 refresh policy: lazy|eager|manual")
 
+// batch sizes the C3 batched-ingest scenario: how many objects one
+// session commit carries vs the same count of single-op commits.
+var batch = flag.Int("batch", 256, "C3 batched-ingest batch size")
+
 var ctx = context.Background()
 
 func main() {
 	flag.Parse()
-	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d refresh=%s)\n", *workers, *refresh)
+	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d refresh=%s batch=%d)\n", *workers, *refresh, *batch)
 	fmt.Println()
 	expF3()
 	expF4()
@@ -46,6 +50,7 @@ func main() {
 	expQ1()
 	expC1()
 	expC2()
+	expC3()
 	expP1()
 	fmt.Println("done")
 }
@@ -142,9 +147,11 @@ func loadScene(k *gaea.Kernel, size, year int) []object.OID {
 	imgs := genScene(size, year)
 	day := sptemp.Date(year, 6, 19)
 	box := sptemp.NewBox(0, 0, float64(size*30), float64(size*30))
+	// The bands of one scene land together: one session, one WAL commit.
+	s := k.Begin(ctx)
 	var oids []object.OID
 	for i, img := range imgs {
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := s.Create(&object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(fmt.Sprintf("b%d", i)),
@@ -155,6 +162,7 @@ func loadScene(k *gaea.Kernel, size, year int) []object.OID {
 		must(err)
 		oids = append(oids, oid)
 	}
+	must(s.Commit())
 	return oids
 }
 
@@ -168,8 +176,9 @@ func loadSceneTile(k *gaea.Kernel, size, year, tile int) sptemp.Box {
 	must(err)
 	day := sptemp.Date(year, 6, 19)
 	box := sptemp.NewBox(off, 0, off+float64(size*30), float64(size*30))
+	s := k.Begin(ctx)
 	for i, img := range imgs {
-		_, err := k.CreateObject(&object.Object{
+		_, err := s.Create(&object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(fmt.Sprintf("b%d", i)),
@@ -179,6 +188,7 @@ func loadSceneTile(k *gaea.Kernel, size, year, tile int) sptemp.Box {
 		}, "")
 		must(err)
 	}
+	must(s.Commit())
 	return box
 }
 
@@ -470,6 +480,62 @@ func expC2() {
 	fmt.Printf("| 1 | %.1f |\n", seq)
 	fmt.Printf("| %d | %.1f |\n", *workers, par)
 	fmt.Printf("\nfan-out recovery speedup: %.2fx\n\n", par/seq)
+}
+
+// C3: batched ingest — N single-op CreateObject commits (each its own WAL
+// commit, load-task record, and invalidation sweep) vs ONE session
+// carrying all N creates (one atomic WAL group, one sweep). Durability is
+// ON here (no NoSync), so the fsync amortisation is visible.
+func expC3() {
+	fmt.Printf("## C3 — batched ingest: per-op commits vs one session (batch=%d)\n", *batch)
+	gauge := func(i int) *object.Object {
+		x := float64(i * 20)
+		return &object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+		}
+	}
+	open := func() (*gaea.Kernel, string) {
+		dir, err := os.MkdirTemp("", "gaea-bench-c3-*")
+		must(err)
+		k, err := gaea.Open(dir, gaea.Options{User: "bench"})
+		must(err)
+		must(k.DefineClass(&catalog.Class{
+			Name: "gauge", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true,
+		}))
+		return k, dir
+	}
+
+	k1, dir1 := open()
+	start := time.Now()
+	for i := 0; i < *batch; i++ {
+		_, err := k1.CreateObject(gauge(i), "tape")
+		must(err)
+	}
+	perOp := time.Since(start)
+	must(k1.Close())
+	os.RemoveAll(dir1)
+
+	k2, dir2 := open()
+	start = time.Now()
+	s := k2.Begin(ctx)
+	for i := 0; i < *batch; i++ {
+		_, err := s.Create(gauge(i), "tape")
+		must(err)
+	}
+	must(s.Commit())
+	session := time.Since(start)
+	must(k2.Close())
+	os.RemoveAll(dir2)
+
+	fmt.Println("| ingest path | total | objects/sec |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| %d single-op commits | %v | %.0f |\n", *batch, perOp.Round(time.Microsecond), float64(*batch)/perOp.Seconds())
+	fmt.Printf("| 1 session commit | %v | %.0f |\n", session.Round(time.Microsecond), float64(*batch)/session.Seconds())
+	fmt.Printf("\nsession speedup: %.1fx\n\n", float64(perOp)/float64(session))
 }
 
 // P1: planner scaling with chain depth.

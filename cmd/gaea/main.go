@@ -310,8 +310,10 @@ DEFINE COMPOUND PROCESS land_change_detection (
 			return err
 		}
 	}
-	// Two synthetic scenes (1986 and 1989).
+	// Two synthetic scenes (1986 and 1989), batched: one session commit
+	// per seeding instead of one WAL commit per band.
 	l := raster.NewLandscape(1993)
+	s := k.Begin(context.Background())
 	for _, year := range []int{1986, 1989} {
 		spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 30, Rows: 48, Cols: 48, DayOfYear: 170, Year: year, Noise: 0.01}
 		day := sptemp.Date(year, 6, 19)
@@ -319,9 +321,10 @@ DEFINE COMPOUND PROCESS land_change_detection (
 		for _, b := range []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR} {
 			img, err := l.GenerateBand(spec, b)
 			if err != nil {
+				s.Rollback()
 				return err
 			}
-			if _, err := k.CreateObject(&object.Object{
+			if _, err := s.Create(&object.Object{
 				Class: "landsat_tm",
 				Attrs: map[string]value.Value{
 					"band": value.String_(b.String()),
@@ -329,9 +332,10 @@ DEFINE COMPOUND PROCESS land_change_detection (
 				},
 				Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),
 			}, fmt.Sprintf("demo scene %d", year)); err != nil {
+				s.Rollback()
 				return err
 			}
 		}
 	}
-	return nil
+	return s.Commit()
 }

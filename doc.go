@@ -1,0 +1,55 @@
+// Package gaea is the public API of the Gaea scientific DBMS
+// reproduction: a spatio-temporal database kernel whose distinguishing
+// capability is the management of derived data (Hachem, Qiu, Gennert,
+// Ward: "Managing Derived Data in the Gaea Scientific DBMS", VLDB 1993).
+//
+// A Kernel wires together the three semantic layers of the paper:
+//
+//   - the system level: primitive classes (ADTs) and their operators,
+//     including compound dataflow operators (Figure 4);
+//   - the derivation level: processes (class-level derivation templates
+//     with assertions and mappings, Figure 3), tasks (concrete
+//     instantiations with full lineage), and Petri-net derivation
+//     diagrams with backward-chaining planning (§2.1.6);
+//   - the high level: concepts (sets of classes under one imprecise
+//     scientific notion, §2.1.1) and experiments (reproducible bundles of
+//     tasks).
+//
+// Quick start (API v2 — sessions, streams, typed errors):
+//
+//	k, err := gaea.Open(dir, gaea.Options{})
+//	...
+//	k.DefineClass(&catalog.Class{...})
+//	k.DefineProcess(`DEFINE PROCESS ndvi_map ( ... )`)
+//
+//	// Batch ingest: one WAL commit, one invalidation sweep.
+//	s := k.Begin(ctx)
+//	for _, obj := range scene {
+//		s.Create(obj, "EOSAT tape 42")
+//	}
+//	if err := s.Commit(); err != nil { ... } // or s.Rollback()
+//
+//	// Single-op calls still work (implicit one-op sessions):
+//	oid, _ := k.CreateObject(&object.Object{...}, "source note")
+//
+//	// Streaming retrieval with pagination.
+//	st, _ := k.QueryStream(ctx, gaea.Request{Class: "ndvi", Pred: pred, Limit: 100})
+//	for o, err := range st.All() { ... }
+//	next := st.Cursor() // resume the next page via Request.Cursor
+//
+//	fmt.Print(k.Explain(oid)) // full derivation history
+//
+// Failures classify into a small typed taxonomy matched with errors.Is:
+// ErrNotFound, ErrClassUnknown, ErrNoPlan (the request cannot be
+// satisfied or derived), ErrStale (operation refuses stale inputs),
+// ErrConflict (a concurrent mutation won), and ErrClosed (kernel or
+// session already closed).
+//
+// The kernel is safe for concurrent use: queries, process runs, and
+// compound derivations may be issued from many goroutines. Independent
+// steps of one derivation also run in parallel on a worker pool sized by
+// Options.Workers (per-run override: RunOptions.Parallelism), identical
+// concurrent derivations collapse into one execution (single-flight
+// memoisation), and every execution entry point takes a context for
+// cancellation and deadlines.
+package gaea

@@ -144,8 +144,13 @@ DEFINE PROCESS hot_trade_wind_desert (
 	if err != nil {
 		log.Fatal(err)
 	}
-	rainOID := mustCreate(k, "rainfall", rain, box, day, "WMO climatology")
-	tempOID := mustCreate(k, "temperature", temp, box, day, "WMO climatology")
+	// The two climatology fields land together: one session commit.
+	sess := k.Begin(ctx)
+	rainOID := mustStage(sess, "rainfall", rain, box, day, "WMO climatology")
+	tempOID := mustStage(sess, "temperature", temp, box, day, "WMO climatology")
+	if err := sess.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Derive all three desert maps.
 	t250, _, err := k.RunProcess(ctx, "desert_by_rain_250", map[string][]object.OID{"rain": {rainOID}}, gaea.RunOptions{User: "scientist-1"})
@@ -192,8 +197,8 @@ DEFINE PROCESS hot_trade_wind_desert (
 	fmt.Print(k.Explain(t200.Output))
 }
 
-func mustCreate(k *gaea.Kernel, class string, img *raster.Image, box sptemp.Box, day sptemp.AbsTime, note string) object.OID {
-	oid, err := k.CreateObject(&object.Object{
+func mustStage(s *gaea.Session, class string, img *raster.Image, box sptemp.Box, day sptemp.AbsTime, note string) object.OID {
+	oid, err := s.Create(&object.Object{
 		Class:  class,
 		Attrs:  map[string]value.Value{"data": value.Image{Img: img}},
 		Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, day),

@@ -166,13 +166,15 @@ func loadScene(k *gaea.Kernel, year int) []object.OID {
 	spec := raster.SceneSpec{OriginX: 5000, OriginY: 5000, CellSize: 30, Rows: 96, Cols: 96, DayOfYear: 170, Year: year, Noise: 0.01}
 	day := sptemp.Date(year, 6, 19)
 	box := sptemp.NewBox(5000, 5000, 5000+96*30, 5000+96*30)
+	// One scene = one session: the three bands commit atomically.
+	s := k.Begin(context.Background())
 	var oids []object.OID
 	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR, raster.BandSWIR} {
 		img, err := l.GenerateBand(spec, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := s.Create(&object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(b.String()),
@@ -184,6 +186,9 @@ func loadScene(k *gaea.Kernel, year int) []object.OID {
 			log.Fatal(err)
 		}
 		oids = append(oids, oid)
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
 	}
 	return oids
 }

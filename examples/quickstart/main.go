@@ -68,7 +68,8 @@ DEFINE PROCESS ndvi_map (
 		log.Fatal(err)
 	}
 
-	// 3. Load one synthetic scene (red + nir bands over the Sahel window).
+	// 3. Load one synthetic scene (red + nir bands over the Sahel window)
+	// through a session: both bands commit as ONE WAL batch.
 	land := raster.NewLandscape(1988)
 	spec := raster.SceneSpec{
 		OriginX: 12000, OriginY: 8000, CellSize: 1100,
@@ -76,13 +77,14 @@ DEFINE PROCESS ndvi_map (
 	}
 	day := sptemp.Date(1988, 7, 18)
 	box := sptemp.NewBox(12000, 8000, 12000+64*1100, 8000+64*1100)
+	sess := k.Begin(ctx)
 	var oids []object.OID
 	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR} {
 		img, err := land.GenerateBand(spec, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := sess.Create(&object.Object{
 			Class: "avhrr_scene",
 			Attrs: map[string]value.Value{
 				"band": value.String_(b.String()),
@@ -95,7 +97,10 @@ DEFINE PROCESS ndvi_map (
 		}
 		oids = append(oids, oid)
 	}
-	fmt.Printf("loaded scene bands as objects %v\n", oids)
+	if err := sess.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded scene bands as objects %v (one session commit)\n", oids)
 
 	// 4. Ask for NDVI. Nothing stored -> the kernel plans and derives.
 	pred := gaea.Request{Class: "ndvi", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: box}}
@@ -128,6 +133,22 @@ DEFINE PROCESS ndvi_map (
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsecond query satisfied by %s (no recomputation)\n", res2.How[0])
+
+	// 7. The same request as a stream: objects arrive one at a time (with
+	// Request.Limit/Cursor this pages through arbitrarily large extents).
+	st2, err := k.QueryStream(ctx, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for o, err := range st2.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+		fmt.Printf("streamed object %d (%s)\n", o.OID, o.Class)
+	}
+	fmt.Printf("stream yielded %d object(s); cursor after exhaustion: %q\n", n, st2.Cursor())
 	fmt.Printf("\nkernel stats: %s\n", k.Stats())
 }
 

@@ -193,13 +193,15 @@ func loadScene(k *gaea.Kernel, year int) []object.OID {
 	spec := raster.SceneSpec{OriginX: 0, OriginY: 0, CellSize: 1100, Rows: 48, Cols: 48, DayOfYear: 190, Year: year, Noise: 0.01}
 	day := sptemp.Date(year, 7, 9)
 	box := sptemp.NewBox(0, 0, 48*1100, 48*1100)
+	// Both bands of the scene commit as one session batch.
+	s := k.Begin(context.Background())
 	var oids []object.OID
 	for _, b := range []raster.Band{raster.BandRed, raster.BandNIR} {
 		img, err := l.GenerateBand(spec, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := s.Create(&object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(b.String()),
@@ -211,6 +213,9 @@ func loadScene(k *gaea.Kernel, year int) []object.OID {
 			log.Fatal(err)
 		}
 		oids = append(oids, oid)
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
 	}
 	return oids
 }

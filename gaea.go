@@ -1,42 +1,11 @@
-// Package gaea is the public API of the Gaea scientific DBMS
-// reproduction: a spatio-temporal database kernel whose distinguishing
-// capability is the management of derived data (Hachem, Qiu, Gennert,
-// Ward: "Managing Derived Data in the Gaea Scientific DBMS", VLDB 1993).
-//
-// A Kernel wires together the three semantic layers of the paper:
-//
-//   - the system level: primitive classes (ADTs) and their operators,
-//     including compound dataflow operators (Figure 4);
-//   - the derivation level: processes (class-level derivation templates
-//     with assertions and mappings, Figure 3), tasks (concrete
-//     instantiations with full lineage), and Petri-net derivation
-//     diagrams with backward-chaining planning (§2.1.6);
-//   - the high level: concepts (sets of classes under one imprecise
-//     scientific notion, §2.1.1) and experiments (reproducible bundles of
-//     tasks).
-//
-// Quick start:
-//
-//	k, err := gaea.Open(dir, gaea.Options{})
-//	...
-//	k.DefineClass(&catalog.Class{...})
-//	k.DefineProcess(`DEFINE PROCESS ndvi_map ( ... )`)
-//	oid, _ := k.CreateObject(&object.Object{...})
-//	res, _ := k.Query(ctx, gaea.Request{Class: "ndvi", Pred: pred})
-//	fmt.Print(k.Explain(res.OIDs[0]))
-//
-// The kernel is safe for concurrent use: queries, process runs, and
-// compound derivations may be issued from many goroutines. Independent
-// steps of one derivation also run in parallel on a worker pool sized by
-// Options.Workers (per-run override: RunOptions.Parallelism), identical
-// concurrent derivations collapse into one execution (single-flight
-// memoisation), and every execution entry point takes a context for
-// cancellation and deadlines.
 package gaea
 
 import (
 	"context"
 	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
 
 	"gaea/internal/adt"
 	"gaea/internal/catalog"
@@ -116,6 +85,10 @@ type Kernel struct {
 	dir  string
 	user string
 
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
 	Store       *storage.Store
 	Catalog     *catalog.Catalog
 	Registry    *adt.Registry
@@ -190,40 +163,82 @@ func Open(dir string, opts Options) (*Kernel, error) {
 }
 
 // Close stops the derived-data refresher, then checkpoints and closes the
-// database.
+// database. Close is idempotent — repeated calls return the first call's
+// result — and operations issued after it fail with ErrClosed instead of
+// touching closed storage. Close does not drain: the caller must let
+// in-flight operations finish before closing, as with most file-like
+// resources. (Pure in-memory reads — Stale, Explain, Stats — keep
+// answering from the last known state.)
 func (k *Kernel) Close() error {
-	k.Deriv.Close()
-	return k.Store.Close()
+	k.closeOnce.Do(func() {
+		k.closed.Store(true)
+		k.Deriv.Close()
+		k.closeErr = k.Store.Close()
+	})
+	return k.closeErr
+}
+
+// checkOpen gates every operation that would touch storage.
+func (k *Kernel) checkOpen() error {
+	if k.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Dir returns the database directory.
 func (k *Kernel) Dir() string { return k.dir }
 
 // DefineClass registers a non-primitive class.
-func (k *Kernel) DefineClass(cls *catalog.Class) error { return k.Catalog.Define(cls) }
+func (k *Kernel) DefineClass(cls *catalog.Class) error {
+	if err := k.checkOpen(); err != nil {
+		return err
+	}
+	return classify(k.Catalog.Define(cls))
+}
 
 // DefineProcess parses, checks, and registers a process definition
 // (primitive or compound) written in the Figure 3 definition language.
-func (k *Kernel) DefineProcess(src string) (string, error) { return k.Processes.Define(src) }
+func (k *Kernel) DefineProcess(src string) (string, error) {
+	if err := k.checkOpen(); err != nil {
+		return "", err
+	}
+	name, err := k.Processes.Define(src)
+	return name, classify(err)
+}
 
 // RedefineProcess registers a new version of an existing process; old
 // versions are preserved (§2.1.4 observation 3).
-func (k *Kernel) RedefineProcess(src string) (string, int, error) { return k.Processes.Redefine(src) }
+func (k *Kernel) RedefineProcess(src string) (string, int, error) {
+	if err := k.checkOpen(); err != nil {
+		return "", 0, err
+	}
+	name, v, err := k.Processes.Redefine(src)
+	return name, v, classify(err)
+}
 
 // DefineConcept registers a concept.
-func (k *Kernel) DefineConcept(c *concept.Concept) error { return k.Concepts.Define(c) }
+func (k *Kernel) DefineConcept(c *concept.Concept) error {
+	if err := k.checkOpen(); err != nil {
+		return err
+	}
+	return classify(k.Concepts.Define(c))
+}
 
 // CreateObject stores a new scientific data object (base data), recording
-// a load task so even base data appears in lineage with its source note.
+// a load task so even base data appears in lineage with its source note
+// (an empty note still records the load — every object is visible to
+// Explain and Reproduce). It is an implicit single-op session; batch
+// loads should use Begin.
 func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, error) {
-	oid, err := k.Objects.Insert(obj)
+	s := k.Begin(context.Background())
+	oid, err := s.Create(obj, note)
 	if err != nil {
+		s.Rollback()
 		return 0, err
 	}
-	if note != "" {
-		if _, err := k.Tasks.RecordExternal("data_load", nil, oid, obj.Class, task.RunOptions{User: k.user, Note: note}); err != nil {
-			return 0, err
-		}
+	if err := s.Commit(); err != nil {
+		return 0, err
 	}
 	return oid, nil
 }
@@ -235,22 +250,28 @@ func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, erro
 // stale objects are re-derived on query touch (lazy), recomputed in the
 // background (eager), or left to RefreshStale (manual) — and on the
 // cost-based rematerialisation decision, which may drop dependents that
-// are cheaper to re-derive than to keep.
+// are cheaper to re-derive than to keep. It is an implicit single-op
+// session; batch mutations should use Begin.
 func (k *Kernel) UpdateObject(obj *object.Object) error {
-	if err := k.Objects.Update(obj); err != nil {
+	s := k.Begin(context.Background())
+	if err := s.Update(obj); err != nil {
+		s.Rollback()
 		return err
 	}
-	return k.Deriv.ObjectUpdated(obj.OID)
+	return s.Commit()
 }
 
 // DeleteObject removes an object and propagates the deletion: its memo
 // entries are dropped (so identical instantiations re-execute) and every
-// transitive dependent is marked stale.
+// transitive dependent is marked stale. It is an implicit single-op
+// session; batch mutations should use Begin.
 func (k *Kernel) DeleteObject(oid object.OID) error {
-	if err := k.Objects.Delete(oid); err != nil {
+	s := k.Begin(context.Background())
+	if err := s.Delete(oid); err != nil {
+		s.Rollback()
 		return err
 	}
-	return k.Deriv.ObjectDeleted(oid)
+	return s.Commit()
 }
 
 // RefreshStale recomputes every stale derived object in place (ancestors
@@ -258,7 +279,11 @@ func (k *Kernel) DeleteObject(oid object.OID) error {
 // refreshed. Stale objects that cannot be recomputed (external
 // derivations such as interpolations) are dropped and left to re-derive.
 func (k *Kernel) RefreshStale(ctx context.Context) (int, error) {
-	return k.Deriv.RefreshStale(ctx)
+	if err := k.checkOpen(); err != nil {
+		return 0, err
+	}
+	n, err := k.Deriv.RefreshStale(ctx)
+	return n, classify(err)
 }
 
 // Stale lists the OIDs currently marked stale, ascending.
@@ -268,32 +293,105 @@ func (k *Kernel) Stale() []object.OID { return k.Deriv.Stale() }
 // returning the recorded task; identical instantiations are memoised
 // (single-flight: concurrent identical runs execute once).
 func (k *Kernel) RunProcess(ctx context.Context, name string, inputs map[string][]object.OID, opts RunOptions) (*task.Task, bool, error) {
+	if err := k.checkOpen(); err != nil {
+		return nil, false, err
+	}
 	if opts.User == "" {
 		opts.User = k.user
 	}
-	return k.Tasks.Run(ctx, name, inputs, opts)
+	t, reused, err := k.Tasks.Run(ctx, name, inputs, opts)
+	return t, reused, classify(err)
 }
 
 // RunCompound expands and executes a compound process (Figure 5),
 // running independent steps in parallel.
 func (k *Kernel) RunCompound(ctx context.Context, name string, inputs map[string][]object.OID, opts RunOptions) ([]*task.Task, object.OID, error) {
+	if err := k.checkOpen(); err != nil {
+		return nil, 0, err
+	}
 	if opts.User == "" {
 		opts.User = k.user
 	}
-	return k.Tasks.RunCompound(ctx, name, inputs, opts)
+	tasks, out, err := k.Tasks.RunCompound(ctx, name, inputs, opts)
+	return tasks, out, classify(err)
 }
 
-// Query answers a spatio-temporal request per the §2.1.5 sequence.
+// Query answers a spatio-temporal request per the §2.1.5 sequence,
+// buffering every answering object. For incremental consumption or
+// pagination over large extents use QueryStream.
 func (k *Kernel) Query(ctx context.Context, req Request) (*Result, error) {
+	if err := k.checkOpen(); err != nil {
+		return nil, err
+	}
 	if req.User == "" {
 		req.User = k.user
 	}
-	return k.Queries.Run(ctx, req)
+	res, err := k.Queries.Run(ctx, req)
+	return res, classify(err)
+}
+
+// Stream is a single-use cursor over streamed query results: range over
+// All, then resume a later page by passing Cursor as Request.Cursor.
+type Stream struct {
+	k     *Kernel
+	inner *query.Stream
+}
+
+// All returns the result sequence. Objects load lazily as the consumer
+// pulls; errors arrive in the second position, classified against the
+// package sentinels. Because the work is lazy, each pull re-checks that
+// the kernel is still open — draining a stream after Close yields
+// ErrClosed instead of touching closed storage.
+func (s *Stream) All() iter.Seq2[*object.Object, error] {
+	return func(yield func(*object.Object, error) bool) {
+		next, stop := iter.Pull2(s.inner.All())
+		defer stop()
+		for {
+			if err := s.k.checkOpen(); err != nil {
+				yield(nil, err)
+				return
+			}
+			o, err, ok := next()
+			if !ok {
+				return
+			}
+			if !yield(o, classify(err)) {
+				return
+			}
+		}
+	}
+}
+
+// Cursor reports where the iteration stopped: pass it as Request.Cursor
+// to resume. Empty means the results were exhausted.
+func (s *Stream) Cursor() string { return s.inner.Cursor() }
+
+// QueryStream answers a request incrementally: the returned Stream
+// yields objects one at a time instead of materialising the whole
+// extent, honouring Request.Limit (page size) and Request.Cursor
+// (resume). The §2.1.5 fallback chain (interpolation, derivation) runs
+// lazily, only if the consumer drains an empty retrieval.
+func (k *Kernel) QueryStream(ctx context.Context, req Request) (*Stream, error) {
+	if err := k.checkOpen(); err != nil {
+		return nil, err
+	}
+	if req.User == "" {
+		req.User = k.user
+	}
+	st, err := k.Queries.Stream(ctx, req)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &Stream{k: k, inner: st}, nil
 }
 
 // ExplainQuery previews how a request would be satisfied.
 func (k *Kernel) ExplainQuery(ctx context.Context, req Request) (string, error) {
-	return k.Queries.Explain(ctx, req)
+	if err := k.checkOpen(); err != nil {
+		return "", err
+	}
+	text, err := k.Queries.Explain(ctx, req)
+	return text, classify(err)
 }
 
 // Explain renders the derivation history of an object.
@@ -302,23 +400,36 @@ func (k *Kernel) Explain(oid object.OID) string { return k.Tasks.Explain(oid) }
 // Reproduce re-executes a recorded task and reports whether the output
 // matched.
 func (k *Kernel) Reproduce(ctx context.Context, id task.ID) (*task.Task, bool, error) {
-	return k.Tasks.Reproduce(ctx, id, task.RunOptions{User: k.user})
+	if err := k.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	t, same, err := k.Tasks.Reproduce(ctx, id, task.RunOptions{User: k.user})
+	return t, same, classify(err)
 }
 
 // Net builds the current derivation diagram (places = classes,
 // transitions = processes).
-func (k *Kernel) Net() (*petri.Net, error) { return petri.BuildNet(k.Catalog, k.Processes) }
+func (k *Kernel) Net() (*petri.Net, error) {
+	if err := k.checkOpen(); err != nil {
+		return nil, err
+	}
+	n, err := petri.BuildNet(k.Catalog, k.Processes)
+	return n, classify(err)
+}
 
 // CanDerive answers the §2.1.6 reachability question for a class under a
 // predicate: could an object of this class be derived from stored data?
 func (k *Kernel) CanDerive(class string, pred sptemp.Extent) (bool, error) {
+	if err := k.checkOpen(); err != nil {
+		return false, err
+	}
 	n, err := k.Net()
 	if err != nil {
-		return false, err
+		return false, classify(err)
 	}
 	m, err := petri.CurrentMarking(k.Catalog, k.Objects, pred)
 	if err != nil {
-		return false, err
+		return false, classify(err)
 	}
 	return n.CanDerive(m, class), nil
 }

@@ -121,6 +121,10 @@ type Counters struct {
 	Refreshes int64
 	// Drops counts invalidated objects dropped by the cost model.
 	Drops int64
+	// Sweeps counts invalidation passes over the dependency graph: a
+	// session commit propagates all of its mutations in ONE sweep, so N
+	// batched updates cost one graph walk, not N.
+	Sweeps int64
 }
 
 // Manager tracks derivation dependencies and staleness.
@@ -147,6 +151,7 @@ type Manager struct {
 	invalidations atomic.Int64
 	refreshes     atomic.Int64
 	drops         atomic.Int64
+	sweeps        atomic.Int64
 
 	// flights deduplicates concurrent refreshes of the same object.
 	flights sflight.Group[struct{}]
@@ -294,8 +299,20 @@ func (m *Manager) Dependents(oid object.OID) []object.OID {
 // returning the transitive dependents (excluding root) in BFS order, so
 // direct dependents precede deeper ones.
 func (m *Manager) closureLocked(root object.OID) []object.OID {
-	seen := map[object.OID]bool{root: true}
-	queue := []object.OID{root}
+	return m.multiClosureLocked(map[object.OID]bool{root: true})
+}
+
+// multiClosureLocked is closureLocked from a set of roots at once: the
+// union of their transitive dependents (excluding the roots themselves),
+// each visited exactly once in BFS order.
+func (m *Manager) multiClosureLocked(roots map[object.OID]bool) []object.OID {
+	seen := make(map[object.OID]bool, len(roots))
+	queue := make([]object.OID, 0, len(roots))
+	for root := range roots {
+		seen[root] = true
+		queue = append(queue, root)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
 	var order []object.OID
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -321,29 +338,51 @@ func (m *Manager) closureLocked(root object.OID) []object.OID {
 // rematerialisation decision is applied to each. The object itself stays
 // fresh — its new state is the truth.
 func (m *Manager) ObjectUpdated(oid object.OID) error {
-	// Updating a previously-stale object makes it fresh by definition.
-	m.clearStale(oid)
-	return m.invalidateDependents(oid)
+	return m.ObjectsChanged([]object.OID{oid}, nil)
 }
 
 // ObjectDeleted propagates a deletion: the object's memo/producer entries
 // are dropped and every transitive dependent is invalidated.
 func (m *Manager) ObjectDeleted(oid object.OID) error {
-	m.exec.ForgetOutput(oid)
-	m.clearStale(oid)
-	return m.invalidateDependents(oid)
+	return m.ObjectsChanged(nil, []object.OID{oid})
 }
 
-func (m *Manager) invalidateDependents(root object.OID) error {
+// ObjectsChanged propagates a batch of mutations in ONE invalidation
+// sweep: the transitive dependents of every updated or deleted object are
+// marked stale under a single fresh epoch, and the rematerialisation
+// decision is applied to each dependent once, however many roots reach
+// it. The roots themselves stay fresh — an updated object's new state is
+// the truth of the batch, a deleted one is gone (its memo entries are
+// dropped so identical instantiations re-execute). Session commits call
+// this once, amortising the graph walk that per-op mutation would repeat
+// N times over a shared subtree.
+func (m *Manager) ObjectsChanged(updated, deleted []object.OID) error {
+	if len(updated)+len(deleted) == 0 {
+		return nil
+	}
+	for _, oid := range deleted {
+		m.exec.ForgetOutput(oid)
+	}
+	roots := make(map[object.OID]bool, len(updated)+len(deleted))
+	for _, oid := range updated {
+		// Updating a previously-stale object makes it fresh by definition.
+		m.clearStale(oid)
+		roots[oid] = true
+	}
+	for _, oid := range deleted {
+		m.clearStale(oid)
+		roots[oid] = true
+	}
 	epoch, err := m.st.NextID("deriv_epoch")
 	if err != nil {
 		return err
 	}
+	m.sweeps.Add(1)
 	m.mu.Lock()
 	if epoch > m.epoch {
 		m.epoch = epoch
 	}
-	order := m.closureLocked(root)
+	order := m.multiClosureLocked(roots)
 	m.mu.Unlock()
 
 	var firstErr error
@@ -648,11 +687,12 @@ func (m *Manager) Counters() Counters {
 		Invalidations: m.invalidations.Load(),
 		Refreshes:     m.refreshes.Load(),
 		Drops:         m.drops.Load(),
+		Sweeps:        m.sweeps.Load(),
 	}
 }
 
 // String renders the counters for Kernel.Stats.
 func (c Counters) String() string {
-	return fmt.Sprintf("deps=%d stale=%d epoch=%d invalidated=%d refreshed=%d dropped=%d",
-		c.Deps, c.Stale, c.Epoch, c.Invalidations, c.Refreshes, c.Drops)
+	return fmt.Sprintf("deps=%d stale=%d epoch=%d sweeps=%d invalidated=%d refreshed=%d dropped=%d",
+		c.Deps, c.Stale, c.Epoch, c.Sweeps, c.Invalidations, c.Refreshes, c.Drops)
 }

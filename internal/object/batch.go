@@ -1,0 +1,293 @@
+package object
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+
+	"gaea/internal/catalog"
+	"gaea/internal/sptemp"
+	"gaea/internal/storage"
+)
+
+// Session-facing batch surface of the object store. A kernel session
+// stages creates/updates/deletes and applies them here as ONE atomic
+// storage batch: every heap record (including extra rows such as the
+// task-log entries for data loads) lands in a single WAL group with a
+// single fsync, so a crash keeps either the whole session or none of it.
+
+// ExtraRec is an opaque heap record committed in the same atomic batch as
+// the object mutations (the kernel stages task-log rows this way).
+type ExtraRec struct {
+	Heap string
+	Rec  []byte
+}
+
+// BatchOps stages a set of object mutations applied atomically. Insert
+// objects must have been through Reserve (validated, OID assigned);
+// update objects through CheckUpdate. An OID may appear at most once
+// across Updates and Deletes.
+type BatchOps struct {
+	Inserts []*Object
+	Updates []*Object
+	Deletes []OID
+	Extra   []ExtraRec
+	// PinSeqs names sequences (beyond the store's own oid/objrev/blob)
+	// whose in-memory reservations this batch references durably.
+	PinSeqs []string
+}
+
+// ValidateNew checks a new object against its class schema without
+// persisting or assigning anything.
+func (s *Store) ValidateNew(obj *Object) error {
+	cls, err := s.cat.Class(obj.Class)
+	if err != nil {
+		return err
+	}
+	return s.validate(cls, obj)
+}
+
+// Reserve validates a new object against its class schema and assigns it
+// an OID from the store's sequence without persisting anything. The
+// reservation is in-memory only; it becomes durable with the batch that
+// inserts the object (ApplyBatch pins the sequence). A reservation that
+// is abandoned simply goes unreferenced — at worst an OID gap.
+func (s *Store) Reserve(obj *Object) (OID, error) {
+	if err := s.ValidateNew(obj); err != nil {
+		return 0, err
+	}
+	obj.OID = OID(s.st.AllocID("oid"))
+	return obj.OID, nil
+}
+
+// CheckUpdate validates an in-place update target without applying it:
+// the new state must satisfy the class schema and the OID must currently
+// resolve to an object of that class.
+func (s *Store) CheckUpdate(obj *Object) error {
+	if obj.OID == 0 {
+		return fmt.Errorf("%w: update needs an OID", ErrBadAttr)
+	}
+	cls, err := s.cat.Class(obj.Class)
+	if err != nil {
+		return err
+	}
+	if err := s.validate(cls, obj); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	ref, ok := s.rids[obj.OID]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: oid %d", ErrNotFound, obj.OID)
+	}
+	if ref.heap != heapFor(obj.Class) {
+		return fmt.Errorf("%w: object %d is of class %s, not %s",
+			ErrBadAttr, obj.OID, ref.heap[len("obj_"):], obj.Class)
+	}
+	return nil
+}
+
+// ApplyBatch applies a staged set of mutations as one atomic storage
+// batch. Encoding (and blob offload) happens before the store lock is
+// taken; rid resolution, the WAL group commit, and index publication
+// happen under it, so concurrent single-op mutators cannot interleave.
+// An update or delete whose target vanished since staging fails the
+// whole batch with ErrConflict.
+func (s *Store) ApplyBatch(ops BatchOps) error {
+	alloc := func(seq string) (uint64, error) { return s.st.AllocID(seq), nil }
+	type encoded struct {
+		obj   *Object
+		rec   []byte
+		blobs []storage.BlobID
+	}
+	var newBlobs []storage.BlobID
+	undoBlobs := func() {
+		for _, b := range newBlobs {
+			_ = s.st.Blobs().Delete(b)
+		}
+	}
+	encode := func(objs []*Object) ([]encoded, error) {
+		out := make([]encoded, 0, len(objs))
+		for _, obj := range objs {
+			rec, blobs, err := s.encodeObject(obj, alloc)
+			if err != nil {
+				return nil, err
+			}
+			newBlobs = append(newBlobs, blobs...)
+			out = append(out, encoded{obj: obj, rec: rec, blobs: blobs})
+		}
+		return out, nil
+	}
+	inserts, err := encode(ops.Inserts)
+	if err != nil {
+		undoBlobs()
+		return err
+	}
+	for _, in := range inserts {
+		if in.obj.OID == 0 {
+			undoBlobs()
+			return fmt.Errorf("%w: batch insert without a reserved OID", ErrBadAttr)
+		}
+	}
+	updates, err := encode(ops.Updates)
+	if err != nil {
+		undoBlobs()
+		return err
+	}
+
+	s.mu.Lock()
+	// Resolve every mutated rid under the lock; a missing target means a
+	// concurrent single-op writer won the race since staging.
+	oldRefs := make([]ridRef, len(updates))
+	for i, up := range updates {
+		ref, ok := s.rids[up.obj.OID]
+		if !ok {
+			s.mu.Unlock()
+			undoBlobs()
+			return fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, up.obj.OID)
+		}
+		if ref.heap != heapFor(up.obj.Class) {
+			s.mu.Unlock()
+			undoBlobs()
+			return fmt.Errorf("%w: object %d is of class %s, not %s",
+				ErrBadAttr, up.obj.OID, ref.heap[len("obj_"):], up.obj.Class)
+		}
+		oldRefs[i] = ref
+	}
+	delRefs := make([]ridRef, len(ops.Deletes))
+	for i, oid := range ops.Deletes {
+		ref, ok := s.rids[oid]
+		if !ok {
+			s.mu.Unlock()
+			undoBlobs()
+			return fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, oid)
+		}
+		delRefs[i] = ref
+	}
+
+	b := s.st.NewBatch()
+	insIdx := make([]int, len(inserts))
+	for i, in := range inserts {
+		insIdx[i] = b.Insert(heapFor(in.obj.Class), in.rec)
+	}
+	upIdx := make([]int, len(updates))
+	for i, up := range updates {
+		upIdx[i] = b.Insert(oldRefs[i].heap, up.rec)
+		b.Delete(oldRefs[i].heap, oldRefs[i].rid)
+	}
+	for i := range ops.Deletes {
+		b.Delete(delRefs[i].heap, delRefs[i].rid)
+	}
+	for _, ex := range ops.Extra {
+		b.Insert(ex.Heap, ex.Rec)
+	}
+	for _, seq := range append([]string{"oid", "objrev", "blob"}, ops.PinSeqs...) {
+		b.PinSequence(seq)
+	}
+	rids, err := b.Commit()
+	if err != nil {
+		s.mu.Unlock()
+		undoBlobs()
+		return err
+	}
+
+	// The batch is durable: publish to the in-memory maps and indexes.
+	var orphaned []storage.BlobID
+	for i, in := range inserts {
+		s.rids[in.obj.OID] = ridRef{heap: heapFor(in.obj.Class), rid: rids[insIdx[i]]}
+		s.indexLocked(in.obj.Class, in.obj)
+		s.blobsByOID[in.obj.OID] = in.blobs
+	}
+	for i, up := range updates {
+		orphaned = append(orphaned, s.blobsByOID[up.obj.OID]...)
+		s.rids[up.obj.OID] = ridRef{heap: oldRefs[i].heap, rid: rids[upIdx[i]]}
+		s.blobsByOID[up.obj.OID] = up.blobs
+		if ti := s.temporal[up.obj.Class]; ti != nil && !up.obj.Extent.HasTime {
+			ti.Delete(uint64(up.obj.OID))
+		}
+		s.indexLocked(up.obj.Class, up.obj)
+	}
+	for i, oid := range ops.Deletes {
+		class := delRefs[i].heap[len("obj_"):]
+		orphaned = append(orphaned, s.blobsByOID[oid]...)
+		delete(s.rids, oid)
+		delete(s.blobsByOID, oid)
+		if gi := s.spatial[class]; gi != nil {
+			gi.Delete(uint64(oid))
+		}
+		if ti := s.temporal[class]; ti != nil {
+			ti.Delete(uint64(oid))
+		}
+		s.members[class] = removeSorted(s.members[class], oid)
+	}
+	s.mu.Unlock()
+
+	// Superseded blobs are best-effort cleanup, exactly as in Update.
+	for _, bl := range orphaned {
+		_ = s.st.Blobs().Delete(bl)
+	}
+	return nil
+}
+
+// QueryFrom streams the OIDs of class objects whose extent matches pred
+// in ascending OID order, starting strictly after `after` (0 = from the
+// start). The candidate set is snapshotted from the indexes up front
+// (cheap — OIDs only), but extents are loaded and verified lazily per
+// pull, so a consumer that stops early never touches the rest of the
+// extent. Candidates deleted between snapshot and pull are skipped.
+func (s *Store) QueryFrom(class string, pred sptemp.Extent, after OID) iter.Seq2[OID, error] {
+	return func(yield func(OID, error) bool) {
+		if !s.cat.Exists(class) {
+			yield(0, fmt.Errorf("%w: class %q", catalog.ErrClassNotFound, class))
+			return
+		}
+		s.mu.RLock()
+		var candidates []OID
+		switch {
+		case !pred.Space.IsEmpty() && s.spatial[class] != nil:
+			for _, id := range s.spatial[class].Search(pred.Space) {
+				candidates = append(candidates, OID(id))
+			}
+		case pred.HasTime && s.temporal[class] != nil:
+			for _, id := range s.temporal[class].Search(pred.TimeIv) {
+				candidates = append(candidates, OID(id))
+			}
+		default:
+			candidates = append(candidates, s.members[class]...)
+		}
+		s.mu.RUnlock()
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+		for _, oid := range candidates {
+			if oid <= after {
+				continue
+			}
+			s.mu.RLock()
+			ref, ok := s.rids[oid]
+			s.mu.RUnlock()
+			if !ok {
+				continue // deleted since the snapshot
+			}
+			rec, err := s.st.Get(ref.heap, ref.rid)
+			if err != nil {
+				if errors.Is(err, storage.ErrNotFound) {
+					continue
+				}
+				yield(0, err)
+				return
+			}
+			ext, err := decodeExtentOnly(rec)
+			if err != nil {
+				yield(0, err)
+				return
+			}
+			if !ext.Matches(pred) {
+				continue
+			}
+			if !yield(oid, nil) {
+				return
+			}
+		}
+	}
+}

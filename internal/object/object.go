@@ -28,6 +28,9 @@ type OID uint64
 var (
 	ErrNotFound = errors.New("object: not found")
 	ErrBadAttr  = errors.New("object: attribute error")
+	// ErrConflict reports that an object changed (or vanished) under a
+	// concurrent mutation between staging and applying a write.
+	ErrConflict = errors.New("object: concurrent modification")
 )
 
 // Object is one scientific data object.
@@ -211,7 +214,7 @@ func (s *Store) Insert(obj *Object) (OID, error) {
 	}
 	obj.OID = OID(id)
 
-	rec, blobIDs, err := s.encodeObject(obj)
+	rec, blobIDs, err := s.encodeObject(obj, s.st.NextID)
 	if err != nil {
 		return 0, err
 	}
@@ -291,7 +294,7 @@ func (s *Store) Update(obj *Object) error {
 		return fmt.Errorf("%w: object %d is of class %s, not %s",
 			ErrBadAttr, obj.OID, ref.heap[len("obj_"):], obj.Class)
 	}
-	rec, newBlobs, err := s.encodeObject(obj)
+	rec, newBlobs, err := s.encodeObject(obj, s.st.NextID)
 	if err != nil {
 		return err
 	}
@@ -312,7 +315,7 @@ func (s *Store) Update(obj *Object) error {
 		for _, b := range newBlobs {
 			s.st.Blobs().Delete(b)
 		}
-		return fmt.Errorf("%w: oid %d changed concurrently", ErrNotFound, obj.OID)
+		return fmt.Errorf("%w: oid %d changed concurrently", ErrConflict, obj.OID)
 	}
 	oldBlobs := s.blobsByOID[obj.OID]
 	s.rids[obj.OID] = ridRef{heap: ref.heap, rid: rid}
@@ -540,8 +543,12 @@ const (
 	objMagicLegacy = "GOBJ"
 )
 
-func (s *Store) encodeObject(obj *Object) ([]byte, []storage.BlobID, error) {
-	rev, err := s.st.NextID("objrev")
+// encodeObject serialises an object, offloading images to blobs. alloc
+// issues the revision stamp and blob ids: the single-op paths pass the
+// store's durable NextID, batch commits pass an in-memory AllocID wrapper
+// whose sequences the batch pins at commit.
+func (s *Store) encodeObject(obj *Object, alloc func(string) (uint64, error)) ([]byte, []storage.BlobID, error) {
+	rev, err := alloc("objrev")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -573,7 +580,7 @@ func (s *Store) encodeObject(obj *Object) ([]byte, []storage.BlobID, error) {
 		v := obj.Attrs[n]
 		buf = appendStr16(buf, n)
 		if img, ok := v.(value.Image); ok && img.Img != nil {
-			id, err := s.st.NextID("blob")
+			id, err := alloc("blob")
 			if err != nil {
 				return nil, nil, err
 			}

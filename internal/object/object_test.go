@@ -582,7 +582,7 @@ func TestReopenHealsInterruptedUpdate(t *testing.T) {
 	// Update would leave behind.
 	newer := sceneObject("nir", 0, day)
 	newer.OID = oid
-	rec, _, err := obj.encodeObject(newer)
+	rec, _, err := obj.encodeObject(newer, st.NextID)
 	if err != nil {
 		t.Fatal(err)
 	}

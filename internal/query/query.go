@@ -54,6 +54,14 @@ type Request struct {
 	// Parallelism caps the workers used for this query's plan stages
 	// (0 = the task executor's Workers setting, then GOMAXPROCS).
 	Parallelism int
+	// Limit caps the number of answering objects (0 = unlimited). A
+	// limited Stream records a resume cursor when the cap is reached.
+	Limit int
+	// Cursor resumes a previous Stream from where it stopped (the value
+	// of Stream.Cursor after a limited or abandoned iteration). Only
+	// streaming honours it; a cursor implies retrieval already produced
+	// data, so resumed streams never fall back to derivation.
+	Cursor string
 }
 
 // Result reports how a query was satisfied.
@@ -77,6 +85,18 @@ var (
 	ErrBadRequest  = errors.New("query: bad request")
 	ErrUnsatisfied = errors.New("query: cannot satisfy request")
 )
+
+// trim caps the result at limit answering objects (0 = unlimited).
+func (r *Result) trim(limit int) {
+	if limit <= 0 || len(r.OIDs) <= limit {
+		return
+	}
+	r.OIDs = r.OIDs[:limit]
+	r.How = r.How[:limit]
+	if r.Stale != nil {
+		r.Stale = r.Stale[:limit]
+	}
+}
 
 // Executor wires the layers together.
 type Executor struct {
@@ -144,6 +164,7 @@ func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
 		if !servedStale {
 			res.Stale = nil
 		}
+		res.trim(req.Limit)
 		return res, nil
 	}
 	res.Stale = nil
@@ -176,6 +197,7 @@ func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
 				res.OIDs = append(res.OIDs, oid)
 				res.How = append(res.How, Derive)
 			}
+			res.trim(req.Limit)
 			return res, nil
 		case Retrieve:
 			// Already attempted above.
@@ -195,7 +217,7 @@ func (qe *Executor) targetClasses(req Request) ([]string, error) {
 		return nil, fmt.Errorf("%w: set Class or Concept, not both", ErrBadRequest)
 	case req.Class != "":
 		if !qe.Cat.Exists(req.Class) {
-			return nil, fmt.Errorf("%w: class %q unknown", ErrBadRequest, req.Class)
+			return nil, fmt.Errorf("%w: %w: %q", ErrBadRequest, catalog.ErrClassNotFound, req.Class)
 		}
 		return []string{req.Class}, nil
 	case req.Concept != "":
@@ -216,7 +238,7 @@ func (qe *Executor) targetClasses(req Request) ([]string, error) {
 // instant (requires a timed predicate), per class.
 func (qe *Executor) tryInterpolate(ctx context.Context, classes []string, req Request) (object.OID, error) {
 	if !req.Pred.HasTime {
-		return 0, fmt.Errorf("interpolation needs a temporal predicate")
+		return 0, fmt.Errorf("%w: interpolation needs a temporal predicate", ErrBadRequest)
 	}
 	at := req.Pred.TimeIv.Start
 	var lastErr error

@@ -1,0 +1,234 @@
+package query
+
+// Streaming retrieval: the cursor-style counterpart of Run. Instead of
+// materialising every matching object before returning, a Stream yields
+// objects one at a time as the consumer pulls — the storage layer
+// verifies extents lazily, objects load on demand, and the §2.1.5
+// fallback chain (interpolation, derivation) only runs if the consumer
+// actually drains an empty retrieval. Request.Limit caps a page and
+// Request.Cursor resumes the next one, so arbitrarily large extents are
+// served in bounded memory.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gaea/internal/object"
+)
+
+// Stream is a single-use cursor over query results, backed by an
+// iter.Seq2. Iterate with All (range-over-func); after iteration stops —
+// because the Limit page filled, the consumer broke out, or the results
+// ran dry — Cursor reports where to resume (empty when exhausted).
+type Stream struct {
+	seq iter.Seq2[*object.Object, error]
+
+	mu       sync.Mutex
+	cursor   string
+	consumed bool
+}
+
+// All returns the underlying sequence. The stream is single-use:
+// ranging a second time yields an error.
+func (s *Stream) All() iter.Seq2[*object.Object, error] { return s.seq }
+
+// Cursor returns the resume token: pass it as Request.Cursor to continue
+// where the iteration stopped. Empty means the results were exhausted
+// (or iteration has not stopped yet).
+func (s *Stream) Cursor() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+func (s *Stream) setCursor(c string) {
+	s.mu.Lock()
+	s.cursor = c
+	s.mu.Unlock()
+}
+
+func (s *Stream) claim() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.consumed {
+		return false
+	}
+	s.consumed = true
+	return true
+}
+
+// Cursor wire format: "c1|<class>|<last OID>". Class names contain no
+// '|' (they are identifiers), so LastIndex splits unambiguously.
+const cursorVersion = "c1"
+
+func encodeCursor(class string, oid object.OID) string {
+	return cursorVersion + "|" + class + "|" + strconv.FormatUint(uint64(oid), 10)
+}
+
+func parseCursor(c string) (class string, after object.OID, err error) {
+	parts := strings.Split(c, "|")
+	if len(parts) != 3 || parts[0] != cursorVersion || parts[1] == "" {
+		return "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
+	}
+	n, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
+	}
+	return parts[1], object.OID(n), nil
+}
+
+// Stream answers a request incrementally. Validation (classes, cursor)
+// happens up front so the caller gets request errors immediately; all
+// retrieval and fallback work is deferred to iteration. Stale objects
+// are skipped (or served, under ServeStale) exactly as in Run.
+func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	classes, err := qe.targetClasses(req)
+	if err != nil {
+		return nil, err
+	}
+	strategies := req.Strategies
+	if len(strategies) == 0 {
+		strategies = []Strategy{Interpolate, Derive}
+	}
+	for _, s := range strategies {
+		switch s {
+		case Retrieve, Interpolate, Derive:
+		default:
+			return nil, fmt.Errorf("%w: unknown strategy %q", ErrBadRequest, s)
+		}
+	}
+	startIdx, startAfter := 0, object.OID(0)
+	resumed := req.Cursor != ""
+	if resumed {
+		class, after, err := parseCursor(req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		idx := -1
+		for i, cls := range classes {
+			if cls == class {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: cursor class %q is not a target of this request", ErrBadRequest, class)
+		}
+		startIdx, startAfter = idx, after
+	}
+
+	st := &Stream{cursor: req.Cursor}
+	st.seq = func(yield func(*object.Object, error) bool) {
+		if !st.claim() {
+			yield(nil, fmt.Errorf("%w: stream already consumed", ErrBadRequest))
+			return
+		}
+		yielded := 0
+		served := false
+		for ci := startIdx; ci < len(classes); ci++ {
+			after := object.OID(0)
+			if ci == startIdx {
+				after = startAfter
+			}
+			for oid, err := range qe.Obj.QueryFrom(classes[ci], req.Pred, after) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					yield(nil, err)
+					return
+				}
+				if qe.isStale(oid) && !qe.ServeStale {
+					continue
+				}
+				o, err := qe.Obj.Get(oid)
+				if err != nil {
+					if errors.Is(err, object.ErrNotFound) {
+						continue // deleted between match and load
+					}
+					yield(nil, err)
+					return
+				}
+				served = true
+				if !yield(o, nil) {
+					st.setCursor(encodeCursor(classes[ci], oid))
+					return
+				}
+				yielded++
+				if req.Limit > 0 && yielded >= req.Limit {
+					st.setCursor(encodeCursor(classes[ci], oid))
+					return
+				}
+			}
+		}
+		if served || resumed {
+			// Exhausted: a resumed stream never falls back to derivation —
+			// its first page proved retrieval serves this request.
+			st.setCursor("")
+			return
+		}
+		qe.streamFallback(ctx, classes, strategies, req, st, yield)
+	}
+	return st, nil
+}
+
+// streamFallback runs the §2.1.5 fallback chain lazily — only reached
+// when the consumer drained an empty retrieval, so QueryStream itself
+// never pays for planning or derivation.
+func (qe *Executor) streamFallback(ctx context.Context, classes []string, strategies []Strategy, req Request, st *Stream, yield func(*object.Object, error) bool) {
+	st.setCursor("")
+	var lastErr error
+	for _, s := range strategies {
+		switch s {
+		case Interpolate:
+			oid, err := qe.tryInterpolate(ctx, classes, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			o, err := qe.Obj.Get(oid)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			yield(o, nil)
+			return
+		case Derive:
+			oids, _, _, err := qe.tryDerive(ctx, classes, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if req.Limit > 0 && len(oids) > req.Limit {
+				oids = oids[:req.Limit]
+			}
+			for _, oid := range oids {
+				o, err := qe.Obj.Get(oid)
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if !yield(o, nil) {
+					return
+				}
+			}
+			return
+		case Retrieve:
+			// Already attempted by the caller.
+		}
+	}
+	if lastErr != nil {
+		yield(nil, fmt.Errorf("%w: %w", ErrUnsatisfied, lastErr))
+		return
+	}
+	yield(nil, ErrUnsatisfied)
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBatchCommitAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a record so the batch can also delete something.
+	oldRID, err := s.Insert("a", []byte("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := s.AllocID("widget")
+	b := s.NewBatch()
+	i0 := b.Insert("a", []byte("one"))
+	i1 := b.Insert("b", []byte("two"))
+	b.Delete("a", oldRID)
+	b.MetaSet("k", []byte("v"))
+	b.PinSequence("widget")
+	rids, err := b.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 2 {
+		t.Fatalf("rids = %v", rids)
+	}
+	if rec, err := s.Get("a", rids[i0]); err != nil || string(rec) != "one" {
+		t.Fatalf("a record = %q, %v", rec, err)
+	}
+	if rec, err := s.Get("b", rids[i1]); err != nil || string(rec) != "two" {
+		t.Fatalf("b record = %q, %v", rec, err)
+	}
+	if _, err := s.Get("a", oldRID); err == nil {
+		t.Fatal("deleted record still readable")
+	}
+	if _, err := b.Commit(); err == nil {
+		t.Fatal("second Commit should fail")
+	}
+
+	// Crash (no checkpoint): replay must reproduce the whole group and the
+	// pinned sequence must not re-issue the reserved ID.
+	s.closeHeaps()
+	s.wal.close()
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec, err := s2.Get("a", rids[i0]); err != nil || string(rec) != "one" {
+		t.Fatalf("after replay: a record = %q, %v", rec, err)
+	}
+	if rec, err := s2.Get("b", rids[i1]); err != nil || string(rec) != "two" {
+		t.Fatalf("after replay: b record = %q, %v", rec, err)
+	}
+	if _, err := s2.Get("a", oldRID); err == nil {
+		t.Fatal("after replay: deleted record came back")
+	}
+	if v, ok := s2.MetaGet("k"); !ok || string(v) != "v" {
+		t.Fatalf("after replay: meta = %q, %v", v, ok)
+	}
+	if next, err := s2.NextID("widget"); err != nil || next != id+1 {
+		t.Fatalf("pinned sequence: next = %d, %v (want %d)", next, err, id+1)
+	}
+}
+
+func TestBatchTornTailDropsWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("a", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	b := s.NewBatch()
+	b.Insert("a", []byte("batch-1"))
+	b.Insert("a", []byte("batch-2"))
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.closeHeaps()
+	s.wal.close()
+
+	// Tear the tail of the batch record: the whole group must be dropped
+	// on replay — never just its second insert.
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the last entry's header and truncate into its payload.
+	off := 0
+	lastOff := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+8+n > len(data) {
+			break
+		}
+		lastOff = off
+		off += 8 + n
+	}
+	if err := os.WriteFile(walPath, data[:lastOff+12], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var recs []string
+	err = s2.Scan("a", func(rid RID, rec []byte) bool {
+		recs = append(recs, string(rec))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != "committed" {
+		t.Fatalf("after torn batch: records = %v, want [committed] only", recs)
+	}
+}

@@ -30,6 +30,11 @@ const (
 	opDelete  byte = 2 // heapName, rid
 	opMetaSet byte = 3 // key, value
 	opMetaDel byte = 4 // key
+	// opBatch wraps a group of sub-entries in ONE log record: the group
+	// shares a single length/crc header, so replay sees either all of its
+	// mutations or none (a torn tail drops the whole group). Batched
+	// session commits use it to make multi-object mutations atomic.
+	opBatch byte = 5 // count, then per sub-entry: u32 len + payload
 )
 
 // walEntry is one decoded log record.
@@ -102,32 +107,17 @@ func (w *wal) syncLocked() error {
 
 // logInsert records a heap insert.
 func (w *wal) logInsert(heap string, rid RID, rec []byte) error {
-	buf := make([]byte, 0, 1+2+len(heap)+6+4+len(rec))
-	buf = append(buf, opInsert)
-	buf = appendString(buf, heap)
-	buf = appendRID(buf, rid)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
-	buf = append(buf, rec...)
-	return w.append(buf)
+	return w.append(insertPayload(heap, rid, rec))
 }
 
 // logDelete records a heap delete.
 func (w *wal) logDelete(heap string, rid RID) error {
-	buf := make([]byte, 0, 1+2+len(heap)+6)
-	buf = append(buf, opDelete)
-	buf = appendString(buf, heap)
-	buf = appendRID(buf, rid)
-	return w.append(buf)
+	return w.append(deletePayload(heap, rid))
 }
 
 // logMetaSet records a meta key update.
 func (w *wal) logMetaSet(key string, val []byte) error {
-	buf := make([]byte, 0, 1+2+len(key)+4+len(val))
-	buf = append(buf, opMetaSet)
-	buf = appendString(buf, key)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
-	buf = append(buf, val...)
-	return w.append(buf)
+	return w.append(metaSetPayload(key, val))
 }
 
 // logMetaDel records a meta key removal.
@@ -136,6 +126,50 @@ func (w *wal) logMetaDel(key string) error {
 	buf = append(buf, opMetaDel)
 	buf = appendString(buf, key)
 	return w.append(buf)
+}
+
+// logGroup records a set of sub-entry payloads as one atomic opBatch
+// record: one append, one crc, at most one fsync.
+func (w *wal) logGroup(payloads [][]byte) error {
+	n := 1 + 4
+	for _, p := range payloads {
+		n += 4 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, opBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payloads)))
+	for _, p := range payloads {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return w.append(buf)
+}
+
+// Sub-entry payload builders, shared by the single-op loggers above and
+// the batch committer.
+
+func insertPayload(heap string, rid RID, rec []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(heap)+6+4+len(rec))
+	buf = append(buf, opInsert)
+	buf = appendString(buf, heap)
+	buf = appendRID(buf, rid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	return append(buf, rec...)
+}
+
+func deletePayload(heap string, rid RID) []byte {
+	buf := make([]byte, 0, 1+2+len(heap)+6)
+	buf = append(buf, opDelete)
+	buf = appendString(buf, heap)
+	return appendRID(buf, rid)
+}
+
+func metaSetPayload(key string, val []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(key)+4+len(val))
+	buf = append(buf, opMetaSet)
+	buf = appendString(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	return append(buf, val...)
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -193,12 +227,50 @@ func readWAL(path string) ([]walEntry, error) {
 		if crc32.ChecksumIEEE(payload) != want {
 			break // corrupt tail
 		}
+		if len(payload) > 0 && payload[0] == opBatch {
+			subs, err := decodeGroup(payload)
+			if err != nil {
+				break
+			}
+			entries = append(entries, subs...)
+			off += 8 + n
+			continue
+		}
 		e, err := decodeEntry(payload)
 		if err != nil {
 			break
 		}
 		entries = append(entries, e)
 		off += 8 + n
+	}
+	return entries, nil
+}
+
+// decodeGroup unpacks an opBatch record into its sub-entries. The crc of
+// the enclosing record already vouched for the bytes, so any decode error
+// here means a malformed writer, and the whole group is rejected.
+func decodeGroup(p []byte) ([]walEntry, error) {
+	if len(p) < 5 {
+		return nil, fmt.Errorf("storage: truncated wal batch header")
+	}
+	count := int(binary.LittleEndian.Uint32(p[1:]))
+	rest := p[5:]
+	entries := make([]walEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("storage: truncated wal batch length")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return nil, fmt.Errorf("storage: truncated wal batch entry")
+		}
+		e, err := decodeEntry(rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+		rest = rest[n:]
 	}
 	return entries, nil
 }

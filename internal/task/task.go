@@ -758,3 +758,39 @@ func (e *Executor) RecordExternal(procName string, inputs map[string][]object.OI
 		Note:     opts.Note,
 	})
 }
+
+// StageExternal prepares an external-derivation task for inclusion in an
+// atomic storage batch instead of logging it immediately: the task ID is
+// reserved in memory, and the marshalled heap record is returned for the
+// caller to commit alongside its object mutations (the batch must pin the
+// "task" sequence — object.Store.ApplyBatch accepts it via PinSeqs).
+// After the batch commits, Publish indexes the task.
+func (e *Executor) StageExternal(procName string, inputs map[string][]object.OID, output object.OID, outClass string, opts RunOptions) (*Task, object.ExtraRec, error) {
+	t := &Task{
+		ID:       ID(e.st.AllocID("task")),
+		Process:  procName,
+		Version:  0,
+		User:     opts.User,
+		Inputs:   inputs,
+		Output:   output,
+		OutClass: outClass,
+		Note:     opts.Note,
+	}
+	rec, err := json.Marshal(t)
+	if err != nil {
+		return nil, object.ExtraRec{}, err
+	}
+	return t, object.ExtraRec{Heap: tasksHeap, Rec: rec}, nil
+}
+
+// Publish indexes a staged task whose record was committed by a storage
+// batch, and fires the OnRecord hook, exactly as record does for tasks
+// the executor persists itself.
+func (e *Executor) Publish(t *Task) {
+	e.mu.Lock()
+	e.indexLocked(t)
+	e.mu.Unlock()
+	if e.OnRecord != nil {
+		e.OnRecord(t)
+	}
+}

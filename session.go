@@ -1,0 +1,221 @@
+package gaea
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gaea/internal/object"
+	"gaea/internal/task"
+)
+
+// Session is a mutation scope: Create, Update, and Delete stage work in
+// memory, and Commit applies the whole set as ONE atomic WAL batch with
+// ONE derivation-graph invalidation sweep under a single stale epoch.
+// Batching amortises the two per-op costs of the single-call API — the
+// log fsync and the transitive invalidation walk — so N updates to
+// objects sharing dependents cost one sweep, not N. Rollback discards
+// the staged work (nothing durable happens before Commit).
+//
+// Staging validates eagerly: Create and Update check the class schema
+// immediately, so bad objects fail at the call, not at Commit. Created
+// objects receive their final OID at Create time (reserved in memory,
+// durable with the commit), so later staged ops and post-commit code can
+// refer to them. Objects handed to Create/Update must not be mutated
+// until the session finishes.
+//
+// A Session is safe for concurrent use, single-shot (one Commit or
+// Rollback), and not serialisable against other writers: if a concurrent
+// mutation removes an object this session staged an update or delete
+// for, Commit fails atomically with ErrConflict.
+type Session struct {
+	k   *Kernel
+	ctx context.Context
+
+	mu        sync.Mutex
+	done      bool
+	creates   []stagedCreate
+	createIdx map[object.OID]int
+	updates   []*object.Object
+	updateIdx map[object.OID]int
+	deletes   []object.OID
+	deleteIdx map[object.OID]int
+}
+
+type stagedCreate struct {
+	obj  *object.Object
+	note string
+}
+
+// Begin opens a mutation session. The context bounds Commit (staging
+// itself never blocks); cancelling it before Commit aborts the commit.
+func (k *Kernel) Begin(ctx context.Context) *Session {
+	return &Session{
+		k:         k,
+		ctx:       ctx,
+		createIdx: make(map[object.OID]int),
+		updateIdx: make(map[object.OID]int),
+		deleteIdx: make(map[object.OID]int),
+	}
+}
+
+func (s *Session) check() error {
+	if s.done {
+		return fmt.Errorf("%w: session finished", ErrClosed)
+	}
+	return s.k.checkOpen()
+}
+
+// Create stages a new object (base data) and returns its reserved OID.
+// The load task recording its provenance note is staged with it — even
+// an empty note records the load, so the object is never invisible to
+// lineage. The object becomes retrievable at Commit.
+func (s *Session) Create(obj *object.Object, note string) (object.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return 0, classify(err)
+	}
+	oid, err := s.k.Objects.Reserve(obj)
+	if err != nil {
+		return 0, classify(err)
+	}
+	s.createIdx[oid] = len(s.creates)
+	s.creates = append(s.creates, stagedCreate{obj: obj, note: note})
+	return oid, nil
+}
+
+// Update stages an in-place replacement of an existing object (same OID,
+// same class). Updating an object created in this session replaces its
+// staged state; re-updating a staged update replaces the earlier one
+// (last write wins within the session).
+func (s *Session) Update(obj *object.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return classify(err)
+	}
+	if _, staged := s.deleteIdx[obj.OID]; staged {
+		return fmt.Errorf("%w: object %d is staged for deletion in this session", ErrConflict, obj.OID)
+	}
+	if i, staged := s.createIdx[obj.OID]; staged {
+		// Validate like a fresh create, then swap the staged state.
+		if err := s.k.Objects.ValidateNew(obj); err != nil {
+			return classify(err)
+		}
+		s.creates[i].obj = obj
+		return nil
+	}
+	if err := s.k.Objects.CheckUpdate(obj); err != nil {
+		return classify(err)
+	}
+	if i, staged := s.updateIdx[obj.OID]; staged {
+		s.updates[i] = obj
+		return nil
+	}
+	s.updateIdx[obj.OID] = len(s.updates)
+	s.updates = append(s.updates, obj)
+	return nil
+}
+
+// Delete stages an object removal. Deleting an object created in this
+// session simply discards the staged create.
+func (s *Session) Delete(oid object.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return classify(err)
+	}
+	if i, staged := s.createIdx[oid]; staged {
+		s.creates[i].obj = nil // tombstone; skipped at commit
+		delete(s.createIdx, oid)
+		return nil
+	}
+	if !s.k.Objects.Exists(oid) {
+		return classify(fmt.Errorf("%w: oid %d", object.ErrNotFound, oid))
+	}
+	if i, staged := s.updateIdx[oid]; staged {
+		s.updates[i] = nil // superseded by the delete
+		delete(s.updateIdx, oid)
+	}
+	if _, staged := s.deleteIdx[oid]; staged {
+		return nil
+	}
+	s.deleteIdx[oid] = len(s.deletes)
+	s.deletes = append(s.deletes, oid)
+	return nil
+}
+
+// Commit applies every staged mutation atomically: one WAL batch (one
+// fsync) covering the object records, their load tasks, and the sequence
+// reservations, then one invalidation sweep marking all transitive
+// dependents stale under a single epoch. If the batch fails (validation,
+// conflict, I/O) nothing is applied; if the batch committed but the
+// invalidation sweep then failed, the mutations ARE durable and the
+// error says so — the caller must not re-ingest, and RefreshStale (or
+// re-updating the roots) re-runs the propagation. Either way the session
+// is finished. An empty session commits as a no-op.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return classify(err)
+	}
+	s.done = true
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+
+	var ops object.BatchOps
+	var staged []*task.Task
+	for _, c := range s.creates {
+		if c.obj == nil {
+			continue // created then deleted within the session
+		}
+		ops.Inserts = append(ops.Inserts, c.obj)
+		t, rec, err := s.k.Tasks.StageExternal("data_load", nil, c.obj.OID, c.obj.Class,
+			task.RunOptions{User: s.k.user, Note: c.note})
+		if err != nil {
+			return classify(err)
+		}
+		staged = append(staged, t)
+		ops.Extra = append(ops.Extra, rec)
+	}
+	for _, u := range s.updates {
+		if u == nil {
+			continue // superseded by a staged delete
+		}
+		ops.Updates = append(ops.Updates, u)
+	}
+	ops.Deletes = s.deletes
+	if len(staged) > 0 {
+		ops.PinSeqs = []string{"task"}
+	}
+	if len(ops.Inserts)+len(ops.Updates)+len(ops.Deletes) == 0 {
+		return nil
+	}
+	if err := s.k.Objects.ApplyBatch(ops); err != nil {
+		return classify(err)
+	}
+	// Durable: publish lineage, then propagate all mutations in ONE sweep.
+	for _, t := range staged {
+		s.k.Tasks.Publish(t)
+	}
+	updated := make([]object.OID, 0, len(ops.Updates))
+	for _, u := range ops.Updates {
+		updated = append(updated, u.OID)
+	}
+	if err := s.k.Deriv.ObjectsChanged(updated, ops.Deletes); err != nil {
+		return classify(fmt.Errorf("gaea: session committed durably, but invalidation propagation failed (refresh or re-update to repropagate): %w", err))
+	}
+	return nil
+}
+
+// Rollback discards the staged work. Rolling back a finished session is
+// a no-op. Reserved OIDs simply go unreferenced — at worst an OID gap.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	return nil
+}
