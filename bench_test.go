@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"gaea/internal/adt"
 	"gaea/internal/catalog"
@@ -885,6 +887,130 @@ func BenchmarkUpdateInvalidate(b *testing.B) {
 // record, and invalidation sweep) against ONE session commit (one atomic
 // WAL group, one sweep). The session path is the v2 API's batch-ingest
 // shape.
+// BenchmarkReadersUnderWriters measures MVCC's core promise: snapshot
+// readers are not serialized behind a batch writer. "idle" drains
+// paginated snapshot streams with no write load; "contended" runs the
+// same readers while one writer continuously commits whole-class update
+// sessions. With version-chain reads the two should be close — before
+// MVCC, every page raced the writer's in-place rewrites.
+func BenchmarkReadersUnderWriters(b *testing.B) {
+	const nObj = 256
+	setup := func(b *testing.B) (*Kernel, []object.OID) {
+		b.Helper()
+		k, err := Open(b.TempDir(), Options{NoSync: true, User: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { k.Close() })
+		if err := k.DefineClass(&catalog.Class{
+			Name: "gauge", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		s := k.Begin(context.Background())
+		oids := make([]object.OID, 0, nObj)
+		for i := 0; i < nObj; i++ {
+			x := float64(i * 20)
+			oid, err := s.Create(&object.Object{
+				Class:  "gauge",
+				Attrs:  map[string]value.Value{"mm": value.Float(0)},
+				Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+			}, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			oids = append(oids, oid)
+		}
+		if err := s.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		return k, oids
+	}
+	pred := sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}
+	drain := func(b *testing.B, k *Kernel) {
+		cursor := ""
+		seen := 0
+		for {
+			st, err := k.QueryStream(context.Background(), Request{Class: "gauge", Pred: pred, Limit: 64, Cursor: cursor})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, err := range st.All() {
+				if err != nil {
+					b.Fatal(err)
+				}
+				seen++
+			}
+			cursor = st.Cursor()
+			if cursor == "" {
+				break
+			}
+		}
+		if seen != nObj {
+			b.Fatalf("drain saw %d objects, want %d", seen, nObj)
+		}
+	}
+	bench := func(withWriter bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			k, oids := setup(b)
+			stop := make(chan struct{})
+			var commits atomic.Int64
+			var wg sync.WaitGroup
+			if withWriter {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Pace the writer at ~100 whole-class commits/s so the
+					// run measures lock interference, not raw CPU sharing
+					// with an unthrottled write loop.
+					tick := time.NewTicker(10 * time.Millisecond)
+					defer tick.Stop()
+					gen := 0.0
+					for {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+						}
+						gen++
+						s := k.Begin(context.Background())
+						for _, oid := range oids {
+							o, err := k.Objects.Get(oid)
+							if err != nil {
+								return
+							}
+							o.Attrs["mm"] = value.Float(gen)
+							if err := s.Update(o); err != nil {
+								return
+							}
+						}
+						if s.Commit() == nil {
+							commits.Add(1)
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					drain(b, k)
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "drains/s")
+			if withWriter {
+				b.ReportMetric(float64(commits.Load())/b.Elapsed().Seconds(), "commits/s")
+			}
+		}
+	}
+	b.Run("idle", bench(false))
+	b.Run("contended", bench(true))
+}
+
 func BenchmarkSessionBatchIngest(b *testing.B) {
 	const batch = 64
 	openIngest := func(b *testing.B) *Kernel {

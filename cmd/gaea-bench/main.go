@@ -38,6 +38,10 @@ var refresh = flag.String("refresh", "lazy", "C2 refresh policy: lazy|eager|manu
 // session commit carries vs the same count of single-op commits.
 var batch = flag.Int("batch", 256, "C3 batched-ingest batch size")
 
+// mvcc tunes the C4 snapshot-readers-under-writer scenario: reader
+// goroutine count (writer pacing is fixed at ~100 commits/s).
+var mvcc = flag.Int("mvcc", runtime.GOMAXPROCS(0), "C4 snapshot reader goroutine count")
+
 var ctx = context.Background()
 
 func main() {
@@ -51,6 +55,7 @@ func main() {
 	expC1()
 	expC2()
 	expC3()
+	expC4()
 	expP1()
 	fmt.Println("done")
 }
@@ -536,6 +541,136 @@ func expC3() {
 	fmt.Printf("| %d single-op commits | %v | %.0f |\n", *batch, perOp.Round(time.Microsecond), float64(*batch)/perOp.Seconds())
 	fmt.Printf("| 1 session commit | %v | %.0f |\n", session.Round(time.Microsecond), float64(*batch)/session.Seconds())
 	fmt.Printf("\nsession speedup: %.1fx\n\n", float64(perOp)/float64(session))
+}
+
+// C4: MVCC snapshot isolation — N reader goroutines drain paginated
+// snapshot streams (cursor resume between pages) over a class that one
+// paced writer keeps rewriting with whole-class update sessions. Each
+// drain checks the snapshot contract: every object read carries the same
+// generation stamp, and no drain skips or double-sees an object. The
+// table compares reader throughput with the writer off vs on — with
+// version-chain reads the two should be close, because readers resolve
+// at a pinned epoch instead of waiting on the writer's locks.
+func expC4() {
+	fmt.Printf("## C4 — MVCC: snapshot readers under a committing writer (readers=%d)\n", *mvcc)
+	const nObj = 256
+	dir, err := os.MkdirTemp("", "gaea-bench-c4-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k, err := gaea.Open(dir, gaea.Options{NoSync: true, User: "bench"})
+	must(err)
+	defer k.Close()
+	must(k.DefineClass(&catalog.Class{
+		Name: "gauge", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}))
+	seed := k.Begin(ctx)
+	oids := make([]object.OID, 0, nObj)
+	for i := 0; i < nObj; i++ {
+		x := float64(i * 20)
+		oid, err := seed.Create(&object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(0)},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+		}, "")
+		must(err)
+		oids = append(oids, oid)
+	}
+	must(seed.Commit())
+
+	pred := sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}
+	drain := func() {
+		cursor := ""
+		seen := 0
+		gen := -1.0
+		for {
+			st, err := k.QueryStream(ctx, gaea.Request{Class: "gauge", Pred: pred, Limit: 64, Cursor: cursor})
+			must(err)
+			for o, err := range st.All() {
+				must(err)
+				mm := float64(o.Attrs["mm"].(value.Float))
+				if gen < 0 {
+					gen = mm
+				} else if mm != gen {
+					must(fmt.Errorf("C4: drain straddled a commit: generation %v after %v", mm, gen))
+				}
+				seen++
+			}
+			cursor = st.Cursor()
+			if cursor == "" {
+				break
+			}
+		}
+		if seen != nObj {
+			must(fmt.Errorf("C4: drain saw %d objects, want %d (skip or phantom)", seen, nObj))
+		}
+	}
+	run := func(withWriter bool, window time.Duration) (drains int, commits int) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if withWriter {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(10 * time.Millisecond)
+				defer tick.Stop()
+				gen := 0.0
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					gen++
+					s := k.Begin(ctx)
+					for _, oid := range oids {
+						o, err := k.Objects.Get(oid)
+						must(err)
+						o.Attrs["mm"] = value.Float(gen)
+						must(s.Update(o))
+					}
+					if err := s.Commit(); err == nil {
+						commits++
+					}
+				}
+			}()
+		}
+		var total sync.WaitGroup
+		counts := make([]int, *mvcc)
+		deadline := time.Now().Add(window)
+		for r := 0; r < *mvcc; r++ {
+			total.Add(1)
+			go func(r int) {
+				defer total.Done()
+				for time.Now().Before(deadline) {
+					drain()
+					counts[r]++
+				}
+			}(r)
+		}
+		total.Wait()
+		close(stop)
+		wg.Wait()
+		for _, c := range counts {
+			drains += c
+		}
+		return drains, commits
+	}
+
+	const window = 2 * time.Second
+	idle, _ := run(false, window)
+	contended, commits := run(true, window)
+	_, _ = k.Checkpoint() // bound the version chains the writer grew
+
+	fmt.Println("| writer | snapshot drains/s | object reads/s | commits/s |")
+	fmt.Println("|---|---|---|---|")
+	fmt.Printf("| off | %.0f | %.0f | — |\n", float64(idle)/window.Seconds(), float64(idle*nObj)/window.Seconds())
+	fmt.Printf("| on (whole-class sessions) | %.0f | %.0f | %.0f |\n",
+		float64(contended)/window.Seconds(), float64(contended*nObj)/window.Seconds(), float64(commits)/window.Seconds())
+	if idle > 0 {
+		fmt.Printf("\nreader retention under writes: %.0f%% (every drain saw one consistent snapshot)\n\n", 100*float64(contended)/float64(idle))
+	}
 }
 
 // P1: planner scaling with chain depth.

@@ -39,11 +39,22 @@
 //
 //	fmt.Print(k.Explain(oid)) // full derivation history
 //
+// Every read runs against an MVCC snapshot: queries and streams pin a
+// commit epoch, stream cursors carry it across pages, and sessions
+// validate first-committer-wins at Commit. For a long-lived consistent
+// view, pin one explicitly:
+//
+//	snap, _ := k.Snapshot(ctx)     // read-only view at one commit epoch
+//	defer snap.Release()           // lets the GC horizon advance
+//	o, _ := snap.Get(oid)          // concurrent commits never show here
+//	res, _ := snap.Query(ctx, gaea.Request{Class: "ndvi", Pred: pred})
+//
 // Failures classify into a small typed taxonomy matched with errors.Is:
 // ErrNotFound, ErrClassUnknown, ErrNoPlan (the request cannot be
 // satisfied or derived), ErrStale (operation refuses stale inputs),
-// ErrConflict (a concurrent mutation won), and ErrClosed (kernel or
-// session already closed).
+// ErrConflict (a concurrent session committed first), ErrSnapshotGone
+// (a cursor's snapshot epoch was reclaimed by GC), and ErrClosed
+// (kernel or session already closed).
 //
 // The kernel is safe for concurrent use: queries, process runs, and
 // compound derivations may be issued from many goroutines. Independent

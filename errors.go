@@ -39,8 +39,13 @@ var (
 	// (e.g. reproducing a task whose recorded input was invalidated).
 	ErrStale = errors.New("gaea: stale derived data")
 	// ErrConflict: a concurrent mutation beat this one to the same
-	// object between staging and commit.
+	// object between staging and commit (first-committer-wins).
 	ErrConflict = errors.New("gaea: conflict")
+	// ErrSnapshotGone: a stream cursor (or re-pinned snapshot) names an
+	// MVCC epoch the garbage collector has already reclaimed past; the
+	// page cannot be resumed consistently. Re-issue the query for a fresh
+	// snapshot.
+	ErrSnapshotGone = errors.New("gaea: snapshot epoch reclaimed")
 	// ErrClosed: the kernel (or the session) has been closed.
 	ErrClosed = errors.New("gaea: closed")
 )
@@ -49,6 +54,7 @@ var (
 // specific causes (a conflict is often also a not-found underneath) come
 // first.
 var errTaxonomy = []struct{ cause, sentinel error }{
+	{object.ErrSnapshotGone, ErrSnapshotGone},
 	{object.ErrConflict, ErrConflict},
 	{task.ErrStaleInput, ErrStale},
 	{catalog.ErrClassNotFound, ErrClassUnknown},

@@ -77,7 +77,17 @@ type Options struct {
 	// Cost tunes the rematerialisation decision applied to invalidated
 	// derived objects (zero fields take defaults).
 	Cost CostModel
+	// CheckpointEveryBytes bounds WAL growth under sustained ingest: when
+	// the log exceeds this many bytes since the last checkpoint, a
+	// background worker runs Checkpoint (version GC + heap flush + log
+	// truncation). 0 takes the default (64 MiB); negative disables
+	// auto-checkpointing (Checkpoint can still be called manually).
+	CheckpointEveryBytes int64
 }
+
+// defaultCheckpointBytes is the auto-checkpoint threshold when
+// Options.CheckpointEveryBytes is zero.
+const defaultCheckpointBytes = 64 << 20
 
 // Kernel is an open Gaea database. All sub-managers are exported for
 // direct use; the methods on Kernel cover the common paths.
@@ -88,6 +98,14 @@ type Kernel struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+
+	// Auto-checkpoint state: the WAL-growth threshold, a single-flight
+	// guard so at most one background checkpoint runs, and a WaitGroup so
+	// Close can drain it.
+	checkpointEvery int64
+	checkpointing   atomic.Bool
+	checkpoints     atomic.Int64
+	bg              sync.WaitGroup
 
 	Store       *storage.Store
 	Catalog     *catalog.Catalog
@@ -156,10 +174,66 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		Planner:    k.Planner,
 		Interp:     k.Interp,
 		Exec:       k.Tasks,
-		Stale:      k.Deriv.IsStale,
+		Stale:      k.Deriv.IsStaleAt,
 		ServeStale: k.Deriv.Policy() == ManualRefresh,
 	}
+	switch {
+	case opts.CheckpointEveryBytes < 0:
+		k.checkpointEvery = 0 // disabled
+	case opts.CheckpointEveryBytes == 0:
+		k.checkpointEvery = defaultCheckpointBytes
+	default:
+		k.checkpointEvery = opts.CheckpointEveryBytes
+	}
+	if k.checkpointEvery > 0 {
+		k.Objects.AfterCommit = k.maybeAutoCheckpoint
+	}
 	return k, nil
+}
+
+// Checkpoint reclaims superseded object versions below the oldest pinned
+// snapshot epoch (MVCC GC), flushes all heaps and the meta snapshot, and
+// truncates the WAL. It returns the number of versions reclaimed. Safe
+// to call at any time; commits proceed again as soon as it releases the
+// storage lock.
+func (k *Kernel) Checkpoint() (int, error) {
+	if err := k.checkOpen(); err != nil {
+		return 0, err
+	}
+	n, err := k.Objects.GC()
+	if err != nil {
+		return n, classify(err)
+	}
+	if err := k.Store.Checkpoint(); err != nil {
+		return n, classify(err)
+	}
+	k.checkpoints.Add(1)
+	return n, nil
+}
+
+// maybeAutoCheckpoint is the object store's AfterCommit hook: when the
+// WAL has outgrown the configured threshold, it hands a Checkpoint to a
+// background worker (single-flight — a running checkpoint absorbs
+// concurrent triggers).
+func (k *Kernel) maybeAutoCheckpoint() {
+	if k.Store.WALBytes() < k.checkpointEvery || k.closed.Load() {
+		return
+	}
+	if !k.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	k.bg.Add(1)
+	go func() {
+		defer k.bg.Done()
+		defer k.checkpointing.Store(false)
+		if k.closed.Load() {
+			return
+		}
+		// Errors surface through Stats (the WAL keeps growing) and on the
+		// next explicit Checkpoint; the trigger itself must not crash the
+		// committer that fired it.
+		_, _ = k.Checkpoint()
+	}()
 }
 
 // Close stops the derived-data refresher, then checkpoints and closes the
@@ -172,6 +246,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 func (k *Kernel) Close() error {
 	k.closeOnce.Do(func() {
 		k.closed.Store(true)
+		k.bg.Wait() // drain any in-flight background checkpoint
 		k.Deriv.Close()
 		k.closeErr = k.Store.Close()
 	})
@@ -434,15 +509,21 @@ func (k *Kernel) CanDerive(class string, pred sptemp.Extent) (bool, error) {
 	return n.CanDerive(m, class), nil
 }
 
-// Stats summarises the database for the CLI and reports.
+// Stats summarises the database for the CLI and reports, including MVCC
+// health: the current commit epoch, stored versions (live + awaiting GC),
+// versions reclaimed by GC, the oldest pinned snapshot epoch (0 = none),
+// and WAL growth since the last checkpoint.
 func (k *Kernel) Stats() string {
 	classes := k.Catalog.Names()
 	total := 0
 	for _, c := range classes {
 		total += k.Objects.Count(c)
 	}
-	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d deriv[%s policy=%s]",
+	mv := k.Objects.MVCC()
+	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d deriv[%s policy=%s] mvcc[epoch=%d versions=%d reclaimed=%d pins=%d oldest_pin=%d] wal[bytes=%d checkpoints=%d]",
 		len(classes), len(k.Processes.Names()), len(k.Concepts.Names()),
 		len(k.Experiments.Names()), total, len(k.Tasks.All()),
-		k.Deriv.Counters(), k.Deriv.Policy())
+		k.Deriv.Counters(), k.Deriv.Policy(),
+		mv.Epoch, mv.LiveVersions, mv.Reclaimed, mv.Pins, mv.OldestPin,
+		k.Store.WALBytes(), k.checkpoints.Load())
 }

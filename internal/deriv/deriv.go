@@ -113,7 +113,8 @@ type Counters struct {
 	Deps int
 	// Stale is the number of objects currently marked stale.
 	Stale int
-	// Epoch is the latest invalidation epoch issued.
+	// Epoch is the highest commit epoch an invalidation sweep has marked
+	// staleness at (stale marks are epoch-qualified for snapshot readers).
 	Epoch uint64
 	// Invalidations counts stale markings propagated since open.
 	Invalidations int64
@@ -142,8 +143,8 @@ type Manager struct {
 	// from it, distilled from task lineage.
 	deps  map[object.OID]map[object.OID]bool
 	edges int
-	// stale maps an OID to the epoch at which it was invalidated.
-	stale map[object.OID]uint64
+	// stale maps an OID to its invalidation epochs.
+	stale map[object.OID]staleMark
 	epoch uint64
 	// pending queues OIDs for the background refresher.
 	pending map[object.OID]bool
@@ -169,6 +170,39 @@ func staleKey(oid object.OID) string {
 	return staleKeyPrefix + strconv.FormatUint(uint64(oid), 10)
 }
 
+// staleMark records when an object was invalidated. Both ends of the
+// range matter: `first` (the EARLIEST outstanding invalidation) answers
+// snapshot visibility — a reader pinned at or after it must see the
+// object as stale; `last` (the latest) guards refresh races — a
+// recompute that started before a newer invalidation landed must not
+// clear the mark (clearStaleIf compares against last). Keeping only one
+// of the two breaks the other property.
+type staleMark struct {
+	first, last uint64
+}
+
+func encodeStaleMark(m staleMark) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, m.first)
+	binary.LittleEndian.PutUint64(buf[8:], m.last)
+	return buf
+}
+
+func decodeStaleMark(raw []byte) (staleMark, bool) {
+	switch len(raw) {
+	case 16:
+		return staleMark{
+			first: binary.LittleEndian.Uint64(raw),
+			last:  binary.LittleEndian.Uint64(raw[8:]),
+		}, true
+	case 8:
+		// Pre-MVCC marks carried a single epoch.
+		e := binary.LittleEndian.Uint64(raw)
+		return staleMark{first: e, last: e}, true
+	}
+	return staleMark{}, false
+}
+
 // Open builds the dependency graph from the recorded task log, loads the
 // persisted stale set, wires the executor's staleness hooks, and (for
 // policies that refresh automatically) starts the background refresher.
@@ -189,26 +223,40 @@ func Open(st *storage.Store, obj *object.Store, exec *task.Executor, cfg Config)
 		cost:    cfg.Cost.withDefaults(),
 		workers: cfg.Workers,
 		deps:    make(map[object.OID]map[object.OID]bool),
-		stale:   make(map[object.OID]uint64),
+		stale:   make(map[object.OID]staleMark),
 		pending: make(map[object.OID]bool),
 		kick:    make(chan struct{}, 1),
 	}
 	for _, t := range exec.All() {
 		m.addEdges(t)
 	}
+	curEpoch := st.Epoch()
 	for _, key := range st.MetaKeys(staleKeyPrefix) {
 		raw, ok := st.MetaGet(key)
-		if !ok || len(raw) != 8 {
+		if !ok {
+			continue
+		}
+		mark, ok := decodeStaleMark(raw)
+		if !ok {
 			continue
 		}
 		n, err := strconv.ParseUint(strings.TrimPrefix(key, staleKeyPrefix), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("deriv: corrupt stale key %q", key)
 		}
-		epoch := binary.LittleEndian.Uint64(raw)
-		m.stale[object.OID(n)] = epoch
-		if epoch > m.epoch {
-			m.epoch = epoch
+		// Marks written by this code never exceed the commit epoch, but
+		// pre-MVCC stores persisted deriv_epoch sequence values on an
+		// unrelated (typically larger) scale: clamp so IsStaleAt against
+		// commit-epoch pins still reports these objects stale.
+		if mark.first > curEpoch {
+			mark.first = curEpoch
+		}
+		if mark.last > curEpoch {
+			mark.last = curEpoch
+		}
+		m.stale[object.OID(n)] = mark
+		if mark.last > m.epoch {
+			m.epoch = mark.last
 		}
 	}
 	exec.OnRecord = m.taskRecorded
@@ -273,6 +321,18 @@ func (m *Manager) IsStale(oid object.OID) bool {
 	return ok
 }
 
+// IsStaleAt reports whether an object was already stale at a snapshot
+// epoch: the EARLIEST outstanding invalidation happened at or before it.
+// An object invalidated only by LATER commits is fresh in that
+// snapshot's world — the reader sees the pre-mutation inputs, which the
+// object still matches.
+func (m *Manager) IsStaleAt(oid object.OID, epoch uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	mk, ok := m.stale[oid]
+	return ok && mk.first <= epoch
+}
+
 // Stale returns the OIDs currently marked stale, ascending.
 func (m *Manager) Stale() []object.OID {
 	m.mu.RLock()
@@ -333,30 +393,34 @@ func (m *Manager) multiClosureLocked(roots map[object.OID]bool) []object.OID {
 	return order
 }
 
-// ObjectUpdated propagates an in-place update of an object: every
-// transitive dependent is marked stale under a fresh epoch and the
-// rematerialisation decision is applied to each. The object itself stays
-// fresh — its new state is the truth.
+// ObjectUpdated propagates an update of an object: every transitive
+// dependent is marked stale (at the store's latest PUBLISHED epoch —
+// callers that know the exact commit epoch should use ObjectsChanged)
+// and the rematerialisation decision is applied to each. The object
+// itself stays fresh — its new state is the truth.
 func (m *Manager) ObjectUpdated(oid object.OID) error {
-	return m.ObjectsChanged([]object.OID{oid}, nil)
+	return m.ObjectsChanged([]object.OID{oid}, nil, m.obj.CurrentEpoch())
 }
 
 // ObjectDeleted propagates a deletion: the object's memo/producer entries
 // are dropped and every transitive dependent is invalidated.
 func (m *Manager) ObjectDeleted(oid object.OID) error {
-	return m.ObjectsChanged(nil, []object.OID{oid})
+	return m.ObjectsChanged(nil, []object.OID{oid}, m.obj.CurrentEpoch())
 }
 
 // ObjectsChanged propagates a batch of mutations in ONE invalidation
 // sweep: the transitive dependents of every updated or deleted object are
-// marked stale under a single fresh epoch, and the rematerialisation
-// decision is applied to each dependent once, however many roots reach
-// it. The roots themselves stay fresh — an updated object's new state is
+// marked stale under the COMMIT EPOCH of the mutating batch, and the
+// rematerialisation decision is applied to each dependent once, however
+// many roots reach it. Epoch-qualifying the marks gives snapshot readers
+// the right answer: a reader pinned before the mutation committed sees
+// the dependents as fresh (IsStaleAt), because in its world they are.
+// The roots themselves stay fresh — an updated object's new state is
 // the truth of the batch, a deleted one is gone (its memo entries are
 // dropped so identical instantiations re-execute). Session commits call
 // this once, amortising the graph walk that per-op mutation would repeat
 // N times over a shared subtree.
-func (m *Manager) ObjectsChanged(updated, deleted []object.OID) error {
+func (m *Manager) ObjectsChanged(updated, deleted []object.OID, epoch uint64) error {
 	if len(updated)+len(deleted) == 0 {
 		return nil
 	}
@@ -372,10 +436,6 @@ func (m *Manager) ObjectsChanged(updated, deleted []object.OID) error {
 	for _, oid := range deleted {
 		m.clearStale(oid)
 		roots[oid] = true
-	}
-	epoch, err := m.st.NextID("deriv_epoch")
-	if err != nil {
-		return err
 	}
 	m.sweeps.Add(1)
 	m.mu.Lock()
@@ -411,25 +471,37 @@ func (m *Manager) ObjectsChanged(updated, deleted []object.OID) error {
 	return firstErr
 }
 
-// markStale records oid as stale at the given epoch, durably. The meta
-// write happens under the manager lock so memory and disk cannot
+// markStale records oid as stale at the given epoch, durably: a fresh
+// mark takes the epoch as both ends, a repeat invalidation widens the
+// range (first stays at the earliest, last advances to the newest). The
+// meta write happens under the manager lock so memory and disk cannot
 // disagree about a marking.
 func (m *Manager) markStale(oid object.OID, epoch uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stale[oid] = epoch
+	mk, ok := m.stale[oid]
+	if !ok {
+		mk = staleMark{first: epoch, last: epoch}
+	} else {
+		if epoch < mk.first {
+			mk.first = epoch
+		}
+		if epoch > mk.last {
+			mk.last = epoch
+		}
+	}
+	m.stale[oid] = mk
 	m.invalidations.Add(1)
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, epoch)
-	return m.st.MetaSet(staleKey(oid), buf)
+	return m.st.MetaSet(staleKey(oid), encodeStaleMark(mk))
 }
 
-// staleEpoch returns the epoch oid was invalidated at, if stale.
+// staleEpoch returns the NEWEST epoch oid was invalidated at, if stale
+// (the value clearStaleIf must match for a refresh to clear the mark).
 func (m *Manager) staleEpoch(oid object.OID) (uint64, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	e, ok := m.stale[oid]
-	return e, ok
+	mk, ok := m.stale[oid]
+	return mk.last, ok
 }
 
 // clearStale removes oid's stale marking, durably.
@@ -442,14 +514,15 @@ func (m *Manager) clearStale(oid object.OID) {
 	}
 }
 
-// clearStaleIf removes oid's stale marking only if it is still at the
-// given epoch. A refresh that raced with a newer invalidation must not
-// wipe the newer marking — the recompute may have read pre-invalidation
-// inputs, so the object stays stale and is refreshed again.
+// clearStaleIf removes oid's stale marking only if its newest
+// invalidation is still the given epoch. A refresh that raced with a
+// newer invalidation must not wipe the newer marking — the recompute may
+// have read pre-invalidation inputs, so the object stays stale and is
+// refreshed again.
 func (m *Manager) clearStaleIf(oid object.OID, epoch uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if cur, was := m.stale[oid]; !was || cur != epoch {
+	if cur, was := m.stale[oid]; !was || cur.last != epoch {
 		return false
 	}
 	delete(m.stale, oid)

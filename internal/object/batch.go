@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"iter"
-	"sort"
 
 	"gaea/internal/catalog"
 	"gaea/internal/sptemp"
@@ -13,9 +12,11 @@ import (
 
 // Session-facing batch surface of the object store. A kernel session
 // stages creates/updates/deletes and applies them here as ONE atomic
-// storage batch: every heap record (including extra rows such as the
-// task-log entries for data loads) lands in a single WAL group with a
-// single fsync, so a crash keeps either the whole session or none of it.
+// storage batch committed at ONE epoch: every heap record (including
+// extra rows such as the task-log entries for data loads) lands in a
+// single WAL group with a single fsync, so a crash keeps either the
+// whole session or none of it, and readers see either the whole session
+// or none of it.
 
 // ExtraRec is an opaque heap record committed in the same atomic batch as
 // the object mutations (the kernel stages task-log rows this way).
@@ -33,9 +34,15 @@ type BatchOps struct {
 	Updates []*Object
 	Deletes []OID
 	Extra   []ExtraRec
-	// PinSeqs names sequences (beyond the store's own oid/objrev/blob)
-	// whose in-memory reservations this batch references durably.
+	// PinSeqs names sequences (beyond the store's own oid/blob) whose
+	// in-memory reservations this batch references durably.
 	PinSeqs []string
+	// ReadEpoch, when non-zero, enables first-committer-wins validation:
+	// an update or delete whose target committed a newer version after
+	// this epoch fails the whole batch with ErrConflict. Sessions pass
+	// the epoch they captured at Begin; internal mutators (refresh, GC
+	// drops) pass zero and win last-writer style.
+	ReadEpoch uint64
 }
 
 // ValidateNew checks a new object against its class schema without
@@ -61,9 +68,9 @@ func (s *Store) Reserve(obj *Object) (OID, error) {
 	return obj.OID, nil
 }
 
-// CheckUpdate validates an in-place update target without applying it:
-// the new state must satisfy the class schema and the OID must currently
-// resolve to an object of that class.
+// CheckUpdate validates an update target without applying it: the new
+// state must satisfy the class schema and the OID must currently resolve
+// to a live object of that class.
 func (s *Store) CheckUpdate(obj *Object) error {
 	if obj.OID == 0 {
 		return fmt.Errorf("%w: update needs an OID", ErrBadAttr)
@@ -76,25 +83,33 @@ func (s *Store) CheckUpdate(obj *Object) error {
 		return err
 	}
 	s.mu.RLock()
-	ref, ok := s.rids[obj.OID]
+	c, ok := s.chains[obj.OID]
+	live := ok && !c.head().del
+	heap := ""
+	if ok {
+		heap = c.heap
+	}
 	s.mu.RUnlock()
-	if !ok {
+	if !live {
 		return fmt.Errorf("%w: oid %d", ErrNotFound, obj.OID)
 	}
-	if ref.heap != heapFor(obj.Class) {
+	if heap != heapFor(obj.Class) {
 		return fmt.Errorf("%w: object %d is of class %s, not %s",
-			ErrBadAttr, obj.OID, ref.heap[len("obj_"):], obj.Class)
+			ErrBadAttr, obj.OID, heap[len("obj_"):], obj.Class)
 	}
 	return nil
 }
 
 // ApplyBatch applies a staged set of mutations as one atomic storage
-// batch. Encoding (and blob offload) happens before the store lock is
-// taken; rid resolution, the WAL group commit, and index publication
-// happen under it, so concurrent single-op mutators cannot interleave.
-// An update or delete whose target vanished since staging fails the
-// whole batch with ErrConflict.
-func (s *Store) ApplyBatch(ops BatchOps) error {
+// batch at one fresh commit epoch, and returns that epoch. Encoding (and
+// blob offload) happens before the store lock is taken; epoch
+// reservation, conflict validation, the WAL group commit, and version
+// publication happen under it, so epochs become visible to readers in
+// commit order. Superseded versions are NOT reclaimed — they stay in
+// their chains for pinned snapshots until GC. A target that vanished (or,
+// under ReadEpoch, changed) since staging fails the whole batch with
+// ErrConflict.
+func (s *Store) ApplyBatch(ops BatchOps) (uint64, error) {
 	alloc := func(seq string) (uint64, error) { return s.st.AllocID(seq), nil }
 	type encoded struct {
 		obj   *Object
@@ -122,154 +137,162 @@ func (s *Store) ApplyBatch(ops BatchOps) error {
 	inserts, err := encode(ops.Inserts)
 	if err != nil {
 		undoBlobs()
-		return err
+		return 0, err
 	}
 	for _, in := range inserts {
 		if in.obj.OID == 0 {
 			undoBlobs()
-			return fmt.Errorf("%w: batch insert without a reserved OID", ErrBadAttr)
+			return 0, fmt.Errorf("%w: batch insert without a reserved OID", ErrBadAttr)
 		}
 	}
 	updates, err := encode(ops.Updates)
 	if err != nil {
 		undoBlobs()
-		return err
+		return 0, err
 	}
 
-	s.mu.Lock()
-	// Resolve every mutated rid under the lock; a missing target means a
-	// concurrent single-op writer won the race since staging.
-	oldRefs := make([]ridRef, len(updates))
+	// commitMu serialises mutators across the whole validate →
+	// reserve-epoch → storage-commit → publish window: epochs publish in
+	// reservation order, and the chains a validation saw cannot change
+	// before publication. Readers are NOT excluded — they keep resolving
+	// at their pinned epochs off the still-published state.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	// Validate every mutated chain. A missing or tombstoned target means
+	// a concurrent writer removed it since staging; under ReadEpoch, a
+	// head newer than the session's read epoch means another session
+	// committed first (first-committer-wins).
+	s.mu.RLock()
+	checkTarget := func(oid OID, wantHeap string) (*chain, error) {
+		c, ok := s.chains[oid]
+		if !ok || c.head().del {
+			return nil, fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, oid)
+		}
+		if wantHeap != "" && c.heap != wantHeap {
+			return nil, fmt.Errorf("%w: object %d is of class %s, not %s",
+				ErrBadAttr, oid, c.heap[len("obj_"):], wantHeap[len("obj_"):])
+		}
+		if ops.ReadEpoch > 0 && c.head().epoch > ops.ReadEpoch {
+			return nil, fmt.Errorf("%w: oid %d committed at epoch %d after this session's read epoch %d",
+				ErrConflict, oid, c.head().epoch, ops.ReadEpoch)
+		}
+		return c, nil
+	}
+	upChains := make([]*chain, len(updates))
 	for i, up := range updates {
-		ref, ok := s.rids[up.obj.OID]
-		if !ok {
-			s.mu.Unlock()
+		c, err := checkTarget(up.obj.OID, heapFor(up.obj.Class))
+		if err != nil {
+			s.mu.RUnlock()
 			undoBlobs()
-			return fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, up.obj.OID)
+			return 0, err
 		}
-		if ref.heap != heapFor(up.obj.Class) {
-			s.mu.Unlock()
-			undoBlobs()
-			return fmt.Errorf("%w: object %d is of class %s, not %s",
-				ErrBadAttr, up.obj.OID, ref.heap[len("obj_"):], up.obj.Class)
-		}
-		oldRefs[i] = ref
+		upChains[i] = c
 	}
-	delRefs := make([]ridRef, len(ops.Deletes))
+	delChains := make([]*chain, len(ops.Deletes))
 	for i, oid := range ops.Deletes {
-		ref, ok := s.rids[oid]
-		if !ok {
-			s.mu.Unlock()
+		c, err := checkTarget(oid, "")
+		if err != nil {
+			s.mu.RUnlock()
 			undoBlobs()
-			return fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, oid)
+			return 0, err
 		}
-		delRefs[i] = ref
+		delChains[i] = c
 	}
+	s.mu.RUnlock()
 
+	// Reserve the commit epoch and stamp it into every record, then
+	// commit the storage batch WITHOUT holding the reader-visible lock:
+	// snapshot readers proceed against the pre-commit state throughout.
+	epoch := s.st.ReserveEpoch()
 	b := s.st.NewBatch()
+	b.SetEpoch(epoch)
 	insIdx := make([]int, len(inserts))
 	for i, in := range inserts {
+		stampEpoch(in.rec, epoch)
 		insIdx[i] = b.Insert(heapFor(in.obj.Class), in.rec)
 	}
 	upIdx := make([]int, len(updates))
 	for i, up := range updates {
-		upIdx[i] = b.Insert(oldRefs[i].heap, up.rec)
-		b.Delete(oldRefs[i].heap, oldRefs[i].rid)
+		stampEpoch(up.rec, epoch)
+		upIdx[i] = b.Insert(upChains[i].heap, up.rec)
 	}
-	for i := range ops.Deletes {
-		b.Delete(delRefs[i].heap, delRefs[i].rid)
+	delIdx := make([]int, len(ops.Deletes))
+	for i, oid := range ops.Deletes {
+		class := delChains[i].heap[len("obj_"):]
+		delIdx[i] = b.Insert(delChains[i].heap, encodeTombstone(oid, class, epoch))
 	}
 	for _, ex := range ops.Extra {
 		b.Insert(ex.Heap, ex.Rec)
 	}
-	for _, seq := range append([]string{"oid", "objrev", "blob"}, ops.PinSeqs...) {
+	for _, seq := range append([]string{"oid", "blob"}, ops.PinSeqs...) {
 		b.PinSequence(seq)
 	}
 	rids, err := b.Commit()
 	if err != nil {
-		s.mu.Unlock()
 		undoBlobs()
-		return err
+		return 0, err
 	}
 
-	// The batch is durable: publish to the in-memory maps and indexes.
-	var orphaned []storage.BlobID
+	// The batch is durable: publish the new versions and the epoch in one
+	// short exclusive window.
+	s.mu.Lock()
 	for i, in := range inserts {
-		s.rids[in.obj.OID] = ridRef{heap: heapFor(in.obj.Class), rid: rids[insIdx[i]]}
-		s.indexLocked(in.obj.Class, in.obj)
-		s.blobsByOID[in.obj.OID] = in.blobs
+		s.chains[in.obj.OID] = &chain{
+			heap: heapFor(in.obj.Class),
+			vers: []version{{epoch: epoch, rid: rids[insIdx[i]], blobs: in.blobs}},
+		}
+		s.indexLocked(in.obj.Class, in.obj.OID, in.obj.Extent)
 	}
 	for i, up := range updates {
-		orphaned = append(orphaned, s.blobsByOID[up.obj.OID]...)
-		s.rids[up.obj.OID] = ridRef{heap: oldRefs[i].heap, rid: rids[upIdx[i]]}
-		s.blobsByOID[up.obj.OID] = up.blobs
-		if ti := s.temporal[up.obj.Class]; ti != nil && !up.obj.Extent.HasTime {
-			ti.Delete(uint64(up.obj.OID))
-		}
-		s.indexLocked(up.obj.Class, up.obj)
+		c := upChains[i]
+		c.vers = append(c.vers, version{epoch: epoch, rid: rids[upIdx[i]], blobs: up.blobs})
+		class := up.obj.Class
+		s.indexLocked(class, up.obj.OID, up.obj.Extent)
+		s.changed[class] = append(s.changed[class], changeEnt{epoch: epoch, oid: up.obj.OID})
 	}
 	for i, oid := range ops.Deletes {
-		class := delRefs[i].heap[len("obj_"):]
-		orphaned = append(orphaned, s.blobsByOID[oid]...)
-		delete(s.rids, oid)
-		delete(s.blobsByOID, oid)
-		if gi := s.spatial[class]; gi != nil {
-			gi.Delete(uint64(oid))
-		}
-		if ti := s.temporal[class]; ti != nil {
-			ti.Delete(uint64(oid))
-		}
-		s.members[class] = removeSorted(s.members[class], oid)
+		c := delChains[i]
+		c.vers = append(c.vers, version{epoch: epoch, rid: rids[delIdx[i]], del: true})
+		class := c.heap[len("obj_"):]
+		s.unindexLocked(class, oid)
+		s.changed[class] = append(s.changed[class], changeEnt{epoch: epoch, oid: oid})
 	}
+	s.epoch = epoch
+	after := s.AfterCommit
 	s.mu.Unlock()
 
-	// Superseded blobs are best-effort cleanup, exactly as in Update.
-	for _, bl := range orphaned {
-		_ = s.st.Blobs().Delete(bl)
+	if after != nil {
+		after()
 	}
-	return nil
+	return epoch, nil
 }
 
-// QueryFrom streams the OIDs of class objects whose extent matches pred
-// in ascending OID order, starting strictly after `after` (0 = from the
-// start). The candidate set is snapshotted from the indexes up front
-// (cheap — OIDs only), but extents are loaded and verified lazily per
-// pull, so a consumer that stops early never touches the rest of the
-// extent. Candidates deleted between snapshot and pull are skipped.
-func (s *Store) QueryFrom(class string, pred sptemp.Extent, after OID) iter.Seq2[OID, error] {
+// QueryFromAt streams the OIDs of class objects whose extent matches pred
+// at the snapshot epoch, in ascending OID order, starting strictly after
+// `after` (0 = from the start). The candidate set is collected from the
+// newest-version indexes plus the changed-overlay up front (cheap — OIDs
+// only), but visibility resolution and extent verification happen lazily
+// per pull. The caller must hold a pin on the epoch for the duration of
+// the iteration, which makes resolution stable: a candidate visible at
+// the epoch cannot be reclaimed mid-drain, so a consumer resuming from a
+// cursor sees exactly the snapshot — no skips, no phantoms.
+func (s *Store) QueryFromAt(class string, pred sptemp.Extent, after OID, epoch uint64) iter.Seq2[OID, error] {
 	return func(yield func(OID, error) bool) {
 		if !s.cat.Exists(class) {
 			yield(0, fmt.Errorf("%w: class %q", catalog.ErrClassNotFound, class))
 			return
 		}
-		s.mu.RLock()
-		var candidates []OID
-		switch {
-		case !pred.Space.IsEmpty() && s.spatial[class] != nil:
-			for _, id := range s.spatial[class].Search(pred.Space) {
-				candidates = append(candidates, OID(id))
-			}
-		case pred.HasTime && s.temporal[class] != nil:
-			for _, id := range s.temporal[class].Search(pred.TimeIv) {
-				candidates = append(candidates, OID(id))
-			}
-		default:
-			candidates = append(candidates, s.members[class]...)
-		}
-		s.mu.RUnlock()
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-
+		candidates := s.candidatesAt(class, pred, epoch)
 		for _, oid := range candidates {
 			if oid <= after {
 				continue
 			}
-			s.mu.RLock()
-			ref, ok := s.rids[oid]
-			s.mu.RUnlock()
+			heap, v, ok := s.resolve(oid, epoch)
 			if !ok {
-				continue // deleted since the snapshot
+				continue // not visible at this snapshot
 			}
-			rec, err := s.st.Get(ref.heap, ref.rid)
+			rec, err := s.st.Get(heap, v.rid)
 			if err != nil {
 				if errors.Is(err, storage.ErrNotFound) {
 					continue

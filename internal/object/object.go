@@ -5,6 +5,15 @@
 // store (the paper's image ADT likewise stores a filepath, not inline
 // pixels). Per-class grid and interval indexes serve the extent-qualified
 // retrieval that is step 1 of the §2.1.5 query sequence.
+//
+// The store is multi-versioned: every commit happens at a monotonically
+// increasing epoch (reserved from the storage layer and stamped into the
+// WAL group), and updates and deletes append new versions to a per-OID
+// chain instead of mutating in place. The extent indexes always describe
+// the newest version; the chains resolve visibility for snapshot readers
+// pinned at an earlier epoch, so reads never block writes and a pinned
+// reader sees exactly the state of its epoch. Superseded versions stay
+// reachable until GC drops everything below the oldest pinned epoch.
 package object
 
 import (
@@ -29,8 +38,13 @@ var (
 	ErrNotFound = errors.New("object: not found")
 	ErrBadAttr  = errors.New("object: attribute error")
 	// ErrConflict reports that an object changed (or vanished) under a
-	// concurrent mutation between staging and applying a write.
+	// concurrent mutation between staging and applying a write —
+	// first-committer-wins for sessions validating against a read epoch.
 	ErrConflict = errors.New("object: concurrent modification")
+	// ErrSnapshotGone reports that a snapshot epoch (typically carried by
+	// a resumed stream cursor) has fallen behind the GC horizon: the
+	// versions it would need may have been reclaimed.
+	ErrSnapshotGone = errors.New("object: snapshot epoch reclaimed by GC")
 )
 
 // Object is one scientific data object.
@@ -60,70 +74,159 @@ func (o *Object) Attr(name string) (value.Value, error) {
 	return v, nil
 }
 
+// version is one committed state of an object: the heap record holding
+// that state, the blobs it owns, and the commit epoch it became visible
+// at. A tombstone version (del) records a deletion.
+type version struct {
+	epoch uint64
+	rid   storage.RID
+	blobs []storage.BlobID
+	del   bool
+}
+
+// chain is an object's version history in ascending epoch order — the
+// newest version is the LAST element, so committing a new version is an
+// amortised O(1) append however long the history grows between GCs. A
+// tombstone, when present, is always the newest: OIDs are never reused,
+// so nothing commits after a delete.
+type chain struct {
+	heap string
+	vers []version
+}
+
+// head returns the newest version.
+func (c *chain) head() version { return c.vers[len(c.vers)-1] }
+
+// visibleAt resolves the version a snapshot pinned at epoch sees: the
+// newest version at or below it. The second return is false when the
+// object does not exist at that epoch (born later, or deleted at or
+// before it).
+func (c *chain) visibleAt(epoch uint64) (version, bool) {
+	for i := len(c.vers) - 1; i >= 0; i-- {
+		if v := c.vers[i]; v.epoch <= epoch {
+			if v.del {
+				return version{}, false
+			}
+			return v, true
+		}
+	}
+	return version{}, false
+}
+
+// changeEnt records that an object of a class changed (update or delete)
+// at an epoch. Snapshot queries union these with the newest-version index
+// candidates: anything the index no longer describes for a given snapshot
+// is in here, and GC prunes entries at or below the horizon.
+type changeEnt struct {
+	epoch uint64
+	oid   OID
+}
+
+// MVCCStats summarises version-store health for Kernel.Stats.
+type MVCCStats struct {
+	// Epoch is the latest published commit epoch.
+	Epoch uint64
+	// LiveVersions counts stored versions across all chains (including
+	// tombstones awaiting GC).
+	LiveVersions int
+	// Reclaimed counts versions dropped by GC since open.
+	Reclaimed int64
+	// Pins counts currently pinned snapshot epochs (with multiplicity).
+	Pins int
+	// OldestPin is the lowest pinned epoch (0 when nothing is pinned) —
+	// the GC horizon floor.
+	OldestPin uint64
+	// GCFloor is the epoch the last GC ran at: cursors and snapshots
+	// below it cannot be re-pinned.
+	GCFloor uint64
+}
+
 // Store persists objects and serves extent queries.
+//
+// Locking: mu guards the in-memory maps (chains, indexes, pins, epoch);
+// readers hold it shared and briefly — never across storage I/O.
+// commitMu serialises mutators (ApplyBatch, GC) across their whole
+// validate → reserve-epoch → storage-commit → publish window, so epochs
+// publish in reservation order; mu is taken exclusively only for the
+// final in-memory publish, which is why snapshot readers are not
+// serialised behind a committing writer.
 type Store struct {
-	mu   sync.RWMutex
-	st   *storage.Store
-	cat  *catalog.Catalog
-	rids map[OID]ridRef
-	// Per-class extent indexes and membership, rebuilt at open.
+	mu       sync.RWMutex
+	commitMu sync.Mutex
+	st       *storage.Store
+	cat      *catalog.Catalog
+	// chains holds every OID's version history, including OIDs whose
+	// newest version is a tombstone (still visible to pinned snapshots).
+	chains map[OID]*chain
+	// Per-class extent indexes and membership over the NEWEST live
+	// versions, rebuilt at open. Snapshot readers overlay `changed`.
 	spatial  map[string]*sptemp.GridIndex
 	temporal map[string]*sptemp.IntervalIndex
 	members  map[string][]OID
-	// blobsByOID tracks blob ids owned by each object for deletion.
-	blobsByOID map[OID][]storage.BlobID
-}
+	// changed is the per-class overlay log: (epoch, oid) per update or
+	// delete, ascending by epoch, pruned by GC.
+	changed map[string][]changeEnt
+	// epoch is the latest PUBLISHED commit epoch: reservations advance the
+	// storage counter first, but readers see a new epoch only once its
+	// batch is committed and indexed, which happens under mu.
+	epoch uint64
+	// pins refcounts snapshot epochs protected from GC.
+	pins map[uint64]int
+	// gcFloor is the horizon of the last GC pass.
+	gcFloor   uint64
+	reclaimed int64
 
-type ridRef struct {
-	heap string
-	rid  storage.RID
+	// AfterCommit, when set, runs after every committed batch (outside
+	// the store lock). The kernel hooks its auto-checkpoint trigger here.
+	AfterCommit func()
 }
 
 func heapFor(class string) string { return "obj_" + class }
 
-// Open loads the object store, rebuilding in-memory indexes by scanning
-// each class heap. A crash between Update's new-record insert and its
-// old-record delete leaves two records for one OID; the per-record
-// revision stamp picks the newer one and the loser is removed here
-// (self-healing), so an acknowledged update can never silently revert.
+// Open loads the object store, rebuilding version chains and in-memory
+// indexes by scanning each class heap. Every record carries its commit
+// epoch, so the chain order (and the epoch counter) is recovered exactly;
+// superseded versions persist until the next GC.
 func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 	s := &Store{
-		st:         st,
-		cat:        cat,
-		rids:       make(map[OID]ridRef),
-		spatial:    make(map[string]*sptemp.GridIndex),
-		temporal:   make(map[string]*sptemp.IntervalIndex),
-		members:    make(map[string][]OID),
-		blobsByOID: make(map[OID][]storage.BlobID),
+		st:       st,
+		cat:      cat,
+		chains:   make(map[OID]*chain),
+		spatial:  make(map[string]*sptemp.GridIndex),
+		temporal: make(map[string]*sptemp.IntervalIndex),
+		members:  make(map[string][]OID),
+		changed:  make(map[string][]changeEnt),
+		pins:     make(map[uint64]int),
 	}
-	type rec struct {
-		obj   *Object
-		blobs []storage.BlobID
-		rev   uint64
-		rid   storage.RID
+	var maxEpoch uint64
+	// headExt remembers the newest-seen version's extent per OID during
+	// the scan, so indexing below needs no second pass over storage.
+	type headState struct {
+		epoch uint64
+		ext   sptemp.Extent
 	}
+	headExt := make(map[OID]headState)
 	for _, class := range cat.Names() {
 		heap := heapFor(class)
-		best := make(map[OID]rec)
-		var losers []rec
 		var scanErr error
 		err := st.Scan(heap, func(rid storage.RID, raw []byte) bool {
-			obj, blobIDs, rev, err := decodeObject(raw)
+			obj, blobIDs, epoch, deleted, err := decodeObject(raw)
 			if err != nil {
 				scanErr = fmt.Errorf("object: corrupt record %s in %s: %w", rid, heap, err)
 				return false
 			}
-			cur := rec{obj: obj, blobs: blobIDs, rev: rev, rid: rid}
-			if prev, dup := best[obj.OID]; dup {
-				if cur.rev > prev.rev {
-					best[obj.OID] = cur
-					losers = append(losers, prev)
-				} else {
-					losers = append(losers, cur)
-				}
-				return true
+			c := s.chains[obj.OID]
+			if c == nil {
+				c = &chain{heap: heap}
+				s.chains[obj.OID] = c
 			}
-			best[obj.OID] = cur
+			c.vers = append(c.vers, version{epoch: epoch, rid: rid, blobs: blobIDs, del: deleted})
+			if prev, ok := headExt[obj.OID]; !ok || epoch >= prev.epoch {
+				headExt[obj.OID] = headState{epoch: epoch, ext: obj.Extent}
+			}
+			if epoch > maxEpoch {
+				maxEpoch = epoch
+			}
 			return true
 		})
 		if err != nil {
@@ -132,41 +235,64 @@ func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 		if scanErr != nil {
 			return nil, scanErr
 		}
-		for _, r := range best {
-			s.rids[r.obj.OID] = ridRef{heap: heap, rid: r.rid}
-			s.indexLocked(class, r.obj)
-			s.blobsByOID[r.obj.OID] = r.blobs
-		}
-		for _, r := range losers {
-			if err := st.Delete(heap, r.rid); err != nil && !errors.Is(err, storage.ErrNotFound) {
-				return nil, err
-			}
-			for _, b := range r.blobs {
-				if err := st.Blobs().Delete(b); err != nil && !errors.Is(err, storage.ErrBlobNotFound) {
-					return nil, err
-				}
-			}
+	}
+	for oid, c := range s.chains {
+		sort.SliceStable(c.vers, func(i, j int) bool { return c.vers[i].epoch < c.vers[j].epoch })
+		if !c.head().del {
+			s.indexLocked(c.heap[len("obj_"):], oid, headExt[oid].ext)
 		}
 	}
+	if maxEpoch == 0 {
+		// Floor the epoch at 1 so a session's read epoch is never 0 —
+		// BatchOps.ReadEpoch uses 0 as the "skip validation" sentinel, and
+		// a legacy store whose records all decode at epoch 0 must still
+		// get first-committer-wins checks.
+		maxEpoch = 1
+	}
+	st.AdvanceEpoch(maxEpoch)
+	s.epoch = st.Epoch()
+	// Pins do not survive a restart, so neither do snapshots or stream
+	// cursors: GC may already have run at any horizon up to the current
+	// epoch before the crash (the floor is not persisted), and the
+	// changed-overlay is not reconstructed. Refusing pre-restart epochs
+	// outright (ErrSnapshotGone) is honest where resuming them could be
+	// silently incomplete.
+	s.gcFloor = s.epoch
 	return s, nil
 }
 
-func (s *Store) indexLocked(class string, obj *Object) {
+// indexLocked registers an object's newest extent in the per-class
+// indexes and membership.
+func (s *Store) indexLocked(class string, oid OID, ext sptemp.Extent) {
 	gi, ok := s.spatial[class]
 	if !ok {
-		gi = sptemp.NewGridIndex(spatialCellFor(obj.Extent.Space))
+		gi = sptemp.NewGridIndex(spatialCellFor(ext.Space))
 		s.spatial[class] = gi
 	}
-	gi.Insert(uint64(obj.OID), obj.Extent.Space)
+	gi.Insert(uint64(oid), ext.Space)
 	ti, ok := s.temporal[class]
 	if !ok {
 		ti = sptemp.NewIntervalIndex()
 		s.temporal[class] = ti
 	}
-	if obj.Extent.HasTime {
-		ti.Insert(uint64(obj.OID), obj.Extent.TimeIv)
+	if ext.HasTime {
+		ti.Insert(uint64(oid), ext.TimeIv)
+	} else {
+		ti.Delete(uint64(oid))
 	}
-	s.members[class] = insertSorted(s.members[class], obj.OID)
+	s.members[class] = insertSorted(s.members[class], oid)
+}
+
+// unindexLocked removes an object from the newest-version indexes (its
+// chain — and so its visibility to pinned snapshots — is untouched).
+func (s *Store) unindexLocked(class string, oid OID) {
+	if gi := s.spatial[class]; gi != nil {
+		gi.Delete(uint64(oid))
+	}
+	if ti := s.temporal[class]; ti != nil {
+		ti.Delete(uint64(oid))
+	}
+	s.members[class] = removeSorted(s.members[class], oid)
 }
 
 func insertSorted(s []OID, o OID) []OID {
@@ -199,38 +325,14 @@ func spatialCellFor(b sptemp.Box) float64 {
 }
 
 // Insert validates the object against its class schema, assigns an OID,
-// persists it (offloading images to blobs), and indexes it.
+// and commits it as a single-op batch at a fresh epoch.
 func (s *Store) Insert(obj *Object) (OID, error) {
-	cls, err := s.cat.Class(obj.Class)
-	if err != nil {
+	if _, err := s.Reserve(obj); err != nil {
 		return 0, err
 	}
-	if err := s.validate(cls, obj); err != nil {
+	if _, err := s.ApplyBatch(BatchOps{Inserts: []*Object{obj}}); err != nil {
 		return 0, err
 	}
-	id, err := s.st.NextID("oid")
-	if err != nil {
-		return 0, err
-	}
-	obj.OID = OID(id)
-
-	rec, blobIDs, err := s.encodeObject(obj, s.st.NextID)
-	if err != nil {
-		return 0, err
-	}
-	heap := heapFor(obj.Class)
-	rid, err := s.st.Insert(heap, rec)
-	if err != nil {
-		for _, b := range blobIDs {
-			s.st.Blobs().Delete(b)
-		}
-		return 0, err
-	}
-	s.mu.Lock()
-	s.rids[obj.OID] = ridRef{heap: heap, rid: rid}
-	s.indexLocked(obj.Class, obj)
-	s.blobsByOID[obj.OID] = blobIDs
-	s.mu.Unlock()
 	return obj.OID, nil
 }
 
@@ -267,100 +369,66 @@ func (s *Store) validate(cls *catalog.Class, obj *Object) error {
 	return nil
 }
 
-// Update replaces the stored state of an existing object in place,
-// keeping its OID and class. The new state is validated against the class
-// schema, persisted (new record + new blobs, then the old record and blobs
-// are removed), and the extent indexes are refreshed. Update does not
-// touch derivation metadata — the kernel's UpdateObject wraps it with
-// staleness propagation through the derived-data manager.
+// Update commits a new version of an existing object (same OID, same
+// class) at a fresh epoch. The superseded version stays reachable for
+// pinned snapshots until GC. Update does not touch derivation metadata —
+// the kernel's session commit wraps it with staleness propagation.
+// Internal callers (refresh) win over concurrent versions last-writer
+// style; session commits validate first-committer-wins via
+// BatchOps.ReadEpoch instead.
 func (s *Store) Update(obj *Object) error {
-	if obj.OID == 0 {
-		return fmt.Errorf("%w: update needs an OID", ErrBadAttr)
-	}
-	cls, err := s.cat.Class(obj.Class)
-	if err != nil {
+	if err := s.CheckUpdate(obj); err != nil {
 		return err
 	}
-	if err := s.validate(cls, obj); err != nil {
-		return err
-	}
-	s.mu.RLock()
-	ref, ok := s.rids[obj.OID]
-	s.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("%w: oid %d", ErrNotFound, obj.OID)
-	}
-	if ref.heap != heapFor(obj.Class) {
-		return fmt.Errorf("%w: object %d is of class %s, not %s",
-			ErrBadAttr, obj.OID, ref.heap[len("obj_"):], obj.Class)
-	}
-	rec, newBlobs, err := s.encodeObject(obj, s.st.NextID)
-	if err != nil {
-		return err
-	}
-	rid, err := s.st.Insert(ref.heap, rec)
-	if err != nil {
-		for _, b := range newBlobs {
-			s.st.Blobs().Delete(b)
-		}
-		return err
-	}
-	s.mu.Lock()
-	cur, ok := s.rids[obj.OID]
-	if !ok || cur != ref {
-		// Lost a race with a concurrent Update/Delete of the same OID;
-		// undo our new record and report the conflict.
-		s.mu.Unlock()
-		s.st.Delete(ref.heap, rid)
-		for _, b := range newBlobs {
-			s.st.Blobs().Delete(b)
-		}
-		return fmt.Errorf("%w: oid %d changed concurrently", ErrConflict, obj.OID)
-	}
-	oldBlobs := s.blobsByOID[obj.OID]
-	s.rids[obj.OID] = ridRef{heap: ref.heap, rid: rid}
-	s.blobsByOID[obj.OID] = newBlobs
-	// Refresh the extent indexes: the grid/interval indexes replace on
-	// re-insert, but a dropped temporal extent must be removed explicitly.
-	if ti := s.temporal[obj.Class]; ti != nil && !obj.Extent.HasTime {
-		ti.Delete(uint64(obj.OID))
-	}
-	s.indexLocked(obj.Class, obj)
-	s.mu.Unlock()
-
-	// The update is committed: the new record is durable and indexed.
-	// Removing the superseded record and blobs is best-effort cleanup —
-	// reporting a failure here would make callers believe the update did
-	// not happen. A leftover old record is resolved by the revision
-	// stamp on the next open.
-	_ = s.st.Delete(ref.heap, ref.rid)
-	for _, b := range oldBlobs {
-		_ = s.st.Blobs().Delete(b)
-	}
-	return nil
+	_, err := s.ApplyBatch(BatchOps{Updates: []*Object{obj}})
+	return err
 }
 
-// Exists reports whether an OID currently resolves to a stored object.
+// Exists reports whether an OID currently resolves to a live object (at
+// the newest epoch).
 func (s *Store) Exists(oid OID) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.rids[oid]
+	c, ok := s.chains[oid]
+	return ok && !c.head().del
+}
+
+// ExistsAt reports whether an OID resolves to a live object at the given
+// epoch.
+func (s *Store) ExistsAt(oid OID, epoch uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.chains[oid]
+	if !ok {
+		return false
+	}
+	_, ok = c.visibleAt(epoch)
 	return ok
 }
 
-// RecordSize returns the stored footprint of an object in bytes: its heap
-// record plus any offloaded blobs. The derived-data manager weighs this
-// against recorded recomputation cost when deciding whether to keep or
-// drop an invalidated derived object.
+// RecordSize returns the stored footprint of an object in bytes: its
+// newest heap record plus any offloaded blobs. The derived-data manager
+// weighs this against recorded recomputation cost when deciding whether
+// to keep or drop an invalidated derived object.
 func (s *Store) RecordSize(oid OID) (int64, error) {
 	s.mu.RLock()
-	ref, ok := s.rids[oid]
-	blobIDs := append([]storage.BlobID(nil), s.blobsByOID[oid]...)
+	c, ok := s.chains[oid]
+	var v version
+	if ok && !c.head().del {
+		v = c.head()
+	} else {
+		ok = false
+	}
+	heap := ""
+	if ok {
+		heap = c.heap
+	}
+	blobIDs := append([]storage.BlobID(nil), v.blobs...)
 	s.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
-	rec, err := s.st.Get(ref.heap, ref.rid)
+	rec, err := s.st.Get(heap, v.rid)
 	if err != nil {
 		return 0, err
 	}
@@ -378,25 +446,52 @@ func (s *Store) RecordSize(oid OID) (int64, error) {
 	return total, nil
 }
 
-// Get loads an object by OID, materialising blob-stored images.
-func (s *Store) Get(oid OID) (*Object, error) {
+// resolve returns the heap and version an OID maps to at an epoch
+// (^uint64(0) = newest).
+func (s *Store) resolve(oid OID, epoch uint64) (string, version, bool) {
 	s.mu.RLock()
-	ref, ok := s.rids[oid]
-	s.mu.RUnlock()
+	defer s.mu.RUnlock()
+	c, ok := s.chains[oid]
+	if !ok {
+		return "", version{}, false
+	}
+	if epoch == latestEpoch {
+		if h := c.head(); !h.del {
+			return c.heap, h, true
+		}
+		return "", version{}, false
+	}
+	v, ok := c.visibleAt(epoch)
+	return c.heap, v, ok
+}
+
+const latestEpoch = ^uint64(0)
+
+// Get loads an object's newest version by OID, materialising blob-stored
+// images.
+func (s *Store) Get(oid OID) (*Object, error) { return s.getAt(oid, latestEpoch) }
+
+// GetAt loads the version of an object a snapshot pinned at epoch sees.
+// Objects born after the epoch — or deleted at or before it — are not
+// found.
+func (s *Store) GetAt(oid OID, epoch uint64) (*Object, error) { return s.getAt(oid, epoch) }
+
+func (s *Store) getAt(oid OID, epoch uint64) (*Object, error) {
+	heap, v, ok := s.resolve(oid, epoch)
 	if !ok {
 		return nil, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
-	rec, err := s.st.Get(ref.heap, ref.rid)
+	rec, err := s.st.Get(heap, v.rid)
 	if err != nil {
 		return nil, err
 	}
-	obj, _, _, err := decodeObject(rec)
+	obj, _, _, _, err := decodeObject(rec)
 	if err != nil {
 		return nil, err
 	}
 	// Resolve blob references into image values.
-	for name, v := range obj.Attrs {
-		if ref, ok := v.(blobRef); ok {
+	for name, val := range obj.Attrs {
+		if ref, ok := val.(blobRef); ok {
 			data, err := s.st.Blobs().Get(ref.id)
 			if err != nil {
 				return nil, fmt.Errorf("object: oid %d attribute %q: %w", oid, name, err)
@@ -411,81 +506,234 @@ func (s *Store) Get(oid OID) (*Object, error) {
 	return obj, nil
 }
 
-// Delete removes an object and its blobs.
+// Delete commits a tombstone for an object at a fresh epoch: it vanishes
+// from the newest-version indexes immediately, while pinned snapshots
+// keep seeing the pre-delete state until they release and GC runs.
 func (s *Store) Delete(oid OID) error {
-	s.mu.Lock()
-	ref, ok := s.rids[oid]
-	if !ok {
-		s.mu.Unlock()
+	if !s.Exists(oid) {
 		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
-	class := ref.heap[len("obj_"):]
-	blobIDs := s.blobsByOID[oid]
-	delete(s.rids, oid)
-	delete(s.blobsByOID, oid)
-	if gi := s.spatial[class]; gi != nil {
-		gi.Delete(uint64(oid))
+	_, err := s.ApplyBatch(BatchOps{Deletes: []OID{oid}})
+	if errors.Is(err, ErrConflict) && !s.Exists(oid) {
+		// Lost a delete-delete race: the object is gone either way.
+		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
-	if ti := s.temporal[class]; ti != nil {
-		ti.Delete(uint64(oid))
-	}
-	s.members[class] = removeSorted(s.members[class], oid)
-	s.mu.Unlock()
-
-	if err := s.st.Delete(ref.heap, ref.rid); err != nil {
-		return err
-	}
-	for _, b := range blobIDs {
-		if err := s.st.Blobs().Delete(b); err != nil && !errors.Is(err, storage.ErrBlobNotFound) {
-			return err
-		}
-	}
-	return nil
+	return err
 }
 
-// Members returns all OIDs of a class, ascending.
+// Members returns all live OIDs of a class at the newest epoch, ascending.
 func (s *Store) Members(class string) []OID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]OID(nil), s.members[class]...)
 }
 
-// Count returns the number of stored objects of a class.
+// Count returns the number of live objects of a class at the newest epoch.
 func (s *Store) Count(class string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.members[class])
 }
 
-// Query returns the OIDs of class objects whose extent matches the
+// CurrentEpoch returns the latest published commit epoch: the read epoch
+// a new session or snapshot captures.
+func (s *Store) CurrentEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Pin pins the current epoch against GC and returns it. Every Pin (or
+// successful PinEpoch) must be paired with an Unpin; until then, GC keeps
+// every version visible at or after the pinned epoch.
+func (s *Store) Pin() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[s.epoch]++
+	return s.epoch
+}
+
+// PinEpoch re-pins a specific epoch (a resumed stream cursor). It fails
+// with ErrSnapshotGone when the epoch has fallen behind the GC horizon —
+// the versions it would need may already be reclaimed.
+func (s *Store) PinEpoch(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkEpochLocked(epoch); err != nil {
+		return err
+	}
+	s.pins[epoch]++
+	return nil
+}
+
+// CheckEpoch reports whether an epoch could be pinned right now, without
+// pinning it (streams validate cursors at creation but pin lazily at
+// first pull, so an abandoned, never-iterated stream holds no pin).
+func (s *Store) CheckEpoch(epoch uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkEpochLocked(epoch)
+}
+
+func (s *Store) checkEpochLocked(epoch uint64) error {
+	if epoch < s.gcFloor {
+		return fmt.Errorf("%w: epoch %d is below the GC horizon %d", ErrSnapshotGone, epoch, s.gcFloor)
+	}
+	if epoch > s.epoch {
+		return fmt.Errorf("%w: epoch %d is in the future (current %d)", ErrSnapshotGone, epoch, s.epoch)
+	}
+	return nil
+}
+
+// Unpin releases a pinned epoch, advancing the horizon the next GC may
+// reclaim up to.
+func (s *Store) Unpin(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.pins[epoch]; ok {
+		if n <= 1 {
+			delete(s.pins, epoch)
+		} else {
+			s.pins[epoch] = n - 1
+		}
+	}
+}
+
+// MVCC reports version-store health.
+func (s *Store) MVCC() MVCCStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := MVCCStats{Epoch: s.epoch, Reclaimed: s.reclaimed, GCFloor: s.gcFloor}
+	for _, c := range s.chains {
+		st.LiveVersions += len(c.vers)
+	}
+	for e, n := range s.pins {
+		st.Pins += n
+		if st.OldestPin == 0 || e < st.OldestPin {
+			st.OldestPin = e
+		}
+	}
+	return st
+}
+
+// GC reclaims every version no live snapshot can see: versions superseded
+// at or below the oldest pinned epoch (or the current epoch when nothing
+// is pinned), and chains whose visible state at the horizon is a
+// tombstone. Heap records are removed in one batch and orphaned blobs
+// deleted. Returns the number of versions reclaimed. The kernel wires GC
+// into Checkpoint so the horizon advances whenever the log is compacted.
+func (s *Store) GC() (int, error) {
+	type victim struct {
+		heap  string
+		rid   storage.RID
+		blobs []storage.BlobID
+	}
+	var victims []victim
+	// commitMu keeps GC from interleaving with a commit's validate →
+	// publish window (a chain it trims is one a commit may hold a pointer
+	// to); the reader-visible lock is still held only for the in-memory
+	// collection phase.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
+	horizon := s.epoch
+	for e := range s.pins {
+		if e < horizon {
+			horizon = e
+		}
+	}
+	for oid, c := range s.chains {
+		// vis is the newest version at or below the horizon — the one a
+		// snapshot pinned exactly there resolves to. Everything older is
+		// unreachable from any present or future pin.
+		vis := -1
+		for i := len(c.vers) - 1; i >= 0; i-- {
+			if c.vers[i].epoch <= horizon {
+				vis = i
+				break
+			}
+		}
+		if vis < 0 {
+			continue // every version is newer than the horizon
+		}
+		for _, v := range c.vers[:vis] {
+			victims = append(victims, victim{heap: c.heap, rid: v.rid, blobs: v.blobs})
+		}
+		if vis == len(c.vers)-1 && c.vers[vis].del {
+			// The chain's only reachable state is "deleted": drop it whole.
+			victims = append(victims, victim{heap: c.heap, rid: c.vers[vis].rid, blobs: c.vers[vis].blobs})
+			delete(s.chains, oid)
+			continue
+		}
+		if vis > 0 {
+			// Re-slice to release the reclaimed prefix's backing memory.
+			c.vers = append([]version(nil), c.vers[vis:]...)
+		}
+	}
+	for class, ents := range s.changed {
+		i := sort.Search(len(ents), func(i int) bool { return ents[i].epoch > horizon })
+		if i == len(ents) {
+			delete(s.changed, class)
+		} else if i > 0 {
+			s.changed[class] = append([]changeEnt(nil), ents[i:]...)
+		}
+	}
+	if horizon > s.gcFloor {
+		s.gcFloor = horizon
+	}
+	s.mu.Unlock()
+
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	// The chains no longer reference the victims, so the physical
+	// removal happens outside the lock: one batch for the heap records,
+	// then best-effort blob deletion. If the batch fails, the orphaned
+	// records survive on disk until the next Open rescans them back into
+	// their chains (as superseded versions) and a later GC retries; the
+	// reclaimed counter only advances on success.
+	b := s.st.NewBatch()
+	for _, v := range victims {
+		b.Delete(v.heap, v.rid)
+	}
+	if _, err := b.Commit(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.reclaimed += int64(len(victims))
+	s.mu.Unlock()
+	for _, v := range victims {
+		for _, bl := range v.blobs {
+			if err := s.st.Blobs().Delete(bl); err != nil && !errors.Is(err, storage.ErrBlobNotFound) {
+				return len(victims), err
+			}
+		}
+	}
+	return len(victims), nil
+}
+
+// Query returns the OIDs of class objects whose newest extent matches the
 // predicate, ascending. An empty predicate space matches everything.
 func (s *Store) Query(class string, pred sptemp.Extent) ([]OID, error) {
+	return s.QueryAt(class, pred, latestEpoch)
+}
+
+// QueryAt answers the extent query against the snapshot at epoch: the
+// candidate set is the newest-version index union the overlay of objects
+// changed after the epoch, and each candidate resolves through its chain
+// so the verified extent is the one the snapshot sees.
+func (s *Store) QueryAt(class string, pred sptemp.Extent, epoch uint64) ([]OID, error) {
 	if !s.cat.Exists(class) {
 		return nil, fmt.Errorf("%w: class %q", catalog.ErrClassNotFound, class)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	// Candidate set from the more selective index available.
-	var candidates []OID
-	switch {
-	case !pred.Space.IsEmpty() && s.spatial[class] != nil:
-		for _, id := range s.spatial[class].Search(pred.Space) {
-			candidates = append(candidates, OID(id))
-		}
-	case pred.HasTime && s.temporal[class] != nil:
-		for _, id := range s.temporal[class].Search(pred.TimeIv) {
-			candidates = append(candidates, OID(id))
-		}
-	default:
-		candidates = append(candidates, s.members[class]...)
-	}
-	// Verify the full predicate per candidate (the index covers one
-	// dimension only).
+	candidates := s.candidatesAt(class, pred, epoch)
 	var out []OID
 	for _, oid := range candidates {
-		ref := s.rids[oid]
-		rec, err := s.st.Get(ref.heap, ref.rid)
+		heap, v, ok := s.resolve(oid, epoch)
+		if !ok {
+			continue
+		}
+		rec, err := s.st.Get(heap, v.rid)
 		if err != nil {
 			return nil, err
 		}
@@ -499,6 +747,47 @@ func (s *Store) Query(class string, pred sptemp.Extent) ([]OID, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// candidatesAt collects the candidate OIDs for a predicate at an epoch:
+// the newest-version index matches, plus — for snapshot reads — every
+// object of the class changed after the epoch (its snapshot extent may
+// differ from the indexed one, or it may have been deleted since). The
+// result is sorted and deduplicated.
+func (s *Store) candidatesAt(class string, pred sptemp.Extent, epoch uint64) []OID {
+	s.mu.RLock()
+	var candidates []OID
+	switch {
+	case !pred.Space.IsEmpty() && s.spatial[class] != nil:
+		for _, id := range s.spatial[class].Search(pred.Space) {
+			candidates = append(candidates, OID(id))
+		}
+	case pred.HasTime && s.temporal[class] != nil:
+		for _, id := range s.temporal[class].Search(pred.TimeIv) {
+			candidates = append(candidates, OID(id))
+		}
+	default:
+		candidates = append(candidates, s.members[class]...)
+	}
+	if epoch != latestEpoch {
+		ents := s.changed[class]
+		i := sort.Search(len(ents), func(i int) bool { return ents[i].epoch > epoch })
+		for _, e := range ents[i:] {
+			candidates = append(candidates, e.oid)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	out := candidates[:0]
+	var last OID
+	for _, oid := range candidates {
+		if len(out) > 0 && oid == last {
+			continue
+		}
+		out = append(out, oid)
+		last = oid
+	}
+	return out
 }
 
 // NearestInTime returns up to k class members closest in time to t,
@@ -526,7 +815,9 @@ func (r blobRef) String() string { return fmt.Sprintf("(image blob %d)", r.id) }
 
 // Object record layout (little endian):
 //
-//	magic "GOB2", oid u64, rev u64, classLen u16, class,
+//	magic "GOB3", oid u64, epoch u64, flags u8,
+//	classLen u16, class,
+//	[tombstone records (flags bit 0) end here]
 //	extent: frameSysLen u16 + sys, frameUnitLen u16 + unit,
 //	        4 x f64 box, hasTime u8, 2 x i64 interval,
 //	nattrs u16, then per attribute:
@@ -534,27 +825,37 @@ func (r blobRef) String() string { return fmt.Sprintf("(image blob %d)", r.id) }
 //	        inline: valLen u32 + value.Encode bytes
 //	        blob:   blobID u64
 //
-// rev is a store-wide monotonic revision stamp: when a crashed Update
-// leaves two records for one OID, reopen keeps the higher revision.
-// Records with the legacy "GOBJ" magic (written before in-place updates
-// existed) carry no rev field and decode as rev 0.
+// epoch is the record's commit epoch — the MVCC version stamp, patched
+// into the encoded bytes when the enclosing batch reserves its epoch.
+// Legacy records decode too: "GOB2" carries a store-wide revision in the
+// same slot (monotonic, so it orders a chain correctly) and no flags
+// byte; "GOBJ" predates both and decodes as epoch 0.
 const (
-	objMagic       = "GOB2"
+	objMagic       = "GOB3"
+	objMagicRev    = "GOB2"
 	objMagicLegacy = "GOBJ"
+
+	flagTombstone = 1
+
+	// epochOffset locates the epoch stamp inside an encoded GOB3 record:
+	// 4 bytes of magic + 8 bytes of OID.
+	epochOffset = 12
 )
 
-// encodeObject serialises an object, offloading images to blobs. alloc
-// issues the revision stamp and blob ids: the single-op paths pass the
-// store's durable NextID, batch commits pass an in-memory AllocID wrapper
-// whose sequences the batch pins at commit.
+// stampEpoch patches the commit epoch into an encoded GOB3 record.
+func stampEpoch(rec []byte, epoch uint64) {
+	binary.LittleEndian.PutUint64(rec[epochOffset:], epoch)
+}
+
+// encodeObject serialises an object as a GOB3 record with a zero epoch
+// placeholder (stamped at commit), offloading images to blobs. alloc
+// issues blob ids: in-memory AllocID reservations the enclosing batch
+// pins at commit.
 func (s *Store) encodeObject(obj *Object, alloc func(string) (uint64, error)) ([]byte, []storage.BlobID, error) {
-	rev, err := alloc("objrev")
-	if err != nil {
-		return nil, nil, err
-	}
 	buf := []byte(objMagic)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.OID))
-	buf = binary.LittleEndian.AppendUint64(buf, rev)
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // epoch, stamped at commit
+	buf = append(buf, 0)                           // flags
 	buf = appendStr16(buf, obj.Class)
 	buf = appendStr16(buf, string(obj.Extent.Frame.System))
 	buf = appendStr16(buf, string(obj.Extent.Frame.Unit))
@@ -603,63 +904,90 @@ func (s *Store) encodeObject(obj *Object, alloc func(string) (uint64, error)) ([
 	return buf, blobIDs, nil
 }
 
-func decodeObject(rec []byte) (*Object, []storage.BlobID, uint64, error) {
+// encodeTombstone serialises a deletion marker for an OID at an epoch.
+func encodeTombstone(oid OID, class string, epoch uint64) []byte {
+	buf := []byte(objMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(oid))
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = append(buf, flagTombstone)
+	buf = appendStr16(buf, class)
+	return buf
+}
+
+func decodeObject(rec []byte) (obj *Object, blobs []storage.BlobID, epoch uint64, deleted bool, err error) {
 	r := &reader{buf: rec}
 	magic := string(r.bytes(4))
-	if magic != objMagic && magic != objMagicLegacy {
-		return nil, nil, 0, fmt.Errorf("bad object magic")
+	switch magic {
+	case objMagic, objMagicRev, objMagicLegacy:
+	default:
+		return nil, nil, 0, false, fmt.Errorf("bad object magic")
 	}
-	obj := &Object{Attrs: make(map[string]value.Value)}
+	obj = &Object{Attrs: make(map[string]value.Value)}
 	obj.OID = OID(r.u64())
-	var rev uint64
+	if magic != objMagicLegacy {
+		epoch = r.u64()
+	}
 	if magic == objMagic {
-		rev = r.u64()
+		deleted = r.u8()&flagTombstone != 0
 	}
 	obj.Class = r.str16()
+	if deleted {
+		if r.err != nil {
+			return nil, nil, 0, false, r.err
+		}
+		return obj, nil, epoch, true, nil
+	}
 	obj.Extent.Frame.System = sptemp.RefSystem(r.str16())
 	obj.Extent.Frame.Unit = sptemp.RefUnit(r.str16())
 	obj.Extent.Space = sptemp.Box{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
 	obj.Extent.HasTime = r.u8() == 1
 	obj.Extent.TimeIv = sptemp.Interval{Start: sptemp.AbsTime(r.u64()), End: sptemp.AbsTime(r.u64())}
 	n := int(r.u16())
-	var blobIDs []storage.BlobID
 	for i := 0; i < n; i++ {
 		name := r.str16()
 		kind := r.u8()
 		if kind == 1 {
 			id := storage.BlobID(r.u64())
 			obj.Attrs[name] = blobRef{id: id}
-			blobIDs = append(blobIDs, id)
+			blobs = append(blobs, id)
 			continue
 		}
 		vn := int(r.u32())
 		enc := r.bytes(vn)
 		if r.err != nil {
-			return nil, nil, 0, r.err
+			return nil, nil, 0, false, r.err
 		}
 		v, err := value.Decode(enc)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("attribute %q: %w", name, err)
+			return nil, nil, 0, false, fmt.Errorf("attribute %q: %w", name, err)
 		}
 		obj.Attrs[name] = v
 	}
 	if r.err != nil {
-		return nil, nil, 0, r.err
+		return nil, nil, 0, false, r.err
 	}
-	return obj, blobIDs, rev, nil
+	return obj, blobs, epoch, false, nil
 }
 
 // decodeExtentOnly reads just the extent header, skipping attribute decode
-// for fast predicate checks.
+// for fast predicate checks. Tombstone records have no extent and are an
+// error here — visibility resolution never hands one to a reader.
 func decodeExtentOnly(rec []byte) (sptemp.Extent, error) {
 	r := &reader{buf: rec}
 	magic := string(r.bytes(4))
-	if magic != objMagic && magic != objMagicLegacy {
+	switch magic {
+	case objMagic, objMagicRev, objMagicLegacy:
+	default:
 		return sptemp.Extent{}, fmt.Errorf("bad object magic")
 	}
 	r.u64() // oid
+	if magic != objMagicLegacy {
+		r.u64() // epoch / rev
+	}
 	if magic == objMagic {
-		r.u64() // rev
+		if r.u8()&flagTombstone != 0 {
+			return sptemp.Extent{}, fmt.Errorf("object: tombstone record has no extent")
+		}
 	}
 	r.str16()
 	var e sptemp.Extent

@@ -222,6 +222,11 @@ func TestDeleteRemovesEverything(t *testing.T) {
 	if err := f.obj.Delete(oid); !errors.Is(err, ErrNotFound) {
 		t.Errorf("double delete err = %v", err)
 	}
+	// The deleted version (and its blobs) survive for pinned snapshots
+	// until GC reclaims the chain.
+	if _, err := f.obj.GC(); err != nil {
+		t.Fatal(err)
+	}
 	blobs, _ = f.st.Blobs().IDs()
 	if len(blobs) != 0 {
 		t.Errorf("blobs leaked: %v", blobs)
@@ -413,17 +418,29 @@ func TestUpdateInPlace(t *testing.T) {
 		t.Errorf("query old extent = %v, %v", hits, err)
 	}
 
-	// One object, one live record, and the old blob is gone.
+	// One live object, but TWO stored versions until GC reclaims the
+	// superseded one (it stays reachable for pinned snapshots).
 	if n := f.obj.Count("landsat_tm"); n != 1 {
 		t.Errorf("count = %d", n)
 	}
 	_, records := f.st.HeapStats("obj_landsat_tm")
-	if records != 1 {
-		t.Errorf("heap records = %d, want 1", records)
+	if records != 2 {
+		t.Errorf("heap records before GC = %d, want 2 (version chain)", records)
 	}
 	ids, err := f.st.Blobs().IDs()
+	if err != nil || len(ids) != 2 {
+		t.Errorf("blobs before GC = %v, %v", ids, err)
+	}
+	if n, err := f.obj.GC(); err != nil || n != 1 {
+		t.Fatalf("GC = %d, %v, want 1 version reclaimed", n, err)
+	}
+	_, records = f.st.HeapStats("obj_landsat_tm")
+	if records != 1 {
+		t.Errorf("heap records after GC = %d, want 1", records)
+	}
+	ids, err = f.st.Blobs().IDs()
 	if err != nil || len(ids) != 1 {
-		t.Errorf("blobs after update = %v, %v", ids, err)
+		t.Errorf("blobs after GC = %v, %v", ids, err)
 	}
 }
 
@@ -555,9 +572,9 @@ func TestExistsAndRecordSize(t *testing.T) {
 	}
 }
 
-// TestReopenHealsInterruptedUpdate simulates a crash between Update's
-// new-record insert and its old-record delete: two records for one OID.
-// Reopen must keep the newer revision and remove the leftover.
+// TestReopenHealsInterruptedUpdate leaves two version records for one
+// OID (as an update whose GC never ran would). Reopen must rebuild the
+// chain so Get serves the newest version, and GC must prune the loser.
 func TestReopenHealsInterruptedUpdate(t *testing.T) {
 	dir := t.TempDir()
 	st, err := storage.Open(dir, storage.Options{NoSync: true})
@@ -578,14 +595,15 @@ func TestReopenHealsInterruptedUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Hand-insert a newer record for the same OID, as an interrupted
-	// Update would leave behind.
+	// Hand-insert a newer version record for the same OID, as a crashed
+	// Update whose GC never ran would leave behind.
 	newer := sceneObject("nir", 0, day)
 	newer.OID = oid
-	rec, _, err := obj.encodeObject(newer, st.NextID)
+	rec, _, err := obj.encodeObject(newer, func(seq string) (uint64, error) { return st.NextID(seq) })
 	if err != nil {
 		t.Fatal(err)
 	}
+	stampEpoch(rec, obj.CurrentEpoch()+1)
 	if _, err := st.Insert(heapFor("landsat_tm"), rec); err != nil {
 		t.Fatal(err)
 	}
@@ -611,14 +629,18 @@ func TestReopenHealsInterruptedUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Attrs["band"].(value.String_) != "nir" {
-		t.Errorf("band after heal = %v, want the newer revision", got.Attrs["band"])
+		t.Errorf("band after reopen = %v, want the newer version", got.Attrs["band"])
 	}
 	if n := obj2.Count("landsat_tm"); n != 1 {
 		t.Errorf("count = %d", n)
 	}
+	// Both versions survive the reopen as a chain; GC prunes the loser.
+	if n, err := obj2.GC(); err != nil || n != 1 {
+		t.Fatalf("GC = %d, %v, want 1", n, err)
+	}
 	_, records := st2.HeapStats(heapFor("landsat_tm"))
 	if records != 1 {
-		t.Errorf("heap records after heal = %d, want 1", records)
+		t.Errorf("heap records after GC = %d, want 1", records)
 	}
 }
 
@@ -655,12 +677,12 @@ func TestLegacyRecordDecode(t *testing.T) {
 		buf = append(buf, enc...)
 	}
 
-	obj, blobs, rev, err := decodeObject(buf)
+	obj, blobs, epoch, deleted, err := decodeObject(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if obj.OID != oid || obj.Class != "region_stats" || rev != 0 || len(blobs) != 0 {
-		t.Errorf("legacy decode = %+v rev=%d blobs=%v", obj, rev, blobs)
+	if obj.OID != oid || obj.Class != "region_stats" || epoch != 0 || deleted || len(blobs) != 0 {
+		t.Errorf("legacy decode = %+v epoch=%d deleted=%v blobs=%v", obj, epoch, deleted, blobs)
 	}
 	if obj.Attrs["mean_rain"].(value.Float) != 250 || obj.Attrs["name"].(value.String_) != "west" {
 		t.Errorf("legacy attrs = %v", obj.Attrs)

@@ -78,6 +78,9 @@ type Result struct {
 	TasksRun []task.ID
 	// PlanText is the executed derivation plan, when derivation ran.
 	PlanText string
+	// Epoch is the snapshot epoch retrieval ran at: every OID answered by
+	// the Retrieve strategy reflects the state committed at this epoch.
+	Epoch uint64
 }
 
 // Errors returned by the executor.
@@ -106,9 +109,11 @@ type Executor struct {
 	Planner  *petri.Planner
 	Interp   *interp.Interpolator
 	Exec     *task.Executor
-	// Stale reports whether an object is marked stale by the derived-data
-	// manager (nil: nothing is ever stale).
-	Stale func(object.OID) bool
+	// Stale reports whether an object was marked stale by the derived-data
+	// manager at or before the given epoch (nil: nothing is ever stale).
+	// Epoch-qualified so a snapshot reader never sees an object
+	// invalidated by a LATER commit as stale.
+	Stale func(object.OID, uint64) bool
 	// ServeStale returns stale objects from retrieval, flagged in
 	// Result.Stale, instead of skipping them (the Manual refresh policy:
 	// the caller decides when to refresh). When false, stale objects are
@@ -117,14 +122,27 @@ type Executor struct {
 	ServeStale bool
 }
 
-func (qe *Executor) isStale(oid object.OID) bool {
-	return qe.Stale != nil && qe.Stale(oid)
+func (qe *Executor) isStaleAt(oid object.OID, epoch uint64) bool {
+	return qe.Stale != nil && qe.Stale(oid, epoch)
 }
 
-// Run answers a request. The executor is stateless per call and safe for
-// concurrent use: many queries may run (and derive) at once, sharing the
-// task executor's single-flight memo.
+// Run answers a request against a snapshot pinned at the current commit
+// epoch: retrieval resolves every OID at that epoch, so a concurrent
+// session commit cannot make the result set observe half a batch. The
+// executor is stateless per call and safe for concurrent use: many
+// queries may run (and derive) at once, sharing the task executor's
+// single-flight memo.
 func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
+	epoch := qe.Obj.Pin()
+	defer qe.Obj.Unpin(epoch)
+	return qe.RunAt(ctx, req, epoch)
+}
+
+// RunAt answers a request at a specific snapshot epoch the CALLER has
+// pinned (Kernel.Snapshot uses it to serve many reads from one pin).
+// Fallback derivation, when it runs, writes fresh objects at new epochs —
+// results beyond pure retrieval are newest-state by design.
+func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -136,19 +154,19 @@ func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
 	if len(strategies) == 0 {
 		strategies = []Strategy{Interpolate, Derive}
 	}
-	res := &Result{}
+	res := &Result{Epoch: epoch}
 
-	// Step 1: direct retrieval across all member classes. Stale objects
-	// are skipped (so the fallback chain re-derives them) unless
-	// ServeStale returns them flagged.
+	// Step 1: direct retrieval across all member classes, resolved at the
+	// snapshot epoch. Stale objects are skipped (so the fallback chain
+	// re-derives them) unless ServeStale returns them flagged.
 	servedStale := false
 	for _, cls := range classes {
-		oids, err := qe.Obj.Query(cls, req.Pred)
+		oids, err := qe.Obj.QueryAt(cls, req.Pred, epoch)
 		if err != nil {
 			return nil, err
 		}
 		for _, oid := range oids {
-			stale := qe.isStale(oid)
+			stale := qe.isStaleAt(oid, epoch)
 			if stale && !qe.ServeStale {
 				continue
 			}
@@ -376,7 +394,7 @@ func (qe *Executor) Explain(ctx context.Context, req Request) (string, error) {
 		}
 		live, stale := 0, 0
 		for _, oid := range oids {
-			if qe.isStale(oid) {
+			if qe.isStaleAt(oid, ^uint64(0)) {
 				stale++
 			} else {
 				live++

@@ -338,7 +338,7 @@ func TestQueryStaleRetrieve(t *testing.T) {
 
 	stale := map[object.OID]bool{lc: true}
 	isStale := func(oid object.OID) bool { return stale[oid] }
-	w.qe.Stale = isStale
+	w.qe.Stale = func(oid object.OID, epoch uint64) bool { return stale[oid] }
 	w.qe.Planner.Stale = isStale
 	w.qe.Interp.Stale = isStale
 	// Without a refresh hook the executor forgets the stale memo entry

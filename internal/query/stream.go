@@ -8,10 +8,18 @@ package query
 // actually drains an empty retrieval. Request.Limit caps a page and
 // Request.Cursor resumes the next one, so arbitrarily large extents are
 // served in bounded memory.
+//
+// Every stream runs against an MVCC snapshot: creation captures and
+// validates a commit epoch, iteration pins it (released when iteration
+// stops — a stream never iterated holds no pin), all OIDs resolve at
+// that epoch, and the resume cursor carries it — so a consumer
+// paginating across concurrent session commits sees exactly the state of
+// the first page's snapshot, with no skipped and no phantom objects. A
+// cursor whose epoch has fallen behind the GC horizon is refused with
+// ErrSnapshotGone; cursors do not survive a kernel reopen.
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"iter"
 	"strconv"
@@ -38,8 +46,8 @@ type Stream struct {
 func (s *Stream) All() iter.Seq2[*object.Object, error] { return s.seq }
 
 // Cursor returns the resume token: pass it as Request.Cursor to continue
-// where the iteration stopped. Empty means the results were exhausted
-// (or iteration has not stopped yet).
+// where the iteration stopped, against the same snapshot epoch. Empty
+// means the results were exhausted (or iteration has not stopped yet).
 func (s *Stream) Cursor() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -62,31 +70,48 @@ func (s *Stream) claim() bool {
 	return true
 }
 
-// Cursor wire format: "c1|<class>|<last OID>". Class names contain no
-// '|' (they are identifiers), so LastIndex splits unambiguously.
-const cursorVersion = "c1"
+// Cursor wire format: "c2|<epoch>|<class>|<last OID>". The epoch pins
+// resumed pages to the first page's snapshot. Class names contain no '|'
+// (they are identifiers), so the split is unambiguous.
+const cursorVersion = "c2"
 
-func encodeCursor(class string, oid object.OID) string {
-	return cursorVersion + "|" + class + "|" + strconv.FormatUint(uint64(oid), 10)
+func encodeCursor(epoch uint64, class string, oid object.OID) string {
+	return cursorVersion + "|" + strconv.FormatUint(epoch, 10) + "|" + class + "|" +
+		strconv.FormatUint(uint64(oid), 10)
 }
 
-func parseCursor(c string) (class string, after object.OID, err error) {
+func parseCursor(c string) (epoch uint64, class string, after object.OID, err error) {
 	parts := strings.Split(c, "|")
-	if len(parts) != 3 || parts[0] != cursorVersion || parts[1] == "" {
-		return "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
+	if len(parts) != 4 || parts[0] != cursorVersion || parts[2] == "" {
+		return 0, "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
 	}
-	n, err := strconv.ParseUint(parts[2], 10, 64)
+	epoch, err = strconv.ParseUint(parts[1], 10, 64)
 	if err != nil {
-		return "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
+		return 0, "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
 	}
-	return parts[1], object.OID(n), nil
+	n, err := strconv.ParseUint(parts[3], 10, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("%w: malformed cursor %q", ErrBadRequest, c)
+	}
+	return epoch, parts[2], object.OID(n), nil
 }
 
-// Stream answers a request incrementally. Validation (classes, cursor)
-// happens up front so the caller gets request errors immediately; all
-// retrieval and fallback work is deferred to iteration. Stale objects
-// are skipped (or served, under ServeStale) exactly as in Run.
+// Stream answers a request incrementally against a snapshot pinned at
+// the current commit epoch (or the cursor's epoch on resume). Validation
+// (classes, cursor, pinnability) happens up front so the caller gets
+// request errors immediately; all retrieval and fallback work is deferred
+// to iteration, and the pin is released when iteration stops.
 func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
+	return qe.StreamAt(ctx, req, 0)
+}
+
+// StreamAt is Stream pinned to a specific epoch (0 = current): the entry
+// point for Kernel.Snapshot streams, which must read at the snapshot's
+// epoch rather than the newest one. A cursor in the request overrides
+// atEpoch — the cursor's embedded epoch wins, since resuming a page
+// against a different snapshot than it was cut from would break the
+// no-skip/no-phantom contract.
+func (qe *Executor) StreamAt(ctx context.Context, req Request, atEpoch uint64) (*Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -107,8 +132,9 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 	}
 	startIdx, startAfter := 0, object.OID(0)
 	resumed := req.Cursor != ""
+	var epoch uint64
 	if resumed {
-		class, after, err := parseCursor(req.Cursor)
+		curEpoch, class, after, err := parseCursor(req.Cursor)
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +149,20 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 			return nil, fmt.Errorf("%w: cursor class %q is not a target of this request", ErrBadRequest, class)
 		}
 		startIdx, startAfter = idx, after
+		epoch = curEpoch
+	} else if atEpoch != 0 {
+		epoch = atEpoch
+	} else {
+		epoch = qe.Obj.CurrentEpoch()
+	}
+	// Validate the snapshot now so a resumed cursor behind the GC horizon
+	// fails at the call, but PIN lazily at first pull: a stream that is
+	// created and never iterated must not hold the horizon back forever.
+	// The (rare) GC sliding past the epoch between creation and first
+	// pull surfaces as ErrSnapshotGone from the iteration, never as a
+	// silently inconsistent page.
+	if err := qe.Obj.CheckEpoch(epoch); err != nil {
+		return nil, err
 	}
 
 	st := &Stream{cursor: req.Cursor}
@@ -131,6 +171,11 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 			yield(nil, fmt.Errorf("%w: stream already consumed", ErrBadRequest))
 			return
 		}
+		if err := qe.Obj.PinEpoch(epoch); err != nil {
+			yield(nil, err)
+			return
+		}
+		defer qe.Obj.Unpin(epoch)
 		yielded := 0
 		served := false
 		for ci := startIdx; ci < len(classes); ci++ {
@@ -138,7 +183,7 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 			if ci == startIdx {
 				after = startAfter
 			}
-			for oid, err := range qe.Obj.QueryFrom(classes[ci], req.Pred, after) {
+			for oid, err := range qe.Obj.QueryFromAt(classes[ci], req.Pred, after, epoch) {
 				if err != nil {
 					yield(nil, err)
 					return
@@ -147,25 +192,22 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 					yield(nil, err)
 					return
 				}
-				if qe.isStale(oid) && !qe.ServeStale {
+				if qe.isStaleAt(oid, epoch) && !qe.ServeStale {
 					continue
 				}
-				o, err := qe.Obj.Get(oid)
+				o, err := qe.Obj.GetAt(oid, epoch)
 				if err != nil {
-					if errors.Is(err, object.ErrNotFound) {
-						continue // deleted between match and load
-					}
 					yield(nil, err)
 					return
 				}
 				served = true
 				if !yield(o, nil) {
-					st.setCursor(encodeCursor(classes[ci], oid))
+					st.setCursor(encodeCursor(epoch, classes[ci], oid))
 					return
 				}
 				yielded++
 				if req.Limit > 0 && yielded >= req.Limit {
-					st.setCursor(encodeCursor(classes[ci], oid))
+					st.setCursor(encodeCursor(epoch, classes[ci], oid))
 					return
 				}
 			}
@@ -183,7 +225,8 @@ func (qe *Executor) Stream(ctx context.Context, req Request) (*Stream, error) {
 
 // streamFallback runs the §2.1.5 fallback chain lazily — only reached
 // when the consumer drained an empty retrieval, so QueryStream itself
-// never pays for planning or derivation.
+// never pays for planning or derivation. Derivation writes fresh objects
+// at new epochs; they are loaded at their newest state.
 func (qe *Executor) streamFallback(ctx context.Context, classes []string, strategies []Strategy, req Request, st *Stream, yield func(*object.Object, error) bool) {
 	st.setCursor("")
 	var lastErr error

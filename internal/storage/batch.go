@@ -20,6 +20,7 @@ type Batch struct {
 	deletes   []stagedDelete
 	metaSets  []stagedMeta
 	pins      []string
+	epoch     uint64
 	committed bool
 }
 
@@ -67,6 +68,16 @@ func (b *Batch) PinSequence(sequence string) {
 	b.pins = append(b.pins, "seq/"+sequence)
 }
 
+// SetEpoch stamps the batch with a commit epoch reserved via
+// ReserveEpoch. The epoch lands in the WAL group header and, on commit,
+// in the meta map (persisted by the next meta snapshot). A batch without
+// a stamp allocates the next epoch itself at commit.
+func (b *Batch) SetEpoch(e uint64) { b.epoch = e }
+
+// Epoch returns the commit epoch the batch was stamped with (valid after
+// Commit).
+func (b *Batch) Epoch() uint64 { return b.epoch }
+
 // Len reports how many mutations the batch stages.
 func (b *Batch) Len() int { return len(b.inserts) + len(b.deletes) + len(b.metaSets) }
 
@@ -74,6 +85,12 @@ func (b *Batch) Len() int { return len(b.inserts) + len(b.deletes) + len(b.metaS
 // group is logged as one WAL record and fsynced once. On a WAL failure
 // the page changes are undone, so memory and log agree. The returned RIDs
 // are aligned with the order Insert was called.
+//
+// Commit holds the store lock SHARED: checkpoints (exclusive) stay out
+// of the page-change + log-append window, but record readers — and other
+// committers — proceed in parallel, serialised only by the per-heap
+// locks, the WAL mutex, and metaMu. This is what keeps MVCC snapshot
+// reads from stalling behind a batch writer.
 func (b *Batch) Commit() ([]RID, error) {
 	if b.committed {
 		return nil, fmt.Errorf("storage: batch committed twice")
@@ -94,10 +111,11 @@ func (b *Batch) Commit() ([]RID, error) {
 			heaps[in.heap] = h
 		}
 	}
-	// The exclusive store lock keeps checkpoints (and the meta map) away
-	// for the whole page-change + WAL-append window.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if b.epoch == 0 {
+		b.epoch = s.ReserveEpoch()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, d := range b.deletes {
 		h, ok := s.heaps[d.heap]
 		if !ok {
@@ -127,6 +145,11 @@ func (b *Batch) Commit() ([]RID, error) {
 	for _, d := range b.deletes {
 		payloads = append(payloads, deletePayload(d.heap, d.rid))
 	}
+	// The meta section — reading pinned sequence values, logging the
+	// group, and applying the meta updates — happens under metaMu as one
+	// unit, so the WAL order of meta values matches the order they land
+	// in the map even with concurrent committers.
+	s.metaMu.Lock()
 	for _, m := range b.metaSets {
 		payloads = append(payloads, metaSetPayload(m.key, m.val))
 	}
@@ -135,21 +158,28 @@ func (b *Batch) Commit() ([]RID, error) {
 			payloads = append(payloads, metaSetPayload(key, v))
 		}
 	}
-	if err := s.wal.logGroup(payloads); err != nil {
+	if err := s.wal.logGroup(b.epoch, payloads); err != nil {
+		s.metaMu.Unlock()
 		undo()
 		return nil, err
 	}
+	for _, m := range b.metaSets {
+		s.meta[m.key] = m.val
+	}
+	if cur, ok := s.meta[epochKey]; !ok || len(cur) != 8 || binary.LittleEndian.Uint64(cur) < b.epoch {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, b.epoch)
+		s.meta[epochKey] = buf
+	}
+	s.metaMu.Unlock()
 	// The group is durably logged: from here Commit must report success,
 	// or callers would believe a committed batch did not happen (the same
-	// contract as object.Store.Update's post-commit cleanup). A failed
+	// contract as the object layer's post-commit publication). A failed
 	// in-memory page delete leaves a ghost record that WAL replay removes
 	// on the next open, and that the object layer's indexes hide until
 	// then; single-op Store.Delete shares this exposure.
 	for _, d := range b.deletes {
 		_ = heaps[d.heap].del(d.rid)
-	}
-	for _, m := range b.metaSets {
-		s.meta[m.key] = m.val
 	}
 	return rids, nil
 }
@@ -163,8 +193,10 @@ func (b *Batch) Commit() ([]RID, error) {
 // inside a batch that pins the sequence: a crash before that pin simply
 // re-issues the reserved IDs, which by then nothing references.
 func (s *Store) AllocID(sequence string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	key := "seq/" + sequence
 	var cur uint64
 	if v, ok := s.meta[key]; ok && len(v) == 8 {

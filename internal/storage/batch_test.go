@@ -72,6 +72,67 @@ func TestBatchCommitAndRecovery(t *testing.T) {
 	}
 }
 
+// TestMVCCEpochStampSurvivesCrash: the commit epoch stamped into a WAL
+// group header must be restored by replay, and the meta snapshot must
+// carry it across checkpoints, so epochs stay monotonic over restarts.
+func TestMVCCEpochStampSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh store epoch = %d", got)
+	}
+	e := s.ReserveEpoch()
+	if e != 1 {
+		t.Fatalf("first reserved epoch = %d", e)
+	}
+	b := s.NewBatch()
+	b.Insert("a", []byte("v1"))
+	b.SetEpoch(e)
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A batch without an explicit stamp allocates the next epoch itself.
+	b2 := s.NewBatch()
+	b2.Insert("a", []byte("v2"))
+	if _, err := b2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Epoch() != 2 || s.Epoch() != 2 {
+		t.Fatalf("auto epoch = %d, store %d, want 2", b2.Epoch(), s.Epoch())
+	}
+
+	// Crash without checkpoint: the epoch comes back from the WAL group
+	// headers.
+	s.closeHeaps()
+	s.wal.close()
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Epoch(); got != 2 {
+		t.Fatalf("epoch after WAL replay = %d, want 2", got)
+	}
+	// Clean close (checkpoint): the epoch comes back from the meta
+	// snapshot even though the WAL is empty.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Epoch(); got != 2 {
+		t.Fatalf("epoch after checkpointed reopen = %d, want 2", got)
+	}
+	if e := s3.ReserveEpoch(); e != 3 {
+		t.Fatalf("next epoch after reopen = %d, want 3", e)
+	}
+}
+
 func TestBatchTornTailDropsWholeGroup(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{NoSync: true})

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is the embedded database: named heaps + meta key/value map +
@@ -20,21 +21,33 @@ import (
 //	<dir>/meta.db          meta snapshot (rewritten at checkpoint)
 //	<dir>/blobs/           large objects
 //
-// Locking: mu is a reader/writer lock over the heap map and the meta
-// map. Record reads and writes take it only briefly to resolve the heap,
-// then proceed under that heap's own lock, so operations on different
-// heaps — and reads within one heap — run in parallel; writers contend
-// only on the WAL's internal mutex. Meta mutations and checkpoints take
-// mu exclusively.
+// Locking: mu is a reader/writer lock whose EXCLUSIVE side belongs to
+// checkpoints (and close): everything that mutates pages or appends to
+// the WAL holds it SHARED for the whole page-change + log-append window,
+// so a checkpoint can never flush and truncate in the middle of an
+// operation, while readers, writers, and whole batch commits all proceed
+// in parallel — real exclusion lives in the per-heap locks, the WAL's
+// internal mutex, and metaMu. metaMu serialises every meta-map
+// log+apply pair (and read), so concurrent shared-lock holders keep the
+// map race-free and the WAL order of meta values matches memory order.
 type Store struct {
-	mu    sync.RWMutex
-	dir   string
-	opts  Options
-	heaps map[string]*Heap
-	meta  map[string][]byte
-	wal   *wal
-	blobs *BlobStore
+	mu     sync.RWMutex
+	metaMu sync.Mutex
+	dir    string
+	opts   Options
+	heaps  map[string]*Heap
+	meta   map[string][]byte
+	wal    *wal
+	blobs  *BlobStore
+	// epoch is the MVCC commit-epoch counter: every Batch.Commit stamps
+	// its WAL group with a reserved epoch, and the latest committed value
+	// is mirrored in the meta map (so the meta snapshot persists it) and
+	// restored from WAL group headers on recovery.
+	epoch atomic.Uint64
 }
+
+// epochKey is the meta key mirroring the commit-epoch counter.
+const epochKey = "mvcc/epoch"
 
 // Options tunes a Store.
 type Options struct {
@@ -89,6 +102,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.closeHeaps()
 		return nil, err
 	}
+	if v, ok := s.meta[epochKey]; ok && len(v) == 8 {
+		s.epoch.Store(binary.LittleEndian.Uint64(v))
+	}
 	s.wal, err = openWAL(filepath.Join(dir, "wal.log"), !opts.NoSync)
 	if err != nil {
 		s.closeHeaps()
@@ -98,9 +114,17 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 func (s *Store) recover() error {
-	entries, err := readWAL(filepath.Join(s.dir, "wal.log"))
+	entries, maxEpoch, err := readWAL(filepath.Join(s.dir, "wal.log"))
 	if err != nil {
 		return err
+	}
+	if v, ok := s.meta[epochKey]; ok && len(v) == 8 && binary.LittleEndian.Uint64(v) > maxEpoch {
+		maxEpoch = binary.LittleEndian.Uint64(v)
+	}
+	if maxEpoch > 0 {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, maxEpoch)
+		s.meta[epochKey] = buf
 	}
 	if len(entries) == 0 {
 		return nil
@@ -233,10 +257,14 @@ func (s *Store) Scan(heap string, fn func(rid RID, rec []byte) bool) error {
 	return h.scan(fn)
 }
 
-// MetaSet durably sets a key in the meta map.
+// MetaSet durably sets a key in the meta map. The shared store lock
+// keeps checkpoints away from the log+apply pair; metaMu orders it
+// against concurrent meta writers.
 func (s *Store) MetaSet(key string, val []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if err := s.wal.logMetaSet(key, val); err != nil {
 		return err
 	}
@@ -249,6 +277,8 @@ func (s *Store) MetaSet(key string, val []byte) error {
 func (s *Store) MetaGet(key string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	v, ok := s.meta[key]
 	if !ok {
 		return nil, false
@@ -258,8 +288,10 @@ func (s *Store) MetaGet(key string) ([]byte, bool) {
 
 // MetaDelete removes a key from the meta map.
 func (s *Store) MetaDelete(key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if _, ok := s.meta[key]; !ok {
 		return nil
 	}
@@ -274,6 +306,8 @@ func (s *Store) MetaDelete(key string) error {
 func (s *Store) MetaKeys(prefix string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	var out []string
 	for k := range s.meta {
 		if strings.HasPrefix(k, prefix) {
@@ -286,8 +320,10 @@ func (s *Store) MetaKeys(prefix string) []string {
 
 // NextID returns the next value of a named persistent sequence (1-based).
 func (s *Store) NextID(sequence string) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	key := "seq/" + sequence
 	var cur uint64
 	if v, ok := s.meta[key]; ok && len(v) == 8 {
@@ -305,6 +341,46 @@ func (s *Store) NextID(sequence string) (uint64, error) {
 
 // Blobs exposes the blob store.
 func (s *Store) Blobs() *BlobStore { return s.blobs }
+
+// Epoch returns the highest commit epoch reserved so far (committed
+// batches may lag it by in-flight reservations).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// ReserveEpoch hands out the next commit epoch. The reservation is
+// in-memory; it becomes durable with the Batch that stamps it (the WAL
+// group header carries it, and Commit mirrors it into the meta map for
+// the snapshot). Callers must serialise ReserveEpoch with the commit and
+// publication of the batch that uses it — the object layer does so under
+// its commit mutex — or epochs could become visible out of order.
+func (s *Store) ReserveEpoch() uint64 { return s.epoch.Add(1) }
+
+// AdvanceEpoch raises the epoch counter to at least e. The object layer
+// calls it at open after scanning record stamps, so epochs issued against
+// a store whose meta snapshot lagged its heap records stay monotonic.
+func (s *Store) AdvanceEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if cur, ok := s.meta[epochKey]; !ok || len(cur) != 8 || binary.LittleEndian.Uint64(cur) < e {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, e)
+		s.meta[epochKey] = buf
+	}
+}
+
+// WALBytes reports the log bytes appended since the last checkpoint —
+// the signal the kernel's auto-checkpoint trigger watches.
+func (s *Store) WALBytes() int64 { return s.wal.size() }
 
 // Checkpoint flushes all heaps and the meta snapshot, then truncates the
 // WAL. After a checkpoint, recovery has nothing to replay.

@@ -35,6 +35,11 @@ const (
 	// mutations or none (a torn tail drops the whole group). Batched
 	// session commits use it to make multi-object mutations atomic.
 	opBatch byte = 5 // count, then per sub-entry: u32 len + payload
+	// opEpochBatch is opBatch with a commit-epoch stamp in the group
+	// header: epoch u64, count u32, then the sub-entries. The epoch is the
+	// MVCC commit point of the whole group; replay tracks the maximum seen
+	// so the store's epoch counter survives a crash between checkpoints.
+	opEpochBatch byte = 6
 )
 
 // walEntry is one decoded log record.
@@ -55,6 +60,10 @@ type wal struct {
 	path    string
 	syncOps bool // fsync after every append (durability on), default true
 	dirty   bool
+	// bytes counts log bytes appended since the last truncate — the
+	// "WAL growth since checkpoint" signal the kernel's auto-checkpoint
+	// trigger and Stats watch.
+	bytes int64
 }
 
 func openWAL(path string, syncOps bool) (*wal, error) {
@@ -62,11 +71,19 @@ func openWAL(path string, syncOps bool) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, path: path, syncOps: syncOps}, nil
+	return &wal{f: f, path: path, syncOps: syncOps, bytes: end}, nil
+}
+
+// size reports the log bytes appended since the last truncate.
+func (w *wal) size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
 }
 
 func (w *wal) append(payload []byte) error {
@@ -81,6 +98,7 @@ func (w *wal) append(payload []byte) error {
 	if _, err := w.f.Write(payload); err != nil {
 		return err
 	}
+	w.bytes += int64(len(hdr) + len(payload))
 	w.dirty = true
 	if w.syncOps {
 		return w.syncLocked()
@@ -128,15 +146,17 @@ func (w *wal) logMetaDel(key string) error {
 	return w.append(buf)
 }
 
-// logGroup records a set of sub-entry payloads as one atomic opBatch
-// record: one append, one crc, at most one fsync.
-func (w *wal) logGroup(payloads [][]byte) error {
-	n := 1 + 4
+// logGroup records a set of sub-entry payloads as one atomic group
+// record stamped with its commit epoch: one append, one crc, at most one
+// fsync.
+func (w *wal) logGroup(epoch uint64, payloads [][]byte) error {
+	n := 1 + 8 + 4
 	for _, p := range payloads {
 		n += 4 + len(p)
 	}
 	buf := make([]byte, 0, n)
-	buf = append(buf, opBatch)
+	buf = append(buf, opEpochBatch)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payloads)))
 	for _, p := range payloads {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
@@ -192,6 +212,7 @@ func (w *wal) truncate() error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	w.bytes = 0
 	return w.f.Sync()
 }
 
@@ -206,16 +227,18 @@ func (w *wal) close() error {
 }
 
 // readAll decodes entries from the start of the log, stopping silently at
-// a torn tail.
-func readWAL(path string) ([]walEntry, error) {
+// a torn tail. The second return is the highest commit epoch stamped on
+// any replayed group, so recovery can restore the epoch counter.
+func readWAL(path string) ([]walEntry, uint64, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var entries []walEntry
+	var maxEpoch uint64
 	off := 0
 	for off+8 <= len(data) {
 		n := int(binary.LittleEndian.Uint32(data[off:]))
@@ -227,10 +250,13 @@ func readWAL(path string) ([]walEntry, error) {
 		if crc32.ChecksumIEEE(payload) != want {
 			break // corrupt tail
 		}
-		if len(payload) > 0 && payload[0] == opBatch {
-			subs, err := decodeGroup(payload)
+		if len(payload) > 0 && (payload[0] == opBatch || payload[0] == opEpochBatch) {
+			subs, epoch, err := decodeGroup(payload)
 			if err != nil {
 				break
+			}
+			if epoch > maxEpoch {
+				maxEpoch = epoch
 			}
 			entries = append(entries, subs...)
 			off += 8 + n
@@ -243,36 +269,46 @@ func readWAL(path string) ([]walEntry, error) {
 		entries = append(entries, e)
 		off += 8 + n
 	}
-	return entries, nil
+	return entries, maxEpoch, nil
 }
 
-// decodeGroup unpacks an opBatch record into its sub-entries. The crc of
+// decodeGroup unpacks an opBatch/opEpochBatch record into its sub-entries
+// and its commit epoch (0 for the legacy un-stamped format). The crc of
 // the enclosing record already vouched for the bytes, so any decode error
 // here means a malformed writer, and the whole group is rejected.
-func decodeGroup(p []byte) ([]walEntry, error) {
-	if len(p) < 5 {
-		return nil, fmt.Errorf("storage: truncated wal batch header")
+func decodeGroup(p []byte) ([]walEntry, uint64, error) {
+	var epoch uint64
+	rest := p[1:]
+	if p[0] == opEpochBatch {
+		if len(rest) < 8 {
+			return nil, 0, fmt.Errorf("storage: truncated wal batch epoch")
+		}
+		epoch = binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
 	}
-	count := int(binary.LittleEndian.Uint32(p[1:]))
-	rest := p[5:]
+	if len(rest) < 4 {
+		return nil, 0, fmt.Errorf("storage: truncated wal batch header")
+	}
+	count := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
 	entries := make([]walEntry, 0, count)
 	for i := 0; i < count; i++ {
 		if len(rest) < 4 {
-			return nil, fmt.Errorf("storage: truncated wal batch length")
+			return nil, 0, fmt.Errorf("storage: truncated wal batch length")
 		}
 		n := int(binary.LittleEndian.Uint32(rest))
 		rest = rest[4:]
 		if len(rest) < n {
-			return nil, fmt.Errorf("storage: truncated wal batch entry")
+			return nil, 0, fmt.Errorf("storage: truncated wal batch entry")
 		}
 		e, err := decodeEntry(rest[:n])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		entries = append(entries, e)
 		rest = rest[n:]
 	}
-	return entries, nil
+	return entries, epoch, nil
 }
 
 func decodeEntry(p []byte) (walEntry, error) {

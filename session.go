@@ -25,12 +25,18 @@ import (
 // until the session finishes.
 //
 // A Session is safe for concurrent use, single-shot (one Commit or
-// Rollback), and not serialisable against other writers: if a concurrent
-// mutation removes an object this session staged an update or delete
-// for, Commit fails atomically with ErrConflict.
+// Rollback), and snapshot-isolated against other writers with
+// first-committer-wins validation: Begin captures the commit epoch of
+// the store, and Commit fails atomically with ErrConflict if any object
+// this session staged an update or delete for was updated or deleted by
+// a commit AFTER that epoch — the session would otherwise overwrite
+// state it never saw. Creates never conflict (OIDs are unique).
 type Session struct {
 	k   *Kernel
 	ctx context.Context
+	// readEpoch is the MVCC epoch captured at Begin: the state this
+	// session's staged mutations are based on.
+	readEpoch uint64
 
 	mu        sync.Mutex
 	done      bool
@@ -53,11 +59,16 @@ func (k *Kernel) Begin(ctx context.Context) *Session {
 	return &Session{
 		k:         k,
 		ctx:       ctx,
+		readEpoch: k.Objects.CurrentEpoch(),
 		createIdx: make(map[object.OID]int),
 		updateIdx: make(map[object.OID]int),
 		deleteIdx: make(map[object.OID]int),
 	}
 }
+
+// ReadEpoch returns the commit epoch this session's staged mutations are
+// validated against (captured at Begin).
+func (s *Session) ReadEpoch() uint64 { return s.readEpoch }
 
 func (s *Session) check() error {
 	if s.done {
@@ -188,16 +199,20 @@ func (s *Session) Commit() error {
 		ops.Updates = append(ops.Updates, u)
 	}
 	ops.Deletes = s.deletes
+	ops.ReadEpoch = s.readEpoch
 	if len(staged) > 0 {
 		ops.PinSeqs = []string{"task"}
 	}
 	if len(ops.Inserts)+len(ops.Updates)+len(ops.Deletes) == 0 {
 		return nil
 	}
-	if err := s.k.Objects.ApplyBatch(ops); err != nil {
+	epoch, err := s.k.Objects.ApplyBatch(ops)
+	if err != nil {
 		return classify(err)
 	}
-	// Durable: publish lineage, then propagate all mutations in ONE sweep.
+	// Durable: publish lineage, then propagate all mutations in ONE sweep
+	// under the batch's commit epoch (so snapshot readers pinned before it
+	// do not see the dependents as stale).
 	for _, t := range staged {
 		s.k.Tasks.Publish(t)
 	}
@@ -205,7 +220,7 @@ func (s *Session) Commit() error {
 	for _, u := range ops.Updates {
 		updated = append(updated, u.OID)
 	}
-	if err := s.k.Deriv.ObjectsChanged(updated, ops.Deletes); err != nil {
+	if err := s.k.Deriv.ObjectsChanged(updated, ops.Deletes, epoch); err != nil {
 		return classify(fmt.Errorf("gaea: session committed durably, but invalidation propagation failed (refresh or re-update to repropagate): %w", err))
 	}
 	return nil
