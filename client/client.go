@@ -1,0 +1,785 @@
+// Package client is the Go client for a served Gaea kernel — and the
+// backend-neutral surface that lets one workload run unchanged against
+// an embedded kernel or a `gaea serve` endpoint.
+//
+// The Kernel interface mirrors the method set of *gaea.Kernel that a
+// data workload uses: sessions, buffered and streaming queries,
+// snapshots, staleness, stats. Embed wraps an in-process *gaea.Kernel
+// onto it; Dial connects to a server over TCP or a unix socket. Code
+// written against client.Kernel — the examples and gaea-bench scenarios
+// — cannot tell the difference except in latency.
+//
+// Remote semantics, where they differ from embedded:
+//
+//   - Sessions stage locally and the whole batch commits in ONE round
+//     trip (Begin costs one lightweight epoch fetch so
+//     first-committer-wins validation matches embedded semantics).
+//     Create returns a provisional OID (top bit set); the real OID is
+//     reserved server-side at Commit and available from
+//     Session.Committed afterwards. Staged updates and deletes may
+//     reference provisional OIDs freely. Validation that the embedded
+//     kernel performs eagerly at stage time happens at Commit.
+//
+//   - Streams are paged: each page is one round trip, and the
+//     epoch-carrying cursor in every page means a NEW connection — after
+//     a crash, a reconnect, or on a different client entirely — resumes
+//     the exact MVCC snapshot, with no skipped and no phantom objects.
+//     The server holds the snapshot pin under a lease, renewed by every
+//     page; a client that wanders off simply lets the lease expire.
+//
+//   - Snapshots are leases. Abandoning a remote snapshot without
+//     Release is safe — the server expires it — but subsequent use
+//     answers gaea.ErrSnapshotGone.
+//
+// Every error is classified against the same public taxonomy as the
+// embedded API: errors.Is(err, gaea.ErrNotFound) and friends work
+// identically. Transport failures surface as ErrUnavailable.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaea"
+	"gaea/internal/object"
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// ErrUnavailable reports that the server refused or lost the
+// connection (shutdown, connection limit, network failure).
+var ErrUnavailable = errors.New("client: server unavailable")
+
+// Kernel is the backend-neutral kernel surface: satisfied by the
+// embedded adapter (Embed) and by a remote connection (Dial).
+type Kernel interface {
+	// Begin opens a mutation session; Commit applies the staged batch
+	// atomically (remote: in one round trip).
+	Begin(ctx context.Context) Session
+	// Query answers a request, buffered.
+	Query(ctx context.Context, req gaea.Request) (*gaea.Result, error)
+	// QueryStream answers a request incrementally with cursor resume.
+	QueryStream(ctx context.Context, req gaea.Request) (Stream, error)
+	// Snapshot pins a read-only view at one MVCC commit epoch.
+	Snapshot(ctx context.Context) (Snapshot, error)
+	// Stale lists the OIDs currently marked stale (remote: nil on
+	// transport failure).
+	Stale() []object.OID
+	// RefreshStale recomputes every stale derived object.
+	RefreshStale(ctx context.Context) (int, error)
+	// Explain renders the derivation history of an object.
+	Explain(oid object.OID) string
+	// ExplainQuery previews how a request would be satisfied.
+	ExplainQuery(ctx context.Context, req gaea.Request) (string, error)
+	// Stats reports the database summary (remote: kernel stats plus the
+	// server's connection/session/stream/lease counters).
+	Stats() (string, error)
+	// Close releases the backend (remote: closes the connection; the
+	// served kernel stays up).
+	Close() error
+}
+
+// Session mirrors *gaea.Session across backends.
+type Session interface {
+	// Create stages a new object and returns its OID — real when
+	// embedded, provisional (wire.IsProvisional) when remote.
+	Create(obj *object.Object, note string) (object.OID, error)
+	// Update stages an in-place replacement.
+	Update(obj *object.Object) error
+	// Delete stages a removal.
+	Delete(oid object.OID) error
+	// Commit applies the whole staged batch atomically.
+	Commit() error
+	// Rollback discards the staged work.
+	Rollback() error
+	// Committed translates an OID returned by Create into the stored
+	// OID after Commit (identity for embedded sessions).
+	Committed(oid object.OID) (object.OID, bool)
+}
+
+// Stream mirrors *gaea.Stream across backends.
+type Stream interface {
+	All() iter.Seq2[*object.Object, error]
+	Cursor() string
+}
+
+// Snapshot mirrors *gaea.Snapshot across backends.
+type Snapshot interface {
+	Epoch() uint64
+	Get(oid object.OID) (*object.Object, error)
+	Query(ctx context.Context, req gaea.Request) (*gaea.Result, error)
+	QueryStream(ctx context.Context, req gaea.Request) (Stream, error)
+	Release()
+}
+
+// Options tunes a remote connection.
+type Options struct {
+	// User is recorded on derivations and tasks this connection runs.
+	User string
+	// MaxFrame bounds one wire frame (0 = 64 MiB).
+	MaxFrame int
+	// DialTimeout bounds the connection attempt (0 = 5s).
+	DialTimeout time.Duration
+	// PageSize is the stream page size requested from the server when
+	// the caller's Request.Limit doesn't dictate one (0 = 256; the
+	// server caps it at its own page size).
+	PageSize int
+}
+
+// SplitAddr parses a serve/connect address: "unix:///path/to.sock" (or
+// "unix:/path") selects a unix socket, "tcp://host:port" or a bare
+// "host:port" selects TCP.
+func SplitAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix://"):
+		return "unix", strings.TrimPrefix(addr, "unix://"), nil
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:"), nil
+	case strings.HasPrefix(addr, "tcp://"):
+		return "tcp", strings.TrimPrefix(addr, "tcp://"), nil
+	case addr == "":
+		return "", "", fmt.Errorf("client: empty address")
+	default:
+		return "tcp", addr, nil
+	}
+}
+
+// Dial connects to a served kernel at addr ("unix:///path" or
+// "host:port") and performs the hello handshake.
+func Dial(addr string, opts Options) (*Conn, error) {
+	network, address, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	c := &Conn{nc: nc, opts: opts}
+	// DialTimeout bounds the whole connection attempt, handshake
+	// included: an endpoint that accepts but never answers must not
+	// hang Dial.
+	hctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if _, err := c.roundTrip(hctx, &wire.Request{Op: wire.OpHello, User: opts.User}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Conn is a connection to a served kernel, implementing Kernel. It is
+// safe for concurrent use: the protocol is strictly request/response,
+// so concurrent calls serialise on the connection (open one Conn per
+// worker for parallel load). All server-held state a Conn references —
+// snapshot leases, stream cursors — is connection-independent, so a
+// stream or snapshot outlives the Conn that created it as far as the
+// server is concerned (until its lease expires).
+type Conn struct {
+	opts Options
+
+	// closed is independent of mu so Close never queues behind a
+	// stalled round trip — closing the socket is what unblocks it.
+	closed atomic.Bool
+
+	mu sync.Mutex // serialises round trips (request/response protocol)
+	nc net.Conn
+}
+
+// defaultRequestTimeout bounds round trips that carry no context (Stats,
+// Explain, snapshot Get, lease renewals — all cheap server-side): a
+// silently-partitioned peer must not hang them forever. Operations that
+// can legitimately run long (queries with derivation, RefreshStale,
+// commits) take the caller's context instead.
+const defaultRequestTimeout = 30 * time.Second
+
+// roundTrip sends one request frame and reads one response frame. A
+// transport failure mid-frame leaves the stream unsynchronisable, so it
+// poisons the connection: the conn is closed and every later call fails
+// fast (redial for a fresh one — all server-held state, leases and
+// cursors, is connection-independent). Context cancellation interrupts
+// an in-flight round trip by expiring the socket deadline; the
+// interrupted response is unrecoverable, so that poisons the connection
+// too. (The server finishes the request on its side regardless — the
+// wire carries no cancellation.)
+func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, fmt.Errorf("%w: connection closed", gaea.ErrClosed)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		_ = c.nc.SetDeadline(time.Time{})
+		stop := context.AfterFunc(ctx, func() { _ = c.nc.SetDeadline(time.Now()) })
+		defer stop()
+	} else {
+		// No context: still bound the I/O so a partitioned peer cannot
+		// hang the call (and the mutex behind it) forever.
+		_ = c.nc.SetDeadline(time.Now().Add(defaultRequestTimeout))
+	}
+	fail := func(err error) (*wire.Response, error) {
+		c.closed.Store(true)
+		_ = c.nc.Close()
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	if err := wire.WriteFrame(c.nc, req); err != nil {
+		return fail(err)
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(c.nc, c.opts.MaxFrame, &resp); err != nil {
+		return fail(err)
+	}
+	if resp.Code != wire.CodeOK {
+		return nil, errorFor(resp.Code, resp.Err)
+	}
+	return &resp, nil
+}
+
+// errorFor maps a wire code back onto the public taxonomy, preserving
+// the server-side error text.
+func errorFor(code wire.Code, msg string) error {
+	var sentinel error
+	switch code {
+	case wire.CodeNotFound:
+		sentinel = gaea.ErrNotFound
+	case wire.CodeClassUnknown:
+		sentinel = gaea.ErrClassUnknown
+	case wire.CodeNoPlan:
+		sentinel = gaea.ErrNoPlan
+	case wire.CodeStale:
+		sentinel = gaea.ErrStale
+	case wire.CodeConflict:
+		sentinel = gaea.ErrConflict
+	case wire.CodeSnapshotGone:
+		sentinel = gaea.ErrSnapshotGone
+	case wire.CodeClosed:
+		sentinel = gaea.ErrClosed
+	case wire.CodeCanceled:
+		sentinel = context.Canceled
+	case wire.CodeUnavailable:
+		sentinel = ErrUnavailable
+	case wire.CodeBadRequest, wire.CodeInternal:
+		return fmt.Errorf("client: remote error (%s): %s", code, msg)
+	default:
+		return fmt.Errorf("client: remote error (%s): %s", code, msg)
+	}
+	return fmt.Errorf("%w: remote: %s", sentinel, msg)
+}
+
+// Close closes the connection, aborting any in-flight round trip (its
+// caller gets a transport error). Server-side leases this connection
+// opened expire on their own. Idempotent.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.nc.Close()
+}
+
+// Query implements Kernel.
+func (c *Conn) Query(ctx context.Context, req gaea.Request) (*gaea.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := wire.FromQuery(req)
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpQuery, Query: &q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("client: malformed query response")
+	}
+	return resp.Result.ToResult(), nil
+}
+
+// ExplainQuery implements Kernel.
+func (c *Conn) ExplainQuery(ctx context.Context, req gaea.Request) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	q := wire.FromQuery(req)
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpExplainQuery, Query: &q})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Explain implements Kernel. Transport failures render as an error line
+// (the embedded Explain has no error path).
+func (c *Conn) Explain(oid object.OID) string {
+	resp, err := c.roundTrip(nil, &wire.Request{Op: wire.OpExplain, OID: uint64(oid)})
+	if err != nil {
+		return fmt.Sprintf("explain %d: %v\n", oid, err)
+	}
+	return resp.Text
+}
+
+// Stale implements Kernel. Transport failures yield nil.
+func (c *Conn) Stale() []object.OID {
+	resp, err := c.roundTrip(nil, &wire.Request{Op: wire.OpStale})
+	if err != nil {
+		return nil
+	}
+	var oids []object.OID
+	for _, oid := range resp.OIDs {
+		oids = append(oids, object.OID(oid))
+	}
+	return oids
+}
+
+// RefreshStale implements Kernel.
+func (c *Conn) RefreshStale(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpRefresh})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Stats implements Kernel: the served kernel's stats line plus the
+// server counters.
+func (c *Conn) Stats() (string, error) {
+	resp, err := c.roundTrip(nil, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return "", err
+	}
+	if resp.Stats == nil {
+		return "", fmt.Errorf("client: malformed stats response")
+	}
+	return resp.Stats.String(), nil
+}
+
+// ServerStats returns the structured stats payload (kernel line plus
+// server counters).
+func (c *Conn) ServerStats() (*wire.StatsPayload, error) {
+	resp, err := c.roundTrip(nil, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("client: malformed stats response")
+	}
+	return resp.Stats, nil
+}
+
+// Begin implements Kernel. One lightweight round trip captures the
+// session's MVCC read epoch, so first-committer-wins validation matches
+// embedded semantics exactly; staging is then local and free, and the
+// whole staged batch commits in ONE round trip. If the epoch fetch
+// fails, the failure surfaces from every session operation.
+func (c *Conn) Begin(ctx context.Context) Session {
+	s := &remoteSession{c: c, ctx: ctx}
+	if err := ctx.Err(); err != nil {
+		s.broken = err
+		return s
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpBegin})
+	if err != nil {
+		s.broken = err
+		return s
+	}
+	s.readEpoch = resp.Epoch
+	return s
+}
+
+// Snapshot implements Kernel: pins a server-side snapshot under a
+// lease. Keep using it (any op renews the lease) or Release it; an
+// abandoned snapshot expires on its own and then answers
+// gaea.ErrSnapshotGone.
+func (c *Conn) Snapshot(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpSnapOpen})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSnapshot{c: c, lease: resp.Lease, epoch: resp.Epoch}, nil
+}
+
+// QueryStream implements Kernel: pages of req.Limit-capped size are
+// fetched lazily as the consumer pulls; the cursor resumes the exact
+// snapshot on any connection.
+func (c *Conn) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &remoteStream{c: c, ctx: ctx, req: req, op: wire.OpStream, cursor: req.Cursor}, nil
+}
+
+// remoteStream pulls pages over the wire lazily. It mirrors the
+// embedded Stream contract: single use, Cursor() reports where
+// iteration stopped (down to the exact object, synthesised client-side
+// when the consumer breaks mid-page), empty cursor = exhausted.
+type remoteStream struct {
+	c     *Conn
+	ctx   context.Context
+	req   gaea.Request
+	op    wire.Op
+	lease uint64 // snapshot streams only
+
+	mu       sync.Mutex
+	cursor   string
+	consumed bool
+}
+
+func (s *remoteStream) claim() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.consumed {
+		return false
+	}
+	s.consumed = true
+	return true
+}
+
+func (s *remoteStream) setCursor(c string) {
+	s.mu.Lock()
+	s.cursor = c
+	s.mu.Unlock()
+}
+
+// Cursor reports the resume token; pass it as Request.Cursor on any
+// backend (embedded or remote, same or new connection) to continue at
+// the same snapshot.
+func (s *remoteStream) Cursor() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+// All returns the lazily-paged sequence.
+func (s *remoteStream) All() iter.Seq2[*object.Object, error] {
+	return func(yield func(*object.Object, error) bool) {
+		if !s.claim() {
+			yield(nil, fmt.Errorf("%w: stream already consumed", query.ErrBadRequest))
+			return
+		}
+		remaining := s.req.Limit // 0 = unlimited
+		cursor := s.req.Cursor
+		for {
+			if err := s.ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			page := s.c.opts.PageSize
+			if page <= 0 {
+				page = 256
+			}
+			if remaining > 0 && remaining < page {
+				page = remaining
+			}
+			q := wire.FromQuery(s.req)
+			q.Cursor = cursor
+			q.Limit = page
+			resp, err := s.c.roundTrip(s.ctx, &wire.Request{Op: s.op, Query: &q, Lease: s.lease})
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			for i := range resp.Objects {
+				o, err := resp.Objects[i].ToObject()
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if !yield(o, nil) {
+					// Consumer stopped mid-page: synthesise the exact resume
+					// point from the page's epoch and the last object seen.
+					s.stopAt(resp, o)
+					return
+				}
+				if remaining > 0 {
+					remaining--
+					if remaining == 0 {
+						if i < len(resp.Objects)-1 || resp.Cursor != "" {
+							s.stopAt(resp, o)
+						} else {
+							s.setCursor("")
+						}
+						return
+					}
+				}
+			}
+			cursor = resp.Cursor
+			s.setCursor(cursor)
+			if cursor == "" {
+				return // exhausted
+			}
+		}
+	}
+}
+
+// stopAt records the exact resume point when the consumer stops before
+// the stream is exhausted. If the server answered this page with no
+// cursor, it has already released the page's pin (nothing was left to
+// resume from ITS point of view) — so the synthesised cursor's epoch is
+// re-pinned under a fresh cursor lease, best-effort, to keep the resume
+// guarantee. Snapshot streams skip that: their snapshot's own lease
+// holds the epoch.
+func (s *remoteStream) stopAt(resp *wire.Response, o *object.Object) {
+	if resp.Epoch == 0 {
+		// A fallback-produced page (the server marks it with epoch 0):
+		// its objects were derived at epochs newer than the page's
+		// snapshot, so no resume point exists — match the embedded
+		// contract and report not-resumable.
+		s.setCursor("")
+		return
+	}
+	s.setCursor(query.EncodeCursor(resp.Epoch, o.Class, o.OID))
+	if s.op == wire.OpStream && resp.Cursor == "" {
+		// Best-effort under the stream's own context: a loop break must
+		// not block behind a stalled server past the caller's deadline.
+		_, _ = s.c.roundTrip(s.ctx, &wire.Request{Op: wire.OpLease, Epoch: resp.Epoch})
+	}
+}
+
+// remoteSnapshot is a lease-backed server-side snapshot.
+type remoteSnapshot struct {
+	c        *Conn
+	lease    uint64
+	epoch    uint64
+	released sync.Once
+}
+
+func (s *remoteSnapshot) Epoch() uint64 { return s.epoch }
+
+// Release lets the server unpin the snapshot immediately (idempotent;
+// otherwise the lease expires on its own).
+func (s *remoteSnapshot) Release() {
+	s.released.Do(func() {
+		_, _ = s.c.roundTrip(nil, &wire.Request{Op: wire.OpSnapRelease, Lease: s.lease})
+	})
+}
+
+func (s *remoteSnapshot) Get(oid object.OID) (*object.Object, error) {
+	resp, err := s.c.roundTrip(nil, &wire.Request{Op: wire.OpSnapGet, Lease: s.lease, OID: uint64(oid)})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Objects) != 1 {
+		return nil, fmt.Errorf("client: malformed snapshot get response")
+	}
+	return resp.Objects[0].ToObject()
+}
+
+func (s *remoteSnapshot) Query(ctx context.Context, req gaea.Request) (*gaea.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := wire.FromQuery(req)
+	resp, err := s.c.roundTrip(ctx, &wire.Request{Op: wire.OpSnapQuery, Lease: s.lease, Query: &q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("client: malformed query response")
+	}
+	return resp.Result.ToResult(), nil
+}
+
+func (s *remoteSnapshot) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &remoteStream{c: s.c, ctx: ctx, req: req, op: wire.OpSnapStream, lease: s.lease, cursor: req.Cursor}, nil
+}
+
+// remoteSession stages mutations locally and ships the whole batch as
+// one OpCommit round trip.
+type remoteSession struct {
+	c   *Conn
+	ctx context.Context
+
+	mu        sync.Mutex
+	broken    error // Begin failed; every op reports it
+	readEpoch uint64
+	done      bool
+	nextProv  uint64
+	creates   []wire.Create
+	createIdx map[uint64]int
+	updates   []wire.Object
+	updateIdx map[uint64]int
+	deletes   []uint64
+	deleteIdx map[uint64]struct{}
+	committed map[object.OID]object.OID
+}
+
+func (s *remoteSession) check() error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.done {
+		return fmt.Errorf("%w: session finished", gaea.ErrClosed)
+	}
+	return nil
+}
+
+// Create stages a new object under a provisional OID; the real OID is
+// reserved at Commit (Committed translates). Validation happens at
+// Commit — the one round trip — not at stage time.
+func (s *remoteSession) Create(obj *object.Object, note string) (object.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	w, err := wire.FromObject(obj)
+	if err != nil {
+		return 0, err
+	}
+	s.nextProv++
+	prov := wire.ProvisionalBit | s.nextProv
+	w.OID = prov
+	if s.createIdx == nil {
+		s.createIdx = make(map[uint64]int)
+	}
+	s.createIdx[prov] = len(s.creates)
+	s.creates = append(s.creates, wire.Create{Prov: prov, Obj: w, Note: note})
+	return object.OID(prov), nil
+}
+
+// Update stages an in-place replacement; obj.OID may be provisional.
+func (s *remoteSession) Update(obj *object.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	oid := uint64(obj.OID)
+	if _, staged := s.deleteIdx[oid]; staged {
+		return fmt.Errorf("%w: object %d is staged for deletion in this session", gaea.ErrConflict, obj.OID)
+	}
+	w, err := wire.FromObject(obj)
+	if err != nil {
+		return err
+	}
+	if i, staged := s.createIdx[oid]; staged {
+		w.OID = oid
+		note := s.creates[i].Note
+		s.creates[i] = wire.Create{Prov: oid, Obj: w, Note: note}
+		return nil
+	}
+	if s.updateIdx == nil {
+		s.updateIdx = make(map[uint64]int)
+	}
+	if i, staged := s.updateIdx[oid]; staged {
+		s.updates[i] = w
+		return nil
+	}
+	s.updateIdx[oid] = len(s.updates)
+	s.updates = append(s.updates, w)
+	return nil
+}
+
+// Delete stages a removal; deleting a provisional OID discards the
+// staged create.
+func (s *remoteSession) Delete(oid object.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	id := uint64(oid)
+	if i, staged := s.createIdx[id]; staged {
+		// Drop the staged create (order of surviving creates preserved).
+		s.creates = append(s.creates[:i], s.creates[i+1:]...)
+		delete(s.createIdx, id)
+		for p, j := range s.createIdx {
+			if j > i {
+				s.createIdx[p] = j - 1
+			}
+		}
+		return nil
+	}
+	if i, staged := s.updateIdx[id]; staged {
+		s.updates = append(s.updates[:i], s.updates[i+1:]...)
+		delete(s.updateIdx, id)
+		for p, j := range s.updateIdx {
+			if j > i {
+				s.updateIdx[p] = j - 1
+			}
+		}
+	}
+	if s.deleteIdx == nil {
+		s.deleteIdx = make(map[uint64]struct{})
+	}
+	if _, staged := s.deleteIdx[id]; staged {
+		return nil
+	}
+	s.deleteIdx[id] = struct{}{}
+	s.deletes = append(s.deletes, id)
+	return nil
+}
+
+// Commit ships the staged batch as one round trip. On success the
+// provisional→real OID mapping is available from Committed.
+func (s *remoteSession) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.done = true
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if len(s.creates)+len(s.updates)+len(s.deletes) == 0 {
+		return nil
+	}
+	resp, err := s.c.roundTrip(s.ctx, &wire.Request{Op: wire.OpCommit, Batch: &wire.BatchReq{
+		Creates:   s.creates,
+		Updates:   s.updates,
+		Deletes:   s.deletes,
+		ReadEpoch: s.readEpoch,
+	}})
+	if err != nil {
+		return err
+	}
+	if len(resp.OIDs) != len(s.creates) {
+		return fmt.Errorf("client: commit answered %d OIDs for %d creates", len(resp.OIDs), len(s.creates))
+	}
+	s.committed = make(map[object.OID]object.OID, len(s.creates))
+	for i := range s.creates {
+		s.committed[object.OID(s.creates[i].Prov)] = object.OID(resp.OIDs[i])
+	}
+	return nil
+}
+
+// Rollback discards the staged work (nothing ever reached the server).
+func (s *remoteSession) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	return nil
+}
+
+// Committed translates a provisional OID from Create into the stored
+// OID. It answers only after a successful Commit.
+func (s *remoteSession) Committed(oid object.OID) (object.OID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	real, ok := s.committed[oid]
+	return real, ok
+}

@@ -1,0 +1,76 @@
+package client
+
+// The embedded backend: a thin adapter putting *gaea.Kernel behind the
+// same Kernel interface a remote connection implements, so workloads
+// written against client.Kernel run unchanged in-process.
+
+import (
+	"context"
+
+	"gaea"
+	"gaea/internal/object"
+)
+
+// Embed wraps an open in-process kernel in the backend-neutral Kernel
+// interface. Closing the returned Kernel closes the underlying kernel.
+func Embed(k *gaea.Kernel) Kernel { return &embedded{k: k} }
+
+type embedded struct{ k *gaea.Kernel }
+
+func (e *embedded) Begin(ctx context.Context) Session {
+	return embeddedSession{e.k.Begin(ctx)}
+}
+
+func (e *embedded) Query(ctx context.Context, req gaea.Request) (*gaea.Result, error) {
+	return e.k.Query(ctx, req)
+}
+
+func (e *embedded) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
+	st, err := e.k.QueryStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (e *embedded) Snapshot(ctx context.Context) (Snapshot, error) {
+	s, err := e.k.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return embeddedSnapshot{s}, nil
+}
+
+// embeddedSnapshot lifts *gaea.Snapshot's concrete stream type to the
+// interface.
+type embeddedSnapshot struct{ *gaea.Snapshot }
+
+func (s embeddedSnapshot) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
+	st, err := s.Snapshot.QueryStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (e *embedded) Stale() []object.OID { return e.k.Stale() }
+
+func (e *embedded) RefreshStale(ctx context.Context) (int, error) {
+	return e.k.RefreshStale(ctx)
+}
+
+func (e *embedded) Explain(oid object.OID) string { return e.k.Explain(oid) }
+
+func (e *embedded) ExplainQuery(ctx context.Context, req gaea.Request) (string, error) {
+	return e.k.ExplainQuery(ctx, req)
+}
+
+func (e *embedded) Stats() (string, error) { return e.k.Stats(), nil }
+
+func (e *embedded) Close() error { return e.k.Close() }
+
+// embeddedSession adds the identity Committed translation to
+// *gaea.Session (embedded creates return real OIDs immediately).
+type embeddedSession struct{ *gaea.Session }
+
+func (s embeddedSession) Committed(oid object.OID) (object.OID, bool) { return oid, true }

@@ -1,0 +1,127 @@
+package client
+
+// External-process integration: these tests dial a live `gaea serve`
+// endpoint named by GAEA_SERVE_ADDR (the CI serve shard starts one on a
+// unix socket with -demo and runs this file against it). Without the
+// variable they skip, so plain `go test ./client` stays hermetic.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"gaea"
+	"gaea/internal/object"
+)
+
+func externalConn(t *testing.T) *Conn {
+	t.Helper()
+	addr := os.Getenv("GAEA_SERVE_ADDR")
+	if addr == "" {
+		t.Skip("GAEA_SERVE_ADDR not set; the CI serve shard runs this against a live `gaea serve`")
+	}
+	c, err := Dial(addr, Options{User: "integration"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestExternalServerStats: the served kernel answers the stats request
+// with both kernel and server counters.
+func TestExternalServerStats(t *testing.T) {
+	c := externalConn(t)
+	line, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"classes=", "mvcc[", "server[conns="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats %q missing %q", line, want)
+		}
+	}
+}
+
+// TestExternalServerDemoQuery: the -demo seed (two 3-band Landsat
+// scenes) is queryable, streamable with cursor resume across a NEW
+// connection, and snapshot-readable.
+func TestExternalServerDemoQuery(t *testing.T) {
+	ctx := context.Background()
+	c := externalConn(t)
+	req := demoRequest()
+	res, err := c.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 6 {
+		t.Fatalf("demo landsat_tm query saw %d objects, want 6", len(res.OIDs))
+	}
+
+	// First page on one connection …
+	first := demoRequest()
+	first.Limit = 2
+	st, err := c.QueryStream(ctx, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[object.OID]bool{}
+	for o, err := range st.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[o.OID] = true
+	}
+	cursor := st.Cursor()
+	if len(seen) != 2 || cursor == "" {
+		t.Fatalf("first page: %d objects, cursor %q", len(seen), cursor)
+	}
+
+	// … resumed on a fresh connection, exactly once each.
+	c2, err := Dial(os.Getenv("GAEA_SERVE_ADDR"), Options{User: "integration-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rest := demoRequest()
+	rest.Cursor = cursor
+	st2, err := c2.QueryStream(ctx, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, err := range st2.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[o.OID] {
+			t.Fatalf("object %d seen twice across reconnect", o.OID)
+		}
+		seen[o.OID] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("resume totalled %d objects, want 6", len(seen))
+	}
+
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	sres, err := snap.Query(ctx, demoRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.OIDs) != 6 {
+		t.Fatalf("snapshot query saw %d, want 6", len(sres.OIDs))
+	}
+	if _, err := snap.Get(sres.OIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func demoRequest() gaea.Request {
+	req := rainPred()
+	req.Class = "landsat_tm"
+	return req
+}

@@ -10,12 +10,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"gaea"
+	"gaea/client"
 	"gaea/internal/catalog"
 	"gaea/internal/filegis"
 	"gaea/internal/imgops"
@@ -42,6 +45,11 @@ var batch = flag.Int("batch", 256, "C3 batched-ingest batch size")
 // goroutine count (writer pacing is fixed at ~100 commits/s).
 var mvcc = flag.Int("mvcc", runtime.GOMAXPROCS(0), "C4 snapshot reader goroutine count")
 
+// serveClients sizes the C5 service-layer scenario: how many remote
+// connections hammer a `gaea serve` unix-socket endpoint, compared with
+// the same client count sharing the embedded kernel.
+var serveClients = flag.Int("serve", 4, "C5 remote client connection count")
+
 var ctx = context.Background()
 
 func main() {
@@ -56,6 +64,7 @@ func main() {
 	expC2()
 	expC3()
 	expC4()
+	expC5()
 	expP1()
 	fmt.Println("done")
 }
@@ -671,6 +680,113 @@ func expC4() {
 	if idle > 0 {
 		fmt.Printf("\nreader retention under writes: %.0f%% (every drain saw one consistent snapshot)\n\n", 100*float64(contended)/float64(idle))
 	}
+}
+
+// C5: the service layer — N clients querying through `gaea serve` on a
+// unix socket vs the same N goroutines on the embedded kernel. The
+// workload is tile-local retrieval (one object per query), so the
+// numbers isolate per-request service overhead: framing, gob, the
+// connection round trip. Both sides run the identical code against the
+// backend-neutral client.Kernel interface.
+func expC5() {
+	fmt.Printf("## C5 — service layer: remote clients vs in-process (clients=%d)\n", *serveClients)
+	const nObj = 256
+	const queries = 4096
+	dir, err := os.MkdirTemp("", "gaea-bench-c5-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k, err := gaea.Open(dir+"/db", gaea.Options{NoSync: true, User: "bench"})
+	must(err)
+	defer k.Close()
+	must(k.DefineClass(&catalog.Class{
+		Name: "gauge", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}))
+	boxes := make([]sptemp.Box, nObj)
+	seed := k.Begin(ctx)
+	for i := 0; i < nObj; i++ {
+		x := float64(i * 20)
+		boxes[i] = sptemp.NewBox(x, 0, x+10, 10)
+		_, err := seed.Create(&object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i]),
+		}, "")
+		must(err)
+	}
+	must(seed.Commit())
+
+	sock := dir + "/gaea.sock"
+	l, err := net.Listen("unix", sock)
+	must(err)
+	srv := k.NewServer(gaea.ServeOptions{})
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	run := func(mk func(i int) client.Kernel) (qps float64, p99 time.Duration) {
+		n := *serveClients
+		backends := make([]client.Kernel, n)
+		for i := range backends {
+			backends[i] = mk(i)
+		}
+		next := make(chan int, queries)
+		for i := 0; i < queries; i++ {
+			next <- i
+		}
+		close(next)
+		lats := make([][]time.Duration, n)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := range next {
+					pred := sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i%nObj])
+					t0 := time.Now()
+					res, err := backends[c].Query(ctx, gaea.Request{Class: "gauge", Pred: pred})
+					must(err)
+					if len(res.OIDs) != 1 {
+						must(fmt.Errorf("C5: tile query saw %d objects", len(res.OIDs)))
+					}
+					lats[c] = append(lats[c], time.Since(t0))
+				}
+			}(c)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return float64(queries) / total.Seconds(), all[len(all)*99/100]
+	}
+
+	embQPS, embP99 := run(func(int) client.Kernel { return client.Embed(k) })
+	var conns []*client.Conn
+	remQPS, remP99 := run(func(int) client.Kernel {
+		c, err := client.Dial("unix://"+sock, client.Options{User: "bench"})
+		must(err)
+		conns = append(conns, c)
+		return c
+	})
+	for _, c := range conns {
+		c.Close()
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	must(srv.Shutdown(sctx))
+	cancel()
+	must(<-served)
+
+	fmt.Println("| backend | queries/s | p99 latency |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| embedded (in-process) | %.0f | %v |\n", embQPS, embP99.Round(time.Microsecond))
+	fmt.Printf("| remote (`gaea serve`, unix socket) | %.0f | %v |\n", remQPS, remP99.Round(time.Microsecond))
+	fmt.Printf("\nservice overhead: %.1fx latency at p99, %.0f%% of embedded throughput\n\n",
+		float64(remP99)/float64(embP99), 100*remQPS/embQPS)
 }
 
 // P1: planner scaling with chain depth.

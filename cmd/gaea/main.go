@@ -1,14 +1,22 @@
 // Command gaea is the textual front end to the Gaea kernel (the parser →
 // executor path of Figure 1): an interactive shell for browsing the three
 // metadata layers, inspecting derivation nets and lineage, and running
-// queries.
+// queries — plus the service verbs that run and inspect a Gaea server.
 //
 // Usage:
 //
-//	gaea -db /path/to/db [-demo] [-user name]
+//	gaea -db /path/to/db [-demo] [-user name]       interactive shell
+//	gaea serve -db DIR -listen ADDR [flags]         network server
+//	gaea stats -connect ADDR                        remote stats line
 //
-// With -demo the database is seeded with the Figure 3/Figure 5 schema and
-// two synthetic Landsat TM scenes, so every command has something to show.
+// ADDR is "unix:///path/to.sock" or "host:port" (TCP). With -demo the
+// database is seeded with the Figure 3/Figure 5 schema and two synthetic
+// Landsat TM scenes, so every command has something to show.
+//
+// `gaea serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
+// it stops accepting, drains in-flight requests (streams are paged, so
+// nothing blocks the drain for long), releases every remote snapshot
+// lease, and closes the kernel.
 package main
 
 import (
@@ -16,11 +24,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"gaea"
+	"gaea/client"
 	"gaea/internal/catalog"
 	"gaea/internal/object"
 	"gaea/internal/raster"
@@ -29,12 +42,24 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "stats":
+			statsMain(os.Args[2:])
+			return
+		}
+	}
 	dbDir := flag.String("db", "", "database directory (required)")
 	demo := flag.Bool("demo", false, "seed the database with the demo schema and scenes")
 	user := flag.String("user", os.Getenv("USER"), "user recorded on derivations")
 	flag.Parse()
 	if *dbDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: gaea -db DIR [-demo] [-user NAME]")
+		fmt.Fprintln(os.Stderr, "       gaea serve -db DIR -listen ADDR")
+		fmt.Fprintln(os.Stderr, "       gaea stats -connect ADDR")
 		os.Exit(2)
 	}
 	k, err := gaea.Open(*dbDir, gaea.Options{User: *user})
@@ -206,6 +231,117 @@ func main() {
 			fmt.Printf("unknown command %q; try help\n", cmd)
 		}
 	}
+}
+
+// serveMain is the `gaea serve` verb: open (or seed) a database and
+// serve it over the wire protocol until a signal asks for shutdown.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("gaea serve", flag.ExitOnError)
+	dbDir := fs.String("db", "", "database directory (required)")
+	listen := fs.String("listen", "", `listen address: "unix:///path/to.sock" or "host:port" (required)`)
+	demo := fs.Bool("demo", false, "seed the database with the demo schema and scenes")
+	user := fs.String("user", os.Getenv("USER"), "default user recorded on derivations")
+	maxConns := fs.Int("max-conns", 0, "connection limit (0 = unlimited)")
+	lease := fs.Duration("lease", 0, "snapshot/cursor lease TTL (0 = 30s)")
+	pageSize := fs.Int("page", 0, "stream page size cap (0 = 256)")
+	nosync := fs.Bool("nosync", false, "disable per-write WAL fsync (tests and benchmarks)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	_ = fs.Parse(args)
+	if *dbDir == "" || *listen == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea serve -db DIR -listen ADDR [-demo] [-user NAME] [-max-conns N] [-lease TTL] [-page N] [-nosync] [-drain D]")
+		os.Exit(2)
+	}
+	k, err := gaea.Open(*dbDir, gaea.Options{User: *user, NoSync: *nosync})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	if *demo {
+		if err := seedDemo(k); err != nil {
+			fmt.Fprintln(os.Stderr, "seed:", err)
+			os.Exit(1)
+		}
+	}
+	network, address, err := client.SplitAddr(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	if network == "unix" {
+		_ = os.Remove(address) // a previous run's stale socket file
+	}
+	l, err := net.Listen(network, address)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	srv := k.NewServer(gaea.ServeOptions{
+		MaxConns:      *maxConns,
+		SnapshotLease: *lease,
+		PageSize:      *pageSize,
+	})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	fmt.Printf("gaea: serving %s on %s://%s\n", *dbDir, network, address)
+	failed := false
+	select {
+	case s := <-sig:
+		fmt.Printf("gaea: %v — draining (up to %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); err != nil {
+			// The drain window expired and in-flight requests were
+			// force-cancelled: that is not a clean stop.
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			failed = true
+		}
+		cancel()
+		<-done
+	case err := <-done:
+		// Serve only returns on its own when the listener broke: that is
+		// a crash, and supervisors must see a non-zero exit.
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			failed = true
+		}
+	}
+	if network == "unix" {
+		_ = os.Remove(address)
+	}
+	if err := k.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("gaea: server stopped")
+}
+
+// statsMain is the `gaea stats` verb: print a served kernel's stats
+// line (kernel counters plus server counters) and exit.
+func statsMain(args []string) {
+	fs := flag.NewFlagSet("gaea stats", flag.ExitOnError)
+	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
+	_ = fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea stats -connect ADDR")
+		os.Exit(2)
+	}
+	c, err := client.Dial(*connect, client.Options{User: *user})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	line, err := c.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		os.Exit(1)
+	}
+	fmt.Println(line)
 }
 
 const helpText = `commands:

@@ -63,4 +63,34 @@
 // concurrent derivations collapse into one execution (single-flight
 // memoisation), and every execution entry point takes a context for
 // cancellation and deadlines.
+//
+// The kernel is also servable: Kernel.NewServer exposes everything over
+// TCP or a unix socket (the `gaea serve` subcommand wraps it), and the
+// gaea/client package dials it back with a Kernel-shaped API — the
+// backend-neutral client.Kernel interface runs the same code embedded
+// (client.Embed) or remote (client.Dial):
+//
+//	// Server side (or just: gaea serve -db DIR -listen unix:///run/g.sock)
+//	l, _ := net.Listen("unix", "/run/g.sock")
+//	srv := k.NewServer(gaea.ServeOptions{})
+//	go srv.Serve(l)
+//	defer srv.Shutdown(ctx) // graceful: drain requests, release leases
+//
+//	// Client side
+//	c, _ := client.Dial("unix:///run/g.sock", client.Options{User: "ana"})
+//	defer c.Close()
+//	s := c.Begin(ctx)                   // read epoch: one small round trip
+//	prov, _ := s.Create(obj, "note")    // staged locally (provisional OID)
+//	_ = s.Commit()                      // whole batch: ONE round trip
+//	oid, _ := s.Committed(prov)         // the stored OID
+//	st, _ := c.QueryStream(ctx, gaea.Request{Class: "ndvi", Pred: pred})
+//	for o, err := range st.All() { ... }    // lazily paged over the wire
+//	cursor := st.Cursor()               // resumes this exact snapshot on
+//	                                    // any later connection
+//
+// Remote snapshots and stream cursors hold their MVCC pins under
+// server-side leases (ServeOptions.SnapshotLease): every touch renews,
+// abandoned leases expire and release their pins, so a crashed client
+// can never wedge the GC horizon. Remote errors classify into the same
+// taxonomy — errors.Is works identically against either backend.
 package gaea

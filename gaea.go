@@ -107,6 +107,11 @@ type Kernel struct {
 	checkpoints     atomic.Int64
 	bg              sync.WaitGroup
 
+	// Open snapshots, released by Close if the caller leaked them (a
+	// leaked pin must not outlive the kernel that minted it).
+	snapMu sync.Mutex
+	snaps  map[*Snapshot]struct{}
+
 	Store       *storage.Store
 	Catalog     *catalog.Catalog
 	Registry    *adt.Registry
@@ -236,7 +241,8 @@ func (k *Kernel) maybeAutoCheckpoint() {
 	}()
 }
 
-// Close stops the derived-data refresher, then checkpoints and closes the
+// Close releases any snapshots still pinned (so a leaked pin cannot
+// survive the kernel), stops the derived-data refresher, then closes the
 // database. Close is idempotent — repeated calls return the first call's
 // result — and operations issued after it fail with ErrClosed instead of
 // touching closed storage. Close does not drain: the caller must let
@@ -247,6 +253,18 @@ func (k *Kernel) Close() error {
 	k.closeOnce.Do(func() {
 		k.closed.Store(true)
 		k.bg.Wait() // drain any in-flight background checkpoint
+		// Release snapshots the caller leaked, so the pin table (and
+		// with it the GC horizon) ends clean. Collect under the lock,
+		// release outside it — Release re-takes snapMu to deregister.
+		k.snapMu.Lock()
+		leaked := make([]*Snapshot, 0, len(k.snaps))
+		for s := range k.snaps {
+			leaked = append(leaked, s)
+		}
+		k.snapMu.Unlock()
+		for _, s := range leaked {
+			s.Release()
+		}
 		k.Deriv.Close()
 		k.closeErr = k.Store.Close()
 	})

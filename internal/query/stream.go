@@ -39,6 +39,7 @@ type Stream struct {
 	mu       sync.Mutex
 	cursor   string
 	consumed bool
+	fellBack bool
 }
 
 // All returns the underlying sequence. The stream is single-use:
@@ -60,6 +61,23 @@ func (s *Stream) setCursor(c string) {
 	s.mu.Unlock()
 }
 
+// FellBack reports whether iteration was answered by the fallback chain
+// (interpolation or derivation) instead of retrieval. Fallback results
+// are written at epochs newer than the stream's snapshot, so they are
+// NOT resumable from a cursor — the service layer refuses to mint
+// resume points for them, matching the empty Cursor they report here.
+func (s *Stream) FellBack() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fellBack
+}
+
+func (s *Stream) setFellBack() {
+	s.mu.Lock()
+	s.fellBack = true
+	s.mu.Unlock()
+}
+
 func (s *Stream) claim() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,6 +96,22 @@ const cursorVersion = "c2"
 func encodeCursor(epoch uint64, class string, oid object.OID) string {
 	return cursorVersion + "|" + strconv.FormatUint(epoch, 10) + "|" + class + "|" +
 		strconv.FormatUint(uint64(oid), 10)
+}
+
+// EncodeCursor builds a resume token for the object after `oid` of
+// `class` at a snapshot epoch — the token Stream iteration mints when a
+// page fills. Exported for the service layer: a remote client that stops
+// mid-page resumes from the last object it actually consumed.
+func EncodeCursor(epoch uint64, class string, oid object.OID) string {
+	return encodeCursor(epoch, class, oid)
+}
+
+// CursorEpoch extracts the snapshot epoch a cursor is pinned to. The
+// service layer uses it to lease-pin a page's epoch so a disconnected
+// client can come back and resume the exact snapshot.
+func CursorEpoch(c string) (uint64, error) {
+	epoch, _, _, err := parseCursor(c)
+	return epoch, err
 }
 
 func parseCursor(c string) (epoch uint64, class string, after object.OID, err error) {
@@ -229,6 +263,7 @@ func (qe *Executor) StreamAt(ctx context.Context, req Request, atEpoch uint64) (
 // at new epochs; they are loaded at their newest state.
 func (qe *Executor) streamFallback(ctx context.Context, classes []string, strategies []Strategy, req Request, st *Stream, yield func(*object.Object, error) bool) {
 	st.setCursor("")
+	st.setFellBack()
 	var lastErr error
 	for _, s := range strategies {
 		switch s {

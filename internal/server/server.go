@@ -1,0 +1,796 @@
+// Package server implements the Gaea network service: a
+// connection-per-goroutine request/response server speaking the
+// internal/wire protocol over TCP or unix sockets.
+//
+// The server is written against the narrow Backend interface below
+// rather than the concrete kernel, so it lives under internal/ without
+// an import cycle; package gaea adapts *gaea.Kernel onto it and exposes
+// the public Kernel.NewServer surface.
+//
+// Three design points carry the remote semantics:
+//
+//   - Remote sessions are one round trip. The client stages creates,
+//     updates, and deletes locally under provisional OIDs and ships the
+//     whole batch as one OpCommit; the server replays it into a real
+//     kernel session (reserve → stage → commit) and answers with the
+//     real OIDs. Kernel atomicity and first-committer-wins validation
+//     apply unchanged.
+//
+//   - Streaming queries are paged. Each page is one request served at an
+//     explicitly pinned MVCC epoch; the epoch-carrying cursor goes back
+//     to the client, and the server transfers its pin into a lease so
+//     the snapshot survives between pages — and across reconnects —
+//     without the client holding a connection open.
+//
+//   - Every pin a remote holds is leased. Snapshot opens and stream
+//     cursors pin epochs under a TTL that each touch renews; a janitor
+//     expires abandoned leases so a crashed or wandered-off client can
+//     never wedge the MVCC GC horizon.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaea/internal/object"
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// Session is the mutation surface the server replays a remote batch
+// into; *gaea.Session satisfies it.
+type Session interface {
+	Create(obj *object.Object, note string) (object.OID, error)
+	Update(obj *object.Object) error
+	Delete(oid object.OID) error
+	Commit() error
+	Rollback() error
+}
+
+// Backend is the kernel surface the server exposes remotely. Package
+// gaea implements it on *Kernel. Methods must be safe for concurrent
+// use and return errors already classified against the public taxonomy
+// (Code turns them into wire codes).
+type Backend interface {
+	// Begin opens a mutation session validating first-committer-wins
+	// against readEpoch (0 = the current epoch at call time) and
+	// recording lineage under the given user (the connection's Hello
+	// user; "" = the kernel default).
+	Begin(ctx context.Context, readEpoch uint64, user string) Session
+	// Epoch reports the current commit epoch (a remote client's Begin).
+	Epoch() uint64
+	Query(ctx context.Context, req query.Request) (*query.Result, error)
+	// QueryAt answers a retrieve-only request at a pinned snapshot epoch
+	// (the caller holds the pin).
+	QueryAt(ctx context.Context, req query.Request, epoch uint64) (*query.Result, error)
+	// StreamPage drains one page of a streaming query at a pinned epoch
+	// the CALLER holds: up to req.Limit objects — already in wire form,
+	// cut early (with the cursor re-minted at the last included object)
+	// once their encoded size approaches maxBytes, so draining stops at
+	// the cut instead of loading objects only to discard them — plus the
+	// resume cursor ("" when exhausted) and whether the page was
+	// produced by the fallback chain (fallback results commit at newer
+	// epochs, so they are not resumable; a fallback page that cannot fit
+	// is an error, not a truncation). retrieveOnly suppresses the
+	// fallback chain (snapshot streams must not derive).
+	StreamPage(ctx context.Context, req query.Request, epoch uint64, retrieveOnly bool, maxBytes int) (objs []wire.Object, cursor string, fellBack bool, err error)
+	// GetAt loads the version of an object visible at a pinned epoch.
+	GetAt(oid object.OID, epoch uint64) (*object.Object, error)
+	// Pin pins the current commit epoch; PinEpoch re-pins a specific one
+	// (failing with the snapshot-gone error when it fell behind the GC
+	// horizon); Unpin releases.
+	Pin() uint64
+	PinEpoch(epoch uint64) error
+	Unpin(epoch uint64)
+	// CursorEpoch extracts the snapshot epoch from a stream cursor.
+	CursorEpoch(cursor string) (uint64, error)
+	Stale() []object.OID
+	RefreshStale(ctx context.Context) (int, error)
+	Explain(oid object.OID) string
+	ExplainQuery(ctx context.Context, req query.Request) (string, error)
+	Stats() string
+	// Code maps an error onto its wire code (the full public taxonomy,
+	// including kernel-closed).
+	Code(err error) wire.Code
+}
+
+// Options tunes a Server.
+type Options struct {
+	// MaxConns caps concurrently open connections (0 = unlimited). Over
+	// the cap, new connections are answered with CodeUnavailable and
+	// closed.
+	MaxConns int
+	// LeaseTTL bounds how long a snapshot or stream-cursor pin survives
+	// without a touch (0 = 30s). Expired leases release their pins so
+	// abandoned clients cannot stall MVCC GC.
+	LeaseTTL time.Duration
+	// PageSize caps (and defaults) the objects per stream page (0 = 256).
+	// A request Limit below the cap is honoured exactly.
+	PageSize int
+	// MaxFrame bounds one wire frame (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+const (
+	defaultLeaseTTL = 30 * time.Second
+	defaultPageSize = 256
+)
+
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL <= 0 {
+		return defaultLeaseTTL
+	}
+	return o.LeaseTTL
+}
+
+func (o Options) pageSize() int {
+	if o.PageSize <= 0 {
+		return defaultPageSize
+	}
+	return o.PageSize
+}
+
+func (o Options) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return wire.DefaultMaxFrame
+	}
+	return o.MaxFrame
+}
+
+// Stats reports the server's own counters (kernel counters travel in
+// the same OpStats response).
+type Stats struct {
+	OpenConns      int64
+	ActiveSessions int64
+	ActiveStreams  int64
+	ActiveLeases   int64
+	LeaseExpiries  int64
+}
+
+// lease is one pinned epoch with an expiry. Snapshot leases are keyed by
+// id; cursor leases by epoch (one pin per epoch however many cursors
+// reference it).
+type lease struct {
+	epoch   uint64
+	expires time.Time
+}
+
+// Server serves the wire protocol for one Backend. Create with New,
+// start with Serve (one goroutine per listener), stop with Shutdown.
+type Server struct {
+	b    Backend
+	opts Options
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]bool // conn -> busy (handling a request)
+	snapLease map[uint64]*lease // by lease id
+	curLease  map[uint64]*lease // by epoch
+	draining  bool
+
+	nextLease atomic.Uint64
+	sessions  atomic.Int64
+	streams   atomic.Int64
+	expiries  atomic.Int64
+	openConns atomic.Int64
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	connWG   sync.WaitGroup // connection handler goroutines
+	reqWG    sync.WaitGroup // in-flight requests (the drain barrier)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	janitorDone chan struct{}
+}
+
+// New builds a Server over a Backend.
+func New(b Backend, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		b:           b,
+		opts:        opts,
+		listeners:   make(map[net.Listener]struct{}),
+		conns:       make(map[net.Conn]bool),
+		snapLease:   make(map[uint64]*lease),
+		curLease:    make(map[uint64]*lease),
+		quit:        make(chan struct{}),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		janitorDone: make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// Serve accepts connections on l until Shutdown (which closes the
+// listener). It returns nil after a clean shutdown, or the accept error
+// otherwise. Multiple listeners may be served concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil // closed by Shutdown
+			default:
+				return err
+			}
+		}
+		if !s.admit(conn) {
+			continue
+		}
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// admit registers a connection, enforcing the connection limit. A
+// rejected connection gets one CodeUnavailable response and is closed.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	over := s.draining || (s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns)
+	if !over {
+		s.conns[conn] = false
+	}
+	s.mu.Unlock()
+	if over {
+		_ = wire.WriteFrame(conn, &wire.Response{Code: wire.CodeUnavailable, Err: "server: connection limit reached"})
+		conn.Close()
+		return false
+	}
+	s.openConns.Add(1)
+	return true
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	_, ok := s.conns[conn]
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	if ok {
+		s.openConns.Add(-1)
+	}
+	conn.Close()
+}
+
+// setBusy flips a connection's busy flag; Shutdown closes only idle
+// connections, so a handler mid-request finishes writing its response.
+func (s *Server) setBusy(conn net.Conn, busy bool) {
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = busy
+	}
+	s.mu.Unlock()
+}
+
+// serveConn is the connection loop: read one request frame, handle,
+// write one response frame. The user from OpHello is connection state.
+//
+// The busy flag and the request WaitGroup are maintained under s.mu
+// against s.draining: a request is either counted BEFORE Shutdown
+// starts waiting (and then drains to completion) or refused with
+// CodeUnavailable — reqWG.Add can never race reqWG.Wait at zero.
+//
+// Each request runs under its own context, cancelled when the CLIENT
+// goes away mid-request: the protocol is strictly request/response, so
+// while a request is in flight a watchdog read on the socket can only
+// observe a disconnect (EOF/reset → cancel the kernel work, free the
+// MaxConns slot) or a protocol violation (a stray byte → same, the
+// framing is no longer trustworthy). Shutdown's force phase cancels
+// through the shared parent.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	user := ""
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(conn, s.opts.MaxFrame, &req); err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// Only the 4-byte header was consumed, so the stream is
+				// still writable: say WHY before dropping the connection,
+				// instead of a silent close the client cannot distinguish
+				// from a network failure.
+				_ = wire.WriteFrame(conn, &wire.Response{Code: wire.CodeBadRequest, Err: err.Error()})
+			}
+			return // EOF, peer gone, or garbage — drop the connection
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			_ = wire.WriteFrame(conn, &wire.Response{Code: wire.CodeUnavailable, Err: "server: shutting down"})
+			return
+		}
+		s.conns[conn] = true
+		s.reqWG.Add(1)
+		s.mu.Unlock()
+		if req.Op == wire.OpHello {
+			user = req.User
+		}
+
+		reqCtx, cancel := context.WithCancel(s.baseCtx)
+		type peeked struct {
+			n   int
+			err error
+		}
+		wd := make(chan peeked, 1)
+		go func() {
+			var one [1]byte
+			n, err := conn.Read(one[:])
+			if n > 0 || (err != nil && !isTimeout(err)) {
+				cancel() // disconnect or protocol violation: stop the kernel work
+			}
+			wd <- peeked{n: n, err: err}
+		}()
+
+		resp := s.handle(reqCtx, user, &req)
+
+		// Join the watchdog: poke the read deadline to unblock it, then
+		// decide whether the connection is still sane.
+		_ = conn.SetReadDeadline(time.Now())
+		pk := <-wd
+		_ = conn.SetReadDeadline(time.Time{})
+		cancel()
+		alive := pk.n == 0 && (pk.err == nil || isTimeout(pk.err))
+
+		var werr error
+		if alive {
+			werr = wire.WriteFrame(conn, resp)
+		}
+		s.setBusy(conn, false)
+		s.reqWG.Done()
+		if !alive || werr != nil {
+			return
+		}
+		select {
+		case <-s.quit:
+			return // drained: this connection's last response is written
+		default:
+		}
+	}
+}
+
+// isTimeout reports a deadline-induced read error — the watchdog's
+// normal stop path, not a peer failure.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// handle dispatches one request. Every backend call runs under the
+// server's base context, which Shutdown cancels after the drain window —
+// wiring remote requests into the kernel's cancellation paths.
+func (s *Server) handle(ctx context.Context, user string, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpHello:
+		return &wire.Response{}
+	case wire.OpBegin:
+		return &wire.Response{Epoch: s.b.Epoch()}
+	case wire.OpStats:
+		st := s.ServerStats()
+		return &wire.Response{Stats: &wire.StatsPayload{
+			Kernel:         s.b.Stats(),
+			OpenConns:      st.OpenConns,
+			ActiveSessions: st.ActiveSessions,
+			ActiveStreams:  st.ActiveStreams,
+			ActiveLeases:   st.ActiveLeases,
+			LeaseExpiries:  st.LeaseExpiries,
+		}}
+	case wire.OpQuery:
+		if req.Query == nil {
+			return badRequest("query payload missing")
+		}
+		res, err := s.b.Query(ctx, req.Query.ToQuery(user))
+		if err != nil {
+			return s.errResponse(err)
+		}
+		return &wire.Response{Result: wire.FromResult(res)}
+	case wire.OpStream:
+		return s.handleStream(ctx, user, req)
+	case wire.OpCommit:
+		return s.handleCommit(ctx, user, req)
+	case wire.OpSnapOpen:
+		return s.handleSnapOpen()
+	case wire.OpSnapGet, wire.OpSnapQuery, wire.OpSnapStream, wire.OpSnapRelease:
+		return s.handleSnap(ctx, user, req)
+	case wire.OpLease:
+		// A client that stopped mid-page synthesised a resume cursor for
+		// an epoch whose page-level pin may already be gone: re-pin it
+		// under a cursor lease so the cursor stays resumable.
+		if err := s.b.PinEpoch(req.Epoch); err != nil {
+			return s.errResponse(err)
+		}
+		s.leaseCursorEpoch(req.Epoch)
+		return &wire.Response{Epoch: req.Epoch}
+	case wire.OpStale:
+		var oids []uint64
+		for _, oid := range s.b.Stale() {
+			oids = append(oids, uint64(oid))
+		}
+		return &wire.Response{OIDs: oids}
+	case wire.OpRefresh:
+		n, err := s.b.RefreshStale(ctx)
+		if err != nil {
+			return s.errResponse(err)
+		}
+		return &wire.Response{N: n}
+	case wire.OpExplain:
+		return &wire.Response{Text: s.b.Explain(object.OID(req.OID))}
+	case wire.OpExplainQuery:
+		if req.Query == nil {
+			return badRequest("query payload missing")
+		}
+		text, err := s.b.ExplainQuery(ctx, req.Query.ToQuery(user))
+		if err != nil {
+			return s.errResponse(err)
+		}
+		return &wire.Response{Text: text}
+	default:
+		return badRequest(fmt.Sprintf("unknown op %s", req.Op))
+	}
+}
+
+func badRequest(msg string) *wire.Response {
+	return &wire.Response{Code: wire.CodeBadRequest, Err: "server: " + msg}
+}
+
+func (s *Server) errResponse(err error) *wire.Response {
+	return &wire.Response{Code: s.b.Code(err), Err: err.Error()}
+}
+
+// handleStream serves one page of a streaming query. The page runs at an
+// explicitly pinned epoch (the cursor's on resume, the newest
+// otherwise); if the page ends with a resume cursor, the pin is handed
+// to a cursor lease so the snapshot stays resumable — from this
+// connection or a later one — until the lease expires.
+func (s *Server) handleStream(ctx context.Context, user string, req *wire.Request) *wire.Response {
+	if req.Query == nil {
+		return badRequest("query payload missing")
+	}
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
+	q := req.Query.ToQuery(user)
+	pageCap := s.opts.pageSize()
+	if q.Limit <= 0 || q.Limit > pageCap {
+		q.Limit = pageCap
+	}
+	var epoch uint64
+	if q.Cursor != "" {
+		e, err := s.b.CursorEpoch(q.Cursor)
+		if err != nil {
+			return s.errResponse(err)
+		}
+		if err := s.b.PinEpoch(e); err != nil {
+			return s.errResponse(err)
+		}
+		epoch = e
+	} else {
+		epoch = s.b.Pin()
+	}
+	objs, cursor, fellBack, err := s.b.StreamPage(ctx, q, epoch, false, s.opts.maxFrame())
+	if err != nil {
+		s.b.Unpin(epoch)
+		return s.errResponse(err)
+	}
+	resp := &wire.Response{Objects: objs, Cursor: cursor, Epoch: epoch}
+	if fellBack {
+		// Fallback results were derived at epochs newer than the page's
+		// snapshot: no resume point exists, and the client must not mint
+		// one (epoch 0 marks the page not-resumable).
+		resp.Epoch = 0
+	}
+	if resp.Cursor == "" {
+		s.b.Unpin(epoch) // exhausted: nothing left to resume
+	} else {
+		s.leaseCursorEpoch(epoch) // hand the pin to the lease table
+	}
+	return resp
+}
+
+// handleCommit replays a staged remote session into a kernel session:
+// reserve real OIDs for the creates, remap provisional references in
+// updates and deletes, commit once. The response carries the real OIDs
+// parallel to the batch's creates.
+func (s *Server) handleCommit(ctx context.Context, user string, req *wire.Request) *wire.Response {
+	if req.Batch == nil {
+		return badRequest("batch payload missing")
+	}
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	sess := s.b.Begin(ctx, req.Batch.ReadEpoch, user)
+	abort := func(err error) *wire.Response {
+		_ = sess.Rollback()
+		return s.errResponse(err)
+	}
+	provMap := make(map[uint64]object.OID, len(req.Batch.Creates))
+	real := make([]uint64, 0, len(req.Batch.Creates))
+	for i := range req.Batch.Creates {
+		c := &req.Batch.Creates[i]
+		obj, err := c.Obj.ToObject()
+		if err != nil {
+			return abort(err)
+		}
+		obj.OID = 0 // the server reserves the real OID
+		oid, err := sess.Create(obj, c.Note)
+		if err != nil {
+			return abort(err)
+		}
+		provMap[c.Prov] = oid
+		real = append(real, uint64(oid))
+	}
+	remap := func(oid uint64) (object.OID, error) {
+		if oid&wire.ProvisionalBit == 0 {
+			return object.OID(oid), nil
+		}
+		r, ok := provMap[oid]
+		if !ok {
+			return 0, fmt.Errorf("%w: unknown provisional oid %d", query.ErrBadRequest, oid&^wire.ProvisionalBit)
+		}
+		return r, nil
+	}
+	for i := range req.Batch.Updates {
+		obj, err := req.Batch.Updates[i].ToObject()
+		if err != nil {
+			return abort(err)
+		}
+		if obj.OID, err = remap(req.Batch.Updates[i].OID); err != nil {
+			return abort(err)
+		}
+		if err := sess.Update(obj); err != nil {
+			return abort(err)
+		}
+	}
+	for _, oid := range req.Batch.Deletes {
+		r, err := remap(oid)
+		if err != nil {
+			return abort(err)
+		}
+		if err := sess.Delete(r); err != nil {
+			return abort(err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		return s.errResponse(err)
+	}
+	return &wire.Response{OIDs: real}
+}
+
+// handleSnapOpen pins the current epoch under a fresh lease.
+func (s *Server) handleSnapOpen() *wire.Response {
+	epoch := s.b.Pin()
+	id := s.nextLease.Add(1)
+	s.mu.Lock()
+	s.snapLease[id] = &lease{epoch: epoch, expires: time.Now().Add(s.opts.leaseTTL())}
+	s.mu.Unlock()
+	return &wire.Response{Lease: id, Epoch: epoch}
+}
+
+// handleSnap serves the lease-scoped snapshot operations. Every touch
+// renews the lease; a missing or expired lease answers CodeSnapshotGone
+// (re-snapshot for a fresh view).
+func (s *Server) handleSnap(ctx context.Context, user string, req *wire.Request) *wire.Response {
+	if req.Op == wire.OpSnapRelease {
+		s.mu.Lock()
+		l, ok := s.snapLease[req.Lease]
+		delete(s.snapLease, req.Lease)
+		s.mu.Unlock()
+		if ok {
+			s.b.Unpin(l.epoch)
+		}
+		return &wire.Response{}
+	}
+	s.mu.Lock()
+	l, ok := s.snapLease[req.Lease]
+	if ok {
+		l.expires = time.Now().Add(s.opts.leaseTTL())
+	}
+	s.mu.Unlock()
+	if !ok {
+		return &wire.Response{Code: wire.CodeSnapshotGone, Err: "server: snapshot lease expired or released"}
+	}
+	switch req.Op {
+	case wire.OpSnapGet:
+		o, err := s.b.GetAt(object.OID(req.OID), l.epoch)
+		if err != nil {
+			return s.errResponse(err)
+		}
+		w, err := wire.FromObject(o)
+		if err != nil {
+			return s.errResponse(err)
+		}
+		if size := wire.ObjectSize(&w); size > s.opts.maxFrame() {
+			return &wire.Response{Code: wire.CodeBadRequest,
+				Err: fmt.Sprintf("server: object %d (%d bytes) exceeds the frame limit %d", o.OID, size, s.opts.maxFrame())}
+		}
+		return &wire.Response{Objects: []wire.Object{w}, Epoch: l.epoch}
+	case wire.OpSnapQuery:
+		if req.Query == nil {
+			return badRequest("query payload missing")
+		}
+		res, err := s.b.QueryAt(ctx, req.Query.ToQuery(user), l.epoch)
+		if err != nil {
+			return s.errResponse(err)
+		}
+		return &wire.Response{Result: wire.FromResult(res), Epoch: l.epoch}
+	case wire.OpSnapStream:
+		if req.Query == nil {
+			return badRequest("query payload missing")
+		}
+		s.streams.Add(1)
+		defer s.streams.Add(-1)
+		q := req.Query.ToQuery(user)
+		pageCap := s.opts.pageSize()
+		if q.Limit <= 0 || q.Limit > pageCap {
+			q.Limit = pageCap
+		}
+		// The lease's pin covers the page: snapshot streams always run at
+		// the lease epoch (a cursor, if present, was cut at that epoch).
+		objs, cursor, _, err := s.b.StreamPage(ctx, q, l.epoch, true, s.opts.maxFrame())
+		if err != nil {
+			return s.errResponse(err)
+		}
+		return &wire.Response{Objects: objs, Cursor: cursor, Epoch: l.epoch}
+	default:
+		return badRequest(fmt.Sprintf("bad snapshot op %s", req.Op))
+	}
+}
+
+// leaseCursorEpoch transfers a pin the caller holds on epoch into the
+// cursor-lease table: one pin per epoch, expiry extended on every touch.
+// If the epoch is already leased the extra pin is released.
+func (s *Server) leaseCursorEpoch(epoch uint64) {
+	expires := time.Now().Add(s.opts.leaseTTL())
+	s.mu.Lock()
+	l, ok := s.curLease[epoch]
+	if ok {
+		if expires.After(l.expires) {
+			l.expires = expires
+		}
+	} else {
+		s.curLease[epoch] = &lease{epoch: epoch, expires: expires}
+	}
+	s.mu.Unlock()
+	if ok {
+		s.b.Unpin(epoch) // the lease already holds one pin
+	}
+}
+
+// janitor expires abandoned leases so their pins cannot hold the MVCC GC
+// horizon back forever.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(s.janitorInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-tick.C:
+			var drop []uint64
+			s.mu.Lock()
+			for id, l := range s.snapLease {
+				if now.After(l.expires) {
+					drop = append(drop, l.epoch)
+					delete(s.snapLease, id)
+				}
+			}
+			for epoch, l := range s.curLease {
+				if now.After(l.expires) {
+					drop = append(drop, l.epoch)
+					delete(s.curLease, epoch)
+				}
+			}
+			s.mu.Unlock()
+			for _, epoch := range drop {
+				s.b.Unpin(epoch)
+				s.expiries.Add(1)
+			}
+		}
+	}
+}
+
+func (s *Server) janitorInterval() time.Duration {
+	iv := s.opts.leaseTTL() / 4
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	if iv > time.Second {
+		iv = time.Second
+	}
+	return iv
+}
+
+// ServerStats snapshots the server counters.
+func (s *Server) ServerStats() Stats {
+	s.mu.Lock()
+	leases := int64(len(s.snapLease) + len(s.curLease))
+	s.mu.Unlock()
+	return Stats{
+		OpenConns:      s.openConns.Load(),
+		ActiveSessions: s.sessions.Load(),
+		ActiveStreams:  s.streams.Load(),
+		ActiveLeases:   leases,
+		LeaseExpiries:  s.expiries.Load(),
+	}
+}
+
+// Shutdown stops the server gracefully: stop accepting, let in-flight
+// requests finish (each stream page is one request, so draining
+// requests drains streams), then close every connection and release
+// every leased pin. If ctx expires first, in-flight kernel work is
+// cancelled through the per-request context and connections are closed
+// anyway. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Close idle connections now — their readers are blocked in
+	// ReadFrame and would otherwise never notice the shutdown. Busy ones
+	// finish their current response first; their loops then see quit.
+	for conn, busy := range s.conns {
+		if !busy {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // cancel in-flight kernel work
+	}
+	// Force-close whatever remains, cancel any straggler kernel work,
+	// wait for the handler goroutines, and release every leased pin so
+	// the GC horizon is free.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.connWG.Wait()
+	<-s.janitorDone
+	s.mu.Lock()
+	var epochs []uint64
+	for id, l := range s.snapLease {
+		epochs = append(epochs, l.epoch)
+		delete(s.snapLease, id)
+	}
+	for epoch, l := range s.curLease {
+		epochs = append(epochs, l.epoch)
+		delete(s.curLease, epoch)
+	}
+	s.mu.Unlock()
+	for _, epoch := range epochs {
+		s.b.Unpin(epoch)
+	}
+	return err
+}

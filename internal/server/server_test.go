@@ -1,0 +1,193 @@
+package server
+
+// Unit tests against a fake Backend: per-request cancellation when the
+// client disconnects (or violates the request/response protocol)
+// mid-request, and the explicit error response for over-limit request
+// frames. The full-stack behaviour is covered by gaea/client's
+// integration tests; these pin the server mechanics in isolation.
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gaea/internal/object"
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// fakeBackend blocks Query until its context is cancelled and records
+// the outcome.
+type fakeBackend struct {
+	queryStarted  chan struct{}
+	queryReturned chan error
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		queryStarted:  make(chan struct{}, 8),
+		queryReturned: make(chan error, 8),
+	}
+}
+
+func (f *fakeBackend) Query(ctx context.Context, req query.Request) (*query.Result, error) {
+	f.queryStarted <- struct{}{}
+	<-ctx.Done()
+	f.queryReturned <- ctx.Err()
+	return nil, ctx.Err()
+}
+
+func (f *fakeBackend) Begin(ctx context.Context, readEpoch uint64, user string) Session { return nil }
+func (f *fakeBackend) Epoch() uint64                                                    { return 1 }
+func (f *fakeBackend) QueryAt(ctx context.Context, req query.Request, epoch uint64) (*query.Result, error) {
+	return &query.Result{}, nil
+}
+func (f *fakeBackend) StreamPage(ctx context.Context, req query.Request, epoch uint64, retrieveOnly bool, maxBytes int) ([]wire.Object, string, bool, error) {
+	return nil, "", false, nil
+}
+func (f *fakeBackend) GetAt(oid object.OID, epoch uint64) (*object.Object, error) {
+	return &object.Object{OID: oid, Class: "x"}, nil
+}
+func (f *fakeBackend) Pin() uint64                 { return 1 }
+func (f *fakeBackend) PinEpoch(epoch uint64) error { return nil }
+func (f *fakeBackend) Unpin(epoch uint64)          {}
+func (f *fakeBackend) CursorEpoch(c string) (uint64, error) {
+	return query.CursorEpoch(c)
+}
+func (f *fakeBackend) Stale() []object.OID                           { return nil }
+func (f *fakeBackend) RefreshStale(ctx context.Context) (int, error) { return 0, nil }
+func (f *fakeBackend) Explain(oid object.OID) string                 { return "" }
+func (f *fakeBackend) ExplainQuery(ctx context.Context, req query.Request) (string, error) {
+	return "", nil
+}
+func (f *fakeBackend) Stats() string            { return "fake" }
+func (f *fakeBackend) Code(err error) wire.Code { return wire.CodeFor(err) }
+
+// startFake serves a fake backend on a unix socket.
+func startFake(t *testing.T, b Backend, opts Options) (string, *Server) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "gaea-srv-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "s")
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(b, opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return path, srv
+}
+
+func rawDial(t *testing.T, path string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("unix", path, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func sendQuery(t *testing.T, conn net.Conn) {
+	t.Helper()
+	err := wire.WriteFrame(conn, &wire.Request{Op: wire.OpQuery, Query: &wire.QueryReq{Class: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestCancelledOnDisconnect: a client that goes away mid-request
+// cancels the kernel work instead of occupying the connection slot
+// until the work completes on its own.
+func TestRequestCancelledOnDisconnect(t *testing.T) {
+	b := newFakeBackend()
+	path, _ := startFake(t, b, Options{})
+	conn := rawDial(t, path)
+	sendQuery(t, conn)
+	select {
+	case <-b.queryStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query never reached the backend")
+	}
+	conn.Close() // the client vanishes mid-request
+	select {
+	case err := <-b.queryReturned:
+		if err == nil {
+			t.Fatal("backend context was not cancelled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend kept running after the client disconnected")
+	}
+}
+
+// TestRequestCancelledOnProtocolViolation: a byte arriving while a
+// request is in flight breaks the request/response framing contract —
+// the request is cancelled and the connection dropped.
+func TestRequestCancelledOnProtocolViolation(t *testing.T) {
+	b := newFakeBackend()
+	path, _ := startFake(t, b, Options{})
+	conn := rawDial(t, path)
+	sendQuery(t, conn)
+	select {
+	case <-b.queryStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query never reached the backend")
+	}
+	if _, err := conn.Write([]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-b.queryReturned:
+		if err == nil {
+			t.Fatal("backend context was not cancelled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend kept running after the protocol violation")
+	}
+	// The connection must be closed, not answered.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed, as required
+		}
+	}
+}
+
+// TestOversizedRequestFrameAnswered: a request frame above MaxFrame is
+// refused with an explicit CodeBadRequest response (only the header was
+// consumed, so the stream is still writable) before the drop.
+func TestOversizedRequestFrameAnswered(t *testing.T) {
+	b := newFakeBackend()
+	path, _ := startFake(t, b, Options{MaxFrame: 1 << 10})
+	conn := rawDial(t, path)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<20) // announce 1 MiB against a 1 KiB limit
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp wire.Response
+	if err := wire.ReadFrame(conn, 0, &resp); err != nil {
+		t.Fatalf("no error response before drop: %v", err)
+	}
+	if resp.Code != wire.CodeBadRequest {
+		t.Fatalf("code = %v, want bad-request", resp.Code)
+	}
+}

@@ -1,0 +1,251 @@
+package gaea
+
+// The service surface: Kernel.NewServer exposes the whole kernel —
+// sessions, snapshots, streaming queries, derivation — over the
+// internal/wire protocol on any net.Listener (TCP or unix socket).
+// Package gaea/client dials it back with a Kernel-shaped API, so the
+// same workload runs unchanged embedded or remote.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"gaea/internal/object"
+	"gaea/internal/query"
+	"gaea/internal/server"
+	"gaea/internal/wire"
+)
+
+// ServeOptions tunes a network Server.
+type ServeOptions struct {
+	// MaxConns caps concurrently open client connections (0 = unlimited);
+	// connections over the cap are refused with an "unavailable" error.
+	MaxConns int
+	// SnapshotLease bounds how long a remote snapshot pin — or the pin
+	// behind a stream resume cursor — survives without a touch
+	// (0 = 30s). Expired leases release their pins, so an abandoned
+	// client can never wedge the MVCC GC horizon; the abandoned snapshot
+	// or cursor then answers ErrSnapshotGone.
+	SnapshotLease time.Duration
+	// PageSize caps (and defaults) the objects shipped per stream page
+	// (0 = 256).
+	PageSize int
+	// MaxFrame bounds one wire frame (0 = 64 MiB).
+	MaxFrame int
+}
+
+// ServerStats reports a Server's own counters (the kernel's counters
+// come from Kernel.Stats).
+type ServerStats struct {
+	// OpenConns is the number of currently accepted connections.
+	OpenConns int64
+	// ActiveSessions counts in-flight remote session commits.
+	ActiveSessions int64
+	// ActiveStreams counts in-flight stream page requests.
+	ActiveStreams int64
+	// ActiveLeases counts live snapshot and cursor leases (pinned epochs
+	// held on behalf of remote clients).
+	ActiveLeases int64
+	// LeaseExpiries counts leases expired by the janitor — abandoned
+	// remote pins that were reclaimed.
+	LeaseExpiries int64
+}
+
+// Server serves this kernel over the wire protocol. Start it on one or
+// more listeners with Serve; stop it with Shutdown (graceful: stops
+// accepting, drains in-flight requests, then releases every remote
+// lease).
+type Server struct {
+	inner *server.Server
+}
+
+// NewServer builds a network server over the kernel. The kernel stays
+// fully usable in-process while being served; Close the kernel only
+// after Shutdown.
+func (k *Kernel) NewServer(opts ServeOptions) *Server {
+	return &Server{inner: server.New(kernelBackend{k}, server.Options{
+		MaxConns: opts.MaxConns,
+		LeaseTTL: opts.SnapshotLease,
+		PageSize: opts.PageSize,
+		MaxFrame: opts.MaxFrame,
+	})}
+}
+
+// Serve accepts and serves connections on l until Shutdown. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.inner.Serve(l) }
+
+// Shutdown stops the server gracefully: stop accepting, drain in-flight
+// requests (streams are paged, so every in-flight unit is one request),
+// release every remote snapshot and cursor lease. If ctx expires before
+// the drain completes, in-flight kernel work is cancelled and
+// connections are closed anyway.
+func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(ctx) }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	st := s.inner.ServerStats()
+	return ServerStats{
+		OpenConns:      st.OpenConns,
+		ActiveSessions: st.ActiveSessions,
+		ActiveStreams:  st.ActiveStreams,
+		ActiveLeases:   st.ActiveLeases,
+		LeaseExpiries:  st.LeaseExpiries,
+	}
+}
+
+// kernelBackend adapts *Kernel onto the narrow interface internal/server
+// is written against.
+type kernelBackend struct{ k *Kernel }
+
+func (b kernelBackend) Begin(ctx context.Context, readEpoch uint64, user string) server.Session {
+	if readEpoch == 0 {
+		readEpoch = b.k.Objects.CurrentEpoch()
+	}
+	return b.k.beginAt(ctx, readEpoch, user)
+}
+
+func (b kernelBackend) Epoch() uint64 { return b.k.Objects.CurrentEpoch() }
+
+func (b kernelBackend) Query(ctx context.Context, req query.Request) (*query.Result, error) {
+	return b.k.Query(ctx, req)
+}
+
+// QueryAt answers a retrieve-only request at a pinned epoch — the remote
+// snapshot read path, mirroring Snapshot.Query.
+func (b kernelBackend) QueryAt(ctx context.Context, req query.Request, epoch uint64) (*query.Result, error) {
+	if err := b.k.checkOpen(); err != nil {
+		return nil, err
+	}
+	req.Strategies = []Strategy{Retrieve}
+	if req.User == "" {
+		req.User = b.k.user
+	}
+	res, err := b.k.Queries.RunAt(ctx, req, epoch)
+	return res, classify(err)
+}
+
+// StreamPage drains one page of a streaming query at an epoch the caller
+// has pinned, converting to wire form as it goes and stopping at half
+// the frame limit — the cut object is the only over-read, and the
+// cursor is re-minted at the last object shipped, so image-heavy
+// classes page by bytes without loading objects they will not send.
+// Also reports whether the page came from the fallback chain (not
+// resumable at this epoch; a fallback page over the budget is an error
+// — its results are committed and retrievable by a fresh query — since
+// truncation without a cursor would silently lose them).
+func (b kernelBackend) StreamPage(ctx context.Context, req query.Request, epoch uint64, retrieveOnly bool, maxBytes int) ([]wire.Object, string, bool, error) {
+	if err := b.k.checkOpen(); err != nil {
+		return nil, "", false, err
+	}
+	if retrieveOnly {
+		req.Strategies = []Strategy{Retrieve}
+	}
+	if req.User == "" {
+		req.User = b.k.user
+	}
+	inner, err := b.k.Queries.StreamAt(ctx, req, epoch)
+	if err != nil {
+		return nil, "", false, classify(err)
+	}
+	st := &Stream{k: b.k, inner: inner}
+	budget := maxBytes / 2
+	objs := make([]wire.Object, 0, req.Limit)
+	total := 0
+	var last *object.Object
+	cut := false
+	var iterErr error
+	for o, err := range st.All() {
+		if err != nil {
+			iterErr = err
+			break
+		}
+		w, werr := wire.FromObject(o)
+		if werr != nil {
+			iterErr = werr
+			break
+		}
+		size := wire.ObjectSize(&w)
+		if size > maxBytes {
+			iterErr = fmt.Errorf("%w: object %d (%d bytes) exceeds the frame limit %d",
+				query.ErrBadRequest, o.OID, size, maxBytes)
+			break
+		}
+		if len(objs) > 0 && total+size > budget {
+			cut = true // o stays unshipped; resume after `last`
+			break
+		}
+		objs = append(objs, w)
+		total += size
+		last = o
+	}
+	if iterErr != nil {
+		return nil, "", false, iterErr
+	}
+	if cut && inner.FellBack() {
+		return nil, "", false, fmt.Errorf("%w: fallback result exceeds the page byte budget %d; "+
+			"the derived objects are committed — re-issue the query to retrieve them", query.ErrBadRequest, budget)
+	}
+	cursor := st.Cursor()
+	if cut {
+		cursor = query.EncodeCursor(epoch, last.Class, last.OID)
+	}
+	return objs, cursor, inner.FellBack(), nil
+}
+
+func (b kernelBackend) GetAt(oid object.OID, epoch uint64) (*object.Object, error) {
+	if err := b.k.checkOpen(); err != nil {
+		return nil, err
+	}
+	o, err := b.k.Objects.GetAt(oid, epoch)
+	return o, classify(err)
+}
+
+func (b kernelBackend) Pin() uint64                 { return b.k.Objects.Pin() }
+func (b kernelBackend) PinEpoch(e uint64) error     { return classify(b.k.Objects.PinEpoch(e)) }
+func (b kernelBackend) Unpin(e uint64)              { b.k.Objects.Unpin(e) }
+func (b kernelBackend) Stale() []object.OID         { return b.k.Stale() }
+func (b kernelBackend) Explain(o object.OID) string { return b.k.Explain(o) }
+func (b kernelBackend) Stats() string               { return b.k.Stats() }
+
+func (b kernelBackend) CursorEpoch(cursor string) (uint64, error) {
+	e, err := query.CursorEpoch(cursor)
+	return e, classify(err)
+}
+
+func (b kernelBackend) RefreshStale(ctx context.Context) (int, error) {
+	return b.k.RefreshStale(ctx)
+}
+
+func (b kernelBackend) ExplainQuery(ctx context.Context, req query.Request) (string, error) {
+	return b.k.ExplainQuery(ctx, req)
+}
+
+// Code maps an error onto its wire code: the public sentinels first
+// (some, like ErrClosed or a session-level ErrConflict, carry no
+// internal cause underneath), then the internal taxonomy.
+func (b kernelBackend) Code(err error) wire.Code {
+	switch {
+	case err == nil:
+		return wire.CodeOK
+	case errors.Is(err, ErrClosed):
+		return wire.CodeClosed
+	case errors.Is(err, ErrSnapshotGone):
+		return wire.CodeSnapshotGone
+	case errors.Is(err, ErrConflict):
+		return wire.CodeConflict
+	case errors.Is(err, ErrStale):
+		return wire.CodeStale
+	case errors.Is(err, ErrClassUnknown):
+		return wire.CodeClassUnknown
+	case errors.Is(err, ErrNoPlan):
+		return wire.CodeNoPlan
+	case errors.Is(err, ErrNotFound):
+		return wire.CodeNotFound
+	default:
+		return wire.CodeFor(err)
+	}
+}

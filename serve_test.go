@@ -1,0 +1,121 @@
+package gaea
+
+// Tests for the service adapter's error-code mapping (the server-side
+// half of the wire error taxonomy; the client-side half is tested in
+// gaea/client) and for snapshot lease hygiene: Release idempotence and
+// Kernel.Close releasing leaked pins so the MVCC GC horizon can never
+// be wedged by an abandoned snapshot.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// TestServeErrorCodes pins err → wire.Code for the whole public
+// taxonomy, wrapped exactly as kernel calls return them.
+func TestServeErrorCodes(t *testing.T) {
+	b := kernelBackend{}
+	cases := []struct {
+		err  error
+		want wire.Code
+	}{
+		{nil, wire.CodeOK},
+		{ErrNotFound, wire.CodeNotFound},
+		{ErrClassUnknown, wire.CodeClassUnknown},
+		{ErrNoPlan, wire.CodeNoPlan},
+		{ErrStale, wire.CodeStale},
+		{ErrConflict, wire.CodeConflict},
+		{ErrSnapshotGone, wire.CodeSnapshotGone},
+		{ErrClosed, wire.CodeClosed},
+		{query.ErrBadRequest, wire.CodeBadRequest},
+		{context.Canceled, wire.CodeCanceled},
+		{errors.New("disk on fire"), wire.CodeInternal},
+	}
+	for _, c := range cases {
+		if got := b.Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %v, want %v", c.err, got, c.want)
+		}
+		if c.err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("kernel: %w", c.err)
+		if got := b.Code(wrapped); got != c.want {
+			t.Errorf("Code(wrapped %v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestMVCCSnapshotReleaseIdempotent: Release twice is one unpin, and a
+// release after Kernel.Close already released the pin is a no-op.
+func TestMVCCSnapshotReleaseIdempotent(t *testing.T) {
+	k := openKernel(t)
+	defineRainClass(t, k)
+	if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := k.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := k.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pins := k.Objects.MVCC().Pins; pins != 2 {
+		t.Fatalf("pins = %d, want 2", pins)
+	}
+	s1.Release()
+	s1.Release() // idempotent: must not unpin s2's epoch refcount
+	if pins := k.Objects.MVCC().Pins; pins != 1 {
+		t.Fatalf("pins after double release = %d, want 1", pins)
+	}
+	s2.Release()
+	if pins := k.Objects.MVCC().Pins; pins != 0 {
+		t.Fatalf("pins after releasing all = %d, want 0", pins)
+	}
+}
+
+// TestMVCCCloseReleasesLeakedSnapshots: a caller that never Releases
+// cannot wedge the pin table past Close — the GC horizon of the next
+// open starts clean, and Release after Close stays a safe no-op.
+func TestMVCCCloseReleasesLeakedSnapshots(t *testing.T) {
+	k := openKernel(t)
+	defineRainClass(t, k)
+	if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+		t.Fatal(err)
+	}
+	leak1, err := k.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak2, err := k.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released, err := k.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released.Release()
+	if pins := k.Objects.MVCC().Pins; pins != 2 {
+		t.Fatalf("pins before close = %d, want 2", pins)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pins := k.Objects.MVCC().Pins; pins != 0 {
+		t.Fatalf("pins after close = %d, want 0 (leaked snapshots not released)", pins)
+	}
+	// Releasing a snapshot Close already released must not double-unpin
+	// (the counter would go negative or strip an unrelated pin).
+	leak1.Release()
+	leak2.Release()
+	if pins := k.Objects.MVCC().Pins; pins != 0 {
+		t.Fatalf("pins after post-close release = %d, want 0", pins)
+	}
+}

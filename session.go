@@ -37,6 +37,10 @@ type Session struct {
 	// readEpoch is the MVCC epoch captured at Begin: the state this
 	// session's staged mutations are based on.
 	readEpoch uint64
+	// user is recorded on the load tasks this session stages (the
+	// kernel's default, or the remote connection's user when the session
+	// replays a wire batch).
+	user string
 
 	mu        sync.Mutex
 	done      bool
@@ -56,10 +60,24 @@ type stagedCreate struct {
 // Begin opens a mutation session. The context bounds Commit (staging
 // itself never blocks); cancelling it before Commit aborts the commit.
 func (k *Kernel) Begin(ctx context.Context) *Session {
+	return k.beginAt(ctx, k.Objects.CurrentEpoch(), k.user)
+}
+
+// beginAt opens a session validating against a specific read epoch and
+// recording tasks under a specific user — the service layer uses it to
+// give a REMOTE session the epoch its client captured at Begin (so
+// first-committer-wins semantics match the embedded API even though the
+// batch is replayed later) and the connection's user (so lineage
+// records who actually loaded the data).
+func (k *Kernel) beginAt(ctx context.Context, readEpoch uint64, user string) *Session {
+	if user == "" {
+		user = k.user
+	}
 	return &Session{
 		k:         k,
 		ctx:       ctx,
-		readEpoch: k.Objects.CurrentEpoch(),
+		readEpoch: readEpoch,
+		user:      user,
 		createIdx: make(map[object.OID]int),
 		updateIdx: make(map[object.OID]int),
 		deleteIdx: make(map[object.OID]int),
@@ -185,7 +203,7 @@ func (s *Session) Commit() error {
 		}
 		ops.Inserts = append(ops.Inserts, c.obj)
 		t, rec, err := s.k.Tasks.StageExternal("data_load", nil, c.obj.OID, c.obj.Class,
-			task.RunOptions{User: s.k.user, Note: c.note})
+			task.RunOptions{User: s.user, Note: c.note})
 		if err != nil {
 			return classify(err)
 		}

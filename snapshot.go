@@ -34,6 +34,9 @@ type Snapshot struct {
 }
 
 // Snapshot pins the current commit epoch and returns the read-only view.
+// The kernel tracks open snapshots: Close releases any still pinned, so
+// a leaked snapshot can delay GC only until the kernel closes, never
+// wedge the horizon of a reopened database.
 func (k *Kernel) Snapshot(ctx context.Context) (*Snapshot, error) {
 	if err := k.checkOpen(); err != nil {
 		return nil, err
@@ -41,17 +44,28 @@ func (k *Kernel) Snapshot(ctx context.Context) (*Snapshot, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &Snapshot{k: k, epoch: k.Objects.Pin()}, nil
+	s := &Snapshot{k: k, epoch: k.Objects.Pin()}
+	k.snapMu.Lock()
+	if k.snaps == nil {
+		k.snaps = make(map[*Snapshot]struct{})
+	}
+	k.snaps[s] = struct{}{}
+	k.snapMu.Unlock()
+	return s, nil
 }
 
 // Epoch returns the commit epoch the snapshot is pinned to.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Release unpins the snapshot, letting the next GC reclaim versions only
-// it could see. Idempotent.
+// it could see. Idempotent — releasing twice (or after Kernel.Close
+// already released it) is a no-op, never a double-unpin.
 func (s *Snapshot) Release() {
 	if s.released.CompareAndSwap(false, true) {
 		s.k.Objects.Unpin(s.epoch)
+		s.k.snapMu.Lock()
+		delete(s.k.snaps, s)
+		s.k.snapMu.Unlock()
 	}
 }
 
