@@ -131,7 +131,23 @@ type Options struct {
 	// the caller's Request.Limit doesn't dictate one (0 = 256; the
 	// server caps it at its own page size).
 	PageSize int
+	// Protocol pins the wire protocol: 0 negotiates v2 (the multiplexed
+	// binary protocol), ProtocolV1 forces the legacy strict
+	// request/response gob protocol.
+	Protocol int
+	// StreamWindow is the page credit window for v2 push streams: how
+	// many pages the server may push ahead of the consumer (0 = 2).
+	// Larger windows hide more latency; smaller ones bound client-side
+	// buffering.
+	StreamWindow int
 }
+
+// ProtocolV1 forces the legacy v1 wire protocol (Options.Protocol).
+const ProtocolV1 = 1
+
+// defaultStreamWindow is the v2 push-stream credit window when
+// Options.StreamWindow is zero.
+const defaultStreamWindow = 2
 
 // SplitAddr parses a serve/connect address: "unix:///path/to.sock" (or
 // "unix:/path") selects a unix socket, "tcp://host:port" or a bare
@@ -166,30 +182,64 @@ func Dial(addr string, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
-	c := &Conn{nc: nc, opts: opts}
-	// DialTimeout bounds the whole connection attempt, handshake
-	// included: an endpoint that accepts but never answers must not
-	// hang Dial.
-	hctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	if _, err := c.roundTrip(hctx, &wire.Request{Op: wire.OpHello, User: opts.User}); err != nil {
+	if opts.Protocol == ProtocolV1 {
+		lc := &legacyConn{opts: opts, nc: nc}
+		// DialTimeout bounds the whole connection attempt, handshake
+		// included: an endpoint that accepts but never answers must not
+		// hang Dial.
+		hctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if _, err := lc.roundTrip(hctx, &wire.Request{Op: wire.OpHello, User: opts.User}); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		return &Conn{opts: opts, t: lc}, nil
+	}
+	t, err := newV2Transport(nc, opts, timeout)
+	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	return c, nil
+	return &Conn{opts: opts, t: t}, nil
 }
 
 // Conn is a connection to a served kernel, implementing Kernel. It is
-// safe for concurrent use: the protocol is strictly request/response,
-// so concurrent calls serialise on the connection (open one Conn per
-// worker for parallel load). All server-held state a Conn references —
-// snapshot leases, stream cursors — is connection-independent, so a
-// stream or snapshot outlives the Conn that created it as far as the
-// server is concerned (until its lease expires).
+// safe for concurrent use. Under protocol v2 (the default) concurrent
+// calls multiplex over the one connection — many requests in flight,
+// completions matched by request ID, so a slow query never delays an
+// interleaved fast one. Under the legacy v1 protocol (Options.Protocol)
+// calls serialise on the connection. All server-held state a Conn
+// references — snapshot leases, stream cursors — is
+// connection-independent, so a stream or snapshot outlives the Conn
+// that created it as far as the server is concerned (until its lease
+// expires).
 type Conn struct {
 	opts Options
+	t    transport
+}
 
-	// closed is independent of mu so Close never queues behind a
+// transport is one wire-protocol binding: the v2 multiplexer or the
+// legacy v1 request/response loop.
+type transport interface {
+	roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error)
+	close() error
+}
+
+func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	return c.t.roundTrip(ctx, req)
+}
+
+// Close closes the connection, aborting any in-flight calls (they get a
+// transport error). Server-side leases this connection opened expire on
+// their own. Idempotent.
+func (c *Conn) Close() error { return c.t.close() }
+
+// legacyConn is the v1 transport: one gob frame each way per round
+// trip, serialised on a mutex.
+type legacyConn struct {
+	opts Options
+
+	// closed is independent of mu so close never queues behind a
 	// stalled round trip — closing the socket is what unblocks it.
 	closed atomic.Bool
 
@@ -213,7 +263,7 @@ const defaultRequestTimeout = 30 * time.Second
 // interrupted response is unrecoverable, so that poisons the connection
 // too. (The server finishes the request on its side regardless — the
 // wire carries no cancellation.)
-func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+func (c *legacyConn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed.Load() {
@@ -283,10 +333,9 @@ func errorFor(code wire.Code, msg string) error {
 	return fmt.Errorf("%w: remote: %s", sentinel, msg)
 }
 
-// Close closes the connection, aborting any in-flight round trip (its
-// caller gets a transport error). Server-side leases this connection
-// opened expire on their own. Idempotent.
-func (c *Conn) Close() error {
+// close closes the v1 connection, aborting any in-flight round trip
+// (its caller gets a transport error). Idempotent.
+func (c *legacyConn) close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
@@ -418,12 +467,17 @@ func (c *Conn) Snapshot(ctx context.Context) (Snapshot, error) {
 	return &remoteSnapshot{c: c, lease: resp.Lease, epoch: resp.Epoch}, nil
 }
 
-// QueryStream implements Kernel: pages of req.Limit-capped size are
-// fetched lazily as the consumer pulls; the cursor resumes the exact
+// QueryStream implements Kernel: under v2, one request starts a
+// server-push stream whose pages arrive ahead of the consumer under a
+// credit window; under v1, pages of req.Limit-capped size are fetched
+// lazily as the consumer pulls. Either way the cursor resumes the exact
 // snapshot on any connection.
 func (c *Conn) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if t, ok := c.t.(*v2transport); ok {
+		return &pushStream{c: c, t: t, ctx: ctx, req: req, cursor: req.Cursor}, nil
 	}
 	return &remoteStream{c: c, ctx: ctx, req: req, op: wire.OpStream, cursor: req.Cursor}, nil
 }
@@ -578,6 +632,10 @@ func (s *remoteSnapshot) Get(oid object.OID) (*object.Object, error) {
 	if err != nil {
 		return nil, err
 	}
+	if resp.Raw != nil {
+		// v2 ships the stored record verbatim; decode it here.
+		return object.DecodeWire(resp.Raw.Rec, resp.Raw.Blobs)
+	}
 	if len(resp.Objects) != 1 {
 		return nil, fmt.Errorf("client: malformed snapshot get response")
 	}
@@ -602,6 +660,9 @@ func (s *remoteSnapshot) Query(ctx context.Context, req gaea.Request) (*gaea.Res
 func (s *remoteSnapshot) QueryStream(ctx context.Context, req gaea.Request) (Stream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if t, ok := s.c.t.(*v2transport); ok {
+		return &pushStream{c: s.c, t: t, ctx: ctx, req: req, lease: s.lease, cursor: req.Cursor}, nil
 	}
 	return &remoteStream{c: s.c, ctx: ctx, req: req, op: wire.OpSnapStream, lease: s.lease, cursor: req.Cursor}, nil
 }

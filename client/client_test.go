@@ -695,10 +695,13 @@ func TestRemoteConnLimit(t *testing.T) {
 	}
 }
 
-// TestRoundTripContextCancel: a context deadline interrupts an
-// in-flight round trip against a stalled server instead of hanging
-// forever, and the desynchronised connection is poisoned — later calls
-// fail fast rather than reading the wrong frame.
+// TestRoundTripContextCancel: on the v1 protocol, a context deadline
+// interrupts an in-flight round trip against a stalled server instead
+// of hanging forever, and the desynchronised connection is poisoned —
+// later calls fail fast rather than reading the wrong frame. (The
+// stalled server below speaks raw v1 gob, so the client is pinned to
+// ProtocolV1; v2 cancellation semantics — abandon without poisoning —
+// are covered by the multiplexing tests.)
 func TestRoundTripContextCancel(t *testing.T) {
 	path := sockPath(t)
 	l, err := net.Listen("unix", path)
@@ -720,7 +723,7 @@ func TestRoundTripContextCancel(t *testing.T) {
 		_ = wire.ReadFrame(conn, 0, &req)           // …swallow the query
 		_ = wire.ReadFrame(conn, 0, &req)           // and stall (unblocks when the client closes)
 	}()
-	c, err := Dial("unix://"+path, Options{User: "stalled"})
+	c, err := Dial("unix://"+path, Options{User: "stalled", Protocol: ProtocolV1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,544 @@
+package client
+
+// The protocol v2 transport: request-ID multiplexing over one
+// connection. A writer goroutine drains an outbound queue (coalescing
+// whatever is ready into single socket writes); a reader goroutine
+// demultiplexes completions and server-push stream pages by request ID.
+// Consequences visible through the Kernel surface:
+//
+//   - Concurrent calls share the connection instead of serialising on
+//     it: a slow query and a fast one interleave freely.
+//   - Deadlines are per REQUEST. A context that expires — or the 30s
+//     default bound on context-free calls — abandons that one request
+//     (deregistered locally, cancelled server-side) without poisoning
+//     the connection, because responses are matched by ID, not order.
+//   - Streams are server-push: one request, then pages arrive ahead of
+//     the consumer under a credit window, with no per-page round trip.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"iter"
+	"net"
+	"sync"
+	"time"
+
+	"gaea"
+	"gaea/internal/object"
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// v2transport multiplexes requests over one connection.
+type v2transport struct {
+	opts Options
+	nc   net.Conn
+	out  *wire.OutQueue
+
+	mu      sync.Mutex
+	err     error // terminal: set once, everything after fails with it
+	nextID  uint64
+	calls   map[uint64]chan *wire.Response
+	streams map[uint64]*v2pull
+}
+
+// newV2Transport performs the v2 handshake (bounded by timeout) and
+// starts the reader and writer goroutines.
+func newV2Transport(nc net.Conn, opts Options, timeout time.Duration) (*v2transport, error) {
+	_ = nc.SetDeadline(time.Now().Add(timeout))
+	hello := wire.AcquireFrame(wire.F2Hello, 0)
+	wire.EncodeHello(hello, &wire.Hello2{Version: wire.V2Version, User: opts.User})
+	hb, err := hello.Finish()
+	if err != nil {
+		wire.ReleaseFrame(hello)
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	buf := make([]byte, 0, len(wire.V2Magic)+len(hb))
+	buf = append(buf, wire.V2Magic...)
+	buf = append(buf, hb...)
+	_, werr := nc.Write(buf)
+	wire.ReleaseFrame(hello)
+	if werr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, werr)
+	}
+	var pre [8]byte
+	if _, err := io.ReadFull(nc, pre[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	if string(pre[:]) != wire.V2Magic {
+		// Not a v2 reply: these bytes start a v1 gob Response — e.g. the
+		// connection-limit refusal the server writes before protocol
+		// sniffing. Parse it so the caller sees the real reason.
+		return nil, parseV1Refusal(nc, pre, opts.MaxFrame)
+	}
+	fr := wire.NewFrameReader(nc, opts.MaxFrame)
+	ft, _, body, err := fr.Next()
+	if err != nil || ft != wire.F2HelloAck {
+		return nil, fmt.Errorf("%w: bad v2 handshake", ErrUnavailable)
+	}
+	if _, err := wire.DecodeHello(body); err != nil {
+		return nil, fmt.Errorf("%w: bad v2 handshake: %v", ErrUnavailable, err)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	t := &v2transport{
+		opts:    opts,
+		nc:      nc,
+		out:     wire.NewOutQueue(),
+		calls:   make(map[uint64]chan *wire.Response),
+		streams: make(map[uint64]*v2pull),
+	}
+	go func() { _ = t.out.Run(nc) }() // exits when the queue fails or closes
+	go t.readLoop(fr)
+	return t, nil
+}
+
+// parseV1Refusal interprets a non-magic handshake reply as a v1 gob
+// Response frame and surfaces its error through the usual taxonomy.
+func parseV1Refusal(nc net.Conn, pre [8]byte, maxFrame int) error {
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	n := int(binary.BigEndian.Uint32(pre[:4]))
+	if n < 4 || n > maxFrame {
+		return fmt.Errorf("%w: unexpected handshake reply", ErrUnavailable)
+	}
+	body := make([]byte, n)
+	copy(body, pre[4:])
+	if _, err := io.ReadFull(nc, body[4:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	var resp wire.Response
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&resp); err != nil {
+		return fmt.Errorf("%w: unexpected handshake reply", ErrUnavailable)
+	}
+	if resp.Code != wire.CodeOK {
+		return errorFor(resp.Code, resp.Err)
+	}
+	return fmt.Errorf("%w: server does not speak protocol v2", ErrUnavailable)
+}
+
+// readLoop demultiplexes incoming frames until the connection dies.
+func (t *v2transport) readLoop(fr *wire.FrameReader) {
+	for {
+		ft, id, body, err := fr.Next()
+		if err != nil {
+			t.fail(fmt.Errorf("%w: %v", ErrUnavailable, err))
+			return
+		}
+		switch ft {
+		case wire.F2Resp:
+			resp, derr := wire.DecodeResponse(body)
+			if derr != nil {
+				t.fail(fmt.Errorf("%w: %v", ErrUnavailable, derr))
+				return
+			}
+			if id == 0 {
+				// Connection-level refusal: the server is turning the whole
+				// connection away.
+				t.fail(errorFor(resp.Code, resp.Err))
+				return
+			}
+			t.mu.Lock()
+			if ch, ok := t.calls[id]; ok {
+				delete(t.calls, id)
+				t.mu.Unlock()
+				ch <- resp
+				continue
+			}
+			st := t.streams[id]
+			if st != nil {
+				delete(t.streams, id)
+			}
+			t.mu.Unlock()
+			if st != nil {
+				// A completion on a stream ID is its error end.
+				st.deliver(&v2page{err: streamRespErr(resp)})
+			}
+			// Unknown ID: a response for an abandoned request — drop it.
+		case wire.F2Page:
+			t.mu.Lock()
+			st := t.streams[id]
+			t.mu.Unlock()
+			if st == nil {
+				continue // late page for a cancelled stream: expected noise
+			}
+			pg := decodePage(body)
+			if pg.end {
+				t.mu.Lock()
+				delete(t.streams, id)
+				t.mu.Unlock()
+			}
+			st.deliver(pg)
+		default:
+			t.fail(fmt.Errorf("%w: unexpected frame type %d", ErrUnavailable, ft))
+			return
+		}
+	}
+}
+
+// fail poisons the transport: every registered call and stream is
+// terminated with err, the socket closes, and later calls fail fast.
+func (t *v2transport) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	err = t.err
+	calls := t.calls
+	streams := t.streams
+	t.calls = make(map[uint64]chan *wire.Response)
+	t.streams = make(map[uint64]*v2pull)
+	t.mu.Unlock()
+	t.out.Fail(err)
+	_ = t.nc.Close()
+	for _, ch := range calls {
+		ch <- nil // terminal: the waiter reads t.err
+	}
+	for _, st := range streams {
+		st.deliver(&v2page{err: err})
+	}
+}
+
+// close implements transport. In-flight calls fail with ErrClosed.
+func (t *v2transport) close() error {
+	t.fail(fmt.Errorf("%w: connection closed", gaea.ErrClosed))
+	return nil
+}
+
+// roundTrip sends one request and waits for its completion. Unlike v1,
+// an expired context or timeout abandons only THIS request — the
+// connection keeps serving everything else.
+func (t *v2transport) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.nextID++
+	id := t.nextID
+	ch := make(chan *wire.Response, 1)
+	t.calls[id] = ch
+	t.mu.Unlock()
+
+	f := wire.AcquireFrame(wire.F2Req, id)
+	wire.EncodeRequest(f, req)
+	if err := t.out.Push(f); err != nil {
+		t.mu.Lock()
+		delete(t.calls, id)
+		terr := t.err
+		t.mu.Unlock()
+		if terr == nil {
+			terr = fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		return nil, terr
+	}
+
+	var done <-chan struct{}
+	var timeout <-chan time.Time
+	if ctx != nil {
+		done = ctx.Done()
+	} else {
+		// No context: bound the wait so a hung server cannot wedge the
+		// caller — per request, not per connection.
+		timer := time.NewTimer(defaultRequestTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			t.mu.Lock()
+			err := t.err
+			t.mu.Unlock()
+			return nil, err
+		}
+		if resp.Code != wire.CodeOK {
+			return nil, errorFor(resp.Code, resp.Err)
+		}
+		return resp, nil
+	case <-done:
+		t.abandon(id)
+		return nil, ctx.Err()
+	case <-timeout:
+		t.abandon(id)
+		return nil, fmt.Errorf("%w: request timed out after %v", ErrUnavailable, defaultRequestTimeout)
+	}
+}
+
+// abandon gives up on one request without poisoning the connection: the
+// call is deregistered (a late completion is dropped on the floor) and
+// the server is told to cancel the work.
+func (t *v2transport) abandon(id uint64) {
+	t.mu.Lock()
+	delete(t.calls, id)
+	t.mu.Unlock()
+	f := wire.AcquireFrame(wire.F2Cancel, id)
+	_ = t.out.Push(f)
+}
+
+// startStream registers a push stream and sends its request.
+func (t *v2transport) startStream(req *wire.Request, window int) (*v2pull, error) {
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.nextID++
+	id := t.nextID
+	p := &v2pull{id: id, pages: make(chan *v2page, window+2)}
+	t.streams[id] = p
+	t.mu.Unlock()
+	f := wire.AcquireFrame(wire.F2Req, id)
+	wire.EncodeRequest(f, req)
+	if err := t.out.Push(f); err != nil {
+		t.mu.Lock()
+		delete(t.streams, id)
+		terr := t.err
+		t.mu.Unlock()
+		if terr == nil {
+			terr = fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		return nil, terr
+	}
+	return p, nil
+}
+
+// credit grants the server n more pages on a stream.
+func (t *v2transport) credit(id uint64, n int) {
+	f := wire.AcquireFrame(wire.F2Credit, id)
+	wire.EncodeCredit(f, n)
+	_ = t.out.Push(f)
+}
+
+// cancelStream deregisters a stream and tells the server to abort it
+// (the server hands the stream's pin to a cursor lease).
+func (t *v2transport) cancelStream(id uint64) {
+	t.mu.Lock()
+	delete(t.streams, id)
+	t.mu.Unlock()
+	f := wire.AcquireFrame(wire.F2Cancel, id)
+	_ = t.out.Push(f)
+}
+
+// streamRespErr turns a stream's completion response into its error.
+func streamRespErr(resp *wire.Response) error {
+	if resp.Code != wire.CodeOK {
+		return errorFor(resp.Code, resp.Err)
+	}
+	return fmt.Errorf("client: malformed stream completion")
+}
+
+// v2pull is the reader-side buffer of one push stream. Capacity covers
+// the credit window plus the terminal page, so the reader goroutine
+// never blocks on a stream consumer.
+type v2pull struct {
+	id    uint64
+	pages chan *v2page
+}
+
+func (p *v2pull) deliver(pg *v2page) {
+	select {
+	case p.pages <- pg:
+	default:
+		// The server overran its credit window; drop the stream rather
+		// than stall the connection's reader.
+		select {
+		case p.pages <- &v2page{err: fmt.Errorf("%w: server overran the stream window", ErrUnavailable)}:
+		default:
+		}
+	}
+}
+
+// v2page is one decoded push page (or a terminal error).
+type v2page struct {
+	epoch  uint64
+	cursor string
+	end    bool
+	objs   []*object.Object
+	err    error
+}
+
+// decodePage decodes a Page body. Everything is copied out of the frame
+// buffer by decoding, so the page is safe to hand across goroutines.
+func decodePage(body []byte) *v2page {
+	d := wire.NewDec(body)
+	hdr := wire.DecodePageHeader(d)
+	pg := &v2page{epoch: hdr.Epoch, cursor: hdr.Cursor, end: hdr.Flags&wire.PageEnd != 0}
+	raw := hdr.Flags&wire.PageRaw != 0
+	for i := 0; i < hdr.Count && d.Err() == nil; i++ {
+		var o *object.Object
+		var err error
+		if raw {
+			ro := wire.DecodeRawObject(d, false)
+			if d.Err() != nil {
+				break
+			}
+			o, err = object.DecodeWire(ro.Rec, ro.Blobs)
+		} else {
+			w := wire.DecodeObject(d)
+			if d.Err() != nil {
+				break
+			}
+			o, err = w.ToObject()
+		}
+		if err != nil {
+			pg.err = err
+			return pg
+		}
+		pg.objs = append(pg.objs, o)
+	}
+	if err := d.Err(); err != nil {
+		pg.err = fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return pg
+}
+
+// pushStream is the client side of a v2 server-push stream. It mirrors
+// the Stream contract of the v1 paged remoteStream exactly: single use,
+// Cursor() reports where iteration stopped (synthesised mid-page when
+// the consumer breaks), empty cursor = exhausted. The server request is
+// sent lazily at the first pull, like v1's first page fetch.
+type pushStream struct {
+	c     *Conn
+	t     *v2transport
+	ctx   context.Context
+	req   gaea.Request
+	lease uint64 // snapshot streams ride their lease's pin
+
+	mu       sync.Mutex
+	cursor   string
+	consumed bool
+}
+
+func (s *pushStream) claim() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.consumed {
+		return false
+	}
+	s.consumed = true
+	return true
+}
+
+func (s *pushStream) setCursor(c string) {
+	s.mu.Lock()
+	s.cursor = c
+	s.mu.Unlock()
+}
+
+// Cursor reports the resume token; pass it as Request.Cursor on any
+// backend (embedded or remote, same or new connection) to continue at
+// the same snapshot.
+func (s *pushStream) Cursor() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+// All returns the push-paged sequence.
+func (s *pushStream) All() iter.Seq2[*object.Object, error] {
+	return func(yield func(*object.Object, error) bool) {
+		if !s.claim() {
+			yield(nil, fmt.Errorf("%w: stream already consumed", query.ErrBadRequest))
+			return
+		}
+		if err := s.ctx.Err(); err != nil {
+			yield(nil, err)
+			return
+		}
+		window := s.c.opts.StreamWindow
+		if window <= 0 {
+			window = defaultStreamWindow
+		}
+		page := s.c.opts.PageSize
+		if page <= 0 {
+			page = 256
+		}
+		q := wire.FromQuery(s.req)
+		q.Cursor = s.req.Cursor
+		pull, err := s.t.startStream(&wire.Request{
+			Op: wire.OpStreamPush, Query: &q, Lease: s.lease,
+			Window: window, Page: page,
+		}, window)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		remaining := s.req.Limit // 0 = unlimited; the server honours it too
+		for {
+			var pg *v2page
+			select {
+			case pg = <-pull.pages:
+			case <-s.ctx.Done():
+				s.t.cancelStream(pull.id)
+				yield(nil, s.ctx.Err())
+				return
+			}
+			if pg.err != nil {
+				s.t.cancelStream(pull.id) // harmless if already deregistered
+				yield(nil, pg.err)
+				return
+			}
+			for i, o := range pg.objs {
+				if !yield(o, nil) {
+					s.stopAt(pull, pg, o)
+					return
+				}
+				if remaining > 0 {
+					remaining--
+					if remaining == 0 {
+						if i < len(pg.objs)-1 || !pg.end || pg.cursor != "" {
+							s.stopAt(pull, pg, o)
+						} else {
+							s.setCursor("")
+						}
+						return
+					}
+				}
+			}
+			if pg.end {
+				s.setCursor(pg.cursor)
+				return
+			}
+			s.t.credit(pull.id, 1)
+		}
+	}
+}
+
+// stopAt records the exact resume point when the consumer stops before
+// the stream is exhausted, mirroring the v1 contract: a fallback page
+// (epoch 0) is not resumable; otherwise the cursor is synthesised from
+// the page's epoch and the last object seen. Pin bookkeeping: if the
+// pusher is still running, cancelling it hands its pin to a cursor
+// lease server-side; if it already finished having exhausted the extent
+// (END, empty cursor), the epoch is re-pinned best-effort with OpLease.
+// Snapshot streams skip the re-pin — their snapshot's lease holds the
+// epoch.
+func (s *pushStream) stopAt(pull *v2pull, pg *v2page, o *object.Object) {
+	if pg.epoch == 0 {
+		s.setCursor("")
+		if !pg.end {
+			s.t.cancelStream(pull.id)
+		}
+		return
+	}
+	s.setCursor(query.EncodeCursor(pg.epoch, o.Class, o.OID))
+	if pg.end {
+		if s.lease == 0 && pg.cursor == "" {
+			_, _ = s.t.roundTrip(s.ctx, &wire.Request{Op: wire.OpLease, Epoch: pg.epoch})
+		}
+		return
+	}
+	s.t.cancelStream(pull.id)
+}

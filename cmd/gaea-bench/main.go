@@ -8,12 +8,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,23 +53,145 @@ var mvcc = flag.Int("mvcc", runtime.GOMAXPROCS(0), "C4 snapshot reader goroutine
 // the same client count sharing the embedded kernel.
 var serveClients = flag.Int("serve", 4, "C5 remote client connection count")
 
+// The reproducibility harness: -repeats re-runs each measured grid row
+// and records every sample; -json writes machine-readable BENCH_<exp>.json
+// files next to the markdown tables; -only selects an experiment subset
+// (CI smoke runs `-only C5 -repeats 1`); -check validates that a
+// previously written BENCH file still parses against the schema.
+var repeats = flag.Int("repeats", 1, "samples per measured grid row (C5/C7)")
+var inflight = flag.String("inflight", "8,32", "C5/C7 v2 pipelining depths (comma-separated requests in flight per connection)")
+var jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json result files (empty = skip)")
+var only = flag.String("only", "", "comma-separated experiment subset, e.g. C5,C7 (empty = all)")
+var check = flag.String("check", "", "validate a BENCH_*.json file against the result schema and exit")
+
 var ctx = context.Background()
 
 func main() {
 	flag.Parse()
-	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d refresh=%s batch=%d)\n", *workers, *refresh, *batch)
+	if *check != "" {
+		checkBenchFile(*check)
+		return
+	}
+	exps := []struct {
+		name string
+		fn   func()
+	}{
+		{"F3", expF3}, {"F4", expF4}, {"F5T1", expF5T1}, {"Q1", expQ1},
+		{"C1", expC1}, {"C2", expC2}, {"C3", expC3}, {"C4", expC4},
+		{"C5", expC5}, {"C7", expC7}, {"P1", expP1},
+	}
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			sel[strings.ToUpper(strings.TrimSpace(n))] = true
+		}
+	}
+	fmt.Printf("gaea-bench: regenerating the EXPERIMENTS.md tables (workers=%d refresh=%s batch=%d repeats=%d)\n",
+		*workers, *refresh, *batch, *repeats)
 	fmt.Println()
-	expF3()
-	expF4()
-	expF5T1()
-	expQ1()
-	expC1()
-	expC2()
-	expC3()
-	expC4()
-	expC5()
-	expP1()
+	for _, e := range exps {
+		if len(sel) == 0 || sel[e.name] {
+			e.fn()
+		}
+	}
 	fmt.Println("done")
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable results (BENCH_<exp>.json).
+
+// benchRow is one measured grid row: every repeat's sample plus the
+// median the tables print.
+type benchRow struct {
+	Name    string         `json:"name"`
+	Metric  string         `json:"metric"`
+	Samples []float64      `json:"samples"`
+	Median  float64        `json:"median"`
+	P99us   float64        `json:"p99_us,omitempty"`
+	Config  map[string]any `json:"config,omitempty"`
+}
+
+// benchFile is the whole experiment record.
+type benchFile struct {
+	Experiment  string         `json:"experiment"`
+	GeneratedAt string         `json:"generated_at"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	CPUs        int            `json:"cpus"`
+	Config      map[string]any `json:"config"`
+	Rows        []benchRow     `json:"rows"`
+}
+
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// writeBench records one experiment's grid under -json.
+func writeBench(exp string, config map[string]any, rows []benchRow) {
+	if *jsonDir == "" {
+		return
+	}
+	f := benchFile{
+		Experiment:  exp,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Config:      config,
+		Rows:        rows,
+	}
+	b, err := json.MarshalIndent(&f, "", "  ")
+	must(err)
+	path := fmt.Sprintf("%s/BENCH_%s.json", *jsonDir, exp)
+	must(os.WriteFile(path, append(b, '\n'), 0o644))
+	fmt.Printf("(wrote %s)\n\n", path)
+}
+
+// checkBenchFile validates a BENCH_*.json against the schema the CI
+// smoke step asserts: parseable, experiment named, every row carrying a
+// metric, at least one sample, and a positive median.
+func checkBenchFile(path string) {
+	b, err := os.ReadFile(path)
+	must(err)
+	var f benchFile
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	must(dec.Decode(&f))
+	if f.Experiment == "" || f.GeneratedAt == "" || len(f.Rows) == 0 {
+		must(fmt.Errorf("%s: missing experiment, timestamp, or rows", path))
+	}
+	for _, r := range f.Rows {
+		if r.Name == "" || r.Metric == "" || len(r.Samples) == 0 || r.Median <= 0 {
+			must(fmt.Errorf("%s: row %q fails the schema (metric %q, %d samples, median %v)",
+				path, r.Name, r.Metric, len(r.Samples), r.Median))
+		}
+	}
+	fmt.Printf("%s: ok (%s, %d rows)\n", path, f.Experiment, len(f.Rows))
+}
+
+func parseInflight() []int {
+	var depths []int
+	for _, part := range strings.Split(*inflight, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			must(fmt.Errorf("bad -inflight entry %q", part))
+		}
+		depths = append(depths, n)
+	}
+	return depths
 }
 
 func must(err error) {
@@ -682,14 +807,16 @@ func expC4() {
 	}
 }
 
-// C5: the service layer — N clients querying through `gaea serve` on a
-// unix socket vs the same N goroutines on the embedded kernel. The
-// workload is tile-local retrieval (one object per query), so the
-// numbers isolate per-request service overhead: framing, gob, the
-// connection round trip. Both sides run the identical code against the
-// backend-neutral client.Kernel interface.
+// C5: the service layer — the remote protocol grid. N clients run
+// tile-local retrieval (one object per query) against the embedded
+// kernel, a v1 (gob, strict request/response) connection, a v2
+// (multiplexed binary) connection at one request in flight, and v2
+// pipelined at each -inflight depth sharing the same connections. The
+// workload isolates per-request service overhead: framing, codec,
+// round trip. Each row is repeated -repeats times; -json records the
+// grid as BENCH_C5.json.
 func expC5() {
-	fmt.Printf("## C5 — service layer: remote clients vs in-process (clients=%d)\n", *serveClients)
+	fmt.Printf("## C5 — service layer: remote protocol grid (clients=%d repeats=%d)\n", *serveClients, *repeats)
 	const nObj = 256
 	const queries = 4096
 	dir, err := os.MkdirTemp("", "gaea-bench-c5-*")
@@ -724,35 +851,35 @@ func expC5() {
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(l) }()
 
-	run := func(mk func(i int) client.Kernel) (qps float64, p99 time.Duration) {
-		n := *serveClients
-		backends := make([]client.Kernel, n)
-		for i := range backends {
-			backends[i] = mk(i)
-		}
+	// runOnce drives the full query budget through len(backends)*perConn
+	// workers (worker w on backends[w%len]), so perConn is the requests
+	// in flight per connection.
+	runOnce := func(backends []client.Kernel, perConn int) (qps float64, p99 time.Duration) {
+		workers := len(backends) * perConn
 		next := make(chan int, queries)
 		for i := 0; i < queries; i++ {
 			next <- i
 		}
 		close(next)
-		lats := make([][]time.Duration, n)
+		lats := make([][]time.Duration, workers)
 		var wg sync.WaitGroup
 		start := time.Now()
-		for c := 0; c < n; c++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(c int) {
+			go func(w int) {
 				defer wg.Done()
+				b := backends[w%len(backends)]
 				for i := range next {
 					pred := sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i%nObj])
 					t0 := time.Now()
-					res, err := backends[c].Query(ctx, gaea.Request{Class: "gauge", Pred: pred})
+					res, err := b.Query(ctx, gaea.Request{Class: "gauge", Pred: pred})
 					must(err)
 					if len(res.OIDs) != 1 {
 						must(fmt.Errorf("C5: tile query saw %d objects", len(res.OIDs)))
 					}
-					lats[c] = append(lats[c], time.Since(t0))
+					lats[w] = append(lats[w], time.Since(t0))
 				}
-			}(c)
+			}(w)
 		}
 		wg.Wait()
 		total := time.Since(start)
@@ -764,16 +891,61 @@ func expC5() {
 		return float64(queries) / total.Seconds(), all[len(all)*99/100]
 	}
 
-	embQPS, embP99 := run(func(int) client.Kernel { return client.Embed(k) })
-	var conns []*client.Conn
-	remQPS, remP99 := run(func(int) client.Kernel {
-		c, err := client.Dial("unix://"+sock, client.Options{User: "bench"})
-		must(err)
-		conns = append(conns, c)
-		return c
-	})
-	for _, c := range conns {
-		c.Close()
+	fmt.Println("| backend | queries/s (median) | p99 latency |")
+	fmt.Println("|---|---|---|")
+	var rows []benchRow
+	measure := func(name, label, protocol string, mk func() client.Kernel, conns, perConn int) benchRow {
+		backends := make([]client.Kernel, conns)
+		for i := range backends {
+			backends[i] = mk()
+		}
+		var samples []float64
+		var lastP99 time.Duration
+		for r := 0; r < *repeats; r++ {
+			qps, p99 := runOnce(backends, perConn)
+			samples = append(samples, qps)
+			lastP99 = p99
+		}
+		for _, b := range backends {
+			if c, ok := b.(*client.Conn); ok {
+				must(c.Close())
+			}
+		}
+		row := benchRow{
+			Name: name, Metric: "queries_per_sec",
+			Samples: samples, Median: median(samples),
+			P99us: float64(lastP99.Microseconds()),
+			Config: map[string]any{
+				"protocol": protocol, "conns": conns, "inflight_per_conn": perConn,
+			},
+		}
+		fmt.Printf("| %s | %.0f | %v |\n", label, row.Median, lastP99.Round(time.Microsecond))
+		rows = append(rows, row)
+		return row
+	}
+
+	n := *serveClients
+	dialOpts := func(o client.Options) func() client.Kernel {
+		return func() client.Kernel {
+			c, err := client.Dial("unix://"+sock, o)
+			must(err)
+			return c
+		}
+	}
+	emb := measure("embedded", "embedded (in-process)", "none",
+		func() client.Kernel { return client.Embed(k) }, n, 1)
+	v1 := measure("remote_v1", "remote v1 (gob, strict req/resp)", "v1",
+		dialOpts(client.Options{User: "bench", Protocol: client.ProtocolV1}), n, 1)
+	v2 := measure("remote_v2", "remote v2 (binary, 1 in flight)", "v2",
+		dialOpts(client.Options{User: "bench"}), n, 1)
+	best := v2
+	for _, depth := range parseInflight() {
+		r := measure(fmt.Sprintf("remote_v2_pipelined_%d", depth),
+			fmt.Sprintf("remote v2 pipelined (%d in flight/conn)", depth), "v2",
+			dialOpts(client.Options{User: "bench"}), n, depth)
+		if r.Median > best.Median {
+			best = r
+		}
 	}
 
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -781,12 +953,109 @@ func expC5() {
 	cancel()
 	must(<-served)
 
-	fmt.Println("| backend | queries/s | p99 latency |")
-	fmt.Println("|---|---|---|")
-	fmt.Printf("| embedded (in-process) | %.0f | %v |\n", embQPS, embP99.Round(time.Microsecond))
-	fmt.Printf("| remote (`gaea serve`, unix socket) | %.0f | %v |\n", remQPS, remP99.Round(time.Microsecond))
-	fmt.Printf("\nservice overhead: %.1fx latency at p99, %.0f%% of embedded throughput\n\n",
-		float64(remP99)/float64(embP99), 100*remQPS/embQPS)
+	fmt.Printf("\nv2 over v1: %.1fx; best remote (%s): %.0f%% of embedded throughput\n\n",
+		v2.Median/v1.Median, best.Name, 100*best.Median/emb.Median)
+	writeBench("C5", map[string]any{
+		"clients": n, "queries": queries, "objects": nObj,
+		"repeats": *repeats, "inflight": parseInflight(), "transport": "unix socket",
+	}, rows)
+}
+
+// C7: pipelined ingest — W workers share ONE connection, each
+// committing small sessions (8 creates per commit). v1 serialises the
+// round trips behind the connection mutex; v2 multiplexes them, so the
+// commits overlap in the server and the WAL group-commits absorb the
+// fan-in. The kernel runs NoSync so the wire, not fsync, is measured.
+func expC7() {
+	const c7Workers = 8
+	const batchSz = 8
+	const commits = 256
+	fmt.Printf("## C7 — pipelined ingest: one connection, %d concurrent committers (repeats=%d)\n", c7Workers, *repeats)
+	gauge := func(i int) *object.Object {
+		x := float64(i * 20)
+		return &object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+		}
+	}
+	dir, err := os.MkdirTemp("", "gaea-bench-c7-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k, err := gaea.Open(dir+"/db", gaea.Options{NoSync: true, User: "bench"})
+	must(err)
+	defer k.Close()
+	must(k.DefineClass(&catalog.Class{
+		Name: "gauge", Kind: catalog.KindBase,
+		Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+		Frame: sptemp.DefaultFrame, HasSpatial: true,
+	}))
+	sock := dir + "/gaea.sock"
+	l, err := net.Listen("unix", sock)
+	must(err)
+	srv := k.NewServer(gaea.ServeOptions{})
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	runOnce := func(c client.Kernel) float64 {
+		next := make(chan int, commits)
+		for i := 0; i < commits; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < c7Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					s := c.Begin(ctx)
+					for j := 0; j < batchSz; j++ {
+						_, err := s.Create(gauge(i*batchSz+j), "tape")
+						must(err)
+					}
+					must(s.Commit())
+				}
+			}()
+		}
+		wg.Wait()
+		return float64(commits) / time.Since(start).Seconds()
+	}
+
+	fmt.Println("| protocol | session commits/s (median) |")
+	fmt.Println("|---|---|")
+	var rows []benchRow
+	measure := func(name, label string, opts client.Options) benchRow {
+		c, err := client.Dial("unix://"+sock, opts)
+		must(err)
+		var samples []float64
+		for r := 0; r < *repeats; r++ {
+			samples = append(samples, runOnce(c))
+		}
+		must(c.Close())
+		row := benchRow{
+			Name: name, Metric: "commits_per_sec",
+			Samples: samples, Median: median(samples),
+			Config: map[string]any{"conns": 1, "workers": c7Workers, "batch": batchSz},
+		}
+		fmt.Printf("| %s | %.0f |\n", label, row.Median)
+		rows = append(rows, row)
+		return row
+	}
+	v1 := measure("remote_v1", "v1 (serialised round trips)", client.Options{User: "bench", Protocol: client.ProtocolV1})
+	v2 := measure("remote_v2", "v2 (multiplexed)", client.Options{User: "bench"})
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	must(srv.Shutdown(sctx))
+	cancel()
+	must(<-served)
+
+	fmt.Printf("\npipelined-commit speedup: %.1fx\n\n", v2.Median/v1.Median)
+	writeBench("C7", map[string]any{
+		"workers": c7Workers, "batch": batchSz, "commits": commits,
+		"repeats": *repeats, "transport": "unix socket",
+	}, rows)
 }
 
 // P1: planner scaling with chain depth.

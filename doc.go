@@ -84,9 +84,19 @@
 //	_ = s.Commit()                      // whole batch: ONE round trip
 //	oid, _ := s.Committed(prov)         // the stored OID
 //	st, _ := c.QueryStream(ctx, gaea.Request{Class: "ndvi", Pred: pred})
-//	for o, err := range st.All() { ... }    // lazily paged over the wire
+//	for o, err := range st.All() { ... }    // server-push pages, credited
 //	cursor := st.Cursor()               // resumes this exact snapshot on
 //	                                    // any later connection
+//
+// Connections speak the multiplexed binary protocol v2 by default: many
+// requests in flight per connection with out-of-order completion (a
+// Conn is safe for concurrent use and deadlines bound individual
+// requests, never the connection), streaming queries as server-pushed
+// pages under a credit window (client.Options.StreamWindow), and query
+// results shipped as the stored record bytes — encoded once at commit,
+// never re-encoded per request. Version negotiation is automatic;
+// client.Options{Protocol: client.ProtocolV1} pins the legacy gob
+// request/response protocol, which every server still accepts.
 //
 // Remote snapshots and stream cursors hold their MVCC pins under
 // server-side leases (ServeOptions.SnapshotLease): every touch renews,

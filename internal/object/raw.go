@@ -1,0 +1,131 @@
+package object
+
+// Raw record access: the zero-copy path under the v2 wire protocol.
+// Objects are encoded exactly once — at commit, into the GOB3 record the
+// storage engine persists — so the service layer can ship those stored
+// bytes verbatim instead of decoding every attribute into value.Value
+// form and re-encoding it per response. GetRawAt hands out the record
+// (plus the payloads of any offloaded image blobs it references) and
+// DecodeWire reverses it on the client side, producing exactly what
+// GetAt would have.
+
+import (
+	"fmt"
+
+	"gaea/internal/raster"
+	"gaea/internal/storage"
+	"gaea/internal/value"
+)
+
+// BlobPayload carries the bytes of one offloaded image blob alongside a
+// raw record that references it.
+type BlobPayload struct {
+	ID   uint64
+	Data []byte
+}
+
+// GetRawAt loads the stored GOB3 record of the version visible at a
+// pinned epoch, without decoding it, plus the payload of every blob the
+// record references. The returned record is a private copy (the storage
+// layer copies out of its page cache), so the caller may retain and ship
+// it freely.
+func (s *Store) GetRawAt(oid OID, epoch uint64) ([]byte, []BlobPayload, error) {
+	heap, v, ok := s.resolve(oid, epoch)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
+	}
+	rec, err := s.st.Get(heap, v.rid)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, err := scanBlobIDs(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var blobs []BlobPayload
+	for _, id := range ids {
+		data, err := s.st.Blobs().Get(storage.BlobID(id))
+		if err != nil {
+			return nil, nil, fmt.Errorf("object: oid %d blob %d: %w", oid, id, err)
+		}
+		blobs = append(blobs, BlobPayload{ID: id, Data: data})
+	}
+	return rec, blobs, nil
+}
+
+// scanBlobIDs walks a record's attribute table collecting blob
+// references without decoding any attribute value — the only work the
+// raw path does per record.
+func scanBlobIDs(rec []byte) ([]uint64, error) {
+	r := &reader{buf: rec}
+	magic := string(r.bytes(4))
+	switch magic {
+	case objMagic, objMagicRev, objMagicLegacy:
+	default:
+		return nil, fmt.Errorf("object: bad object magic")
+	}
+	r.u64() // oid
+	if magic != objMagicLegacy {
+		r.u64() // epoch / rev
+	}
+	if magic == objMagic {
+		if r.u8()&flagTombstone != 0 {
+			return nil, fmt.Errorf("object: tombstone record has no payload")
+		}
+	}
+	r.str16()              // class
+	r.str16()              // frame system
+	r.str16()              // frame unit
+	r.bytes(4*8 + 1 + 2*8) // box, hasTime, interval
+	n := int(r.u16())
+	var ids []uint64
+	for i := 0; i < n; i++ {
+		r.str16() // name
+		switch r.u8() {
+		case 1:
+			ids = append(ids, r.u64())
+		default:
+			r.bytes(int(r.u32()))
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return ids, nil
+}
+
+// DecodeWire decodes a stored record shipped verbatim over the wire,
+// resolving blob references against the payload table that travelled
+// with it. It produces exactly what GetAt produces for the same version.
+func DecodeWire(rec []byte, blobs []BlobPayload) (*Object, error) {
+	obj, _, _, deleted, err := decodeObject(rec)
+	if err != nil {
+		return nil, err
+	}
+	if deleted {
+		return nil, fmt.Errorf("object: tombstone record on the wire")
+	}
+	for name, val := range obj.Attrs {
+		ref, ok := val.(blobRef)
+		if !ok {
+			continue
+		}
+		var data []byte
+		found := false
+		for i := range blobs {
+			if blobs[i].ID == uint64(ref.id) {
+				data, found = blobs[i].Data, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("object: oid %d attribute %q: blob %d payload missing", obj.OID, name, ref.id)
+		}
+		img, err := raster.Unmarshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("object: oid %d attribute %q: %w", obj.OID, name, err)
+		}
+		obj.Attrs[name] = value.Image{Img: img}
+	}
+	return obj, nil
+}

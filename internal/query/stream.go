@@ -257,6 +257,89 @@ func (qe *Executor) StreamAt(ctx context.Context, req Request, atEpoch uint64) (
 	return st, nil
 }
 
+// PageRawAt drains one retrieval-only page of a streaming query at an
+// epoch the CALLER has pinned, without loading or decoding any object:
+// it walks the same candidate order as StreamAt — classes in target
+// order, OIDs ascending, resuming strictly after the request cursor,
+// skipping stale objects unless ServeStale — and invokes visit for each
+// hit. This is the v2 wire protocol's zero-copy page handoff: the
+// service layer's visit fetches the stored record bytes and ships them
+// verbatim, cutting the page when its byte budget fills.
+//
+// visit returns (take, err): take=false cuts the page BEFORE the offered
+// object (the cursor is minted at the last object taken, so the refused
+// object leads the next page); a non-nil err aborts. The returned cursor
+// is "" when retrieval is exhausted, and served reports whether
+// retrieval produced anything at all — the caller decides about the
+// fallback chain (PageRawAt itself never falls back; fallback pages are
+// not resumable and must travel decoded).
+func (qe *Executor) PageRawAt(ctx context.Context, req Request, epoch uint64, visit func(class string, oid object.OID) (bool, error)) (cursor string, served bool, err error) {
+	classes, err := qe.targetClasses(req)
+	if err != nil {
+		return "", false, err
+	}
+	startIdx, startAfter := 0, object.OID(0)
+	if req.Cursor != "" {
+		curEpoch, class, after, err := parseCursor(req.Cursor)
+		if err != nil {
+			return "", false, err
+		}
+		if curEpoch != epoch {
+			return "", false, fmt.Errorf("%w: cursor epoch %d does not match the pinned epoch %d", ErrBadRequest, curEpoch, epoch)
+		}
+		idx := -1
+		for i, cls := range classes {
+			if cls == class {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return "", false, fmt.Errorf("%w: cursor class %q is not a target of this request", ErrBadRequest, class)
+		}
+		startIdx, startAfter = idx, after
+	}
+	taken := 0
+	lastClass, lastOID := "", object.OID(0)
+	cut := func() string {
+		if taken == 0 {
+			return req.Cursor // nothing shipped: resume where this page started
+		}
+		return encodeCursor(epoch, lastClass, lastOID)
+	}
+	for ci := startIdx; ci < len(classes); ci++ {
+		after := object.OID(0)
+		if ci == startIdx {
+			after = startAfter
+		}
+		for oid, err := range qe.Obj.QueryFromAt(classes[ci], req.Pred, after, epoch) {
+			if err != nil {
+				return "", served, err
+			}
+			if err := ctx.Err(); err != nil {
+				return "", served, err
+			}
+			if qe.isStaleAt(oid, epoch) && !qe.ServeStale {
+				continue
+			}
+			take, err := visit(classes[ci], oid)
+			if err != nil {
+				return "", served, err
+			}
+			if !take {
+				return cut(), served, nil
+			}
+			served = true
+			taken++
+			lastClass, lastOID = classes[ci], oid
+			if req.Limit > 0 && taken >= req.Limit {
+				return encodeCursor(epoch, lastClass, lastOID), served, nil
+			}
+		}
+	}
+	return "", served, nil
+}
+
 // streamFallback runs the §2.1.5 fallback chain lazily — only reached
 // when the consumer drained an empty retrieval, so QueryStream itself
 // never pays for planning or derivation. Derivation writes fresh objects

@@ -29,9 +29,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -79,8 +81,18 @@ type Backend interface {
 	// is an error, not a truncation). retrieveOnly suppresses the
 	// fallback chain (snapshot streams must not derive).
 	StreamPage(ctx context.Context, req query.Request, epoch uint64, retrieveOnly bool, maxBytes int) (objs []wire.Object, cursor string, fellBack bool, err error)
+	// StreamPageRaw drains one retrieval-only page at a pinned epoch the
+	// CALLER holds, as stored record bytes shipped verbatim (the v2
+	// zero-copy path): no object is decoded or re-encoded. The page cuts
+	// when its byte footprint approaches maxBytes; served reports whether
+	// retrieval produced anything (the caller runs the fallback chain via
+	// StreamPage when a fresh stream serves nothing).
+	StreamPageRaw(ctx context.Context, req query.Request, epoch uint64, maxBytes int) (raws []wire.RawObject, cursor string, served bool, err error)
 	// GetAt loads the version of an object visible at a pinned epoch.
 	GetAt(oid object.OID, epoch uint64) (*object.Object, error)
+	// GetRawAt loads the stored record bytes of the version visible at a
+	// pinned epoch (zero-copy OpSnapGet).
+	GetRawAt(oid object.OID, epoch uint64) (wire.RawObject, error)
 	// Pin pins the current commit epoch; PinEpoch re-pins a specific one
 	// (failing with the snapshot-gone error when it fell behind the GC
 	// horizon); Unpin releases.
@@ -150,6 +162,17 @@ type Stats struct {
 	ActiveStreams  int64
 	ActiveLeases   int64
 	LeaseExpiries  int64
+	// InFlight counts requests currently executing (v2 connections admit
+	// many at once).
+	InFlight int64
+	// MaxInFlightPerConn is the high-water mark of concurrent requests on
+	// any single connection since start.
+	MaxInFlightPerConn int64
+	// PushedPages counts v2 server-push stream pages sent.
+	PushedPages int64
+	// BytesAvoided counts bytes shipped verbatim from storage on the v2
+	// raw path — bytes v1 would have decoded and re-encoded.
+	BytesAvoided int64
 }
 
 // lease is one pinned epoch with an expiry. Snapshot leases are keyed by
@@ -173,11 +196,18 @@ type Server struct {
 	curLease  map[uint64]*lease // by epoch
 	draining  bool
 
-	nextLease atomic.Uint64
-	sessions  atomic.Int64
-	streams   atomic.Int64
-	expiries  atomic.Int64
-	openConns atomic.Int64
+	nextLease    atomic.Uint64
+	sessions     atomic.Int64
+	streams      atomic.Int64
+	expiries     atomic.Int64
+	openConns    atomic.Int64
+	inFlight     atomic.Int64
+	maxInFlight  atomic.Int64
+	pushedPages  atomic.Int64
+	bytesAvoided atomic.Int64
+
+	v2mu    sync.Mutex
+	v2conns map[*v2conn]struct{}
 
 	quit     chan struct{}
 	quitOnce sync.Once
@@ -200,6 +230,7 @@ func New(b Backend, opts Options) *Server {
 		conns:       make(map[net.Conn]bool),
 		snapLease:   make(map[uint64]*lease),
 		curLease:    make(map[uint64]*lease),
+		v2conns:     make(map[*v2conn]struct{}),
 		quit:        make(chan struct{}),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
@@ -282,8 +313,34 @@ func (s *Server) setBusy(conn net.Conn, busy bool) {
 	s.mu.Unlock()
 }
 
-// serveConn is the connection loop: read one request frame, handle,
+// serveConn sniffs the protocol version and hands the connection to the
+// matching loop. A v2 client leads with the 8-byte magic preamble (whose
+// first byte reads as an implausible v1 frame length); anything else is
+// the start of a v1 frame, replayed into the v1 loop untouched.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	var first [8]byte
+	if _, err := io.ReadFull(conn, first[:4]); err != nil {
+		return
+	}
+	if string(first[:4]) == wire.V2Magic[:4] {
+		if _, err := io.ReadFull(conn, first[4:]); err != nil {
+			return
+		}
+		if string(first[:]) != wire.V2Magic {
+			return // half a magic is garbage, not a protocol
+		}
+		s.serveV2(conn)
+		return
+	}
+	s.serveV1(conn, io.MultiReader(bytes.NewReader(first[:4]), conn))
+}
+
+// serveV1 is the v1 connection loop: read one request frame, handle,
 // write one response frame. The user from OpHello is connection state.
+// rd replays the sniffed prefix; it is fully consumed by the first
+// frame read, so direct conn reads (the watchdog) stay correct.
 //
 // The busy flag and the request WaitGroup are maintained under s.mu
 // against s.draining: a request is either counted BEFORE Shutdown
@@ -297,13 +354,11 @@ func (s *Server) setBusy(conn net.Conn, busy bool) {
 // MaxConns slot) or a protocol violation (a stray byte → same, the
 // framing is no longer trustworthy). Shutdown's force phase cancels
 // through the shared parent.
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.connWG.Done()
-	defer s.dropConn(conn)
+func (s *Server) serveV1(conn net.Conn, rd io.Reader) {
 	user := ""
 	for {
 		var req wire.Request
-		if err := wire.ReadFrame(conn, s.opts.MaxFrame, &req); err != nil {
+		if err := wire.ReadFrame(rd, s.opts.MaxFrame, &req); err != nil {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// Only the 4-byte header was consumed, so the stream is
 				// still writable: say WHY before dropping the connection,
@@ -387,12 +442,16 @@ func (s *Server) handle(ctx context.Context, user string, req *wire.Request) *wi
 	case wire.OpStats:
 		st := s.ServerStats()
 		return &wire.Response{Stats: &wire.StatsPayload{
-			Kernel:         s.b.Stats(),
-			OpenConns:      st.OpenConns,
-			ActiveSessions: st.ActiveSessions,
-			ActiveStreams:  st.ActiveStreams,
-			ActiveLeases:   st.ActiveLeases,
-			LeaseExpiries:  st.LeaseExpiries,
+			Kernel:             s.b.Stats(),
+			OpenConns:          st.OpenConns,
+			ActiveSessions:     st.ActiveSessions,
+			ActiveStreams:      st.ActiveStreams,
+			ActiveLeases:       st.ActiveLeases,
+			LeaseExpiries:      st.LeaseExpiries,
+			InFlight:           st.InFlight,
+			MaxInFlightPerConn: st.MaxInFlightPerConn,
+			PushedPages:        st.PushedPages,
+			BytesAvoided:       st.BytesAvoided,
 		}}
 	case wire.OpQuery:
 		if req.Query == nil {
@@ -597,14 +656,9 @@ func (s *Server) handleSnap(ctx context.Context, user string, req *wire.Request)
 		}
 		return &wire.Response{}
 	}
-	s.mu.Lock()
-	l, ok := s.snapLease[req.Lease]
-	if ok {
-		l.expires = time.Now().Add(s.opts.leaseTTL())
-	}
-	s.mu.Unlock()
-	if !ok {
-		return &wire.Response{Code: wire.CodeSnapshotGone, Err: "server: snapshot lease expired or released"}
+	l, errResp := s.touchLease(req.Lease)
+	if errResp != nil {
+		return errResp
 	}
 	switch req.Op {
 	case wire.OpSnapGet:
@@ -651,6 +705,21 @@ func (s *Server) handleSnap(ctx context.Context, user string, req *wire.Request)
 	default:
 		return badRequest(fmt.Sprintf("bad snapshot op %s", req.Op))
 	}
+}
+
+// touchLease renews a snapshot lease, answering nil and the
+// snapshot-gone response when it is missing or expired.
+func (s *Server) touchLease(id uint64) (*lease, *wire.Response) {
+	s.mu.Lock()
+	l, ok := s.snapLease[id]
+	if ok {
+		l.expires = time.Now().Add(s.opts.leaseTTL())
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, &wire.Response{Code: wire.CodeSnapshotGone, Err: "server: snapshot lease expired or released"}
+	}
+	return l, nil
 }
 
 // leaseCursorEpoch transfers a pin the caller holds on epoch into the
@@ -724,11 +793,15 @@ func (s *Server) ServerStats() Stats {
 	leases := int64(len(s.snapLease) + len(s.curLease))
 	s.mu.Unlock()
 	return Stats{
-		OpenConns:      s.openConns.Load(),
-		ActiveSessions: s.sessions.Load(),
-		ActiveStreams:  s.streams.Load(),
-		ActiveLeases:   leases,
-		LeaseExpiries:  s.expiries.Load(),
+		OpenConns:          s.openConns.Load(),
+		ActiveSessions:     s.sessions.Load(),
+		ActiveStreams:      s.streams.Load(),
+		ActiveLeases:       leases,
+		LeaseExpiries:      s.expiries.Load(),
+		InFlight:           s.inFlight.Load(),
+		MaxInFlightPerConn: s.maxInFlight.Load(),
+		PushedPages:        s.pushedPages.Load(),
+		BytesAvoided:       s.bytesAvoided.Load(),
 	}
 }
 
@@ -766,6 +839,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		s.baseCancel() // cancel in-flight kernel work
+	}
+	// v2 connections queue their final completions on an outbound
+	// writer; flush them before closing the sockets (bounded by ctx — a
+	// client that stopped reading cannot stall shutdown, because the
+	// force-close below fails its queue and unblocks the flush).
+	s.v2mu.Lock()
+	vcs := make([]*v2conn, 0, len(s.v2conns))
+	for vc := range s.v2conns {
+		vcs = append(vcs, vc)
+	}
+	s.v2mu.Unlock()
+	if len(vcs) > 0 {
+		flushed := make(chan struct{})
+		go func() {
+			for _, vc := range vcs {
+				_ = vc.out.Flush()
+			}
+			close(flushed)
+		}()
+		select {
+		case <-flushed:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
 	}
 	// Force-close whatever remains, cancel any straggler kernel work,
 	// wait for the handler goroutines, and release every leased pin so

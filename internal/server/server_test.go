@@ -49,8 +49,14 @@ func (f *fakeBackend) QueryAt(ctx context.Context, req query.Request, epoch uint
 func (f *fakeBackend) StreamPage(ctx context.Context, req query.Request, epoch uint64, retrieveOnly bool, maxBytes int) ([]wire.Object, string, bool, error) {
 	return nil, "", false, nil
 }
+func (f *fakeBackend) StreamPageRaw(ctx context.Context, req query.Request, epoch uint64, maxBytes int) ([]wire.RawObject, string, bool, error) {
+	return nil, "", false, nil
+}
 func (f *fakeBackend) GetAt(oid object.OID, epoch uint64) (*object.Object, error) {
 	return &object.Object{OID: oid, Class: "x"}, nil
+}
+func (f *fakeBackend) GetRawAt(oid object.OID, epoch uint64) (wire.RawObject, error) {
+	return wire.RawObject{}, nil
 }
 func (f *fakeBackend) Pin() uint64                 { return 1 }
 func (f *fakeBackend) PinEpoch(epoch uint64) error { return nil }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"gaea/internal/catalog"
 	"gaea/internal/concept"
@@ -56,25 +57,43 @@ const DefaultMaxFrame = 64 << 20
 // configured maximum.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
+// v1BufPool recycles the scratch buffers WriteFrame and ReadFrame used
+// to allocate per frame: the gob encoder still allocates its own state,
+// but the frame-sized buffer churn — the dominant allocation for large
+// pages — is gone, and a frame goes out in ONE write (header and body
+// together) instead of two.
+var v1BufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledV1Buf bounds what the pool retains; outsized page buffers are
+// left to the GC rather than parked forever.
+const maxPooledV1Buf = 1 << 20
+
 // WriteFrame gob-encodes msg and writes it as one length-prefixed frame.
 func WriteFrame(w io.Writer, msg any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+	buf := v1BufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledV1Buf {
+			v1BufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // length prefix, patched below
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
-	if int64(buf.Len()) > math.MaxUint32 {
+	b := buf.Bytes()
+	if int64(len(b)-4) > math.MaxUint32 {
 		// The length prefix is 32-bit; silently truncating it would
 		// desynchronise the stream.
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, buf.Len())
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b)-4)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
 	return err
 }
+
+// v1ReadPool recycles ReadFrame's body buffers.
+var v1ReadPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // ReadFrame reads one length-prefixed frame and gob-decodes it into msg.
 // maxFrame <= 0 takes DefaultMaxFrame.
@@ -92,10 +111,21 @@ func ReadFrame(r io.Reader, maxFrame int, msg any) error {
 	if int64(n) > int64(maxFrame) {
 		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	buf := make([]byte, n)
+	bp := v1ReadPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= maxPooledV1Buf {
+			v1ReadPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}
+	// gob copies everything it decodes, so the pooled buffer is free for
+	// reuse the moment Decode returns.
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(msg); err != nil {
 		return fmt.Errorf("wire: decode: %w", err)
 	}
@@ -160,6 +190,8 @@ func (o Op) String() string {
 		return "explain"
 	case OpExplainQuery:
 		return "explain-query"
+	case OpStreamPush:
+		return "stream-push"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -393,9 +425,16 @@ type Request struct {
 	User  string    // OpHello
 	Query *QueryReq // OpQuery, OpStream, OpSnapQuery, OpSnapStream, OpExplainQuery
 	Batch *BatchReq // OpCommit
-	Lease uint64    // OpSnapGet/Query/Stream/Release
+	Lease uint64    // OpSnapGet/Query/Stream/Release; OpStreamPush (snapshot mode)
 	OID   uint64    // OpSnapGet, OpExplain
 	Epoch uint64    // OpLease: the cursor epoch to keep pinned
+	// Window is the initial page-credit window for OpStreamPush (v2
+	// only): the server never has more un-credited pages in flight.
+	Window int
+	// Page is the client's per-page object-count preference for
+	// OpStreamPush (v2 only; the server caps it at its own page size).
+	// Query.Limit is the TOTAL limit across the whole stream.
+	Page int
 }
 
 // ResultPayload is the wire form of a query.Result.
@@ -453,12 +492,24 @@ type StatsPayload struct {
 	// LeaseExpiries counts leases the janitor expired since start —
 	// abandoned clients whose pins were reclaimed.
 	LeaseExpiries int64
+	// InFlight counts requests currently executing across all
+	// connections (v2 multiplexing admits many per connection).
+	InFlight int64
+	// MaxInFlightPerConn is the high-water mark of concurrent requests
+	// observed on any single connection since start.
+	MaxInFlightPerConn int64
+	// PushedPages counts v2 server-push stream pages sent since start.
+	PushedPages int64
+	// BytesAvoided counts bytes shipped verbatim from storage on the v2
+	// raw path — bytes that v1 would have decoded and re-encoded.
+	BytesAvoided int64
 }
 
 // String renders the combined stats line the CLI prints.
 func (s *StatsPayload) String() string {
-	return fmt.Sprintf("%s server[conns=%d sessions=%d streams=%d leases=%d lease_expiries=%d]",
-		s.Kernel, s.OpenConns, s.ActiveSessions, s.ActiveStreams, s.ActiveLeases, s.LeaseExpiries)
+	return fmt.Sprintf("%s server[conns=%d sessions=%d streams=%d leases=%d lease_expiries=%d inflight=%d max_inflight_conn=%d pushed_pages=%d bytes_avoided=%d]",
+		s.Kernel, s.OpenConns, s.ActiveSessions, s.ActiveStreams, s.ActiveLeases, s.LeaseExpiries,
+		s.InFlight, s.MaxInFlightPerConn, s.PushedPages, s.BytesAvoided)
 }
 
 // Response is one server frame.
@@ -475,4 +526,7 @@ type Response struct {
 	N       int            // OpRefresh: refreshed count
 	Text    string         // OpExplain, OpExplainQuery
 	Stats   *StatsPayload  // OpStats
+	// Raw carries OpSnapGet's object as stored record bytes on the v2
+	// zero-copy path (decode with object.DecodeWire); v1 never sets it.
+	Raw *RawObject
 }

@@ -52,6 +52,17 @@ type ServerStats struct {
 	// LeaseExpiries counts leases expired by the janitor — abandoned
 	// remote pins that were reclaimed.
 	LeaseExpiries int64
+	// InFlight counts requests currently executing (protocol v2
+	// multiplexes many per connection).
+	InFlight int64
+	// MaxInFlightPerConn is the high-water mark of concurrent requests
+	// observed on any single connection.
+	MaxInFlightPerConn int64
+	// PushedPages counts v2 server-push stream pages sent.
+	PushedPages int64
+	// BytesAvoided counts object bytes shipped verbatim from storage on
+	// the v2 zero-copy path — bytes v1 would have decoded and re-encoded.
+	BytesAvoided int64
 }
 
 // Server serves this kernel over the wire protocol. Start it on one or
@@ -89,11 +100,15 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(c
 func (s *Server) Stats() ServerStats {
 	st := s.inner.ServerStats()
 	return ServerStats{
-		OpenConns:      st.OpenConns,
-		ActiveSessions: st.ActiveSessions,
-		ActiveStreams:  st.ActiveStreams,
-		ActiveLeases:   st.ActiveLeases,
-		LeaseExpiries:  st.LeaseExpiries,
+		OpenConns:          st.OpenConns,
+		ActiveSessions:     st.ActiveSessions,
+		ActiveStreams:      st.ActiveStreams,
+		ActiveLeases:       st.ActiveLeases,
+		LeaseExpiries:      st.LeaseExpiries,
+		InFlight:           st.InFlight,
+		MaxInFlightPerConn: st.MaxInFlightPerConn,
+		PushedPages:        st.PushedPages,
+		BytesAvoided:       st.BytesAvoided,
 	}
 }
 
@@ -196,12 +211,69 @@ func (b kernelBackend) StreamPage(ctx context.Context, req query.Request, epoch 
 	return objs, cursor, inner.FellBack(), nil
 }
 
+// StreamPageRaw drains one retrieval-only page as stored record bytes —
+// the v2 zero-copy path. The same byte budget as StreamPage applies
+// (half the frame limit, cut before the first object that would
+// overflow), but no object is decoded: the page ships exactly what the
+// storage engine holds, plus the payloads of any referenced blobs.
+func (b kernelBackend) StreamPageRaw(ctx context.Context, req query.Request, epoch uint64, maxBytes int) ([]wire.RawObject, string, bool, error) {
+	if err := b.k.checkOpen(); err != nil {
+		return nil, "", false, err
+	}
+	req.Strategies = []Strategy{Retrieve}
+	if req.User == "" {
+		req.User = b.k.user
+	}
+	budget := maxBytes / 2
+	cap := req.Limit
+	if cap < 0 {
+		cap = 0
+	}
+	raws := make([]wire.RawObject, 0, cap)
+	total := 0
+	cursor, served, err := b.k.Queries.PageRawAt(ctx, req, epoch, func(class string, oid object.OID) (bool, error) {
+		rec, blobs, err := b.k.Objects.GetRawAt(oid, epoch)
+		if err != nil {
+			return false, err
+		}
+		raw := wire.RawObject{Rec: rec, Blobs: blobs}
+		size := raw.Size()
+		if size > maxBytes {
+			return false, fmt.Errorf("%w: object %d (%d bytes) exceeds the frame limit %d",
+				query.ErrBadRequest, oid, size, maxBytes)
+		}
+		if len(raws) > 0 && total+size > budget {
+			return false, nil // cut before this object; cursor re-minted at the last shipped
+		}
+		raws = append(raws, raw)
+		total += size
+		return true, nil
+	})
+	if err != nil {
+		return nil, "", false, classify(err)
+	}
+	return raws, cursor, served, nil
+}
+
 func (b kernelBackend) GetAt(oid object.OID, epoch uint64) (*object.Object, error) {
 	if err := b.k.checkOpen(); err != nil {
 		return nil, err
 	}
 	o, err := b.k.Objects.GetAt(oid, epoch)
 	return o, classify(err)
+}
+
+// GetRawAt loads the stored record bytes of the version visible at a
+// pinned epoch, for verbatim shipping (v2 OpSnapGet).
+func (b kernelBackend) GetRawAt(oid object.OID, epoch uint64) (wire.RawObject, error) {
+	if err := b.k.checkOpen(); err != nil {
+		return wire.RawObject{}, err
+	}
+	rec, blobs, err := b.k.Objects.GetRawAt(oid, epoch)
+	if err != nil {
+		return wire.RawObject{}, classify(err)
+	}
+	return wire.RawObject{Rec: rec, Blobs: blobs}, nil
 }
 
 func (b kernelBackend) Pin() uint64                 { return b.k.Objects.Pin() }
