@@ -49,6 +49,7 @@ import (
 
 	"gaea"
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/query"
 	"gaea/internal/wire"
 )
@@ -140,6 +141,13 @@ type Options struct {
 	// Larger windows hide more latency; smaller ones bound client-side
 	// buffering.
 	StreamWindow int
+	// Tracer, when set, records a client-side span around each query and
+	// commit, and propagates the trace ID to the server over protocol v2
+	// so the server's spans for the same request join the client's trace
+	// (one remote call = one cross-process trace). Nil disables client
+	// tracing; v1 connections trace locally but do not propagate (the v1
+	// frame format is frozen).
+	Tracer *gaea.Tracer
 }
 
 // ProtocolV1 forces the legacy v1 wire protocol (Options.Protocol).
@@ -226,7 +234,21 @@ type transport interface {
 }
 
 func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if ctx != nil {
+		// Propagated only by the v2 framer; gob never sees the unexported
+		// field, so v1 frames are unchanged.
+		req.SetTrace(obs.TraceID(ctx))
+	}
 	return c.t.roundTrip(ctx, req)
+}
+
+// traced installs the connection's tracer (if any) on ctx so obs.Start
+// calls below open spans against it.
+func (c *Conn) traced(ctx context.Context) context.Context {
+	if c.opts.Tracer == nil {
+		return ctx
+	}
+	return obs.WithTracer(ctx, c.opts.Tracer)
 }
 
 // Close closes the connection, aborting any in-flight calls (they get a
@@ -347,9 +369,13 @@ func (c *Conn) Query(ctx context.Context, req gaea.Request) (*gaea.Result, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(c.traced(ctx), "client/query")
+	defer sp.End()
+	sp.Annotate("class", req.Class)
 	q := wire.FromQuery(req)
 	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpQuery, Query: &q})
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		return nil, err
 	}
 	if resp.Result == nil {
@@ -530,10 +556,13 @@ func (s *remoteStream) All() iter.Seq2[*object.Object, error] {
 			yield(nil, fmt.Errorf("%w: stream already consumed", query.ErrBadRequest))
 			return
 		}
+		ctx, sp := obs.Start(s.c.traced(s.ctx), "client/query_stream")
+		defer sp.End()
+		sp.Annotate("class", s.req.Class)
 		remaining := s.req.Limit // 0 = unlimited
 		cursor := s.req.Cursor
 		for {
-			if err := s.ctx.Err(); err != nil {
+			if err := ctx.Err(); err != nil {
 				yield(nil, err)
 				return
 			}
@@ -547,7 +576,7 @@ func (s *remoteStream) All() iter.Seq2[*object.Object, error] {
 			q := wire.FromQuery(s.req)
 			q.Cursor = cursor
 			q.Limit = page
-			resp, err := s.c.roundTrip(s.ctx, &wire.Request{Op: s.op, Query: &q, Lease: s.lease})
+			resp, err := s.c.roundTrip(ctx, &wire.Request{Op: s.op, Query: &q, Lease: s.lease})
 			if err != nil {
 				yield(nil, err)
 				return
@@ -809,7 +838,9 @@ func (s *remoteSession) Commit() error {
 	if len(s.creates)+len(s.updates)+len(s.deletes) == 0 {
 		return nil
 	}
-	resp, err := s.c.roundTrip(s.ctx, &wire.Request{Op: wire.OpCommit, Batch: &wire.BatchReq{
+	ctx, sp := obs.Start(s.c.traced(s.ctx), "client/commit")
+	defer sp.End()
+	resp, err := s.c.roundTrip(ctx, &wire.Request{Op: wire.OpCommit, Batch: &wire.BatchReq{
 		Creates:   s.creates,
 		Updates:   s.updates,
 		Deletes:   s.deletes,

@@ -29,6 +29,7 @@ import (
 
 	"gaea"
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/query"
 	"gaea/internal/wire"
 )
@@ -457,6 +458,9 @@ func (s *pushStream) All() iter.Seq2[*object.Object, error] {
 			yield(nil, err)
 			return
 		}
+		_, sp := obs.Start(s.c.traced(s.ctx), "client/query_stream")
+		defer sp.End()
+		sp.Annotate("class", s.req.Class)
 		window := s.c.opts.StreamWindow
 		if window <= 0 {
 			window = defaultStreamWindow
@@ -467,10 +471,12 @@ func (s *pushStream) All() iter.Seq2[*object.Object, error] {
 		}
 		q := wire.FromQuery(s.req)
 		q.Cursor = s.req.Cursor
-		pull, err := s.t.startStream(&wire.Request{
+		sreq := &wire.Request{
 			Op: wire.OpStreamPush, Query: &q, Lease: s.lease,
 			Window: window, Page: page,
-		}, window)
+		}
+		sreq.SetTrace(sp.TraceID())
+		pull, err := s.t.startStream(sreq, window)
 		if err != nil {
 			yield(nil, err)
 			return

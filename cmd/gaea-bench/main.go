@@ -63,6 +63,7 @@ var inflight = flag.String("inflight", "8,32", "C5/C7 v2 pipelining depths (comm
 var jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json result files (empty = skip)")
 var only = flag.String("only", "", "comma-separated experiment subset, e.g. C5,C7 (empty = all)")
 var check = flag.String("check", "", "validate a BENCH_*.json file against the result schema and exit")
+var slowOps = flag.Bool("slow", false, "run the slow-op-log scenario (a throttled derivation must land in the kernel's slow-op log) and exit")
 
 var ctx = context.Background()
 
@@ -70,6 +71,10 @@ func main() {
 	flag.Parse()
 	if *check != "" {
 		checkBenchFile(*check)
+		return
+	}
+	if *slowOps {
+		expSlow()
 		return
 	}
 	exps := []struct {
@@ -111,15 +116,19 @@ type benchRow struct {
 	Config  map[string]any `json:"config,omitempty"`
 }
 
-// benchFile is the whole experiment record.
+// benchFile is the whole experiment record. Histograms carries the
+// kernel's latency distributions (query_ns, session_commit_ns, ...) as
+// observed over the whole experiment — the registry's view of the run,
+// complementing the client-side medians in Rows.
 type benchFile struct {
-	Experiment  string         `json:"experiment"`
-	GeneratedAt string         `json:"generated_at"`
-	GOOS        string         `json:"goos"`
-	GOARCH      string         `json:"goarch"`
-	CPUs        int            `json:"cpus"`
-	Config      map[string]any `json:"config"`
-	Rows        []benchRow     `json:"rows"`
+	Experiment  string                            `json:"experiment"`
+	GeneratedAt string                            `json:"generated_at"`
+	GOOS        string                            `json:"goos"`
+	GOARCH      string                            `json:"goarch"`
+	CPUs        int                               `json:"cpus"`
+	Config      map[string]any                    `json:"config"`
+	Rows        []benchRow                        `json:"rows"`
+	Histograms  map[string]gaea.HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 func median(samples []float64) float64 {
@@ -135,10 +144,20 @@ func median(samples []float64) float64 {
 	}
 }
 
-// writeBench records one experiment's grid under -json.
-func writeBench(exp string, config map[string]any, rows []benchRow) {
+// writeBench records one experiment's grid under -json. hists, when
+// non-nil, is the serving kernel's histogram export for the run (only
+// the non-empty distributions are kept — a bench that never commits has
+// nothing to say about commit latency).
+func writeBench(exp string, config map[string]any, rows []benchRow, hists map[string]gaea.HistogramSnapshot) {
 	if *jsonDir == "" {
 		return
+	}
+	kept := map[string]gaea.HistogramSnapshot{}
+	for name, h := range hists {
+		if h.Count > 0 {
+			h.Buckets = nil // the summary suffices; buckets bloat the record
+			kept[name] = h
+		}
 	}
 	f := benchFile{
 		Experiment:  exp,
@@ -148,6 +167,7 @@ func writeBench(exp string, config map[string]any, rows []benchRow) {
 		CPUs:        runtime.NumCPU(),
 		Config:      config,
 		Rows:        rows,
+		Histograms:  kept,
 	}
 	b, err := json.MarshalIndent(&f, "", "  ")
 	must(err)
@@ -175,7 +195,13 @@ func checkBenchFile(path string) {
 				path, r.Name, r.Metric, len(r.Samples), r.Median))
 		}
 	}
-	fmt.Printf("%s: ok (%s, %d rows)\n", path, f.Experiment, len(f.Rows))
+	for name, h := range f.Histograms {
+		if h.Count <= 0 || h.Sum < 0 || h.P50 > h.P99 || h.P99 > h.Max {
+			must(fmt.Errorf("%s: histogram %q fails the schema (count=%d sum=%d p50=%d p99=%d max=%d)",
+				path, name, h.Count, h.Sum, h.P50, h.P99, h.Max))
+		}
+	}
+	fmt.Printf("%s: ok (%s, %d rows, %d histograms)\n", path, f.Experiment, len(f.Rows), len(f.Histograms))
 }
 
 func parseInflight() []int {
@@ -958,7 +984,7 @@ func expC5() {
 	writeBench("C5", map[string]any{
 		"clients": n, "queries": queries, "objects": nObj,
 		"repeats": *repeats, "inflight": parseInflight(), "transport": "unix socket",
-	}, rows)
+	}, rows, k.StatsSnapshot().Metrics.Histograms)
 }
 
 // C7: pipelined ingest — W workers share ONE connection, each
@@ -1055,7 +1081,54 @@ func expC7() {
 	writeBench("C7", map[string]any{
 		"workers": c7Workers, "batch": batchSz, "commits": commits,
 		"repeats": *repeats, "transport": "unix socket",
-	}, rows)
+	}, rows, k.StatsSnapshot().Metrics.Histograms)
+}
+
+// expSlow (-slow) is the observability assertion, not a measurement: a
+// kernel opened with a 1µs slow-op threshold runs one cold derivation
+// query (milliseconds of planning + classification), which MUST land in
+// the slow-op log with its span tree, and the query_ns histogram MUST
+// have absorbed the sample. Exits non-zero otherwise, so CI can gate on
+// the telemetry path actually recording.
+func expSlow() {
+	fmt.Println("## SLOW — slow-op log: a throttled derivation query must be captured")
+	const size = 32
+	dir, err := os.MkdirTemp("", "gaea-bench-slow-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	k, err := gaea.Open(dir, gaea.Options{
+		NoSync: true, User: "bench", Workers: *workers,
+		SlowOpThreshold: time.Microsecond,
+	})
+	must(err)
+	defer k.Close()
+	seedBenchSchema(k)
+	loadScene(k, size, 1986)
+	pred := gaea.Request{Class: "landcover", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+	_, err = k.Query(ctx, pred)
+	must(err)
+
+	slow := k.Tracer.Slow()
+	if len(slow) == 0 {
+		must(fmt.Errorf("SLOW: slow-op log is empty after a cold derivation under a 1µs threshold"))
+	}
+	found := false
+	for _, tr := range slow {
+		if tr.Root == "query/run" {
+			found = true
+			fmt.Print(tr.Format())
+		}
+	}
+	if !found {
+		must(fmt.Errorf("SLOW: no query/run trace in the slow-op log (got %d other traces)", len(slow)))
+	}
+	h := k.StatsSnapshot().Metrics.Histograms["query_ns"]
+	if h.Count == 0 || h.Max <= 0 {
+		must(fmt.Errorf("SLOW: query_ns histogram recorded nothing (count=%d max=%d)", h.Count, h.Max))
+	}
+	fmt.Printf("query_ns: count=%d p50=%v p99=%v max=%v\n",
+		h.Count, time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+	fmt.Println("slow-op log: ok")
 }
 
 // P1: planner scaling with chain depth.

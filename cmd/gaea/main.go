@@ -8,6 +8,8 @@
 //	gaea -db /path/to/db [-demo] [-user name]       interactive shell
 //	gaea serve -db DIR -listen ADDR [flags]         network server
 //	gaea stats -connect ADDR                        remote stats line
+//	gaea top -connect ADDR                          remote metrics & slow-op log
+//	gaea trace -connect ADDR [-class NAME]          run one traced query, print its span tree
 //
 // ADDR is "unix:///path/to.sock" or "host:port" (TCP). With -demo the
 // database is seeded with the Figure 3/Figure 5 schema and two synthetic
@@ -22,6 +24,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -50,6 +53,12 @@ func main() {
 		case "stats":
 			statsMain(os.Args[2:])
 			return
+		case "top":
+			topMain(os.Args[2:])
+			return
+		case "trace":
+			traceMain(os.Args[2:])
+			return
 		}
 	}
 	dbDir := flag.String("db", "", "database directory (required)")
@@ -60,6 +69,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gaea -db DIR [-demo] [-user NAME]")
 		fmt.Fprintln(os.Stderr, "       gaea serve -db DIR -listen ADDR")
 		fmt.Fprintln(os.Stderr, "       gaea stats -connect ADDR")
+		fmt.Fprintln(os.Stderr, "       gaea top -connect ADDR")
+		fmt.Fprintln(os.Stderr, "       gaea trace -connect ADDR")
 		os.Exit(2)
 	}
 	k, err := gaea.Open(*dbDir, gaea.Options{User: *user})
@@ -246,6 +257,7 @@ func serveMain(args []string) {
 	pageSize := fs.Int("page", 0, "stream page size cap (0 = 256)")
 	nosync := fs.Bool("nosync", false, "disable per-write WAL fsync (tests and benchmarks)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	debugAddr := fs.String("debug-addr", "", "loopback HTTP address for /metrics, /traces and pprof (e.g. 127.0.0.1:0; off by default)")
 	_ = fs.Parse(args)
 	if *dbDir == "" || *listen == "" {
 		fmt.Fprintln(os.Stderr, "usage: gaea serve -db DIR -listen ADDR [-demo] [-user NAME] [-max-conns N] [-lease TTL] [-page N] [-nosync] [-drain D]")
@@ -279,12 +291,23 @@ func serveMain(args []string) {
 		MaxConns:      *maxConns,
 		SnapshotLease: *lease,
 		PageSize:      *pageSize,
+		DebugAddr:     *debugAddr,
 	})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 	fmt.Printf("gaea: serving %s on %s://%s\n", *dbDir, network, address)
+	if *debugAddr != "" {
+		// The debug listener binds inside Serve; poll briefly so the bound
+		// address (meaningful with ":0") reaches the log.
+		for i := 0; i < 100 && srv.DebugAddr() == ""; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if a := srv.DebugAddr(); a != "" {
+			fmt.Printf("gaea: debug endpoint on http://%s (metrics, traces, pprof)\n", a)
+		}
+	}
 	failed := false
 	select {
 	case s := <-sig:
@@ -342,6 +365,134 @@ func statsMain(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println(line)
+}
+
+// fetchObs pulls a served kernel's observability export (carried on the
+// stats payload's v2 extension).
+func fetchObs(c *client.Conn) (*gaea.ObsExport, error) {
+	st, err := c.ServerStats()
+	if err != nil {
+		return nil, err
+	}
+	if len(st.ObsJSON) == 0 {
+		return nil, fmt.Errorf("server sent no observability payload (pre-telescope server?)")
+	}
+	var ex gaea.ObsExport
+	if err := json.Unmarshal(st.ObsJSON, &ex); err != nil {
+		return nil, fmt.Errorf("malformed observability payload: %v", err)
+	}
+	return &ex, nil
+}
+
+// topMain is the `gaea top` verb: one consistent pull of a served
+// kernel's stats line, metrics registry, and slow-op log.
+func topMain(args []string) {
+	fs := flag.NewFlagSet("gaea top", flag.ExitOnError)
+	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
+	slow := fs.Int("slow", 5, "slow ops to print (0 = none)")
+	_ = fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea top -connect ADDR [-slow N]")
+		os.Exit(2)
+	}
+	c, err := client.Dial(*connect, client.Options{User: *user})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	ex, err := fetchObs(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "top:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ex.Stats.String())
+	fmt.Println()
+	ex.Stats.Metrics.WriteText(os.Stdout)
+	if *slow > 0 && len(ex.SlowOps) > 0 {
+		fmt.Printf("\nslow ops (newest first):\n")
+		for i, tr := range ex.SlowOps {
+			if i >= *slow {
+				break
+			}
+			fmt.Print(tr.Format())
+		}
+	}
+}
+
+// traceMain is the `gaea trace` verb: run one traced query against a
+// served kernel and print the resulting cross-process span tree — the
+// client's spans and the server's spans joined by the trace ID the v2
+// frame carried.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("gaea trace", flag.ExitOnError)
+	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
+	class := fs.String("class", "landsat_tm", "class (or concept, with -concept) to query")
+	concept := fs.Bool("concept", false, "treat -class as a concept name")
+	limit := fs.Int("limit", 0, "stream at most N objects (0 = all)")
+	page := fs.Int("page", 4, "stream page size (small by default so the trace shows the paging rhythm)")
+	_ = fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea trace -connect ADDR [-class NAME] [-limit N] [-page N]")
+		os.Exit(2)
+	}
+	tracer := gaea.NewTracer(0, 0, 0)
+	c, err := client.Dial(*connect, client.Options{User: *user, Tracer: tracer, PageSize: *page})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	req := gaea.Request{Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}, Limit: *limit}
+	if *concept {
+		req.Concept = *class
+	} else {
+		req.Class = *class
+	}
+	st, err := c.QueryStream(context.Background(), req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, err := range st.All() {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	recent := tracer.Recent()
+	if len(recent) == 0 {
+		fmt.Fprintln(os.Stderr, "trace: no client trace recorded")
+		os.Exit(1)
+	}
+	merged := recent[0] // newest first: the query just run
+	ex, err := fetchObs(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	// Graft the server's half of the trace (same ID, matched via the v2
+	// frame's trace field) onto the client's: Format renders both span
+	// trees under the one trace header.
+	serverSide := 0
+	for _, tr := range append(append([]gaea.TraceData{}, ex.Traces...), ex.SlowOps...) {
+		if tr.ID == merged.ID {
+			merged.Spans = append(merged.Spans, tr.Spans...)
+			merged.Dropped += tr.Dropped
+			serverSide += len(tr.Spans)
+			break
+		}
+	}
+	fmt.Printf("streamed %d objects; %d client + %d server spans\n", n, len(merged.Spans)-serverSide, serverSide)
+	fmt.Print(merged.Format())
+	if serverSide == 0 {
+		fmt.Fprintln(os.Stderr, "trace: server side of the trace not found (v1 connection, or it aged out of the ring)")
+		os.Exit(1)
+	}
 }
 
 const helpText = `commands:

@@ -103,4 +103,26 @@
 // abandoned leases expire and release their pins, so a crashed client
 // can never wedge the GC horizon. Remote errors classify into the same
 // taxonomy — errors.Is works identically against either backend.
+//
+// Every kernel is observable without configuration: a metrics registry
+// (counters, gauges, latency histograms) and a request tracer run from
+// Open, and Kernel.StatsSnapshot returns both alongside the model
+// counts. The legacy Kernel.Stats string is now a frozen rendering of
+// the same snapshot:
+//
+//	snap := k.StatsSnapshot()
+//	fmt.Println(snap.Objects, snap.Tasks)                     // model counts
+//	fmt.Println(snap.Metrics.Counters["query_total"])         // cumulative counters
+//	h := snap.Metrics.Histograms["query_ns"]
+//	fmt.Println(h.Count, h.P50, h.P99, h.Max)                 // latency profile
+//	for _, slow := range k.Tracer.Slow() {                    // ops past SlowOpThreshold
+//		fmt.Print(slow.Format())                          // indented span tree
+//	}
+//
+// Traces cross the wire: a client dialled with Options.Tracer stamps
+// its trace ID into v2 request frames, the server adopts it, and one
+// remote query becomes one span tree covering client, server, and
+// kernel (inspect it with `gaea trace -connect ADDR`). Metrics and
+// traces are also served over HTTP — /metrics, /traces, and pprof —
+// when ServeOptions.DebugAddr is set.
 package gaea

@@ -2,10 +2,10 @@ package gaea
 
 import (
 	"context"
-	"fmt"
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gaea/internal/adt"
 	"gaea/internal/catalog"
@@ -14,6 +14,7 @@ import (
 	"gaea/internal/experiment"
 	"gaea/internal/interp"
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/petri"
 	"gaea/internal/process"
 	"gaea/internal/query"
@@ -83,7 +84,22 @@ type Options struct {
 	// truncation). 0 takes the default (64 MiB); negative disables
 	// auto-checkpointing (Checkpoint can still be called manually).
 	CheckpointEveryBytes int64
+	// SlowOpThreshold routes completed request traces whose root span ran
+	// at least this long into the slow-op log (Kernel.Observe, the debug
+	// endpoint, gaea top). 0 takes the default (100ms); negative disables
+	// the slow-op log. Tracing is always on but rate-limited: locally
+	// minted traces are admitted through a token bucket (512 burst,
+	// 512/s refill), so every request is traced — and the slow-op log is
+	// complete — below that rate, while bulk loads past it skip span
+	// construction and pay only a few atomics per request.
+	// Remote-stamped traces (a client that asked to trace) are always
+	// admitted.
+	SlowOpThreshold time.Duration
 }
+
+// defaultSlowOpThreshold is the slow-op log cutoff when
+// Options.SlowOpThreshold is zero.
+const defaultSlowOpThreshold = 100 * time.Millisecond
 
 // defaultCheckpointBytes is the auto-checkpoint threshold when
 // Options.CheckpointEveryBytes is zero.
@@ -112,6 +128,18 @@ type Kernel struct {
 	snapMu sync.Mutex
 	snaps  map[*Snapshot]struct{}
 
+	// Session-commit instruments (see session.go).
+	commits, commitConflicts *obs.Counter
+	commitNS                 *obs.Histogram
+
+	// Metrics is the kernel-wide instrument registry: every layer
+	// (storage, MVCC, derivation, query, service) registers into it, and
+	// StatsSnapshot/Observe export it.
+	Metrics *obs.Registry
+	// Tracer records request span trees (queries, commits, remote
+	// requests) plus the slow-op log.
+	Tracer *obs.Tracer
+
 	Store       *storage.Store
 	Catalog     *catalog.Catalog
 	Registry    *adt.Registry
@@ -129,11 +157,23 @@ type Kernel struct {
 // Open opens (or creates) a Gaea database in dir, recovering from the WAL
 // if the previous session crashed.
 func Open(dir string, opts Options) (*Kernel, error) {
-	st, err := storage.Open(dir, storage.Options{NoSync: opts.NoSync})
+	reg := obs.NewRegistry()
+	slow := opts.SlowOpThreshold
+	switch {
+	case slow < 0:
+		slow = 0 // disabled
+	case slow == 0:
+		slow = defaultSlowOpThreshold
+	}
+	st, err := storage.Open(dir, storage.Options{NoSync: opts.NoSync, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
-	k := &Kernel{dir: dir, user: opts.User, Store: st}
+	k := &Kernel{dir: dir, user: opts.User, Store: st,
+		Metrics: reg, Tracer: obs.NewTracer(slow, 0, 0)}
+	k.commits = reg.Counter("session_commits_total")
+	k.commitConflicts = reg.Counter("session_conflicts_total")
+	k.commitNS = reg.Histogram("session_commit_ns")
 	if k.Catalog, err = catalog.Open(st); err != nil {
 		st.Close()
 		return nil, err
@@ -143,6 +183,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		st.Close()
 		return nil, err
 	}
+	k.Objects.RegisterMetrics(reg)
 	if k.Processes, err = process.OpenManager(st, k.Catalog, k.Registry); err != nil {
 		st.Close()
 		return nil, err
@@ -166,6 +207,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		Policy:  opts.RefreshPolicy,
 		Workers: opts.Workers,
 		Cost:    opts.Cost,
+		Metrics: reg,
 	}); err != nil {
 		st.Close()
 		return nil, err
@@ -181,7 +223,9 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		Exec:       k.Tasks,
 		Stale:      k.Deriv.IsStaleAt,
 		ServeStale: k.Deriv.Policy() == ManualRefresh,
+		Tracer:     k.Tracer,
 	}
+	k.Queries.RegisterMetrics(reg)
 	switch {
 	case opts.CheckpointEveryBytes < 0:
 		k.checkpointEvery = 0 // disabled
@@ -531,17 +575,10 @@ func (k *Kernel) CanDerive(class string, pred sptemp.Extent) (bool, error) {
 // health: the current commit epoch, stored versions (live + awaiting GC),
 // versions reclaimed by GC, the oldest pinned snapshot epoch (0 = none),
 // and WAL growth since the last checkpoint.
+//
+// Deprecated-in-spirit but frozen: the line is golden-tested and kept
+// stable for scrapers. New code should read StatsSnapshot (structured)
+// — this is now just its String form.
 func (k *Kernel) Stats() string {
-	classes := k.Catalog.Names()
-	total := 0
-	for _, c := range classes {
-		total += k.Objects.Count(c)
-	}
-	mv := k.Objects.MVCC()
-	return fmt.Sprintf("classes=%d processes=%d concepts=%d experiments=%d objects=%d tasks=%d deriv[%s policy=%s] mvcc[epoch=%d versions=%d reclaimed=%d pins=%d oldest_pin=%d] wal[bytes=%d checkpoints=%d]",
-		len(classes), len(k.Processes.Names()), len(k.Concepts.Names()),
-		len(k.Experiments.Names()), total, len(k.Tasks.All()),
-		k.Deriv.Counters(), k.Deriv.Policy(),
-		mv.Epoch, mv.LiveVersions, mv.Reclaimed, mv.Pins, mv.OldestPin,
-		k.Store.WALBytes(), k.checkpoints.Load())
+	return k.StatsSnapshot().String()
 }

@@ -38,8 +38,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/sflight"
 	"gaea/internal/storage"
 	"gaea/internal/task"
@@ -105,6 +107,10 @@ type Config struct {
 	Workers int
 	// Cost tunes the rematerialisation decision.
 	Cost CostModel
+	// Metrics is the registry the manager reports into (nil =
+	// unobserved): invalidation sweeps, refresh decisions, and the
+	// cost-model's keep/recompute/drop outcomes.
+	Metrics *obs.Registry
 }
 
 // Counters reports the manager's activity for Kernel.Stats.
@@ -162,6 +168,13 @@ type Manager struct {
 	cancel context.CancelFunc
 	kick   chan struct{}
 	done   sync.WaitGroup
+
+	// Registry instruments (orphans when Config.Metrics was nil).
+	sweepNS      *obs.Histogram
+	refreshNS    *obs.Histogram
+	decKeep      *obs.Counter
+	decRecompute *obs.Counter
+	decDrop      *obs.Counter
 }
 
 const staleKeyPrefix = "deriv/stale/"
@@ -226,6 +239,27 @@ func Open(st *storage.Store, obj *object.Store, exec *task.Executor, cfg Config)
 		stale:   make(map[object.OID]staleMark),
 		pending: make(map[object.OID]bool),
 		kick:    make(chan struct{}, 1),
+	}
+	m.sweepNS = cfg.Metrics.Histogram("deriv_sweep_ns")
+	m.refreshNS = cfg.Metrics.Histogram("deriv_refresh_ns")
+	m.decKeep = cfg.Metrics.Counter("deriv_decide_keep_total")
+	m.decRecompute = cfg.Metrics.Counter("deriv_decide_recompute_total")
+	m.decDrop = cfg.Metrics.Counter("deriv_decide_drop_total")
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("deriv_sweeps_total", m.sweeps.Load)
+		reg.GaugeFunc("deriv_invalidations_total", m.invalidations.Load)
+		reg.GaugeFunc("deriv_refreshes_total", m.refreshes.Load)
+		reg.GaugeFunc("deriv_drops_total", m.drops.Load)
+		reg.GaugeFunc("deriv_stale", func() int64 {
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			return int64(len(m.stale))
+		})
+		reg.GaugeFunc("deriv_deps", func() int64 {
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			return int64(m.edges)
+		})
 	}
 	for _, t := range exec.All() {
 		m.addEdges(t)
@@ -424,6 +458,8 @@ func (m *Manager) ObjectsChanged(updated, deleted []object.OID, epoch uint64) er
 	if len(updated)+len(deleted) == 0 {
 		return nil
 	}
+	sweepStart := time.Now()
+	defer m.sweepNS.ObserveSince(sweepStart)
 	for _, oid := range deleted {
 		m.exec.ForgetOutput(oid)
 	}
@@ -452,6 +488,14 @@ func (m *Manager) ObjectsChanged(updated, deleted []object.OID, epoch uint64) er
 			continue // already dropped or deleted
 		}
 		act := m.decide(d)
+		switch act {
+		case actionKeep:
+			m.decKeep.Inc()
+		case actionRecompute:
+			m.decRecompute.Inc()
+		case actionDrop:
+			m.decDrop.Inc()
+		}
 		if act == actionDrop {
 			// No point durably marking an object we discard right away.
 			m.invalidations.Add(1)
@@ -640,6 +684,8 @@ func (m *Manager) refreshSet(ctx context.Context, oids []object.OID) (int, error
 	if len(oids) == 0 {
 		return 0, nil
 	}
+	refreshStart := time.Now()
+	defer m.refreshNS.ObserveSince(refreshStart)
 	var (
 		refreshed atomic.Int64
 		mu        sync.Mutex

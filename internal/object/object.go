@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gaea/internal/catalog"
+	"gaea/internal/obs"
 	"gaea/internal/raster"
 	"gaea/internal/sptemp"
 	"gaea/internal/storage"
@@ -179,6 +181,11 @@ type Store struct {
 	// AfterCommit, when set, runs after every committed batch (outside
 	// the store lock). The kernel hooks its auto-checkpoint trigger here.
 	AfterCommit func()
+
+	// Registry instruments (nil until RegisterMetrics; obs instruments
+	// no-op as nil, so unobserved stores pay nothing).
+	gcRuns *obs.Counter
+	gcNS   *obs.Histogram
 }
 
 func heapFor(class string) string { return "obj_" + class }
@@ -599,6 +606,63 @@ func (s *Store) Unpin(epoch uint64) {
 	}
 }
 
+// RegisterMetrics folds version-store health into the registry: the
+// published epoch, stored versions, pins and the GC horizon as gauges,
+// GC activity as counters/latency. The cheap gauges read under the
+// store's shared lock without walking chains; only mvcc_live_versions
+// pays the chain walk, and only when a snapshot is taken.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.gcRuns = reg.Counter("mvcc_gc_runs_total")
+	s.gcNS = reg.Histogram("mvcc_gc_ns")
+	reg.GaugeFunc("mvcc_epoch", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(s.epoch)
+	})
+	reg.GaugeFunc("mvcc_reclaimed_total", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.reclaimed
+	})
+	reg.GaugeFunc("mvcc_pins", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var n int64
+		for _, c := range s.pins {
+			n += int64(c)
+		}
+		return n
+	})
+	reg.GaugeFunc("mvcc_oldest_pin", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var oldest uint64
+		for e := range s.pins {
+			if oldest == 0 || e < oldest {
+				oldest = e
+			}
+		}
+		return int64(oldest)
+	})
+	reg.GaugeFunc("mvcc_gc_floor", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(s.gcFloor)
+	})
+	reg.GaugeFunc("mvcc_live_versions", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var n int64
+		for _, c := range s.chains {
+			n += int64(len(c.vers))
+		}
+		return n
+	})
+}
+
 // MVCC reports version-store health.
 func (s *Store) MVCC() MVCCStats {
 	s.mu.RLock()
@@ -623,6 +687,11 @@ func (s *Store) MVCC() MVCCStats {
 // deleted. Returns the number of versions reclaimed. The kernel wires GC
 // into Checkpoint so the horizon advances whenever the log is compacted.
 func (s *Store) GC() (int, error) {
+	gcStart := time.Now()
+	defer func() {
+		s.gcRuns.Inc()
+		s.gcNS.ObserveSince(gcStart)
+	}()
 	type victim struct {
 		heap  string
 		rid   storage.RID

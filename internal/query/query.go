@@ -15,11 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"gaea/internal/catalog"
 	"gaea/internal/concept"
 	"gaea/internal/interp"
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/petri"
 	"gaea/internal/process"
 	"gaea/internal/sptemp"
@@ -120,6 +122,33 @@ type Executor struct {
 	// invisible to retrieval and the query falls through to
 	// interpolation/derivation, which re-derives fresh data.
 	ServeStale bool
+
+	// Tracer receives the span trees of queries whose caller brought no
+	// trace context of their own (embedded API calls). Nil disables
+	// local trace roots; remote requests arrive with the span already on
+	// the context and are unaffected.
+	Tracer *obs.Tracer
+
+	// Instruments (RegisterMetrics). Nil-safe: an executor built without a
+	// registry records into orphan instruments at zero extra branching.
+	queries, queryErrors                   *obs.Counter
+	howRetrieve, howInterpolate, howDerive *obs.Counter
+	queryNS                                *obs.Histogram
+	streamPages, streamObjects             *obs.Counter
+}
+
+// RegisterMetrics binds the executor's instruments to reg. Safe to skip
+// (or call with nil): unbound instruments still work, they just aren't
+// exported anywhere.
+func (qe *Executor) RegisterMetrics(reg *obs.Registry) {
+	qe.queries = reg.Counter("query_total")
+	qe.queryErrors = reg.Counter("query_errors_total")
+	qe.howRetrieve = reg.Counter("query_retrieve_total")
+	qe.howInterpolate = reg.Counter("query_interpolate_total")
+	qe.howDerive = reg.Counter("query_derive_total")
+	qe.queryNS = reg.Histogram("query_ns")
+	qe.streamPages = reg.Counter("stream_pages_total")
+	qe.streamObjects = reg.Counter("stream_objects_total")
 }
 
 func (qe *Executor) isStaleAt(oid object.OID, epoch uint64) bool {
@@ -142,9 +171,27 @@ func (qe *Executor) Run(ctx context.Context, req Request) (*Result, error) {
 // pinned (Kernel.Snapshot uses it to serve many reads from one pin).
 // Fallback derivation, when it runs, writes fresh objects at new epochs —
 // results beyond pure retrieval are newest-state by design.
-func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Result, error) {
+func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	ctx, sp := obs.StartWith(ctx, qe.Tracer, "query/run")
+	start := time.Now()
+	defer func() {
+		qe.queries.Inc()
+		qe.queryNS.ObserveSince(start)
+		if err != nil {
+			qe.queryErrors.Inc()
+			sp.Annotate("error", err.Error())
+		} else if res != nil && len(res.How) > 0 {
+			sp.Annotate("how", string(res.How[0]))
+		}
+		sp.End()
+	}()
+	if req.Class != "" {
+		sp.Annotate("class", req.Class)
+	} else {
+		sp.Annotate("concept", req.Concept)
 	}
 	classes, err := qe.targetClasses(req)
 	if err != nil {
@@ -154,7 +201,7 @@ func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Resu
 	if len(strategies) == 0 {
 		strategies = []Strategy{Interpolate, Derive}
 	}
-	res := &Result{Epoch: epoch}
+	res = &Result{Epoch: epoch}
 
 	// Step 1: direct retrieval across all member classes, resolved at the
 	// snapshot epoch. Stale objects are skipped (so the fallback chain
@@ -183,6 +230,7 @@ func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Resu
 			res.Stale = nil
 		}
 		res.trim(req.Limit)
+		qe.howRetrieve.Inc()
 		return res, nil
 	}
 	res.Stale = nil
@@ -192,7 +240,9 @@ func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Resu
 	for _, s := range strategies {
 		switch s {
 		case Interpolate:
-			oid, err := qe.tryInterpolate(ctx, classes, req)
+			ictx, isp := obs.Start(ctx, "query/interpolate")
+			oid, err := qe.tryInterpolate(ictx, classes, req)
+			isp.End()
 			if err != nil {
 				lastErr = err
 				continue
@@ -202,9 +252,12 @@ func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Resu
 			if t, ok := qe.Exec.Producer(oid); ok {
 				res.TasksRun = append(res.TasksRun, t.ID)
 			}
+			qe.howInterpolate.Inc()
 			return res, nil
 		case Derive:
-			oids, tasks, planText, err := qe.tryDerive(ctx, classes, req)
+			dctx, dsp := obs.Start(ctx, "query/derive")
+			oids, tasks, planText, err := qe.tryDerive(dctx, classes, req)
+			dsp.End()
 			if err != nil {
 				lastErr = err
 				continue
@@ -216,6 +269,7 @@ func (qe *Executor) RunAt(ctx context.Context, req Request, epoch uint64) (*Resu
 				res.How = append(res.How, Derive)
 			}
 			res.trim(req.Limit)
+			qe.howDerive.Inc()
 			return res, nil
 		case Retrieve:
 			// Already attempted above.

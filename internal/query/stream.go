@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 )
 
 // Stream is a single-use cursor over query results, backed by an
@@ -211,6 +212,12 @@ func (qe *Executor) StreamAt(ctx context.Context, req Request, atEpoch uint64) (
 		}
 		defer qe.Obj.Unpin(epoch)
 		yielded := 0
+		ctx, sp := obs.StartWith(ctx, qe.Tracer, "query/stream")
+		defer func() {
+			qe.streamObjects.Add(int64(yielded))
+			sp.Annotate("yielded", strconv.Itoa(yielded))
+			sp.End()
+		}()
 		served := false
 		for ci := startIdx; ci < len(classes); ci++ {
 			after := object.OID(0)
@@ -274,6 +281,14 @@ func (qe *Executor) StreamAt(ctx context.Context, req Request, atEpoch uint64) (
 // fallback chain (PageRawAt itself never falls back; fallback pages are
 // not resumable and must travel decoded).
 func (qe *Executor) PageRawAt(ctx context.Context, req Request, epoch uint64, visit func(class string, oid object.OID) (bool, error)) (cursor string, served bool, err error) {
+	ctx, sp := obs.Start(ctx, "query/page")
+	taken := 0
+	defer func() {
+		qe.streamPages.Inc()
+		qe.streamObjects.Add(int64(taken))
+		sp.Annotate("taken", strconv.Itoa(taken))
+		sp.End()
+	}()
 	classes, err := qe.targetClasses(req)
 	if err != nil {
 		return "", false, err
@@ -299,7 +314,6 @@ func (qe *Executor) PageRawAt(ctx context.Context, req Request, epoch uint64, vi
 		}
 		startIdx, startAfter = idx, after
 	}
-	taken := 0
 	lastClass, lastOID := "", object.OID(0)
 	cut := func() string {
 		if taken == 0 {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/query"
 	"gaea/internal/wire"
 )
@@ -109,6 +110,22 @@ type Backend interface {
 	// Code maps an error onto its wire code (the full public taxonomy,
 	// including kernel-closed).
 	Code(err error) wire.Code
+}
+
+// ObsBackend is the optional observability surface of a Backend. When
+// the backend implements it (the kernel adapter does), the server
+// registers its protocol counters into the backend's registry, records
+// request spans into the backend's tracer — adopting client trace IDs
+// carried on v2 frames, so one remote request is one cross-process
+// trace — and answers OpStats with the full observability export.
+// Backends without it (tests) are served exactly as before: the
+// server's instruments fall back to nil-safe orphans.
+type ObsBackend interface {
+	Metrics() *obs.Registry
+	Tracer() *obs.Tracer
+	// ObsJSON is the marshalled observability export shipped on the
+	// OpStats extension (nil when unavailable).
+	ObsJSON() []byte
 }
 
 // Options tunes a Server.
@@ -206,6 +223,16 @@ type Server struct {
 	pushedPages  atomic.Int64
 	bytesAvoided atomic.Int64
 
+	// Observability (nil-safe orphans when the backend has no
+	// ObsBackend): per-protocol request counters, a shared request
+	// latency histogram, the tracer requests record spans into, and the
+	// OpStats export hook.
+	tracer  *obs.Tracer
+	obsJSON func() []byte
+	reqV1   *obs.Counter
+	reqV2   *obs.Counter
+	reqNS   *obs.Histogram
+
 	v2mu    sync.Mutex
 	v2conns map[*v2conn]struct{}
 
@@ -236,8 +263,39 @@ func New(b Backend, opts Options) *Server {
 		baseCancel:  cancel,
 		janitorDone: make(chan struct{}),
 	}
+	var reg *obs.Registry
+	if ob, ok := b.(ObsBackend); ok {
+		reg = ob.Metrics()
+		s.tracer = ob.Tracer()
+		s.obsJSON = ob.ObsJSON
+	}
+	s.reqV1 = reg.Counter("server_v1_requests_total")
+	s.reqV2 = reg.Counter("server_v2_requests_total")
+	s.reqNS = reg.Histogram("server_request_ns")
+	if reg != nil {
+		reg.GaugeFunc("server_open_conns", s.openConns.Load)
+		reg.GaugeFunc("server_in_flight", s.inFlight.Load)
+		reg.GaugeFunc("server_active_streams", s.streams.Load)
+		reg.GaugeFunc("server_lease_expiries_total", s.expiries.Load)
+		reg.GaugeFunc("server_pushed_pages_total", s.pushedPages.Load)
+		reg.GaugeFunc("server_bytes_avoided_total", s.bytesAvoided.Load)
+		reg.GaugeFunc("server_active_leases", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.snapLease) + len(s.curLease))
+		})
+	}
 	go s.janitor()
 	return s
+}
+
+// traceCtx prepares one request's context for tracing: install the
+// server's tracer and, when the client sent its trace identity on the
+// wire, adopt it so the server-side span tree completes the client's
+// trace instead of starting a fresh one.
+func (s *Server) traceCtx(ctx context.Context, req *wire.Request) context.Context {
+	ctx = obs.WithTracer(ctx, s.tracer)
+	return obs.WithRemoteTrace(ctx, req.TraceID())
 }
 
 // Serve accepts connections on l until Shutdown (which closes the
@@ -396,7 +454,15 @@ func (s *Server) serveV1(conn net.Conn, rd io.Reader) {
 			wd <- peeked{n: n, err: err}
 		}()
 
-		resp := s.handle(reqCtx, user, &req)
+		hctx, sp := obs.Start(s.traceCtx(reqCtx, &req), "server/"+req.Op.String())
+		hstart := time.Now()
+		resp := s.handle(hctx, user, &req)
+		s.reqV1.Inc()
+		s.reqNS.ObserveSince(hstart)
+		if resp.Code != wire.CodeOK {
+			sp.Annotate("code", resp.Code.String())
+		}
+		sp.End()
 
 		// Join the watchdog: poke the read deadline to unblock it, then
 		// decide whether the connection is still sane.
@@ -441,8 +507,13 @@ func (s *Server) handle(ctx context.Context, user string, req *wire.Request) *wi
 		return &wire.Response{Epoch: s.b.Epoch()}
 	case wire.OpStats:
 		st := s.ServerStats()
+		var obsJSON []byte
+		if s.obsJSON != nil {
+			obsJSON = s.obsJSON()
+		}
 		return &wire.Response{Stats: &wire.StatsPayload{
 			Kernel:             s.b.Stats(),
+			ObsJSON:            obsJSON,
 			OpenConns:          st.OpenConns,
 			ActiveSessions:     st.ActiveSessions,
 			ActiveStreams:      st.ActiveStreams,

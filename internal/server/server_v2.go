@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/wire"
 )
 
@@ -292,12 +294,20 @@ func (vc *v2conn) refuse(id uint64, code wire.Code, msg string) {
 // the zero-copy raw path.
 func (s *Server) handleV2(vc *v2conn, id uint64, ctx context.Context, req *wire.Request) {
 	defer s.reqWG.Done()
+	ctx, sp := obs.Start(s.traceCtx(ctx, req), "server/"+req.Op.String())
+	start := time.Now()
 	var resp *wire.Response
 	if req.Op == wire.OpSnapGet {
 		resp = s.handleSnapGetRaw(req)
 	} else {
 		resp = s.handle(ctx, vc.user, req)
 	}
+	s.reqV2.Inc()
+	s.reqNS.ObserveSince(start)
+	if resp.Code != wire.CodeOK {
+		sp.Annotate("code", resp.Code.String())
+	}
+	sp.End()
 	vc.send(id, resp)
 	vc.finish(id)
 }
@@ -331,6 +341,13 @@ func (s *Server) handleSnapGetRaw(req *wire.Request) *wire.Response {
 func (s *Server) pushStreamV2(vc *v2conn, id uint64, r *v2req, ctx context.Context, req *wire.Request) {
 	defer s.reqWG.Done()
 	defer vc.finish(id)
+	ctx, sp := obs.Start(s.traceCtx(ctx, req), "server/"+req.Op.String())
+	start := time.Now()
+	defer func() {
+		s.reqV2.Inc()
+		s.reqNS.ObserveSince(start)
+		sp.End()
+	}()
 	if req.Query == nil {
 		vc.send(id, badRequest("query payload missing"))
 		return

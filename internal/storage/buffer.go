@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // bufferPool caches heap pages with LRU eviction. Dirty pages are written
@@ -18,8 +19,10 @@ type bufferPool struct {
 	write  func(uint32, *page) error
 	frames map[uint32]*list.Element
 	lru    *list.List // front = most recently used
-	// Hits/Misses are exported through Stats for the S1 benchmark.
-	hits, misses uint64
+	// Hits/Misses are exported through Stats (the S1 benchmark) and the
+	// metrics registry. Atomic so concurrent observers — Stats callers,
+	// registry snapshots — read them without taking the pool lock.
+	hits, misses atomic.Uint64
 }
 
 type frame struct {
@@ -52,13 +55,13 @@ func newBufferPool(capacity int, read func(uint32) (*page, error), write func(ui
 func (b *bufferPool) get(no uint32) (*page, error) {
 	b.mu.Lock()
 	if el, ok := b.frames[no]; ok {
-		b.hits++
+		b.hits.Add(1)
 		b.lru.MoveToFront(el)
 		p := el.Value.(*frame).p
 		b.mu.Unlock()
 		return p, nil
 	}
-	b.misses++
+	b.misses.Add(1)
 	b.mu.Unlock()
 	p, err := b.read(no)
 	if err != nil {
@@ -149,9 +152,8 @@ func (b *bufferPool) flushAll() error {
 	return nil
 }
 
-// Stats reports cache effectiveness.
+// Stats reports cache effectiveness. Lock-free: the counters are
+// atomics, so hammering Stats never stalls the hit path.
 func (b *bufferPool) Stats() (hits, misses uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.hits, b.misses
+	return b.hits.Load(), b.misses.Load()
 }

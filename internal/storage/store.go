@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gaea/internal/obs"
 )
 
 // Store is the embedded database: named heaps + meta key/value map +
@@ -44,6 +47,9 @@ type Store struct {
 	// is mirrored in the meta map (so the meta snapshot persists it) and
 	// restored from WAL group headers on recovery.
 	epoch atomic.Uint64
+	// Registry instruments (orphans when Options.Metrics was nil).
+	checkpoints  *obs.Counter
+	checkpointNS *obs.Histogram
 }
 
 // epochKey is the meta key mirroring the commit-epoch counter.
@@ -56,6 +62,10 @@ type Options struct {
 	// NoSync disables per-append fsync of the WAL. Faster, loses the last
 	// writes on a crash; tests and benchmarks use it.
 	NoSync bool
+	// Metrics is the registry the store reports into (nil = unobserved):
+	// WAL growth/appends/fsyncs, buffer-pool hits/misses across heaps,
+	// and checkpoint count/latency.
+	Metrics *obs.Registry
 }
 
 // Open opens (or creates) a store in dir and recovers any logged-but-
@@ -110,7 +120,43 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.closeHeaps()
 		return nil, err
 	}
+	s.registerMetrics(opts.Metrics)
 	return s, nil
+}
+
+// registerMetrics folds the store's counters into the registry: the
+// WAL's growth and activity, checkpoint work, and the buffer pools'
+// hit/miss totals summed across heaps (the pool counters are atomics,
+// so a snapshot never touches the pool locks).
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	s.checkpoints = reg.Counter("storage_checkpoints_total")
+	s.checkpointNS = reg.Histogram("storage_checkpoint_ns")
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("storage_wal_bytes", s.WALBytes)
+	reg.GaugeFunc("storage_wal_appends_total", s.wal.appends.Load)
+	reg.GaugeFunc("storage_wal_syncs_total", s.wal.syncs.Load)
+	reg.GaugeFunc("storage_buffer_hits_total", func() int64 {
+		h, _ := s.BufferStats()
+		return int64(h)
+	})
+	reg.GaugeFunc("storage_buffer_misses_total", func() int64 {
+		_, m := s.BufferStats()
+		return int64(m)
+	})
+}
+
+// BufferStats sums buffer-pool hits and misses across all heaps.
+func (s *Store) BufferStats() (hits, misses uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range s.heaps {
+		ph, pm := h.pool.Stats()
+		hits += ph
+		misses += pm
+	}
+	return hits, misses
 }
 
 func (s *Store) recover() error {
@@ -385,6 +431,11 @@ func (s *Store) WALBytes() int64 { return s.wal.size() }
 // Checkpoint flushes all heaps and the meta snapshot, then truncates the
 // WAL. After a checkpoint, recovery has nothing to replay.
 func (s *Store) Checkpoint() error {
+	start := time.Now()
+	defer func() {
+		s.checkpoints.Inc()
+		s.checkpointNS.ObserveSince(start)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, h := range s.heaps {

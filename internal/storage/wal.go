@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Redo-only write-ahead log. Every mutation of a heap or of the meta map
@@ -64,6 +65,11 @@ type wal struct {
 	// "WAL growth since checkpoint" signal the kernel's auto-checkpoint
 	// trigger and Stats watch.
 	bytes int64
+	// appends/syncs count log records and fsyncs since open, for the
+	// metrics registry. Atomic: read by registry snapshots without the
+	// WAL mutex.
+	appends atomic.Int64
+	syncs   atomic.Int64
 }
 
 func openWAL(path string, syncOps bool) (*wal, error) {
@@ -99,6 +105,7 @@ func (w *wal) append(payload []byte) error {
 		return err
 	}
 	w.bytes += int64(len(hdr) + len(payload))
+	w.appends.Add(1)
 	w.dirty = true
 	if w.syncOps {
 		return w.syncLocked()
@@ -119,6 +126,7 @@ func (w *wal) syncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.syncs.Add(1)
 	w.dirty = false
 	return nil
 }

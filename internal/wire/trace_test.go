@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestV1FrameIgnoresTrace is the v1 compatibility guarantee of the
+// trace extension: the trace identity lives in an unexported field, so
+// the gob frame a v1 connection writes is byte-for-byte identical
+// whether or not the request was stamped. A v1 server therefore never
+// sees — and never chokes on — tracing.
+func TestV1FrameIgnoresTrace(t *testing.T) {
+	mk := func() *Request {
+		q := QueryReq{Class: "rain", Limit: 7, Cursor: "c"}
+		return &Request{Op: OpQuery, User: "u", Query: &q, Lease: 3}
+	}
+	var plain, stamped bytes.Buffer
+	if err := WriteFrame(&plain, mk()); err != nil {
+		t.Fatal(err)
+	}
+	req := mk()
+	req.SetTrace(0xdeadbeef)
+	if err := WriteFrame(&stamped, req); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), stamped.Bytes()) {
+		t.Fatalf("v1 frame changed when the request was trace-stamped:\nplain   %x\nstamped %x",
+			plain.Bytes(), stamped.Bytes())
+	}
+	// And the stamp never survives a gob round trip.
+	var back Request
+	if err := ReadFrame(bytes.NewReader(stamped.Bytes()), 0, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID() != 0 {
+		t.Fatalf("trace id %x crossed a v1 frame", back.TraceID())
+	}
+}
+
+// TestV2FrameCarriesTrace: the v2 binary request frame round-trips the
+// trace identity, and an unstamped request costs zero extra bytes.
+func TestV2FrameCarriesTrace(t *testing.T) {
+	mk := func() *Request {
+		q := QueryReq{Class: "rain", Limit: 7}
+		return &Request{Op: OpQuery, Query: &q}
+	}
+	enc := func(r *Request) []byte {
+		f := AcquireFrame(F2Req, 1)
+		defer ReleaseFrame(f)
+		EncodeRequest(f, r)
+		b, err := f.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), b...)
+	}
+	plain := enc(mk())
+	req := mk()
+	req.SetTrace(0xabc123)
+	stamped := enc(req)
+	if len(stamped) <= len(plain) {
+		t.Fatalf("stamped frame (%d bytes) not larger than plain (%d)", len(stamped), len(plain))
+	}
+
+	// Frames carry a 4-byte length prefix, a type byte, and a request id
+	// before the body EncodeRequest wrote.
+	var back Request
+	if err := DecodeRequest(stamped[4+1+1:], &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID() != 0xabc123 {
+		t.Fatalf("trace id = %x, want abc123", back.TraceID())
+	}
+	var plainBack Request
+	if err := DecodeRequest(plain[4+1+1:], &plainBack); err != nil {
+		t.Fatal(err)
+	}
+	if plainBack.TraceID() != 0 {
+		t.Fatalf("unstamped frame decoded trace id %x", plainBack.TraceID())
+	}
+}
+
+// TestStatsPayloadStringIgnoresObs: the stats verb's line is a frozen
+// interface; the observability extension rides along without changing
+// it.
+func TestStatsPayloadStringIgnoresObs(t *testing.T) {
+	a := StatsPayload{Kernel: "classes=1", OpenConns: 2, PushedPages: 3}
+	b := a
+	b.ObsJSON = []byte(`{"stats":{}}`)
+	if a.String() != b.String() {
+		t.Fatalf("ObsJSON changed the stats line:\n%q\n%q", a.String(), b.String())
+	}
+}

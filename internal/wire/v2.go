@@ -365,6 +365,7 @@ func DecodeHello(body []byte) (*Hello2, error) {
 const (
 	reqHasQuery byte = 1 << 0
 	reqHasBatch byte = 1 << 1
+	reqHasTrace byte = 1 << 2
 )
 
 // EncodeRequest appends a Request as a v2 Req body.
@@ -376,6 +377,9 @@ func EncodeRequest(f *Frame, req *Request) {
 	if req.Batch != nil {
 		mask |= reqHasBatch
 	}
+	if req.trace != 0 {
+		mask |= reqHasTrace
+	}
 	f.U8(byte(req.Op))
 	f.U8(mask)
 	f.Str(req.User)
@@ -384,6 +388,9 @@ func EncodeRequest(f *Frame, req *Request) {
 	f.Uvarint(req.Epoch)
 	f.Uvarint(uint64(req.Window))
 	f.Uvarint(uint64(req.Page))
+	if req.trace != 0 {
+		f.Uvarint(req.trace)
+	}
 	if req.Query != nil {
 		encodeQueryReq(f, req.Query)
 	}
@@ -403,6 +410,9 @@ func DecodeRequest(body []byte, req *Request) error {
 	req.Epoch = d.Uvarint()
 	req.Window = int(d.Uvarint())
 	req.Page = int(d.Uvarint())
+	if mask&reqHasTrace != 0 {
+		req.trace = d.Uvarint()
+	}
 	if mask&reqHasQuery != 0 {
 		req.Query = decodeQueryReq(d)
 	}
@@ -681,6 +691,7 @@ func encodeStats(f *Frame, s *StatsPayload) {
 	f.Uvarint(uint64(s.MaxInFlightPerConn))
 	f.Uvarint(uint64(s.PushedPages))
 	f.Uvarint(uint64(s.BytesAvoided))
+	f.Bytes(s.ObsJSON)
 }
 
 func decodeStats(d *Dec) *StatsPayload {
@@ -695,6 +706,8 @@ func decodeStats(d *Dec) *StatsPayload {
 		MaxInFlightPerConn: int64(d.Uvarint()),
 		PushedPages:        int64(d.Uvarint()),
 		BytesAvoided:       int64(d.Uvarint()),
+		// Copy: Dec hands out sub-slices of a reusable frame buffer.
+		ObsJSON: append([]byte(nil), d.Bytes()...),
 	}
 }
 

@@ -435,7 +435,21 @@ type Request struct {
 	// OpStreamPush (v2 only; the server caps it at its own page size).
 	// Query.Limit is the TOTAL limit across the whole stream.
 	Page int
+
+	// trace is the client's trace identity, propagated so the server's
+	// span tree shares the caller's trace ID. It is deliberately
+	// unexported: gob never sees unexported fields, so v1 request frames
+	// stay byte-for-byte identical whether or not tracing is on — only
+	// the v2 binary codec carries it, under its own mask bit.
+	trace uint64
 }
+
+// SetTrace stamps the request with the caller's trace identity
+// (0 clears it; v1 frames never carry it).
+func (r *Request) SetTrace(id uint64) { r.trace = id }
+
+// TraceID reports the propagated trace identity (0 = untraced).
+func (r *Request) TraceID() uint64 { return r.trace }
 
 // ResultPayload is the wire form of a query.Result.
 type ResultPayload struct {
@@ -503,6 +517,13 @@ type StatsPayload struct {
 	// BytesAvoided counts bytes shipped verbatim from storage on the v2
 	// raw path — bytes that v1 would have decoded and re-encoded.
 	BytesAvoided int64
+	// ObsJSON carries the kernel's full observability export — the
+	// structured stats snapshot, recent traces, and the slow-op log — as
+	// one JSON blob (gaea.ObsExport). JSON keeps the wire layer ignorant
+	// of the snapshot's shape: new instruments never touch the codec.
+	// Absent from old peers; String() ignores it, so the stats verb's
+	// output is unchanged.
+	ObsJSON []byte
 }
 
 // String renders the combined stats line the CLI prints.

@@ -11,9 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
 	"time"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/query"
 	"gaea/internal/server"
 	"gaea/internal/wire"
@@ -35,6 +39,14 @@ type ServeOptions struct {
 	PageSize int
 	// MaxFrame bounds one wire frame (0 = 64 MiB).
 	MaxFrame int
+	// DebugAddr, when non-empty, serves a plaintext HTTP debug endpoint
+	// on that address (started with the first Serve): /metrics (the
+	// registry as text), /traces (the full observability export as
+	// JSON), and net/http/pprof under /debug/pprof/. The endpoint is
+	// unauthenticated and exposes operational detail — bind it to
+	// loopback (e.g. "127.0.0.1:6060") or protect it externally; never
+	// expose it on the service listener's network.
+	DebugAddr string
 }
 
 // ServerStats reports a Server's own counters (the kernel's counters
@@ -71,30 +83,106 @@ type ServerStats struct {
 // lease).
 type Server struct {
 	inner *server.Server
+	k     *Kernel
+
+	debugAddrOpt string
+	debugOnce    sync.Once
+	debugErr     error
+	debugMu      sync.Mutex
+	debugSrv     *http.Server
+	debugAddr    string // bound address, once listening
 }
 
 // NewServer builds a network server over the kernel. The kernel stays
 // fully usable in-process while being served; Close the kernel only
 // after Shutdown.
 func (k *Kernel) NewServer(opts ServeOptions) *Server {
-	return &Server{inner: server.New(kernelBackend{k}, server.Options{
-		MaxConns: opts.MaxConns,
-		LeaseTTL: opts.SnapshotLease,
-		PageSize: opts.PageSize,
-		MaxFrame: opts.MaxFrame,
-	})}
+	return &Server{
+		k:            k,
+		debugAddrOpt: opts.DebugAddr,
+		inner: server.New(kernelBackend{k}, server.Options{
+			MaxConns: opts.MaxConns,
+			LeaseTTL: opts.SnapshotLease,
+			PageSize: opts.PageSize,
+			MaxFrame: opts.MaxFrame,
+		})}
 }
 
 // Serve accepts and serves connections on l until Shutdown. It returns
-// nil after a clean shutdown.
-func (s *Server) Serve(l net.Listener) error { return s.inner.Serve(l) }
+// nil after a clean shutdown. The first Serve also starts the debug
+// endpoint when ServeOptions.DebugAddr is set; failing to bind it is a
+// startup error, not a silent omission.
+func (s *Server) Serve(l net.Listener) error {
+	if err := s.startDebug(); err != nil {
+		return err
+	}
+	return s.inner.Serve(l)
+}
+
+// startDebug binds and serves the HTTP debug endpoint, once.
+func (s *Server) startDebug() error {
+	s.debugOnce.Do(func() {
+		if s.debugAddrOpt == "" {
+			return
+		}
+		ln, err := net.Listen("tcp", s.debugAddrOpt)
+		if err != nil {
+			s.debugErr = fmt.Errorf("gaea: debug endpoint: %w", err)
+			return
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.k.Metrics.Snapshot().WriteText(w)
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			b, err := s.k.ObsJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(b)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		hs := &http.Server{Handler: mux}
+		s.debugMu.Lock()
+		s.debugSrv = hs
+		s.debugAddr = ln.Addr().String()
+		s.debugMu.Unlock()
+		go func() { _ = hs.Serve(ln) }()
+	})
+	return s.debugErr
+}
+
+// DebugAddr reports the bound debug-endpoint address ("" when disabled
+// or not yet started) — useful with a ":0" DebugAddr.
+func (s *Server) DebugAddr() string {
+	s.debugMu.Lock()
+	defer s.debugMu.Unlock()
+	return s.debugAddr
+}
 
 // Shutdown stops the server gracefully: stop accepting, drain in-flight
 // requests (streams are paged, so every in-flight unit is one request),
 // release every remote snapshot and cursor lease. If ctx expires before
 // the drain completes, in-flight kernel work is cancelled and
-// connections are closed anyway.
-func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(ctx) }
+// connections are closed anyway. The debug endpoint, if any, closes
+// with it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.debugMu.Lock()
+	hs := s.debugSrv
+	s.debugSrv = nil
+	s.debugMu.Unlock()
+	if hs != nil {
+		_ = hs.Close()
+	}
+	return s.inner.Shutdown(ctx)
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
@@ -274,6 +362,20 @@ func (b kernelBackend) GetRawAt(oid object.OID, epoch uint64) (wire.RawObject, e
 		return wire.RawObject{}, classify(err)
 	}
 	return wire.RawObject{Rec: rec, Blobs: blobs}, nil
+}
+
+// Metrics, Tracer, and ObsJSON make the adapter a server.ObsBackend:
+// the server's protocol counters land in the kernel registry, remote
+// request spans land in the kernel tracer (under the client's trace ID
+// when one came over the wire), and OpStats carries the export.
+func (b kernelBackend) Metrics() *obs.Registry { return b.k.Metrics }
+func (b kernelBackend) Tracer() *obs.Tracer    { return b.k.Tracer }
+func (b kernelBackend) ObsJSON() []byte {
+	j, err := b.k.ObsJSON()
+	if err != nil {
+		return nil
+	}
+	return j
 }
 
 func (b kernelBackend) Pin() uint64                 { return b.k.Objects.Pin() }

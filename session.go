@@ -2,10 +2,13 @@ package gaea
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gaea/internal/object"
+	"gaea/internal/obs"
 	"gaea/internal/task"
 )
 
@@ -184,7 +187,20 @@ func (s *Session) Delete(oid object.OID) error {
 // error says so — the caller must not re-ingest, and RefreshStale (or
 // re-updating the roots) re-runs the propagation. Either way the session
 // is finished. An empty session commits as a no-op.
-func (s *Session) Commit() error {
+func (s *Session) Commit() (err error) {
+	_, sp := obs.StartWith(s.ctx, s.k.Tracer, "session/commit")
+	start := time.Now()
+	defer func() {
+		s.k.commits.Inc()
+		s.k.commitNS.ObserveSince(start)
+		if errors.Is(err, ErrConflict) {
+			s.k.commitConflicts.Inc()
+		}
+		if err != nil {
+			sp.Annotate("error", err.Error())
+		}
+		sp.End()
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.check(); err != nil {
