@@ -1,0 +1,100 @@
+// Package ctxflow enforces context threading: cancellation and
+// deadlines must flow from the caller down through the kernel, server,
+// and client layers. Minting a fresh context with context.Background()
+// or context.TODO() in library code severs that chain — the operation
+// can no longer be cancelled, traced, or deadline-bounded by the
+// caller. Fresh roots belong in package main, tests, and the handful of
+// detached-lifecycle sites that carry a //lint:gaea-allow ctxflow
+// justification.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"gaea/internal/lint"
+)
+
+// Analyzer is the ctxflow invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "no context.Background()/TODO() outside main and tests: " +
+		"entry points accept a ctx and thread it",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+func checkFile(pass *lint.Pass, file *ast.File) {
+	info := pass.TypesInfo
+
+	// Track the enclosing function declaration so the diagnostic can say
+	// what the right fix is for that shape of function.
+	var stack []*ast.FuncDecl
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			stack = append(stack, n)
+			if n.Body != nil {
+				ast.Inspect(n.Body, walk)
+			}
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.CallExpr:
+			f := lint.FuncObj(info, n)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+				return true
+			}
+			if f.Name() != "Background" && f.Name() != "TODO" {
+				return true
+			}
+			var enc *ast.FuncDecl
+			if len(stack) > 0 {
+				enc = stack[len(stack)-1]
+			}
+			pass.Reportf(n.Pos(), "%s", message(pass, f.Name(), enc))
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+func message(pass *lint.Pass, fn string, enc *ast.FuncDecl) string {
+	call := "context." + fn + "()"
+	switch {
+	case enc == nil:
+		return call + " in package-level initialization: thread a context.Context from the caller instead"
+	case hasCtxParam(pass, enc):
+		return call + " shadows the function's context.Context parameter: thread the ctx through instead"
+	case enc.Name.IsExported():
+		return "exported entry point " + enc.Name.Name + " mints " + call +
+			": accept a context.Context parameter and thread it"
+	default:
+		return call + " severs cancellation: thread a context.Context from the caller instead"
+	}
+}
+
+func hasCtxParam(pass *lint.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && lint.IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}

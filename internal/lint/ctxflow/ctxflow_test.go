@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/ctxflow"
+	"gaea/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.Analyzer, "cf", "cfmain")
+}

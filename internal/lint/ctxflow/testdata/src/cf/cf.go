@@ -1,0 +1,30 @@
+package cf
+
+import "context"
+
+var pkgCtx = context.Background() // want `context.Background\(\) in package-level initialization`
+
+type Kernel struct{}
+
+func (k *Kernel) begin(ctx context.Context) error { return ctx.Err() }
+
+func (k *Kernel) CreateObject(name string) error {
+	return k.begin(context.Background()) // want `exported entry point CreateObject mints context.Background\(\)`
+}
+
+func (k *Kernel) UpdateObject(ctx context.Context, name string) error {
+	return k.begin(context.TODO()) // want `context.TODO\(\) shadows the function's context.Context parameter`
+}
+
+func (k *Kernel) helper() error {
+	return k.begin(context.Background()) // want `context.Background\(\) severs cancellation`
+}
+
+func (k *Kernel) DeleteObject(ctx context.Context, name string) error {
+	return k.begin(ctx) // conforming: threads the caller's ctx
+}
+
+func (k *Kernel) Detached() error {
+	//lint:gaea-allow ctxflow fixture: detached lifecycle
+	return k.begin(context.Background())
+}

@@ -1,0 +1,8 @@
+package cf
+
+import "context"
+
+func testHelper(k *Kernel) error {
+	// Tests may mint fresh roots freely.
+	return k.begin(context.Background())
+}

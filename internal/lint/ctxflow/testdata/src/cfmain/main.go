@@ -1,0 +1,9 @@
+// Package main may mint root contexts: it owns process lifecycle.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	_ = context.TODO()
+}

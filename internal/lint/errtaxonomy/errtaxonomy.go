@@ -1,0 +1,185 @@
+// Package errtaxonomy enforces the public error taxonomy: sentinel
+// errors minted inside internal/* packages must be translated into the
+// root package's exported Err* taxonomy (via classify) before they
+// cross the public API boundary. Callers program against errors.Is(err,
+// gaea.ErrNotFound); leaking storage.errHeapFull or object.errNoClass
+// couples them to private identities that are free to change.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gaea/internal/lint"
+)
+
+// Analyzer is the errtaxonomy invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "exported root-package functions must classify internal/* errors " +
+		"into the public Err* taxonomy before returning them",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	// Only the root package is the public boundary.
+	if strings.Contains(pass.Pkg.Path(), "/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !returnsError(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func returnsError(pass *lint.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && types.Identical(t, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc tracks, per error variable, the internal package its latest
+// (lexical) assignment came from, and flags returns of still-raw values.
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// raw[obj] = internal package path the value came from; entries are
+	// deleted when a later assignment launders the variable.
+	raw := make(map[types.Object]string)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures have their own flow; stay conservative
+		case *ast.AssignStmt:
+			recordAssign(pass, raw, n.Lhs, n.Rhs)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+						lhs := make([]ast.Expr, len(vs.Names))
+						for i, name := range vs.Names {
+							lhs[i] = name
+						}
+						recordAssign(pass, raw, lhs, vs.Values)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t := info.TypeOf(res); t == nil || !types.Identical(t, errType) {
+					continue
+				}
+				if pkg := rawSource(pass, raw, res); pkg != "" {
+					pass.Reportf(res.Pos(),
+						"error from %s returned across the public API boundary without classification (wrap it: classify(err))",
+						pkg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func recordAssign(pass *lint.Pass, raw map[types.Object]string, lhs, rhs []ast.Expr) {
+	info := pass.TypesInfo
+	set := func(e ast.Expr, pkg string) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || obj.Type() == nil || !types.Identical(obj.Type(), errType) {
+			return
+		}
+		if pkg == "" {
+			delete(raw, obj)
+		} else {
+			raw[obj] = pkg
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value call: every error-typed LHS inherits the callee's
+		// provenance.
+		pkg := ""
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			pkg = internalCallee(pass, call)
+		}
+		for _, l := range lhs {
+			set(l, pkg)
+		}
+		return
+	}
+	for i, r := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		set(lhs[i], rawSource(pass, raw, r))
+	}
+}
+
+// rawSource reports the internal package an expression's error value
+// originates from ("" if classified or not internal).
+func rawSource(pass *lint.Pass, raw map[types.Object]string, expr ast.Expr) string {
+	info := pass.TypesInfo
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return raw[info.ObjectOf(e)]
+	case *ast.CallExpr:
+		f := lint.FuncObj(info, e)
+		if f != nil && f.Pkg() == pass.Pkg && f.Name() == "classify" {
+			return "" // laundered into the taxonomy
+		}
+		if pkg := internalCallee(pass, e); pkg != "" {
+			return pkg
+		}
+		// fmt.Errorf("...: %w", err) preserves the wrapped identity for
+		// errors.Is — wrapping does not classify.
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" && f.Name() == "Errorf" {
+			for _, arg := range e.Args {
+				if pkg := rawSource(pass, raw, arg); pkg != "" {
+					return pkg
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// internalCallee reports the callee's package path when the call targets
+// an internal/* package of this module and returns an error.
+func internalCallee(pass *lint.Pass, call *ast.CallExpr) string {
+	f := lint.FuncObj(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	path := f.Pkg().Path()
+	if strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/") {
+		return path
+	}
+	return ""
+}

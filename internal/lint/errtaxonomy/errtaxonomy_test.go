@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/errtaxonomy"
+	"gaea/internal/lint/linttest"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	linttest.Run(t, "testdata", errtaxonomy.Analyzer, "et")
+}

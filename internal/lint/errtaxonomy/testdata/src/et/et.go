@@ -1,0 +1,74 @@
+// Package et stands in for the public root package with an Err*
+// taxonomy and a classify translator.
+package et
+
+import (
+	"errors"
+	"fmt"
+
+	"et/internal/store"
+)
+
+var ErrFull = errors.New("et: full")
+
+func classify(err error) error {
+	if errors.Is(err, store.ErrFull) {
+		return fmt.Errorf("%w: %v", ErrFull, err)
+	}
+	return err
+}
+
+func GoodClassified(k string) error {
+	if err := store.Put(k); err != nil {
+		return classify(err)
+	}
+	return nil
+}
+
+func GoodClassifiedVar(k string) (string, error) {
+	v, err := store.Get(k)
+	if err != nil {
+		return "", classify(err)
+	}
+	return v, nil
+}
+
+func GoodLaundered(k string) error {
+	err := store.Put(k)
+	err = classify(err)
+	return err
+}
+
+func goodUnexported(k string) error {
+	return store.Put(k) // unexported helpers stay below the boundary
+}
+
+func BadDirect(k string) error {
+	return store.Put(k) // want `error from et/internal/store returned across the public API boundary`
+}
+
+func BadVar(k string) error {
+	err := store.Put(k)
+	if err != nil {
+		return err // want `error from et/internal/store returned across the public API boundary`
+	}
+	return nil
+}
+
+func BadMulti(k string) (string, error) {
+	v, err := store.Get(k)
+	return v, err // want `error from et/internal/store returned across the public API boundary`
+}
+
+func BadWrapped(k string) error {
+	if err := store.Put(k); err != nil {
+		return fmt.Errorf("put %q: %w", k, err) // want `error from et/internal/store returned across the public API boundary`
+	}
+	return nil
+}
+
+func AllowedRaw(k string) error {
+	err := store.Put(k)
+	//lint:gaea-allow errtaxonomy fixture: suppression escape hatch
+	return err
+}

@@ -1,0 +1,21 @@
+// Package store stands in for an internal engine package with private
+// sentinel errors.
+package store
+
+import "errors"
+
+var ErrFull = errors.New("store: full")
+
+func Put(k string) error {
+	if k == "" {
+		return ErrFull
+	}
+	return nil
+}
+
+func Get(k string) (string, error) {
+	if k == "" {
+		return "", ErrFull
+	}
+	return k, nil
+}

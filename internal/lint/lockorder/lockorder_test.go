@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/linttest"
+	"gaea/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer, "gaea/internal/storage", "gaea/internal/object")
+}

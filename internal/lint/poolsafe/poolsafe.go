@@ -1,0 +1,527 @@
+// Package poolsafe enforces the frame-pool ownership protocol from
+// PR 6: a *wire.Frame obtained from wire.AcquireFrame must be given
+// back exactly once on every path — either to the pool via
+// wire.ReleaseFrame, or by transferring ownership (OutQueue.Push, a
+// function whose parameter is known to take ownership, a return, a
+// channel send). A leaked frame defeats the pool; a double release or
+// use-after-release lets two goroutines scribble on the same backing
+// array — silent payload corruption under -race-invisible conditions.
+package poolsafe
+
+import (
+	"go/ast"
+
+	"go/types"
+
+	"gaea/internal/lint"
+)
+
+// Analyzer is the poolsafe invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "poolsafe",
+	Doc: "pooled wire.Frames must be released or ownership-transferred exactly " +
+		"once on every path, and never used after release",
+	Run: run,
+}
+
+// ownerFact marks a function that takes ownership of the *wire.Frame
+// passed at the recorded parameter indices (it releases or forwards
+// them itself). Exported as an object fact so ownership transfers are
+// visible across packages.
+type ownerFact struct {
+	Params []int
+}
+
+func run(pass *lint.Pass) error {
+	// Pass A: compute ownership facts for this package's functions, to a
+	// fixed point so helpers that forward to helpers are covered.
+	fns := collectFuncs(pass)
+	// Ownership facts only ever grow, and each growth step marks at least
+	// one new parameter, so len(fns)+1 rounds always suffice.
+	for round := 0; round <= len(fns); round++ {
+		changed := false
+		for _, fn := range fns {
+			if updateOwner(pass, fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass B: path-check every AcquireFrame site.
+	for _, fn := range fns {
+		checkAcquires(pass, fn)
+	}
+	return nil
+}
+
+type funcInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+func collectFuncs(pass *lint.Pass) []*funcInfo {
+	var out []*funcInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			out = append(out, &funcInfo{decl: fd, obj: obj})
+		}
+	}
+	return out
+}
+
+// isFrameType reports whether t is *wire.Frame (or wire.Frame).
+func isFrameType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Frame" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return lint.PathMatches(named.Obj().Pkg().Path(), "internal/wire")
+}
+
+// updateOwner recomputes fn's ownership fact; reports whether it grew.
+func updateOwner(pass *lint.Pass, fn *funcInfo) bool {
+	sig := fn.obj.Type().(*types.Signature)
+	var frameParams []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isFrameType(p.Type()) {
+			frameParams = append(frameParams, p)
+		}
+	}
+	if len(frameParams) == 0 {
+		return false
+	}
+	var have ownerFact
+	pass.ImportObjectFact(fn.obj, &have)
+	owned := make(map[int]bool)
+	for _, i := range have.Params {
+		owned[i] = true
+	}
+	grew := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !isFrameType(p.Type()) || owned[i] {
+			continue
+		}
+		if releasesObj(pass, fn.decl.Body, p) {
+			owned[i] = true
+			grew = true
+		}
+	}
+	if grew {
+		fact := ownerFact{}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if owned[i] {
+				fact.Params = append(fact.Params, i)
+			}
+		}
+		pass.ExportObjectFact(fn.obj, &fact)
+	}
+	return grew
+}
+
+// releasesObj reports whether body contains any release or ownership
+// transfer of obj (path-insensitivity is fine for fact purposes).
+func releasesObj(pass *lint.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if releaseArg(pass, n, obj) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isObjIdent(pass.TypesInfo, r, obj) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if isObjIdent(pass.TypesInfo, n.Value, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// releaseArg reports whether call releases or takes ownership of obj:
+// wire.ReleaseFrame(obj), OutQueue.Push(obj), or a call to a function
+// with an ownership fact at obj's argument position.
+func releaseArg(pass *lint.Pass, call *ast.CallExpr, obj types.Object) bool {
+	f := lint.FuncObj(pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	argIs := func(i int) bool {
+		return i < len(call.Args) && isObjIdent(pass.TypesInfo, call.Args[i], obj)
+	}
+	if lint.IsPkgFunc(f, "internal/wire", "ReleaseFrame") {
+		return argIs(0)
+	}
+	if f.Name() == "Push" && lint.IsPkgFunc(f, "internal/wire", "Push") {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == "OutQueue" {
+				for i := range call.Args {
+					if argIs(i) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	var fact ownerFact
+	if pass.ImportObjectFact(f, &fact) {
+		for _, i := range fact.Params {
+			if argIs(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isObjIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// acquire is one wire.AcquireFrame site binding a frame variable.
+type acquire struct {
+	stmt    ast.Stmt
+	frame   types.Object
+	defined bool // := (frame scoped to this list) vs = (outer variable)
+}
+
+func checkAcquires(pass *lint.Pass, fn *funcInfo) {
+	info := pass.TypesInfo
+	body := fn.decl.Body
+	var acquires []*acquire
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := lint.FuncObj(info, call)
+		if f == nil || !lint.IsPkgFunc(f, "internal/wire", "AcquireFrame") {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		defined := obj != nil
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		acquires = append(acquires, &acquire{stmt: assign, frame: obj, defined: defined})
+		return true
+	})
+
+	for _, ac := range acquires {
+		checkFrame(pass, body, ac)
+	}
+}
+
+func checkFrame(pass *lint.Pass, body *ast.BlockStmt, ac *acquire) {
+	info := pass.TypesInfo
+
+	// Escape analysis: aliasing, storing, closing over, or otherwise
+	// letting the frame outlive this walk transfers ownership somewhere
+	// we cannot follow — skip. (Returns and channel sends are modelled
+	// as transfers by the walker itself.)
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if usesNode(info, n.Body, ac.frame) {
+				escapes = true
+			}
+			return false
+		case *ast.AssignStmt:
+			if n == ac.stmt {
+				return true
+			}
+			for _, r := range n.Rhs {
+				if isObjIdent(info, r, ac.frame) {
+					escapes = true // alias: f2 := f / s.frame = f
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isObjIdent(info, e, ac.frame) {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			// append(slice, f) stores the frame.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					for _, a := range n.Args[1:] {
+						if isObjIdent(info, a, ac.frame) {
+							escapes = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+
+	// A deferred release covers every path; any additional inline release
+	// is then a double release.
+	deferRelease := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && releaseArg(pass, d.Call, ac.frame) {
+			deferRelease = true
+		}
+		return true
+	})
+
+	w := &frameWalker{pass: pass, info: info, ac: ac, deferred: deferRelease}
+	if list, idx := lint.FindStmt(body.List, ac.stmt); list != nil {
+		released, terminated := w.walk(list[idx+1:], false)
+		if !deferRelease && !terminated && !released && ac.defined {
+			pass.Reportf(ac.stmt.Pos(),
+				"pooled frame %q not released before its scope ends (wire.ReleaseFrame, a Push, or a transfer must own every path)",
+				ac.frame.Name())
+		}
+	}
+}
+
+// frameWalker tracks the released/held state of one frame along
+// structural paths.
+type frameWalker struct {
+	pass     *lint.Pass
+	info     *types.Info
+	ac       *acquire
+	deferred bool
+}
+
+func (w *frameWalker) name() string { return w.ac.frame.Name() }
+
+// scanSimple processes release calls and use-after-release inside one
+// simple statement (or a compound statement's header expression).
+// Returns the updated released state.
+func (w *frameWalker) scanSimple(n ast.Node, released bool) bool {
+	if n == nil {
+		return released
+	}
+	// Release calls anywhere in the statement (incl. if-init `if err :=
+	// q.Push(f); ...`).
+	releasedHere := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !releaseArg(w.pass, call, w.ac.frame) {
+			return true
+		}
+		if released || releasedHere || w.deferred {
+			why := ""
+			if w.deferred && !released && !releasedHere {
+				why = " (a deferred release already owns it)"
+			}
+			w.pass.Reportf(call.Pos(), "pooled frame %q released twice%s", w.name(), why)
+		}
+		releasedHere = true
+		return true
+	})
+	if releasedHere {
+		return true
+	}
+	if released && usesNode(w.info, n, w.ac.frame) {
+		w.pass.Reportf(n.Pos(), "pooled frame %q used after release", w.name())
+	}
+	return released
+}
+
+func usesNode(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// walk checks one statement list; released is the entry state. Returns
+// (releasedAtFallThrough, terminated).
+func (w *frameWalker) walk(list []ast.Stmt, released bool) (bool, bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			// `return q.Push(f)` releases inside the return itself.
+			releasedHere := false
+			transferred := false
+			uses := false
+			for _, r := range s.Results {
+				if isObjIdent(w.info, r, w.ac.frame) {
+					transferred = true
+					continue
+				}
+				ast.Inspect(r, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && releaseArg(w.pass, call, w.ac.frame) {
+						releasedHere = true
+					}
+					return true
+				})
+				if usesNode(w.info, r, w.ac.frame) {
+					uses = true
+				}
+			}
+			switch {
+			case transferred && released:
+				w.pass.Reportf(s.Pos(), "pooled frame %q returned after release", w.name())
+			case releasedHere && (released || w.deferred):
+				w.pass.Reportf(s.Pos(), "pooled frame %q released twice", w.name())
+			case !transferred && !releasedHere && released && uses:
+				w.pass.Reportf(s.Pos(), "pooled frame %q used after release", w.name())
+			case !transferred && !releasedHere && !released && !w.deferred:
+				w.pass.Reportf(s.Pos(),
+					"pooled frame %q not released on this return path (wire.ReleaseFrame, a Push, or a transfer must own every path)",
+					w.name())
+			}
+			return true, true
+		case *ast.SendStmt:
+			if usesObj(w.info, s.Value, w.ac.frame) {
+				if released {
+					w.pass.Reportf(s.Pos(), "pooled frame %q sent after release", w.name())
+				}
+				released = true // channel send transfers ownership
+				continue
+			}
+			released = w.scanSimple(s, released)
+		case *ast.BranchStmt:
+			return released, true
+		case *ast.DeferStmt:
+			// Handled up front (deferRelease); nothing path-sensitive.
+		case *ast.BlockStmt:
+			var term bool
+			released, term = w.walk(s.List, released)
+			if term {
+				return released, true
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			released, term = w.walk([]ast.Stmt{s.Stmt}, released)
+			if term {
+				return released, true
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				released = w.scanSimple(s.Init, released)
+			}
+			released = w.scanSimple(s.Cond, released)
+			tRel, tTerm := w.walk(s.Body.List, released)
+			eRel, eTerm := released, false
+			if s.Else != nil {
+				eRel, eTerm = w.walk([]ast.Stmt{s.Else.(ast.Stmt)}, released)
+			}
+			switch {
+			case tTerm && eTerm:
+				return released, true
+			case tTerm:
+				released = eRel
+			case eTerm:
+				released = tRel
+			default:
+				released = tRel && eRel
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				released = w.scanSimple(s.Init, released)
+			}
+			w.walk(s.Body.List, released)
+			if s.Cond == nil && !lint.HasBreak(s.Body) {
+				return released, true
+			}
+		case *ast.RangeStmt:
+			w.walk(s.Body.List, released)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				released = w.scanSimple(s.Init, released)
+			}
+			released = w.walkClauses(lint.ClauseLists(s.Body), lint.HasDefault(s.Body), released)
+		case *ast.TypeSwitchStmt:
+			released = w.walkClauses(lint.ClauseLists(s.Body), lint.HasDefault(s.Body), released)
+		case *ast.SelectStmt:
+			released = w.walkClauses(lint.ClauseLists(s.Body), true, released)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && lint.IsPanic(w.info, call) {
+				return released, true
+			}
+			released = w.scanSimple(s, released)
+		default:
+			released = w.scanSimple(s, released)
+		}
+	}
+	return released, false
+}
+
+func (w *frameWalker) walkClauses(clauses [][]ast.Stmt, exhaustive bool, released bool) bool {
+	fallRel := true
+	anyFall := false
+	for _, c := range clauses {
+		cRel, cTerm := w.walk(c, released)
+		if !cTerm {
+			anyFall = true
+			fallRel = fallRel && cRel
+		}
+	}
+	if !exhaustive {
+		anyFall = true
+		fallRel = fallRel && released
+	}
+	if !anyFall && len(clauses) > 0 {
+		return released
+	}
+	return fallRel
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/linttest"
+	"gaea/internal/lint/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	linttest.Run(t, "testdata", poolsafe.Analyzer, "ps")
+}

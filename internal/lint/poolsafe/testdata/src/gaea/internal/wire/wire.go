@@ -1,0 +1,25 @@
+// Stub of the real gaea/internal/wire frame pool, just enough surface
+// for the poolsafe fixtures to type-check.
+package wire
+
+type Frame struct {
+	Type    byte
+	ID      uint64
+	Payload []byte
+}
+
+func AcquireFrame(ft byte, id uint64) *Frame {
+	return &Frame{Type: ft, ID: id}
+}
+
+func ReleaseFrame(f *Frame) {
+	f.Payload = f.Payload[:0]
+}
+
+type OutQueue struct{ q []*Frame }
+
+// Push takes ownership of f: it is queued, or released on error.
+func (q *OutQueue) Push(f *Frame) error {
+	q.q = append(q.q, f)
+	return nil
+}

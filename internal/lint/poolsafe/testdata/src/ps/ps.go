@@ -1,0 +1,117 @@
+package ps
+
+import (
+	"errors"
+
+	"gaea/internal/wire"
+)
+
+func goodRelease() {
+	f := wire.AcquireFrame(1, 7)
+	f.Payload = append(f.Payload, 0xFF)
+	wire.ReleaseFrame(f)
+}
+
+func goodDefer() error {
+	f := wire.AcquireFrame(1, 7)
+	defer wire.ReleaseFrame(f)
+	if len(f.Payload) > 0 {
+		return errors.New("dirty")
+	}
+	return nil
+}
+
+func goodPush(q *wire.OutQueue) error {
+	f := wire.AcquireFrame(1, 7)
+	return q.Push(f) // ownership transferred: Push releases on error itself
+}
+
+func goodPushChecked(q *wire.OutQueue) error {
+	f := wire.AcquireFrame(1, 7)
+	if err := q.Push(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodReturn() *wire.Frame {
+	f := wire.AcquireFrame(1, 7)
+	f.Payload = append(f.Payload, 1)
+	return f // caller owns it now
+}
+
+// takeOwnership releases its parameter, so callers hand frames over.
+func takeOwnership(f *wire.Frame) {
+	wire.ReleaseFrame(f)
+}
+
+// forwardOwnership forwards to an owner, so it is an owner too
+// (fixed-point fact propagation).
+func forwardOwnership(f *wire.Frame) {
+	takeOwnership(f)
+}
+
+func goodHelperTransfer() {
+	f := wire.AcquireFrame(1, 7)
+	forwardOwnership(f)
+}
+
+func goodSend(ch chan *wire.Frame) {
+	f := wire.AcquireFrame(1, 7)
+	ch <- f // receiver owns it now
+}
+
+func borrow(f *wire.Frame) int { return len(f.Payload) }
+
+func badLeakReturn(fail bool) error {
+	f := wire.AcquireFrame(1, 7)
+	if fail {
+		return errors.New("oops") // want `pooled frame "f" not released on this return path`
+	}
+	wire.ReleaseFrame(f)
+	return nil
+}
+
+func badLeakScope() {
+	f := wire.AcquireFrame(1, 7) // want `pooled frame "f" not released before its scope ends`
+	_ = borrow(f)
+}
+
+func badUseAfterRelease() int {
+	f := wire.AcquireFrame(1, 7)
+	wire.ReleaseFrame(f)
+	return borrow(f) // want `pooled frame "f" used after release`
+}
+
+func badDoubleRelease() {
+	f := wire.AcquireFrame(1, 7)
+	wire.ReleaseFrame(f)
+	wire.ReleaseFrame(f) // want `pooled frame "f" released twice`
+}
+
+func badDeferThenRelease() {
+	f := wire.AcquireFrame(1, 7)
+	defer wire.ReleaseFrame(f)
+	wire.ReleaseFrame(f) // want `pooled frame "f" released twice`
+}
+
+func badPushThenUse(q *wire.OutQueue) error {
+	f := wire.AcquireFrame(1, 7)
+	if err := q.Push(f); err != nil {
+		return err
+	}
+	f.Payload = nil // want `pooled frame "f" used after release`
+	return nil
+}
+
+func badHelperThenUse() int {
+	f := wire.AcquireFrame(1, 7)
+	takeOwnership(f)
+	return borrow(f) // want `pooled frame "f" used after release`
+}
+
+func allowedLeak() {
+	//lint:gaea-allow poolsafe fixture: suppression escape hatch
+	f := wire.AcquireFrame(1, 7)
+	_ = borrow(f)
+}

@@ -1,0 +1,267 @@
+// Package spanend enforces the tracing hygiene invariant from PR 7:
+// every span opened with obs.Start or obs.StartWith must be closed with
+// End on every path out of its scope — normally via defer. A span that
+// is never ended holds its trace open forever: the trace neither lands
+// in the recent ring nor the slow-op log, and its buffer is pinned for
+// the tracer's lifetime.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gaea/internal/lint"
+)
+
+// Analyzer is the spanend invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "spanend",
+	Doc: "every obs.Start/StartWith span must be ended on all return paths " +
+		"(prefer `defer sp.End()`)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// start is one obs.Start/StartWith call site and the span it binds.
+type start struct {
+	stmt ast.Stmt
+	span types.Object
+	name string // called function, for diagnostics
+}
+
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var starts []*start
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := lint.FuncObj(info, call)
+		if f == nil || (f.Name() != "Start" && f.Name() != "StartWith") ||
+			!lint.IsPkgFunc(f, "internal/obs", f.Name()) {
+			return true
+		}
+		id, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(assign.Pos(), "span from obs.%s discarded: bind it and call End (prefer `defer sp.End()`)", f.Name())
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		starts = append(starts, &start{stmt: assign, span: obj, name: "obs." + f.Name()})
+		return true
+	})
+
+	for _, st := range starts {
+		checkSpan(pass, body, st)
+	}
+}
+
+func checkSpan(pass *lint.Pass, body *ast.BlockStmt, st *start) {
+	info := pass.TypesInfo
+
+	// Uses of the span anywhere but as a method receiver mean the span
+	// escapes (returned, stored, handed to another goroutine's owner):
+	// ownership transferred, nothing to prove here.
+	recv := make(map[*ast.Ident]bool)
+	closureEnds := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == st.span {
+			recv[id] = true
+		}
+		return true
+	})
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == st.span && !recv[id] {
+			escapes = true
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	// An End inside any function literal (deferred cleanup closures,
+	// goroutine hand-off) satisfies the invariant wholesale: the closure
+	// owns the close.
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isEnd(info, call, st.span) {
+				closureEnds = true
+			}
+			return true
+		})
+		return false
+	})
+	if closureEnds {
+		return
+	}
+
+	w := &walker{pass: pass, info: info, st: st}
+	if list, idx := lint.FindStmt(body.List, st.stmt); list != nil {
+		fallEnded, terminated := w.walk(list[idx+1:], false)
+		if !terminated && !fallEnded {
+			pass.Reportf(st.stmt.Pos(), "span %q from %s not ended before its scope ends (prefer `defer %s.End()`)",
+				w.spanName(), st.name, w.spanName())
+		}
+	}
+}
+
+func isEnd(info *types.Info, call *ast.CallExpr, span types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && info.Uses[id] == span
+}
+
+// walker performs the structural path check: from the statement after
+// the Start, every return (and the scope's fall-through) must be
+// preceded by End on that path.
+type walker struct {
+	pass *lint.Pass
+	info *types.Info
+	st   *start
+}
+
+func (w *walker) spanName() string { return w.st.span.Name() }
+
+// walk checks one statement list. ended reports whether End has run on
+// the path entering the list. It returns (endedAtFallThrough,
+// terminated): terminated means no path falls out the bottom of the
+// list (every path returned, panicked, or branched away).
+func (w *walker) walk(list []ast.Stmt, ended bool) (bool, bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if isEnd(w.info, call, w.st.span) {
+					ended = true
+				}
+				if lint.IsPanic(w.info, call) {
+					return ended, true
+				}
+			}
+		case *ast.DeferStmt:
+			if isEnd(w.info, s.Call, w.st.span) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			if !ended {
+				w.pass.Reportf(s.Pos(), "span %q from %s not ended on this return path (prefer `defer %s.End()`)",
+					w.spanName(), w.st.name, w.spanName())
+			}
+			return true, true
+		case *ast.BranchStmt:
+			// break/continue/goto: the path leaves this list. The target
+			// re-enters an enclosing scope that is checked separately;
+			// treat as terminated here.
+			return ended, true
+		case *ast.BlockStmt:
+			var term bool
+			ended, term = w.walk(s.List, ended)
+			if term {
+				return ended, true
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			ended, term = w.walk([]ast.Stmt{s.Stmt}, ended)
+			if term {
+				return ended, true
+			}
+		case *ast.IfStmt:
+			tEnd, tTerm := w.walk(s.Body.List, ended)
+			eEnd, eTerm := ended, false
+			if s.Else != nil {
+				eEnd, eTerm = w.walk([]ast.Stmt{s.Else.(ast.Stmt)}, ended)
+			}
+			switch {
+			case tTerm && eTerm:
+				return ended, true
+			case tTerm:
+				ended = eEnd
+			case eTerm:
+				ended = tEnd
+			default:
+				ended = tEnd && eEnd
+			}
+		case *ast.ForStmt:
+			w.walk(s.Body.List, ended)
+			if s.Cond == nil && !lint.HasBreak(s.Body) {
+				return ended, true
+			}
+			// The loop may run zero times: the entry state carries over.
+		case *ast.RangeStmt:
+			w.walk(s.Body.List, ended)
+		case *ast.SwitchStmt:
+			ended = w.walkClauses(lint.ClauseLists(s.Body), lint.HasDefault(s.Body), ended)
+		case *ast.TypeSwitchStmt:
+			ended = w.walkClauses(lint.ClauseLists(s.Body), lint.HasDefault(s.Body), ended)
+		case *ast.SelectStmt:
+			// Exactly one clause runs, so the clauses are the only paths.
+			ended = w.walkClauses(lint.ClauseLists(s.Body), true, ended)
+		}
+	}
+	return ended, false
+}
+
+// walkClauses merges the fall-through state of a switch/select body.
+func (w *walker) walkClauses(clauses [][]ast.Stmt, exhaustive bool, ended bool) bool {
+	fallEnded := true
+	anyFall := false
+	for _, c := range clauses {
+		cEnd, cTerm := w.walk(c, ended)
+		if !cTerm {
+			anyFall = true
+			fallEnded = fallEnded && cEnd
+		}
+	}
+	if !exhaustive {
+		anyFall = true
+		fallEnded = fallEnded && ended
+	}
+	if !anyFall && len(clauses) > 0 {
+		// All clauses terminate and one always runs: unreachable after.
+		return ended
+	}
+	return fallEnded
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/linttest"
+	"gaea/internal/lint/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	linttest.Run(t, "testdata", spanend.Analyzer, "se")
+}

@@ -1,0 +1,21 @@
+// Stub of the real gaea/internal/obs tracing surface, just enough for
+// the spanend fixtures to type-check.
+package obs
+
+import "context"
+
+type Tracer struct{}
+
+type Span struct{ name string }
+
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func StartWith(ctx context.Context, tr *Tracer, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func (s *Span) End() {}
+
+func (s *Span) Annotate(k, v string) {}

@@ -1,0 +1,104 @@
+package se
+
+import (
+	"context"
+	"errors"
+
+	"gaea/internal/obs"
+)
+
+func goodDefer(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "good")
+	defer sp.End()
+	_ = ctx
+	return nil
+}
+
+func goodDeferClosure(ctx context.Context, tr *obs.Tracer) error {
+	ctx, sp := obs.StartWith(ctx, tr, "good")
+	defer func() {
+		sp.Annotate("k", "v")
+		sp.End()
+	}()
+	_ = ctx
+	return nil
+}
+
+func goodAllPaths(ctx context.Context, fail bool) error {
+	ctx, sp := obs.Start(ctx, "good")
+	_ = ctx
+	if fail {
+		sp.End()
+		return errors.New("fail")
+	}
+	sp.End()
+	return nil
+}
+
+func goodEscapes(ctx context.Context) (*obs.Span, error) {
+	_, sp := obs.Start(ctx, "handoff")
+	return sp, nil // ownership transferred to the caller
+}
+
+func goodSwitch(ctx context.Context, k int) error {
+	_, sp := obs.Start(ctx, "sw")
+	switch k {
+	case 0:
+		sp.End()
+		return nil
+	default:
+		sp.End()
+	}
+	return nil
+}
+
+func badDiscard(ctx context.Context) {
+	_, _ = obs.Start(ctx, "discarded") // want `span from obs.Start discarded`
+}
+
+func badEarlyReturn(ctx context.Context, fail bool) error {
+	ctx, sp := obs.Start(ctx, "leaky")
+	_ = ctx
+	if fail {
+		return errors.New("fail") // want `span "sp" from obs.Start not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func badNeverEnded(ctx context.Context) error {
+	_, sp := obs.Start(ctx, "leaky")
+	sp.Annotate("k", "v")
+	return nil // want `span "sp" from obs.Start not ended on this return path`
+}
+
+func badFallsOffScope(ctx context.Context, ok bool) {
+	if ok {
+		_, sp := obs.Start(ctx, "leaky") // want `span "sp" from obs.Start not ended before its scope ends`
+		sp.Annotate("k", "v")
+	}
+}
+
+func badStartWith(ctx context.Context, tr *obs.Tracer) error {
+	_, sp := obs.StartWith(ctx, tr, "leaky")
+	sp.Annotate("k", "v")
+	return nil // want `span "sp" from obs.StartWith not ended on this return path`
+}
+
+func badSwitchOnePath(ctx context.Context, k int) error {
+	_, sp := obs.Start(ctx, "sw")
+	switch k {
+	case 0:
+		return nil // want `span "sp" from obs.Start not ended on this return path`
+	default:
+		sp.End()
+	}
+	return nil
+}
+
+func allowedLeak(ctx context.Context) error {
+	_, sp := obs.Start(ctx, "measured-leak")
+	sp.Annotate("k", "v")
+	//lint:gaea-allow spanend fixture: suppression escape hatch
+	return nil
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Sublists returns the nested statement lists of one statement: the
+// lists a structural path walker must descend into.
+func Sublists(s ast.Stmt) [][]ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else.(ast.Stmt)})
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return ClauseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return ClauseLists(s.Body)
+	case *ast.SelectStmt:
+		return ClauseLists(s.Body)
+	case *ast.LabeledStmt:
+		return [][]ast.Stmt{{s.Stmt}}
+	}
+	return nil
+}
+
+// ClauseLists returns the clause bodies of a switch/type-switch/select
+// body block.
+func ClauseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// FindStmt locates the statement list directly containing target,
+// searching nested statements, and the target's index in it.
+func FindStmt(list []ast.Stmt, target ast.Stmt) ([]ast.Stmt, int) {
+	for i, s := range list {
+		if s == target {
+			return list, i
+		}
+		for _, sub := range Sublists(s) {
+			if l, idx := FindStmt(sub, target); l != nil {
+				return l, idx
+			}
+		}
+	}
+	return nil, 0
+}
+
+// HasDefault reports whether a switch body has a default clause.
+func HasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBreak reports whether n contains a break binding to n itself (not
+// to a nested loop, switch, or select).
+func HasBreak(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.BranchStmt:
+			if m.Tok.String() == "break" {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// IsPanic reports whether call invokes the panic builtin.
+func IsPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,40 @@
+// Stub of the real gaea/internal/wire Dec cursor, just enough surface
+// for the wirebounds fixtures to type-check.
+package wire
+
+type Dec struct{ b []byte }
+
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+func (d *Dec) Uvarint() uint64 {
+	if len(d.b) == 0 {
+		return 0
+	}
+	v := uint64(d.b[0])
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *Dec) Varint() int64 { return int64(d.Uvarint()) }
+
+func (d *Dec) U64() uint64 { return d.Uvarint() }
+
+func (d *Dec) U8() byte {
+	if len(d.b) == 0 {
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *Dec) Len() int { return len(d.b) }
+
+// Cap clamps a decoded element count by the bytes remaining in the
+// body, like the real Dec.Cap.
+func (d *Dec) Cap(n uint64) int {
+	if n > uint64(len(d.b)) {
+		return len(d.b)
+	}
+	return int(n)
+}

@@ -1,0 +1,86 @@
+package wb
+
+import (
+	"encoding/binary"
+
+	"gaea/internal/wire"
+)
+
+const maxFrame = 1 << 20
+
+func badUvarint(d *wire.Dec) []uint64 {
+	n := d.Uvarint()
+	out := make([]uint64, 0, n) // want `make sized by wire-decoded value "n" without a bound check`
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+func badConverted(d *wire.Dec) []byte {
+	n := int(d.Uvarint())
+	return make([]byte, n) // want `make sized by wire-decoded value "n" without a bound check`
+}
+
+func badArith(d *wire.Dec) []byte {
+	n := d.Uvarint()
+	return make([]byte, int(n)*8) // want `make sized by wire-decoded value "n" without a bound check`
+}
+
+func badMap(d *wire.Dec) map[string]string {
+	n := d.Uvarint()
+	return make(map[string]string, n) // want `make sized by wire-decoded value "n" without a bound check`
+}
+
+func badBigEndian(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) // want `make sized by wire-decoded value "n" without a bound check`
+}
+
+func badVarintPair(b []byte) []int64 {
+	v, _ := binary.Varint(b)
+	return make([]int64, v) // want `make sized by wire-decoded value "v" without a bound check`
+}
+
+func badMax(d *wire.Dec) []byte {
+	n := int(d.Uvarint())
+	return make([]byte, max(n, 8)) // want `make sized by wire-decoded value "n" without a bound check`
+}
+
+func badZeroGuard(d *wire.Dec) []string {
+	// `n > 0` rejects nothing an attacker would send: not a bound check.
+	if n := d.Uvarint(); n > 0 {
+		return make([]string, 0, n) // want `make sized by wire-decoded value "n" without a bound check`
+	}
+	return nil
+}
+
+func goodCompared(d *wire.Dec) []byte {
+	n := d.Uvarint()
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func goodCap(d *wire.Dec) []string {
+	n := d.Uvarint()
+	out := make([]string, 0, d.Cap(n))
+	return out
+}
+
+func goodMin(d *wire.Dec) []byte {
+	n := int(d.Uvarint())
+	return make([]byte, min(n, maxFrame))
+}
+
+func goodUntainted() []byte {
+	n := 64
+	return make([]byte, n)
+}
+
+func allowed(d *wire.Dec) []byte {
+	n := d.Uvarint()
+	//lint:gaea-allow wirebounds fixture: suppression escape hatch
+	return make([]byte, n)
+}

@@ -1,0 +1,294 @@
+// Package wirebounds flags allocations sized by wire-decoded integers
+// that are not dominated by a bound check.
+//
+// Invariant (PR 5/6): every frame is length-bounded against MaxFrame
+// before allocation, and any count or length decoded OUT of a frame body
+// must be bounded before it sizes an allocation. A v2 body is at most
+// MaxFrame bytes, but a uvarint inside it can still claim 2^64 elements:
+// `make([]T, 0, n)` with an unchecked decoded n lets a 10-byte frame
+// demand terabytes — a remote-triggered OOM. Decoders must clamp
+// (Dec.Cap bounds a count by the bytes remaining, since every element
+// costs at least one byte) or compare the value against a limit first.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gaea/internal/lint"
+)
+
+// Analyzer is the wirebounds invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "wirebounds",
+	Doc: "allocations sized by a wire-decoded integer must be bounded first " +
+		"(compare against a limit, or clamp with Dec.Cap)",
+	Run: run,
+}
+
+// decSources are the wire.Dec cursor reads whose results are
+// attacker-controlled sizes. U8/Bool are excluded: one byte cannot
+// name a dangerous allocation.
+var decSources = map[string]bool{"Uvarint": true, "Varint": true, "U64": true}
+
+// binarySources are the encoding/binary reads treated as taint sources
+// (integer decodes straight off a byte slice).
+var binarySources = map[string]bool{
+	"Uvarint": true, "Varint": true,
+	"Uint16": true, "Uint32": true, "Uint64": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: taint — objects assigned from a decode call.
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) == 0 {
+			return true
+		}
+		for ri, rhs := range assign.Rhs {
+			srcIdx, ok := sourceValue(info, rhs)
+			if !ok {
+				continue
+			}
+			// A lone multi-result call fans out across the LHS; otherwise
+			// RHS i maps to LHS i.
+			if len(assign.Rhs) == 1 {
+				for li, lhs := range assign.Lhs {
+					if srcIdx < 0 || li == srcIdx {
+						taintIdent(info, tainted, lhs)
+					}
+				}
+			} else if ri < len(assign.Lhs) {
+				taintIdent(info, tainted, assign.Lhs[ri])
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Pass 2: sanitizers — a comparison mentioning a tainted object
+	// anywhere in the function counts as the bound check. (Flow
+	// insensitive by design: the invariant is "a check exists", the
+	// reviewer owns its placement.) Loop conditions do not count: the
+	// ubiquitous `for i := 0; i < n; i++` bounds the loop, not the
+	// allocation that precedes it.
+	loopCond := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond != nil {
+			ast.Inspect(f.Cond, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok {
+					loopCond[e] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	sanitized := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || loopCond[be] {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			for i, side := range [2]ast.Expr{be.X, be.Y} {
+				// `n > 0` (and friends) is a lower bound: it rejects
+				// nothing an attacker would send. Only a comparison whose
+				// other side could bound from above counts.
+				other := be.Y
+				if i == 1 {
+					other = be.X
+				}
+				if isZeroOrOne(info, other) {
+					continue
+				}
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && tainted[obj] {
+							sanitized[obj] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	// Pass 3: sinks — make() sized by a tainted, unsanitized value.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if obj := taintedOperand(info, tainted, sanitized, arg); obj != nil {
+				pass.Reportf(arg.Pos(),
+					"make sized by wire-decoded value %q without a bound check (clamp with Dec.Cap or compare against a limit first)",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isZeroOrOne reports whether e is the constant 0 or 1 — comparisons
+// against those are emptiness checks, not bound checks.
+func isZeroOrOne(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	s := tv.Value.ExactString()
+	return s == "0" || s == "1"
+}
+
+// sourceValue reports whether expr derives from a decode call (through
+// conversions and arithmetic) and which result index carries the decoded
+// value (-1 = the whole expression).
+func sourceValue(info *types.Info, expr ast.Expr) (int, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if _, ok := sourceValue(info, e.Args[0]); ok {
+				return -1, true
+			}
+			return 0, false
+		}
+		return sourceResults(info, e)
+	case *ast.BinaryExpr:
+		if _, ok := sourceValue(info, e.X); ok {
+			return -1, true
+		}
+		if _, ok := sourceValue(info, e.Y); ok {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+// sourceResults reports whether call is a taint source and which result
+// index carries the decoded value (-1 = all results).
+func sourceResults(info *types.Info, call *ast.CallExpr) (int, bool) {
+	f := lint.FuncObj(info, call)
+	if f == nil || f.Pkg() == nil {
+		return 0, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	if recv := sig.Recv(); recv != nil {
+		// wire.Dec cursor reads.
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Name() == "Dec" &&
+			lint.IsPkgFunc(f, "internal/wire", f.Name()) &&
+			decSources[f.Name()] {
+			return -1, true
+		}
+		// binary.BigEndian.Uint32 and friends (methods on the ByteOrder
+		// implementations).
+		if f.Pkg().Path() == "encoding/binary" && binarySources[f.Name()] {
+			return -1, true
+		}
+		return 0, false
+	}
+	// binary.Uvarint / binary.Varint: (value, n).
+	if f.Pkg().Path() == "encoding/binary" && binarySources[f.Name()] {
+		return 0, true
+	}
+	return 0, false
+}
+
+func taintIdent(info *types.Info, tainted map[types.Object]bool, lhs ast.Expr) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+		if obj := info.Defs[id]; obj != nil {
+			tainted[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			tainted[obj] = true
+		}
+	}
+}
+
+// taintedOperand reports the tainted, unsanitized object that flows into
+// expr, if any. Conversions and arithmetic propagate taint; calls other
+// than conversions and the min/max builtins act as sanitizers (their
+// results are presumed bounded, e.g. Dec.Cap).
+func taintedOperand(info *types.Info, tainted, sanitized map[types.Object]bool, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && tainted[obj] && !sanitized[obj] {
+			return obj
+		}
+	case *ast.BinaryExpr:
+		if obj := taintedOperand(info, tainted, sanitized, e.X); obj != nil {
+			return obj
+		}
+		return taintedOperand(info, tainted, sanitized, e.Y)
+	case *ast.CallExpr:
+		// Conversions propagate; min() clamps only if some arg is clean;
+		// max() never clamps upward.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return taintedOperand(info, tainted, sanitized, e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "min":
+					var first types.Object
+					for _, a := range e.Args {
+						obj := taintedOperand(info, tainted, sanitized, a)
+						if obj == nil {
+							return nil // one clean bound clamps the whole min
+						}
+						if first == nil {
+							first = obj
+						}
+					}
+					return first
+				case "max":
+					for _, a := range e.Args {
+						if obj := taintedOperand(info, tainted, sanitized, a); obj != nil {
+							return obj
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

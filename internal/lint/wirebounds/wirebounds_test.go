@@ -1,0 +1,12 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"gaea/internal/lint/linttest"
+	"gaea/internal/lint/wirebounds"
+)
+
+func TestWirebounds(t *testing.T) {
+	linttest.Run(t, "testdata", wirebounds.Analyzer, "wb")
+}
