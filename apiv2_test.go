@@ -110,7 +110,7 @@ func TestSessionBatchSingleSweep(t *testing.T) {
 			t.Fatal(err)
 		}
 		o.Attrs["data"] = value.Image{Img: fresh(bands[i], 2003)}
-		if err := k.UpdateObject(o); err != nil {
+		if err := k.UpdateObject(context.Background(), o); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -127,11 +127,11 @@ func TestSessionCommitAndPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defineRainClass(t, k)
-	seedOID, err := k.CreateObject(rainObject(10, 1000), "seed")
+	seedOID, err := k.CreateObject(context.Background(), rainObject(10, 1000), "seed")
 	if err != nil {
 		t.Fatal(err)
 	}
-	doomed, err := k.CreateObject(rainObject(20, 2000), "doomed")
+	doomed, err := k.CreateObject(context.Background(), rainObject(20, 2000), "doomed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestSessionCommitAndPersistence(t *testing.T) {
 func TestSessionRollbackDiscardsEverything(t *testing.T) {
 	k := openKernel(t)
 	defineRainClass(t, k)
-	keep, err := k.CreateObject(rainObject(1, 0), "keep")
+	keep, err := k.CreateObject(context.Background(), rainObject(1, 0), "keep")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestSessionRollbackDiscardsEverything(t *testing.T) {
 func TestSessionConflictAborted(t *testing.T) {
 	k := openKernel(t)
 	defineRainClass(t, k)
-	victim, err := k.CreateObject(rainObject(1, 0), "")
+	victim, err := k.CreateObject(context.Background(), rainObject(1, 0), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestSessionConflictAborted(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A concurrent writer deletes the update target before Commit.
-	if err := k.DeleteObject(victim); err != nil {
+	if err := k.DeleteObject(context.Background(), victim); err != nil {
 		t.Fatal(err)
 	}
 	err = s.Commit()
@@ -454,10 +454,10 @@ func TestErrorTaxonomy(t *testing.T) {
 		t.Errorf("unknown class err = %v, want ErrClassUnknown", err)
 	}
 	// ErrNotFound.
-	if err := k.DeleteObject(object.OID(99999)); !errors.Is(err, ErrNotFound) {
+	if err := k.DeleteObject(ctx, object.OID(99999)); !errors.Is(err, ErrNotFound) {
 		t.Errorf("delete missing err = %v, want ErrNotFound", err)
 	}
-	if err := k.UpdateObject(&object.Object{OID: 99999, Class: "landsat_tm",
+	if err := k.UpdateObject(ctx, &object.Object{OID: 99999, Class: "landsat_tm",
 		Attrs:  map[string]value.Value{"band": value.String_("x"), "data": value.Image{Img: raster.MustNew(2, 2, raster.PixFloat4)}},
 		Extent: sptemp.AtInstant(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1), sptemp.Date(1986, 1, 1))}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("update missing err = %v, want ErrNotFound", err)
@@ -508,7 +508,7 @@ DEFINE PROCESS smooth (
 
 	// ErrConflict: a staged update whose target vanished before commit.
 	defineRainClass(t, k)
-	victim, err := k.CreateObject(rainObject(1, 0), "")
+	victim, err := k.CreateObject(ctx, rainObject(1, 0), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +518,7 @@ DEFINE PROCESS smooth (
 	if err := s.Update(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.DeleteObject(victim); err != nil {
+	if err := k.DeleteObject(ctx, victim); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Commit(); !errors.Is(err, ErrConflict) {
@@ -539,7 +539,7 @@ DEFINE PROCESS smooth (
 	if _, err := k.Query(ctx, Request{Class: "rain", Pred: empty}); !errors.Is(err, ErrClosed) {
 		t.Errorf("query after close err = %v, want ErrClosed", err)
 	}
-	if _, err := k.CreateObject(rainObject(9, 0), ""); !errors.Is(err, ErrClosed) {
+	if _, err := k.CreateObject(ctx, rainObject(9, 0), ""); !errors.Is(err, ErrClosed) {
 		t.Errorf("create after close err = %v, want ErrClosed", err)
 	}
 	if _, err := k.QueryStream(ctx, Request{Class: "rain", Pred: empty}); !errors.Is(err, ErrClosed) {
@@ -570,7 +570,7 @@ DEFINE PROCESS smooth (
 func TestCreateObjectEmptyNoteRecordsLineage(t *testing.T) {
 	k := openKernel(t)
 	defineRainClass(t, k)
-	oid, err := k.CreateObject(rainObject(5, 0), "")
+	oid, err := k.CreateObject(context.Background(), rainObject(5, 0), "")
 	if err != nil {
 		t.Fatal(err)
 	}

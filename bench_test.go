@@ -135,7 +135,7 @@ func loadBenchScene(b *testing.B, k *Kernel, size, year int) []object.OID {
 	box := sptemp.NewBox(0, 0, float64(size*30), float64(size*30))
 	var oids []object.OID
 	for i, img := range imgs {
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := k.CreateObject(context.Background(), &object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(fmt.Sprintf("b%d", i)),
@@ -167,7 +167,7 @@ func BenchmarkFig1KernelPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		box := sptemp.NewBox(float64(i*1000), 0, float64(i*1000+960), 960)
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := k.CreateObject(context.Background(), &object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_("red"),
@@ -689,7 +689,7 @@ func BenchmarkConcurrentQueries(b *testing.B) {
 						off := float64(i) * 1000
 						box := sptemp.NewBox(off, 0, off+480, 480)
 						for j, img := range imgs {
-							if _, err := k.CreateObject(&object.Object{
+							if _, err := k.CreateObject(context.Background(), &object.Object{
 								Class: "landsat_tm",
 								Attrs: map[string]value.Value{
 									"band": value.String_(fmt.Sprintf("b%d", j)),
@@ -864,7 +864,7 @@ func BenchmarkUpdateInvalidate(b *testing.B) {
 					b.Fatal(err)
 				}
 				o.Attrs["data"] = value.Image{Img: variants[i%2]}
-				if err := k.UpdateObject(o); err != nil {
+				if err := k.UpdateObject(ctx, o); err != nil {
 					b.Fatal(err)
 				}
 				n, err := k.RefreshStale(ctx)
@@ -1043,7 +1043,7 @@ func BenchmarkSessionBatchIngest(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < batch; j++ {
-				if _, err := k.CreateObject(gauge(i*batch+j), "tape"); err != nil {
+				if _, err := k.CreateObject(context.Background(), gauge(i*batch+j), "tape"); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -195,6 +195,7 @@ func Dial(addr string, opts Options) (*Conn, error) {
 		// DialTimeout bounds the whole connection attempt, handshake
 		// included: an endpoint that accepts but never answers must not
 		// hang Dial.
+		//lint:gaea-allow ctxflow Dial has no caller context by design; DialTimeout is the bound
 		hctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		if _, err := lc.roundTrip(hctx, &wire.Request{Op: wire.OpHello, User: opts.User}); err != nil {

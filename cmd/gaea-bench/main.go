@@ -612,7 +612,7 @@ func expC2() {
 			o, err := k.Objects.Get(base[0])
 			must(err)
 			o.Attrs["data"] = value.Image{Img: variants[i%2]}
-			must(k.UpdateObject(o))
+			must(k.UpdateObject(ctx, o))
 			switch policy {
 			case gaea.ManualRefresh:
 				_, err := k.RefreshStale(ctx)
@@ -677,7 +677,7 @@ func expC3() {
 	k1, dir1 := open()
 	start := time.Now()
 	for i := 0; i < *batch; i++ {
-		_, err := k1.CreateObject(gauge(i), "tape")
+		_, err := k1.CreateObject(ctx, gauge(i), "tape")
 		must(err)
 	}
 	perOp := time.Since(start)

@@ -30,7 +30,7 @@
 //	if err := s.Commit(); err != nil { ... } // or s.Rollback()
 //
 //	// Single-op calls still work (implicit one-op sessions):
-//	oid, _ := k.CreateObject(&object.Object{...}, "source note")
+//	oid, _ := k.CreateObject(ctx, &object.Object{...}, "source note")
 //
 //	// Streaming retrieval with pagination.
 //	st, _ := k.QueryStream(ctx, gaea.Request{Class: "ndvi", Pred: pred, Limit: 100})

@@ -167,7 +167,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 	}
 	st, err := storage.Open(dir, storage.Options{NoSync: opts.NoSync, Metrics: reg})
 	if err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	k := &Kernel{dir: dir, user: opts.User, Store: st,
 		Metrics: reg, Tracer: obs.NewTracer(slow, 0, 0)}
@@ -176,30 +176,30 @@ func Open(dir string, opts Options) (*Kernel, error) {
 	k.commitNS = reg.Histogram("session_commit_ns")
 	if k.Catalog, err = catalog.Open(st); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	k.Registry = adt.NewStandardRegistry()
 	if k.Objects, err = object.Open(st, k.Catalog); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	k.Objects.RegisterMetrics(reg)
 	if k.Processes, err = process.OpenManager(st, k.Catalog, k.Registry); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	if k.Tasks, err = task.OpenExecutor(st, k.Catalog, k.Registry, k.Objects, k.Processes); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	k.Tasks.Workers = opts.Workers
 	if k.Concepts, err = concept.OpenManager(st, k.Catalog); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	if k.Experiments, err = experiment.OpenManager(st, k.Tasks); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	// The derived-data manager wires the executor's staleness hooks and
 	// must open after the task log, before the planning/query layers.
@@ -210,7 +210,7 @@ func Open(dir string, opts Options) (*Kernel, error) {
 		Metrics: reg,
 	}); err != nil {
 		st.Close()
-		return nil, err
+		return nil, classify(err)
 	}
 	k.Planner = &petri.Planner{Cat: k.Catalog, Mgr: k.Processes, Obj: k.Objects, Stale: k.Deriv.IsStale}
 	k.Interp = &interp.Interpolator{Cat: k.Catalog, Obj: k.Objects, Reg: k.Registry, Exec: k.Tasks, Stale: k.Deriv.IsStale}
@@ -367,8 +367,8 @@ func (k *Kernel) DefineConcept(c *concept.Concept) error {
 // (an empty note still records the load — every object is visible to
 // Explain and Reproduce). It is an implicit single-op session; batch
 // loads should use Begin.
-func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, error) {
-	s := k.Begin(context.Background())
+func (k *Kernel) CreateObject(ctx context.Context, obj *object.Object, note string) (object.OID, error) {
+	s := k.Begin(ctx)
 	oid, err := s.Create(obj, note)
 	if err != nil {
 		s.Rollback()
@@ -389,8 +389,8 @@ func (k *Kernel) CreateObject(obj *object.Object, note string) (object.OID, erro
 // cost-based rematerialisation decision, which may drop dependents that
 // are cheaper to re-derive than to keep. It is an implicit single-op
 // session; batch mutations should use Begin.
-func (k *Kernel) UpdateObject(obj *object.Object) error {
-	s := k.Begin(context.Background())
+func (k *Kernel) UpdateObject(ctx context.Context, obj *object.Object) error {
+	s := k.Begin(ctx)
 	if err := s.Update(obj); err != nil {
 		s.Rollback()
 		return err
@@ -402,8 +402,8 @@ func (k *Kernel) UpdateObject(obj *object.Object) error {
 // entries are dropped (so identical instantiations re-execute) and every
 // transitive dependent is marked stale. It is an implicit single-op
 // session; batch mutations should use Begin.
-func (k *Kernel) DeleteObject(oid object.OID) error {
-	s := k.Begin(context.Background())
+func (k *Kernel) DeleteObject(ctx context.Context, oid object.OID) error {
+	s := k.Begin(ctx)
 	if err := s.Delete(oid); err != nil {
 		s.Rollback()
 		return err

@@ -85,7 +85,7 @@ func loadScene(t *testing.T, k *Kernel, day sptemp.AbsTime, year int) []object.O
 		if err != nil {
 			t.Fatal(err)
 		}
-		oid, err := k.CreateObject(&object.Object{
+		oid, err := k.CreateObject(context.Background(), &object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(b.String()),
@@ -156,7 +156,7 @@ func TestKernelPersistence(t *testing.T) {
 	if err := k.DefineConcept(&concept.Concept{Name: "rainfall", Classes: []string{"rain"}}); err != nil {
 		t.Fatal(err)
 	}
-	oid, err := k.CreateObject(&object.Object{
+	oid, err := k.CreateObject(context.Background(), &object.Object{
 		Class:  "rain",
 		Attrs:  map[string]value.Value{"mm": value.Float(250)},
 		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 10, 10)),
@@ -199,7 +199,7 @@ func loadSceneTile(t *testing.T, k *Kernel, tile int) sptemp.Box {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := k.CreateObject(&object.Object{
+		if _, err := k.CreateObject(context.Background(), &object.Object{
 			Class: "landsat_tm",
 			Attrs: map[string]value.Value{
 				"band": value.String_(b.String()),
@@ -294,7 +294,7 @@ func replaceBand(t *testing.T, k *Kernel, oid object.OID, b raster.Band, year in
 		t.Fatal(err)
 	}
 	o.Attrs["data"] = value.Image{Img: img}
-	if err := k.UpdateObject(o); err != nil {
+	if err := k.UpdateObject(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -493,7 +493,7 @@ func TestKernelDeleteObjectInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := k.DeleteObject(scene[0]); err != nil {
+	if err := k.DeleteObject(context.Background(), scene[0]); err != nil {
 		t.Fatal(err)
 	}
 	if !k.Deriv.IsStale(tk.Output) {

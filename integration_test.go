@@ -93,7 +93,7 @@ DEFINE PROCESS desert_by_rain_200 (
 		t.Fatal(err)
 	}
 	box := sptemp.NewBox(0, 0, 32000, 32000)
-	rainOID, err := k.CreateObject(&object.Object{
+	rainOID, err := k.CreateObject(context.Background(), &object.Object{
 		Class:  "rainfall",
 		Attrs:  map[string]value.Value{"data": value.Image{Img: rain}},
 		Extent: sptemp.AtInstant(sptemp.DefaultFrame, box, sptemp.Date(1986, 6, 29)),
@@ -185,7 +185,7 @@ func TestCrashRecoveryMidWorkflow(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	oid, err := k.CreateObject(&object.Object{
+	oid, err := k.CreateObject(context.Background(), &object.Object{
 		Class:  "m",
 		Attrs:  map[string]value.Value{"v": value.Float(7)},
 		Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(0, 0, 1, 1)),

@@ -302,6 +302,7 @@ func Open(st *storage.Store, obj *object.Store, exec *task.Executor, cfg Config)
 		exec.Refresh = m.RefreshObject
 	}
 
+	//lint:gaea-allow ctxflow background refresher lifecycle is owned by Close, not the opener
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	if m.policy != Manual {
 		m.done.Add(1)

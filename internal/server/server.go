@@ -249,6 +249,7 @@ type Server struct {
 
 // New builds a Server over a Backend.
 func New(b Backend, opts Options) *Server {
+	//lint:gaea-allow ctxflow server root context lives until Shutdown, detached from any caller
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		b:           b,

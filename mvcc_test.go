@@ -269,7 +269,7 @@ func TestMVCCFirstCommitterWins(t *testing.T) {
 	if err := s3.Update(load(all[1], 30)); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.DeleteObject(all[1]); err != nil {
+	if err := k.DeleteObject(context.Background(), all[1]); err != nil {
 		t.Fatal(err)
 	}
 	if err := s3.Commit(); !errors.Is(err, ErrConflict) {
@@ -281,7 +281,7 @@ func TestMVCCFirstCommitterWins(t *testing.T) {
 	if _, err := s4.Create(rainObject(4, 600), ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.CreateObject(rainObject(5, 700), ""); err != nil {
+	if _, err := k.CreateObject(context.Background(), rainObject(5, 700), ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := s4.Commit(); err != nil {
@@ -495,7 +495,7 @@ func TestMVCCEpochQualifiedStaleness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := k.UpdateObject(o); err != nil {
+	if err := k.UpdateObject(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	if !k.Deriv.IsStale(derived) {
@@ -513,7 +513,7 @@ func TestMVCCEpochQualifiedStaleness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := k.UpdateObject(o2); err != nil {
+	if err := k.UpdateObject(context.Background(), o2); err != nil {
 		t.Fatal(err)
 	}
 	if !k.Deriv.IsStaleAt(derived, mid) {

@@ -96,7 +96,7 @@ func TestObsJSONRoundTrip(t *testing.T) {
 	}
 	defer k.Close()
 	defineRainClass(t, k)
-	if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+	if _, err := k.CreateObject(context.Background(), rainObject(1, 0), "seed"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := k.Query(context.Background(), Request{Class: "rain",
@@ -132,7 +132,7 @@ func TestSlowOpThreshold(t *testing.T) {
 		}
 		defer k.Close()
 		defineRainClass(t, k)
-		if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+		if _, err := k.CreateObject(context.Background(), rainObject(1, 0), "seed"); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := k.Query(context.Background(), Request{Class: "rain",

@@ -116,7 +116,7 @@ func (s *Server) Serve(l net.Listener) error {
 	if err := s.startDebug(); err != nil {
 		return err
 	}
-	return s.inner.Serve(l)
+	return classify(s.inner.Serve(l))
 }
 
 // startDebug binds and serves the HTTP debug endpoint, once.
@@ -181,7 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if hs != nil {
 		_ = hs.Close()
 	}
-	return s.inner.Shutdown(ctx)
+	return classify(s.inner.Shutdown(ctx))
 }
 
 // Stats snapshots the server counters.

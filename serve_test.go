@@ -55,7 +55,7 @@ func TestServeErrorCodes(t *testing.T) {
 func TestMVCCSnapshotReleaseIdempotent(t *testing.T) {
 	k := openKernel(t)
 	defineRainClass(t, k)
-	if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+	if _, err := k.CreateObject(context.Background(), rainObject(1, 0), "seed"); err != nil {
 		t.Fatal(err)
 	}
 	s1, err := k.Snapshot(context.Background())
@@ -86,7 +86,7 @@ func TestMVCCSnapshotReleaseIdempotent(t *testing.T) {
 func TestMVCCCloseReleasesLeakedSnapshots(t *testing.T) {
 	k := openKernel(t)
 	defineRainClass(t, k)
-	if _, err := k.CreateObject(rainObject(1, 0), "seed"); err != nil {
+	if _, err := k.CreateObject(context.Background(), rainObject(1, 0), "seed"); err != nil {
 		t.Fatal(err)
 	}
 	leak1, err := k.Snapshot(context.Background())
