@@ -299,7 +299,10 @@ func decodeGroup(p []byte) ([]walEntry, uint64, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(rest))
 	rest = rest[4:]
-	entries := make([]walEntry, 0, count)
+	// Every sub-entry costs at least its 4-byte length prefix, so a count
+	// beyond len(rest)/4 is a malformed record; clamp the allocation and
+	// let the per-entry truncation checks reject it.
+	entries := make([]walEntry, 0, min(count, len(rest)/4))
 	for i := 0; i < count; i++ {
 		if len(rest) < 4 {
 			return nil, 0, fmt.Errorf("storage: truncated wal batch length")

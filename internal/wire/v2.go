@@ -263,6 +263,20 @@ func (d *Dec) F64c() float64 { return math.Float64frombits(bits.ReverseBytes64(d
 
 func (d *Dec) Bool() bool { return d.U8() != 0 }
 
+// Cap clamps a decoded element count to the bytes remaining in the
+// body. Every well-formed element costs at least one byte to encode, so
+// a count beyond the remainder is corruption or an attack: a 10-byte
+// frame must not size a terabyte allocation. Allocations sized by
+// decoded counts go through Cap (the wirebounds analyzer enforces it);
+// the per-element loops still run to the claimed count and surface
+// truncation through Err.
+func (d *Dec) Cap(n uint64) int {
+	if rem := uint64(len(d.b)); n > rem {
+		return int(rem)
+	}
+	return int(n)
+}
+
 // Bytes returns a view into the body (valid only while the body is).
 func (d *Dec) Bytes() []byte {
 	n := d.Uvarint()
@@ -442,7 +456,7 @@ func decodeQueryReq(d *Dec) *QueryReq {
 	q := &QueryReq{Class: d.Str(), Concept: d.Str()}
 	d.extent(&q.Pred)
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		q.Strategies = make([]string, 0, n)
+		q.Strategies = make([]string, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			q.Strategies = append(q.Strategies, d.Str())
 		}
@@ -473,7 +487,7 @@ func DecodeObject(d *Dec) Object {
 	o.Class = d.Str()
 	d.extent(&o.Extent)
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		o.Attrs = make(map[string][]byte, n)
+		o.Attrs = make(map[string][]byte, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			name := d.Str()
 			enc := d.Bytes()
@@ -506,7 +520,7 @@ func encodeBatchReq(f *Frame, b *BatchReq) {
 func decodeBatchReq(d *Dec) *BatchReq {
 	b := &BatchReq{ReadEpoch: d.Uvarint()}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		b.Creates = make([]Create, 0, n)
+		b.Creates = make([]Create, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			c := Create{Prov: d.Uvarint(), Note: d.Str()}
 			c.Obj = DecodeObject(d)
@@ -514,13 +528,13 @@ func decodeBatchReq(d *Dec) *BatchReq {
 		}
 	}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		b.Updates = make([]Object, 0, n)
+		b.Updates = make([]Object, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			b.Updates = append(b.Updates, DecodeObject(d))
 		}
 	}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		b.Deletes = make([]uint64, 0, n)
+		b.Deletes = make([]uint64, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			b.Deletes = append(b.Deletes, d.Uvarint())
 		}
@@ -607,7 +621,7 @@ func DecodeResponse(body []byte) (*Response, error) {
 	}
 	if mask&respHasOIDs != 0 {
 		n := d.Uvarint()
-		r.OIDs = make([]uint64, 0, n)
+		r.OIDs = make([]uint64, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			r.OIDs = append(r.OIDs, d.Uvarint())
 		}
@@ -652,25 +666,25 @@ func encodeResult(f *Frame, p *ResultPayload) {
 func decodeResult(d *Dec) *ResultPayload {
 	p := &ResultPayload{}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		p.OIDs = make([]uint64, 0, n)
+		p.OIDs = make([]uint64, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			p.OIDs = append(p.OIDs, d.Uvarint())
 		}
 	}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		p.How = make([]string, 0, n)
+		p.How = make([]string, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			p.How = append(p.How, d.Str())
 		}
 	}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		p.Stale = make([]bool, 0, n)
+		p.Stale = make([]bool, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			p.Stale = append(p.Stale, d.Bool())
 		}
 	}
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		p.TasksRun = make([]uint64, 0, n)
+		p.TasksRun = make([]uint64, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			p.TasksRun = append(p.TasksRun, d.Uvarint())
 		}
@@ -761,7 +775,7 @@ func DecodeRawObject(d *Dec, copyOut bool) RawObject {
 	}
 	r.Rec = rec
 	if n := d.Uvarint(); n > 0 && d.Err() == nil {
-		r.Blobs = make([]object.BlobPayload, 0, n)
+		r.Blobs = make([]object.BlobPayload, 0, d.Cap(n))
 		for i := uint64(0); i < n && d.Err() == nil; i++ {
 			id := d.Uvarint()
 			data := d.Bytes()
