@@ -1,0 +1,89 @@
+package query
+
+// Fuzz target for the c2 resume-cursor codec. Cursors cross the trust
+// boundary twice — minted by the server, echoed back by the client — so
+// parseCursor must reject arbitrary strings cleanly, and anything it
+// accepts must round-trip through EncodeCursor unchanged (a cursor that
+// re-encodes differently would silently resume the wrong page).
+//
+// Seed corpus lives under testdata/fuzz/ (regenerate with
+// GAEA_REGEN_CORPUS=1 go test ./internal/query -run TestCursorSeedCorpus).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"gaea/internal/object"
+)
+
+func cursorSeeds() []string {
+	return []string{
+		EncodeCursor(1, "rainfall", 5),
+		EncodeCursor(0, "x", 0),
+		EncodeCursor(1<<64-1, "landsat_scene", 1<<64-1),
+		"c2|1|rainfall|5",
+		"c2|||",
+		"c2|9|a|b|c",
+		"c1|1|rainfall|5",
+		"",
+		"c2|-1|rainfall|5",
+		"c2|1|rain\x00fall|5",
+	}
+}
+
+func FuzzCursorDecode(f *testing.F) {
+	for _, s := range cursorSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, c string) {
+		epoch, class, after, err := parseCursor(c)
+		epochOnly, errEpoch := CursorEpoch(c)
+		// CursorEpoch is parseCursor's public face: same verdict, same epoch.
+		if (err == nil) != (errEpoch == nil) {
+			t.Fatalf("parseCursor err %v but CursorEpoch err %v", err, errEpoch)
+		}
+		if err != nil {
+			return
+		}
+		if epochOnly != epoch {
+			t.Fatalf("CursorEpoch = %d, parseCursor epoch = %d", epochOnly, epoch)
+		}
+		rt := EncodeCursor(epoch, class, object.OID(after))
+		e2, cl2, a2, err2 := parseCursor(rt)
+		if err2 != nil {
+			t.Fatalf("re-encoded cursor %q rejected: %v", rt, err2)
+		}
+		if e2 != epoch || cl2 != class || a2 != after {
+			t.Fatalf("cursor round trip: %q -> (%d,%q,%d) -> %q -> (%d,%q,%d)",
+				c, epoch, class, after, rt, e2, cl2, a2)
+		}
+	})
+}
+
+// TestCursorSeedCorpus verifies the committed seed corpus exists (and
+// regenerates it under GAEA_REGEN_CORPUS=1).
+func TestCursorSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCursorDecode")
+	seeds := cursorSeeds()
+	if os.Getenv("GAEA_REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\nstring(" + strconv.Quote(s) + ")\n"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("missing seed corpus entry %s (regenerate with GAEA_REGEN_CORPUS=1): %v", name, err)
+		}
+	}
+}
