@@ -175,6 +175,44 @@ func SplitAddr(addr string) (network, address string, err error) {
 	}
 }
 
+// federationDialer, when registered, opens a scatter-gather router over
+// a comma-separated shard endpoint list. internal/fed installs it from
+// its init (the import points fed -> client only, so registration is
+// the one way DialKernel can reach it without a cycle).
+var federationDialer func(addrs []string, opts Options) (Kernel, error)
+
+// RegisterFederationDialer installs the constructor DialKernel uses for
+// multi-endpoint addresses. Called once, from internal/fed's init.
+func RegisterFederationDialer(fn func(addrs []string, opts Options) (Kernel, error)) {
+	federationDialer = fn
+}
+
+// DialKernel connects to a served kernel — or, when addr is a
+// comma-separated list of endpoints, to a client-side federation of
+// them (import internal/fed, directly or via cmd/gaea, to enable that
+// path). Either way the result speaks the same Kernel interface, so
+// callers scale from one kernel to a sharded grid by changing only the
+// address string.
+func DialKernel(addr string, opts Options) (Kernel, error) {
+	if !strings.Contains(addr, ",") {
+		return Dial(addr, opts)
+	}
+	parts := strings.Split(addr, ",")
+	addrs := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: empty address")
+	}
+	if federationDialer == nil {
+		return nil, fmt.Errorf("client: multi-endpoint address %q needs the federation router (import internal/fed)", addr)
+	}
+	return federationDialer(addrs, opts)
+}
+
 // Dial connects to a served kernel at addr ("unix:///path" or
 // "host:port") and performs the hello handshake.
 func Dial(addr string, opts Options) (*Conn, error) {
@@ -237,10 +275,21 @@ type transport interface {
 func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	if ctx != nil {
 		// Propagated only by the v2 framer; gob never sees the unexported
-		// field, so v1 frames are unchanged.
+		// fields, so v1 frames are unchanged.
 		req.SetTrace(obs.TraceID(ctx))
+		req.SetParentSpan(obs.SpanID(ctx))
 	}
 	return c.t.roundTrip(ctx, req)
+}
+
+// RoundTrip issues one raw wire request on this connection and returns
+// the raw response (or the transport error). It is the escape hatch the
+// federation router uses to speak ops the Kernel surface does not model
+// (prepare/decide fan-out, shard-directed leases); the signature names
+// internal wire types, so only in-module callers can reach it. Trace
+// and parent-span IDs are stamped from ctx like every other call.
+func (c *Conn) RoundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	return c.roundTrip(ctx, req)
 }
 
 // traced installs the connection's tracer (if any) on ctx so obs.Start

@@ -476,6 +476,7 @@ func (s *pushStream) All() iter.Seq2[*object.Object, error] {
 			Window: window, Page: page,
 		}
 		sreq.SetTrace(sp.TraceID())
+		sreq.SetParentSpan(sp.SpanID())
 		pull, err := s.t.startStream(sreq, window)
 		if err != nil {
 			yield(nil, err)

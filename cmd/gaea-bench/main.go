@@ -23,6 +23,7 @@ import (
 	"gaea"
 	"gaea/client"
 	"gaea/internal/catalog"
+	"gaea/internal/fed"
 	"gaea/internal/filegis"
 	"gaea/internal/imgops"
 	"gaea/internal/object"
@@ -63,6 +64,7 @@ var inflight = flag.String("inflight", "8,32", "C5/C7 v2 pipelining depths (comm
 var jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json result files (empty = skip)")
 var only = flag.String("only", "", "comma-separated experiment subset, e.g. C5,C7 (empty = all)")
 var check = flag.String("check", "", "validate a BENCH_*.json file against the result schema and exit")
+var fedGrid = flag.String("fed-shards", "1,2,4", "C6 federation shard-count grid (comma-separated)")
 var slowOps = flag.Bool("slow", false, "run the slow-op-log scenario (a throttled derivation must land in the kernel's slow-op log) and exit")
 
 var ctx = context.Background()
@@ -83,7 +85,7 @@ func main() {
 	}{
 		{"F3", expF3}, {"F4", expF4}, {"F5T1", expF5T1}, {"Q1", expQ1},
 		{"C1", expC1}, {"C2", expC2}, {"C3", expC3}, {"C4", expC4},
-		{"C5", expC5}, {"C7", expC7}, {"P1", expP1},
+		{"C5", expC5}, {"C6", expC6}, {"C7", expC7}, {"P1", expP1},
 	}
 	sel := map[string]bool{}
 	if *only != "" {
@@ -985,6 +987,252 @@ func expC5() {
 		"clients": n, "queries": queries, "objects": nObj,
 		"repeats": *repeats, "inflight": parseInflight(), "transport": "unix socket",
 	}, rows, k.StatsSnapshot().Metrics.Histograms)
+}
+
+// C6: sharded federation — the scatter-gather router against one
+// kernel, same box, same workload, DURABLE WAL. Unlike the rest of the
+// suite (NoSync, measuring CPU paths), C6 measures what the partitioned
+// grid is for: independent shard WALs group-committing in parallel, and
+// the vector-cursor merge draining N push streams at once.
+//
+// Two workloads per grid point:
+//
+//   - ingest: W workers, one create per commit. Round-robin placement
+//     makes every commit a single-shard fast path (no 2PC), so each
+//     commit pays exactly one shard's group-commit fsync and the
+//     shards' WALs sync independently.
+//   - scan: full drains of the striped extent through the scatter-
+//     gather merge, objects per second.
+//
+// The baseline is the identical workload against one served kernel over
+// remote v2 (the C5 transport). Per-shard commit p99s come from the
+// router's ShardObserver hook and land in each fed row's config.
+func expC6() {
+	const ingestCommits = 2048
+	const ingestWorkers = 16
+	fmt.Printf("## C6 — sharded federation: durable ingest and scatter-gather scan (grid=%s workers=%d commits=%d repeats=%d)\n",
+		*fedGrid, ingestWorkers, ingestCommits, *repeats)
+
+	var grid []int
+	for _, part := range strings.Split(*fedGrid, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			must(fmt.Errorf("bad -fed-shards entry %q", part))
+		}
+		grid = append(grid, n)
+	}
+
+	gaugeObj := func(i int) *object.Object {
+		x := float64(i%4096) * 20
+		return &object.Object{
+			Class:  "gauge",
+			Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+			Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, sptemp.NewBox(x, 0, x+10, 10)),
+		}
+	}
+	scanReq := gaea.Request{Class: "gauge", Pred: sptemp.Extent{Frame: sptemp.DefaultFrame, Space: sptemp.EmptyBox()}}
+
+	// runIngest pushes the commit budget through W workers multiplexed
+	// on the backend and reports commits/s plus the client-observed p99.
+	runIngest := func(kern client.Kernel) (cps float64, p99 time.Duration) {
+		next := make(chan int, ingestCommits)
+		for i := 0; i < ingestCommits; i++ {
+			next <- i
+		}
+		close(next)
+		lats := make([][]time.Duration, ingestWorkers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < ingestWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range next {
+					t0 := time.Now()
+					s := kern.Begin(ctx)
+					_, err := s.Create(gaugeObj(i), "")
+					must(err)
+					must(s.Commit())
+					lats[w] = append(lats[w], time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return float64(ingestCommits) / total.Seconds(), all[len(all)*99/100]
+	}
+
+	// runScan fully drains the striped extent once, asserting the merge
+	// returns every object exactly once, and reports objects/s.
+	runScan := func(kern client.Kernel, want int) float64 {
+		start := time.Now()
+		st, err := kern.QueryStream(ctx, scanReq)
+		must(err)
+		n := 0
+		for _, err := range st.All() {
+			must(err)
+			n++
+		}
+		if n != want {
+			must(fmt.Errorf("C6: scan drained %d objects, want %d", n, want))
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+
+	type c6Shard struct {
+		k    *gaea.Kernel
+		srv  *gaea.Server
+		done chan error
+		addr string
+	}
+	startShard := func(base string, i int) *c6Shard {
+		k, err := gaea.Open(fmt.Sprintf("%s/shard%d", base, i), gaea.Options{User: "bench"}) // durable WAL
+		must(err)
+		must(k.DefineClass(&catalog.Class{
+			Name: "gauge", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true,
+		}))
+		sock := fmt.Sprintf("%s/s%d.sock", base, i)
+		l, err := net.Listen("unix", sock)
+		must(err)
+		s := &c6Shard{k: k, srv: k.NewServer(gaea.ServeOptions{PrepareDir: fmt.Sprintf("%s/prep%d", base, i)}),
+			done: make(chan error, 1), addr: "unix://" + sock}
+		go func() { s.done <- s.srv.Serve(l) }()
+		return s
+	}
+	stopShard := func(s *c6Shard) {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		must(s.srv.Shutdown(sctx))
+		cancel()
+		must(<-s.done)
+		must(s.k.Close())
+	}
+
+	fmt.Println("| backend | ingest commits/s (median) | ingest p99 | scan objects/s (median) |")
+	fmt.Println("|---|---|---|---|")
+	var rows []benchRow
+	var baseHists map[string]gaea.HistogramSnapshot
+
+	// measureBoth runs *repeats ingest samples then *repeats scan drains
+	// against one backend, appending both rows.
+	measureBoth := func(name, label string, kern client.Kernel, cfg map[string]any, perShardP99 func() map[string]any) (float64, float64) {
+		var ingSamples []float64
+		var lastP99 time.Duration
+		created := 0
+		// Warmup: grow the WAL and heap files past their first extents
+		// (file-growth fsyncs are metadata-heavy and would bill the
+		// first sample for filesystem setup, not commit throughput).
+		runIngest(kern)
+		created += ingestCommits
+		for rep := 0; rep < *repeats; rep++ {
+			cps, p99 := runIngest(kern)
+			ingSamples = append(ingSamples, cps)
+			lastP99 = p99
+			created += ingestCommits
+		}
+		var scanSamples []float64
+		for rep := 0; rep < *repeats; rep++ {
+			scanSamples = append(scanSamples, runScan(kern, created))
+		}
+		ingCfg := map[string]any{}
+		for k, v := range cfg {
+			ingCfg[k] = v
+		}
+		if perShardP99 != nil {
+			ingCfg["per_shard_p99_us"] = perShardP99()
+		}
+		ing := benchRow{Name: "ingest_" + name, Metric: "commits_per_sec",
+			Samples: ingSamples, Median: median(ingSamples),
+			P99us: float64(lastP99.Microseconds()), Config: ingCfg}
+		scan := benchRow{Name: "scan_" + name, Metric: "objects_per_sec",
+			Samples: scanSamples, Median: median(scanSamples), Config: cfg}
+		rows = append(rows, ing, scan)
+		fmt.Printf("| %s | %.0f | %v | %.0f |\n", label, ing.Median, lastP99.Round(time.Microsecond), scan.Median)
+		return ing.Median, scan.Median
+	}
+
+	// Baseline: one durable served kernel, one v2 connection, the same
+	// W workers multiplexed on it.
+	baseDir, err := os.MkdirTemp("", "gaea-bench-c6-base-*")
+	must(err)
+	base := startShard(baseDir, 0)
+	bc, err := client.Dial(base.addr, client.Options{User: "bench"})
+	must(err)
+	baseIngest, baseScan := measureBoth("remote_v2", "remote v2, one kernel", bc,
+		map[string]any{"shards": 1, "protocol": "v2", "federated": false}, nil)
+	must(bc.Close())
+	baseHists = base.k.StatsSnapshot().Metrics.Histograms
+	stopShard(base)
+	os.RemoveAll(baseDir)
+
+	fedIngest := map[int]float64{}
+	fedScan := map[int]float64{}
+	for _, n := range grid {
+		dir, err := os.MkdirTemp("", "gaea-bench-c6-fed-*")
+		must(err)
+		shards := make([]*c6Shard, n)
+		addrs := make([]string, n)
+		owners := make([]int, n)
+		for i := range shards {
+			shards[i] = startShard(dir, i)
+			addrs[i] = shards[i].addr
+			owners[i] = i
+		}
+		var obsMu sync.Mutex
+		perShard := map[int][]time.Duration{}
+		r, err := fed.Open(addrs, fed.Options{
+			Map:         map[string][]int{"gauge": owners},
+			DecisionLog: dir + "/decisions",
+			Client:      client.Options{User: "bench"},
+			ShardObserver: func(shard int, op string, d time.Duration) {
+				if op != "commit" {
+					return
+				}
+				obsMu.Lock()
+				perShard[shard] = append(perShard[shard], d)
+				obsMu.Unlock()
+			},
+		})
+		must(err)
+		ing, scan := measureBoth(fmt.Sprintf("fed_%d", n), fmt.Sprintf("federation, %d shard(s)", n), r,
+			map[string]any{"shards": n, "protocol": "v2", "federated": true},
+			func() map[string]any {
+				obsMu.Lock()
+				defer obsMu.Unlock()
+				out := map[string]any{}
+				for shard, lats := range perShard {
+					sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+					out[strconv.Itoa(shard)] = float64(lats[len(lats)*99/100].Microseconds())
+				}
+				return out
+			})
+		fedIngest[n], fedScan[n] = ing, scan
+		must(r.Close())
+		for _, s := range shards {
+			stopShard(s)
+		}
+		os.RemoveAll(dir)
+	}
+
+	for _, n := range grid {
+		fmt.Printf("federation at %d shard(s): ingest %.2fx, scan %.2fx vs one remote v2 kernel\n",
+			n, fedIngest[n]/baseIngest, fedScan[n]/baseScan)
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("(note: %d CPU(s) — every shard shares the same core(s), so these multipliers measure\n"+
+			" fsync overlap only; the commit path's CPU does not parallelise on this box)\n", runtime.NumCPU())
+	}
+	fmt.Println()
+	writeBench("C6", map[string]any{
+		"grid": grid, "workers": ingestWorkers, "commits": ingestCommits,
+		"repeats": *repeats, "transport": "unix socket", "durable_wal": true,
+	}, rows, baseHists)
 }
 
 // C7: pipelined ingest — W workers share ONE connection, each

@@ -7,13 +7,21 @@
 //
 //	gaea -db /path/to/db [-demo] [-user name]       interactive shell
 //	gaea serve -db DIR -listen ADDR [flags]         network server
-//	gaea stats -connect ADDR                        remote stats line
-//	gaea top -connect ADDR                          remote metrics & slow-op log
-//	gaea trace -connect ADDR [-class NAME]          run one traced query, print its span tree
+//	gaea fed -shards A,B,... -listen ADDR [flags]   federation router over served shards
+//	gaea stats -connect ADDR[,ADDR...]              remote stats line (table when multiple)
+//	gaea top -connect ADDR[,ADDR...]                remote metrics & slow-op log
+//	gaea trace -connect ADDR[,ADDR...]              run one traced query, print its span tree
 //
 // ADDR is "unix:///path/to.sock" or "host:port" (TCP). With -demo the
 // database is seeded with the Figure 3/Figure 5 schema and two synthetic
 // Landsat TM scenes, so every command has something to show.
+//
+// The inspection verbs accept a comma-separated endpoint list: `stats`
+// and `top` then print a merged per-shard table (shard id, epoch, q/s),
+// and `trace` runs its query against the FIRST endpoint while grafting
+// the matching server spans from every endpoint — pointing it at a
+// router plus its shards renders the three-level client → router →
+// shard span tree of one federated query.
 //
 // `gaea serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
 // it stops accepting, drains in-flight requests (streams are paged, so
@@ -38,8 +46,10 @@ import (
 	"gaea"
 	"gaea/client"
 	"gaea/internal/catalog"
+	"gaea/internal/fed"
 	"gaea/internal/object"
 	"gaea/internal/raster"
+	"gaea/internal/server"
 	"gaea/internal/sptemp"
 	"gaea/internal/value"
 )
@@ -49,6 +59,9 @@ func main() {
 		switch os.Args[1] {
 		case "serve":
 			serveMain(os.Args[2:])
+			return
+		case "fed":
+			fedMain(os.Args[2:])
 			return
 		case "stats":
 			statsMain(os.Args[2:])
@@ -68,9 +81,10 @@ func main() {
 	if *dbDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: gaea -db DIR [-demo] [-user NAME]")
 		fmt.Fprintln(os.Stderr, "       gaea serve -db DIR -listen ADDR")
-		fmt.Fprintln(os.Stderr, "       gaea stats -connect ADDR")
-		fmt.Fprintln(os.Stderr, "       gaea top -connect ADDR")
-		fmt.Fprintln(os.Stderr, "       gaea trace -connect ADDR")
+		fmt.Fprintln(os.Stderr, "       gaea fed -shards ADDR,ADDR,... -listen ADDR")
+		fmt.Fprintln(os.Stderr, "       gaea stats -connect ADDR[,ADDR...]")
+		fmt.Fprintln(os.Stderr, "       gaea top -connect ADDR[,ADDR...]")
+		fmt.Fprintln(os.Stderr, "       gaea trace -connect ADDR[,ADDR...]")
 		os.Exit(2)
 	}
 	k, err := gaea.Open(*dbDir, gaea.Options{User: *user})
@@ -256,11 +270,12 @@ func serveMain(args []string) {
 	lease := fs.Duration("lease", 0, "snapshot/cursor lease TTL (0 = 30s)")
 	pageSize := fs.Int("page", 0, "stream page size cap (0 = 256)")
 	nosync := fs.Bool("nosync", false, "disable per-write WAL fsync (tests and benchmarks)")
+	prepDir := fs.String("prepare-dir", "", "directory for durable two-phase-commit votes (required to serve as a federation shard that survives restarts)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	debugAddr := fs.String("debug-addr", "", "loopback HTTP address for /metrics, /traces and pprof (e.g. 127.0.0.1:0; off by default)")
 	_ = fs.Parse(args)
 	if *dbDir == "" || *listen == "" {
-		fmt.Fprintln(os.Stderr, "usage: gaea serve -db DIR -listen ADDR [-demo] [-user NAME] [-max-conns N] [-lease TTL] [-page N] [-nosync] [-drain D]")
+		fmt.Fprintln(os.Stderr, "usage: gaea serve -db DIR -listen ADDR [-demo] [-user NAME] [-max-conns N] [-lease TTL] [-page N] [-nosync] [-prepare-dir DIR] [-drain D]")
 		os.Exit(2)
 	}
 	k, err := gaea.Open(*dbDir, gaea.Options{User: *user, NoSync: *nosync})
@@ -291,6 +306,7 @@ func serveMain(args []string) {
 		MaxConns:      *maxConns,
 		SnapshotLease: *lease,
 		PageSize:      *pageSize,
+		PrepareDir:    *prepDir,
 		DebugAddr:     *debugAddr,
 	})
 	sig := make(chan os.Signal, 1)
@@ -343,15 +359,23 @@ func serveMain(args []string) {
 }
 
 // statsMain is the `gaea stats` verb: print a served kernel's stats
-// line (kernel counters plus server counters) and exit.
+// line (kernel counters plus server counters) and exit. A comma-
+// separated endpoint list prints the merged per-shard table instead.
 func statsMain(args []string) {
 	fs := flag.NewFlagSet("gaea stats", flag.ExitOnError)
-	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	connect := fs.String("connect", "", `server address(es): "unix:///path/to.sock" or "host:port", comma-separated for a shard table (required)`)
 	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
+	interval := fs.Duration("interval", time.Second, "sampling window for the per-shard q/s column")
 	_ = fs.Parse(args)
 	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "usage: gaea stats -connect ADDR")
+		fmt.Fprintln(os.Stderr, "usage: gaea stats -connect ADDR[,ADDR...]")
 		os.Exit(2)
+	}
+	if addrs := splitEndpoints(*connect); len(addrs) > 1 {
+		if !printShardTable(addrs, *user, *interval) {
+			os.Exit(1)
+		}
+		return
 	}
 	c, err := client.Dial(*connect, client.Options{User: *user})
 	if err != nil {
@@ -365,6 +389,162 @@ func statsMain(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println(line)
+}
+
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// shardSample is one endpoint's observability pull for the table.
+type shardSample struct {
+	epoch   uint64
+	queries int64
+	err     error
+}
+
+func sampleShard(addr, user string) shardSample {
+	c, err := client.Dial(addr, client.Options{User: user})
+	if err != nil {
+		return shardSample{err: err}
+	}
+	defer c.Close()
+	ex, err := fetchObs(c)
+	if err != nil {
+		return shardSample{err: err}
+	}
+	return shardSample{
+		epoch:   ex.Stats.MVCC.Epoch,
+		queries: ex.Stats.Metrics.Counters["query_total"] + ex.Stats.Metrics.Counters["fed_queries_total"],
+	}
+}
+
+// printShardTable samples every endpoint twice, interval apart, and
+// prints one row per shard: id, endpoint, commit epoch, and the queries
+// per second observed across the window. Reports success.
+func printShardTable(addrs []string, user string, interval time.Duration) bool {
+	first := make([]shardSample, len(addrs))
+	for i, addr := range addrs {
+		first[i] = sampleShard(addr, user)
+	}
+	time.Sleep(interval)
+	ok := true
+	fmt.Printf("%-5s  %-32s  %10s  %8s\n", "shard", "endpoint", "epoch", "q/s")
+	for i, addr := range addrs {
+		s := sampleShard(addr, user)
+		if s.err != nil {
+			fmt.Printf("%-5d  %-32s  unreachable: %v\n", i, addr, s.err)
+			ok = false
+			continue
+		}
+		qps := 0.0
+		if first[i].err == nil && interval > 0 {
+			qps = float64(s.queries-first[i].queries) / interval.Seconds()
+		}
+		fmt.Printf("%-5d  %-32s  %10d  %8.1f\n", i, addr, s.epoch, qps)
+	}
+	return ok
+}
+
+// fedMain is the `gaea fed` verb: a federation router partitioning the
+// object grid by class across served shard kernels, itself served over
+// the same wire protocol — any v1 or v2 client dials it like a kernel.
+func fedMain(args []string) {
+	fs := flag.NewFlagSet("gaea fed", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard server addresses, in stable shard order (required)")
+	listen := fs.String("listen", "", `listen address: "unix:///path/to.sock" or "host:port" (required)`)
+	decisionLog := fs.String("decision-log", "", "durable 2PC decision log file (empty = ephemeral; crash recovery needs it)")
+	user := fs.String("user", os.Getenv("USER"), "user announced to the shard servers")
+	maxConns := fs.Int("max-conns", 0, "upstream connection limit (0 = unlimited)")
+	lease := fs.Duration("lease", 0, "snapshot/cursor lease TTL (0 = 30s)")
+	pageSize := fs.Int("page", 0, "stream page size cap (0 = 256)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	classMap := map[string][]int{}
+	fs.Func("map", "partition map entry class=shard[,shard...]; repeatable (unmapped classes hash to one shard)", func(v string) error {
+		name, list, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want class=shard[,shard...], got %q", v)
+		}
+		for _, f := range strings.Split(list, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("shard index %q: %v", f, err)
+			}
+			classMap[name] = append(classMap[name], n)
+		}
+		return nil
+	})
+	_ = fs.Parse(args)
+	addrs := splitEndpoints(*shards)
+	if len(addrs) == 0 || *listen == "" {
+		fmt.Fprintln(os.Stderr, "usage: gaea fed -shards ADDR,ADDR,... -listen ADDR [-map class=shard,shard]... [-decision-log FILE]")
+		os.Exit(2)
+	}
+	r, err := fed.Open(addrs, fed.Options{
+		Map:         classMap,
+		DecisionLog: *decisionLog,
+		Client:      client.Options{User: *user},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fed:", err)
+		os.Exit(1)
+	}
+	network, address, err := client.SplitAddr(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	if network == "unix" {
+		_ = os.Remove(address)
+	}
+	l, err := net.Listen(network, address)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	srv := server.New(fed.NewBackend(r), server.Options{
+		MaxConns: *maxConns,
+		LeaseTTL: *lease,
+		PageSize: *pageSize,
+	})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	fmt.Printf("gaea: federating %d shards on %s://%s\n", r.Shards(), network, address)
+	failed := false
+	select {
+	case s := <-sig:
+		fmt.Printf("gaea: %v — draining (up to %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			failed = true
+		}
+		cancel()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			failed = true
+		}
+	}
+	if network == "unix" {
+		_ = os.Remove(address)
+	}
+	if err := r.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("gaea: federation stopped")
 }
 
 // fetchObs pulls a served kernel's observability export (carried on the
@@ -385,61 +565,89 @@ func fetchObs(c *client.Conn) (*gaea.ObsExport, error) {
 }
 
 // topMain is the `gaea top` verb: one consistent pull of a served
-// kernel's stats line, metrics registry, and slow-op log.
+// kernel's stats line, metrics registry, and slow-op log. A comma-
+// separated endpoint list prints the merged per-shard table first, then
+// one section per shard.
 func topMain(args []string) {
 	fs := flag.NewFlagSet("gaea top", flag.ExitOnError)
-	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	connect := fs.String("connect", "", `server address(es): "unix:///path/to.sock" or "host:port", comma-separated for a shard table (required)`)
 	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
 	slow := fs.Int("slow", 5, "slow ops to print (0 = none)")
+	interval := fs.Duration("interval", time.Second, "sampling window for the per-shard q/s column")
 	_ = fs.Parse(args)
 	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "usage: gaea top -connect ADDR [-slow N]")
+		fmt.Fprintln(os.Stderr, "usage: gaea top -connect ADDR[,ADDR...] [-slow N]")
 		os.Exit(2)
 	}
-	c, err := client.Dial(*connect, client.Options{User: *user})
+	addrs := splitEndpoints(*connect)
+	if len(addrs) > 1 {
+		ok := printShardTable(addrs, *user, *interval)
+		for i, addr := range addrs {
+			fmt.Printf("\n--- shard %d: %s ---\n", i, addr)
+			if !topOne(addr, *user, *slow) {
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if !topOne(*connect, *user, *slow) {
+		os.Exit(1)
+	}
+}
+
+func topOne(addr, user string, slow int) bool {
+	c, err := client.Dial(addr, client.Options{User: user})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "connect:", err)
-		os.Exit(1)
+		return false
 	}
 	defer c.Close()
 	ex, err := fetchObs(c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "top:", err)
-		os.Exit(1)
+		return false
 	}
 	fmt.Println(ex.Stats.String())
 	fmt.Println()
 	ex.Stats.Metrics.WriteText(os.Stdout)
-	if *slow > 0 && len(ex.SlowOps) > 0 {
+	if slow > 0 && len(ex.SlowOps) > 0 {
 		fmt.Printf("\nslow ops (newest first):\n")
 		for i, tr := range ex.SlowOps {
-			if i >= *slow {
+			if i >= slow {
 				break
 			}
 			fmt.Print(tr.Format())
 		}
 	}
+	return true
 }
 
 // traceMain is the `gaea trace` verb: run one traced query against a
 // served kernel and print the resulting cross-process span tree — the
 // client's spans and the server's spans joined by the trace ID the v2
-// frame carried.
+// frame carried. A comma-separated endpoint list queries the FIRST
+// endpoint and grafts matching spans from all of them, so a router
+// address followed by its shard addresses renders the full three-level
+// client → router → shard tree.
 func traceMain(args []string) {
 	fs := flag.NewFlagSet("gaea trace", flag.ExitOnError)
-	connect := fs.String("connect", "", `server address: "unix:///path/to.sock" or "host:port" (required)`)
+	connect := fs.String("connect", "", `server address(es): "unix:///path/to.sock" or "host:port"; first is queried, all are scanned for spans (required)`)
 	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
 	class := fs.String("class", "landsat_tm", "class (or concept, with -concept) to query")
 	concept := fs.Bool("concept", false, "treat -class as a concept name")
 	limit := fs.Int("limit", 0, "stream at most N objects (0 = all)")
 	page := fs.Int("page", 4, "stream page size (small by default so the trace shows the paging rhythm)")
 	_ = fs.Parse(args)
-	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "usage: gaea trace -connect ADDR [-class NAME] [-limit N] [-page N]")
+	addrs := splitEndpoints(*connect)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gaea trace -connect ADDR[,ADDR...] [-class NAME] [-limit N] [-page N]")
 		os.Exit(2)
 	}
 	tracer := gaea.NewTracer(0, 0, 0)
-	c, err := client.Dial(*connect, client.Options{User: *user, Tracer: tracer, PageSize: *page})
+	c, err := client.Dial(addrs[0], client.Options{User: *user, Tracer: tracer, PageSize: *page})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "connect:", err)
 		os.Exit(1)
@@ -470,24 +678,42 @@ func traceMain(args []string) {
 		os.Exit(1)
 	}
 	merged := recent[0] // newest first: the query just run
-	ex, err := fetchObs(c)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
-	}
-	// Graft the server's half of the trace (same ID, matched via the v2
-	// frame's trace field) onto the client's: Format renders both span
-	// trees under the one trace header.
+	// Graft the remote halves of the trace (same ID, matched via the v2
+	// frame's trace field) onto the client's: Format renders every span
+	// tree under the one trace header. With multiple endpoints — say a
+	// router and its shards — each contributes its own level.
 	serverSide := 0
-	for _, tr := range append(append([]gaea.TraceData{}, ex.Traces...), ex.SlowOps...) {
-		if tr.ID == merged.ID {
-			merged.Spans = append(merged.Spans, tr.Spans...)
-			merged.Dropped += tr.Dropped
-			serverSide += len(tr.Spans)
-			break
+	for i, addr := range addrs {
+		ec := c
+		if i > 0 {
+			ec, err = client.Dial(addr, client.Options{User: *user})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: endpoint %s: %v\n", addr, err)
+				continue
+			}
+		}
+		ex, err := fetchObs(ec)
+		if i > 0 {
+			ec.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: endpoint %s: %v\n", addr, err)
+			if i == 0 {
+				os.Exit(1)
+			}
+			continue
+		}
+		for _, tr := range append(append([]gaea.TraceData{}, ex.Traces...), ex.SlowOps...) {
+			if tr.ID == merged.ID {
+				merged.Spans = append(merged.Spans, tr.Spans...)
+				merged.Dropped += tr.Dropped
+				serverSide += len(tr.Spans)
+				break // Traces and SlowOps can both hold it; graft once
+			}
 		}
 	}
-	fmt.Printf("streamed %d objects; %d client + %d server spans\n", n, len(merged.Spans)-serverSide, serverSide)
+	fmt.Printf("streamed %d objects; %d client + %d server spans across %d endpoint(s)\n",
+		n, len(merged.Spans)-serverSide, serverSide, len(addrs))
 	fmt.Print(merged.Format())
 	if serverSide == 0 {
 		fmt.Fprintln(os.Stderr, "trace: server side of the trace not found (v1 connection, or it aged out of the ring)")

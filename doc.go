@@ -104,6 +104,25 @@
 // can never wedge the GC horizon. Remote errors classify into the same
 // taxonomy — errors.Is works identically against either backend.
 //
+// Served kernels also scale out: internal/fed routes one client.Kernel
+// surface across N served shards, partitioned by class — scattered
+// queries merge under vector cursors, cross-shard sessions commit via
+// two-phase commit (durable votes in ServeOptions.PrepareDir, the
+// coordinator decision log as the commit point), and a one-shard
+// federation is byte-compatible with a plain kernel:
+//
+//	r, _ := fed.Open([]string{"db1:7411", "db2:7411"}, fed.Options{
+//		Map:         map[string][]int{"image": {0}, "grid": {0, 1}},
+//		DecisionLog: "/var/gaea/fed.decisions",
+//	})
+//	defer r.Close()
+//	var k client.Kernel = r // same sessions, streams, snapshots
+//
+// (or client.DialKernel with a comma-separated endpoint list, or the
+// `gaea fed` subcommand to serve the router itself; see the README's
+// "Scaling out: federation" for the partition map, the vector-cursor
+// resume rules, and the 2PC failure matrix).
+//
 // Every kernel is observable without configuration: a metrics registry
 // (counters, gauges, latency histograms) and a request tracer run from
 // Open, and Kernel.StatsSnapshot returns both alongside the model

@@ -1,0 +1,281 @@
+package fed
+
+// The coordinator decision log: the durable commit point of every
+// cross-shard transaction. 2PC's one unrecoverable moment is between
+// "all shards voted yes" and "every shard heard the decision" — the
+// coordinator must be able to answer "did transaction T commit?" after
+// a crash anywhere in that window. The log answers it with an append-
+// only text file of tiny records, fsynced once per decision:
+//
+//	seq <n>                  token-space reservation (chunked)
+//	commit <token> <s,s,..>  the decision: T commits on these shards
+//	ack <token> <shard>      one shard applied the decision
+//	heuristic <token> <shard> the shard's vote was gone (TTL/restart):
+//	                          outcome recorded, never retried
+//	done <token>             every shard accounted for; T is history
+//
+// Abort decisions are deliberately NOT logged: an aborted transaction
+// needs no recovery (shards presume abort when their prepare TTL
+// expires), so the log stays proportional to commits. Replay at Open
+// re-sends decide(commit) for every commit record not yet done.
+//
+// Tokens are minted as a per-open random 16-bit salt over a durably
+// reserved 48-bit sequence — unique across coordinator restarts (the
+// reservation) and across coordinators sharing shards (the salt).
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// seqChunk is how many tokens one durable "seq" line reserves: the
+// fsync cost of sequence persistence is paid once per chunk.
+const seqChunk = 4096
+
+type pendingDecision struct {
+	token  uint64
+	shards []int
+}
+
+// decisionLog is the coordinator's persistent memory. A nil file (no
+// DecisionLog path) degrades to in-memory bookkeeping: correct while
+// the process lives, amnesiac across a crash.
+type decisionLog struct {
+	mu sync.Mutex
+	f  *os.File // nil in ephemeral mode
+	w  *bufio.Writer
+
+	salt     uint64
+	nextSeq  uint64 // next token sequence to hand out
+	reserved uint64 // sequences below this are durably reserved
+
+	// pending maps a committed token to the shards still owing an ack.
+	pending map[uint64]map[int]bool
+	// heuristics counts shards whose vote vanished before the commit
+	// decision reached them — partial outcomes an operator must chase.
+	heuristics int
+}
+
+// lockorder note: decisionLog.mu ranks below fed.Router.mu; neither is
+// ever held while calling into the other or across a shard round trip.
+
+// openDecisionLog opens (creating if absent) and replays the log at
+// path; "" opens an ephemeral in-memory log.
+func openDecisionLog(path string) (*decisionLog, error) {
+	l := &decisionLog{pending: make(map[uint64]map[int]bool)}
+	var saltBytes [8]byte
+	if _, err := rand.Read(saltBytes[:]); err != nil {
+		return nil, fmt.Errorf("fed: decision log salt: %w", err)
+	}
+	l.salt = uint64(binary.LittleEndian.Uint16(saltBytes[:])) << 48
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("fed: decision log: %w", err)
+	}
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "seq":
+			if len(fields) == 2 {
+				if n, err := strconv.ParseUint(fields[1], 10, 64); err == nil && n > maxSeq {
+					maxSeq = n
+				}
+			}
+		case "commit":
+			if len(fields) != 3 {
+				continue
+			}
+			token, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			owed := make(map[int]bool)
+			for _, s := range strings.Split(fields[2], ",") {
+				if shard, err := strconv.Atoi(s); err == nil {
+					owed[shard] = true
+				}
+			}
+			l.pending[token] = owed
+		case "ack", "heuristic":
+			if len(fields) != 3 {
+				continue
+			}
+			token, err1 := strconv.ParseUint(fields[1], 10, 64)
+			shard, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if owed := l.pending[token]; owed != nil {
+				delete(owed, shard)
+				if len(owed) == 0 {
+					delete(l.pending, token)
+				}
+			}
+			if fields[0] == "heuristic" {
+				l.heuristics++
+			}
+		case "done":
+			if len(fields) != 2 {
+				continue
+			}
+			if token, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				delete(l.pending, token)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("fed: decision log: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.nextSeq = maxSeq
+	l.reserved = maxSeq
+	return l, nil
+}
+
+// appendSync writes one record and forces it to stable storage. Called
+// with l.mu held.
+func (l *decisionLog) appendSync(line string) error {
+	if l.f == nil {
+		return nil
+	}
+	if _, err := l.w.WriteString(line + "\n"); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// mint returns a fresh transaction token, durably reserving a new
+// sequence chunk when the current one runs out.
+func (l *decisionLog) mint() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextSeq >= l.reserved {
+		next := l.reserved + seqChunk
+		if err := l.appendSync(fmt.Sprintf("seq %d", next)); err != nil {
+			return 0, fmt.Errorf("fed: decision log: %w", err)
+		}
+		l.reserved = next
+	}
+	l.nextSeq++
+	return l.salt | l.nextSeq&rawOIDMask, nil
+}
+
+// commit records the decision — after this returns nil, transaction
+// `token` IS committed, whatever happens to the process.
+func (l *decisionLog) commit(token uint64, shards []int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	parts := make([]string, len(shards))
+	owed := make(map[int]bool, len(shards))
+	for i, s := range shards {
+		parts[i] = strconv.Itoa(s)
+		owed[s] = true
+	}
+	if err := l.appendSync(fmt.Sprintf("commit %d %s", token, strings.Join(parts, ","))); err != nil {
+		return fmt.Errorf("fed: decision log: %w", err)
+	}
+	l.pending[token] = owed
+	return nil
+}
+
+// ack records one shard's application of a commit decision. Best-effort
+// durability: a lost ack merely re-delivers an idempotent decide.
+func (l *decisionLog) ack(token uint64, shard int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.appendSync(fmt.Sprintf("ack %d %d", token, shard))
+	l.settle(token, shard)
+}
+
+// heuristic records a shard whose vote was gone when the commit
+// decision arrived — the transaction is partially applied and no retry
+// can fix it; it is taken off the replay list and counted.
+func (l *decisionLog) heuristic(token uint64, shard int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.appendSync(fmt.Sprintf("heuristic %d %d", token, shard))
+	l.heuristics++
+	l.settle(token, shard)
+}
+
+// settle clears one shard's debt and closes the transaction when it was
+// the last. Called with l.mu held.
+func (l *decisionLog) settle(token uint64, shard int) {
+	owed := l.pending[token]
+	if owed == nil {
+		return
+	}
+	delete(owed, shard)
+	if len(owed) == 0 {
+		delete(l.pending, token)
+		_ = l.appendSync(fmt.Sprintf("done %d", token))
+	}
+}
+
+// undelivered lists the commit decisions still owing shard acks, oldest
+// token first.
+func (l *decisionLog) undelivered() []pendingDecision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]pendingDecision, 0, len(l.pending))
+	for token, owed := range l.pending {
+		p := pendingDecision{token: token}
+		for shard := range owed {
+			p.shards = append(p.shards, shard)
+		}
+		sort.Ints(p.shards)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].token < out[j].token })
+	return out
+}
+
+func (l *decisionLog) pendingCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+func (l *decisionLog) heuristicCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.heuristics
+}
+
+func (l *decisionLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

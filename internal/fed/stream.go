@@ -1,0 +1,344 @@
+package fed
+
+// The federated stream: a round-robin merge of per-shard push streams
+// whose resume token generalises the kernel's single cursor to a
+// VECTOR — one entry per shard component, each carrying that shard's
+// own cursor (epoch + position) — so a consumer that stops mid-merge
+// resumes every component at its exact object, on any connection.
+//
+// Cursor compatibility is a design goal in both directions:
+//
+//   - A one-component stream over a plain cursor emits a plain "c2|"
+//     cursor (with the shard tag stamped into its OID), so single-
+//     kernel tooling keeps working against a federation.
+//   - A plain cursor handed back to the federation routes by that OID
+//     tag — which also accepts the cursors single-kernel CLIENT code
+//     synthesises when it stops a served fed stream early, since those
+//     are minted from tagged OIDs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"gaea"
+	"gaea/client"
+	"gaea/internal/object"
+	"gaea/internal/obs"
+	"gaea/internal/query"
+	"gaea/internal/wire"
+)
+
+// comp is one shard's component of a federated stream.
+type comp struct {
+	shard int
+	// initCursor is where this component starts: "" for a fresh scan,
+	// else the shard-local cursor to resume from.
+	initCursor string
+
+	st   client.Stream
+	next func() (*object.Object, error, bool)
+	stop func()
+
+	// exhausted: the shard answered its final object (resume omits it
+	// as a Done entry). finished: no more objects THIS pass, but the
+	// component is still resumable at finalCursor.
+	exhausted   bool
+	finished    bool
+	finalCursor string
+
+	yielded int
+}
+
+type fedStream struct {
+	r      *Router
+	ctx    context.Context
+	req    gaea.Request
+	opener func(ctx context.Context, shard int, req gaea.Request) (client.Stream, error)
+
+	comps []*comp
+	// doneEntries carries the already-finished components of an input
+	// vector cursor through to the output, so a partially-resumed
+	// vector stays complete.
+	doneEntries []wire.ShardCursor
+	wasVector   bool
+
+	claimed bool
+	cursor  string
+}
+
+// newFedStream resolves the request's cursor into stream components.
+func newFedStream(r *Router, ctx context.Context, req gaea.Request,
+	opener func(ctx context.Context, shard int, req gaea.Request) (client.Stream, error)) (*fedStream, error) {
+	f := &fedStream{r: r, ctx: ctx, req: req, opener: opener}
+	switch {
+	case req.Cursor == "":
+		for _, shard := range r.owners(req.Class) {
+			f.comps = append(f.comps, &comp{shard: shard})
+		}
+	case wire.IsVectorCursor(req.Cursor):
+		f.wasVector = true
+		entries, err := wire.DecodeVectorCursor(req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Done {
+				f.doneEntries = append(f.doneEntries, e)
+				continue
+			}
+			if e.Shard >= len(r.conns) {
+				return nil, fmt.Errorf("%w: cursor names shard %d; federation has %d",
+					query.ErrBadRequest, e.Shard, len(r.conns))
+			}
+			f.comps = append(f.comps, &comp{shard: e.Shard, initCursor: e.Cursor})
+		}
+	default:
+		// A plain kernel cursor: the OID inside carries the shard tag
+		// (both this package and the single-kernel client mint them
+		// that way), which routes the single resumed component.
+		epoch, class, after, err := query.DecodeCursor(req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		shard, down := splitOID(uint64(after))
+		if shard >= len(r.conns) {
+			return nil, fmt.Errorf("%w: cursor names shard %d; federation has %d",
+				query.ErrBadRequest, shard, len(r.conns))
+		}
+		f.comps = append(f.comps, &comp{
+			shard:      shard,
+			initCursor: query.EncodeCursor(epoch, class, object.OID(down)),
+		})
+	}
+	return f, nil
+}
+
+// All yields the merged stream: one object per live component per
+// round, each tagged with its owning shard. Consume once.
+func (f *fedStream) All() iter.Seq2[*object.Object, error] {
+	return func(yield func(*object.Object, error) bool) {
+		if f.claimed {
+			yield(nil, fmt.Errorf("%w: federated stream already consumed", query.ErrBadRequest))
+			return
+		}
+		f.claimed = true
+		ctx, sp := obs.Start(f.r.traced(f.ctx), "fed/stream")
+		defer sp.End()
+		sp.Annotate("class", f.req.Class)
+		sp.Annotate("components", fmt.Sprint(len(f.comps)))
+		defer f.stopAll()
+
+		for _, c := range f.comps {
+			dreq := f.req
+			dreq.Cursor = c.initCursor
+			st, err := f.opener(ctx, c.shard, dreq)
+			if err != nil {
+				yield(nil, fmt.Errorf("fed: shard %d stream: %w", c.shard, err))
+				return
+			}
+			c.st = st
+			c.next, c.stop = iter.Pull2(st.All())
+		}
+
+		total := 0
+		live := len(f.comps)
+		for live > 0 {
+			for _, c := range f.comps {
+				if c.finished {
+					continue
+				}
+				o, err, ok := c.next()
+				if !ok {
+					// The shard stream ended on its own: either
+					// exhausted (no cursor) or stopped downstream with
+					// an exact resume cursor.
+					c.finished = true
+					c.finalCursor = c.st.Cursor()
+					c.exhausted = c.finalCursor == ""
+					live--
+					continue
+				}
+				if err != nil {
+					yield(nil, fmt.Errorf("fed: shard %d: %w", c.shard, err))
+					f.assembleCursor()
+					return
+				}
+				c.yielded++
+				// Tag a COPY: the downstream client stream keeps the
+				// original to synthesise its stop cursor from, and that
+				// cursor must carry the untagged shard-local OID.
+				oc := *o
+				oc.OID = object.OID(tagOID(c.shard, uint64(o.OID)))
+				if !yield(&oc, nil) {
+					f.assembleCursor()
+					return
+				}
+				total++
+				if f.req.Limit > 0 && total >= f.req.Limit {
+					f.assembleCursor()
+					return
+				}
+			}
+		}
+		f.assembleCursor()
+	}
+}
+
+// stopAll shuts every component's pull iterator down; each downstream
+// stream then minted its exact resume cursor (the shard client's stop
+// synthesis re-pins the epoch lease under it).
+func (f *fedStream) stopAll() {
+	for _, c := range f.comps {
+		if c.stop != nil {
+			c.stop()
+		}
+	}
+}
+
+// assembleCursor computes the resume token after the merge stops.
+// Called exactly once, before stopAll has run — stopping the pull
+// iterators here first so each downstream Cursor() is final.
+func (f *fedStream) assembleCursor() {
+	f.stopAll()
+	entries := append([]wire.ShardCursor(nil), f.doneEntries...)
+	liveLeft := false
+	for _, c := range f.comps {
+		switch {
+		case c.exhausted:
+			// Epoch is cosmetic on a done entry; recover it from the
+			// component's start cursor when there was one.
+			e := wire.ShardCursor{Shard: c.shard, Done: true}
+			if c.initCursor != "" {
+				e.Epoch, _ = query.CursorEpoch(c.initCursor)
+			}
+			entries = append(entries, e)
+			continue
+		case c.st == nil || (c.yielded == 0 && !c.finished):
+			// Never consumed: resume exactly where it would have
+			// started (possibly "": a not-yet-started component).
+			cur := c.initCursor
+			e := wire.ShardCursor{Shard: c.shard, Cursor: cur}
+			if cur != "" {
+				e.Epoch, _ = query.CursorEpoch(cur)
+			}
+			entries = append(entries, e)
+			liveLeft = true
+			continue
+		}
+		cur := c.finalCursor
+		if !c.finished {
+			cur = c.st.Cursor()
+		}
+		if cur == "" {
+			// Consumed but not resumable (fallback-produced page, or a
+			// lost re-pin): the whole merge is non-resumable, exactly
+			// like the single-kernel stream in the same state.
+			f.cursor = ""
+			return
+		}
+		e := wire.ShardCursor{Shard: c.shard, Cursor: cur}
+		e.Epoch, _ = query.CursorEpoch(cur)
+		entries = append(entries, e)
+		liveLeft = true
+	}
+	if !liveLeft {
+		f.cursor = "" // every component exhausted: the stream is complete
+		return
+	}
+	if !f.wasVector && len(f.comps) == 1 && len(f.doneEntries) == 0 {
+		// One component, plain in — plain out, with the shard tag
+		// stamped into the cursor's OID so resume routes back.
+		c := f.comps[0]
+		cur := entries[0].Cursor
+		epoch, class, after, err := query.DecodeCursor(cur)
+		if err != nil {
+			f.cursor = ""
+			return
+		}
+		f.cursor = query.EncodeCursor(epoch, class, object.OID(tagOID(c.shard, uint64(after))))
+		return
+	}
+	f.cursor = wire.EncodeVectorCursor(entries)
+}
+
+// Cursor reports the resume token once All has stopped: "" when the
+// merge completed (or cannot be resumed), a plain cursor for a plain
+// single-component stream, a vector cursor otherwise.
+func (f *fedStream) Cursor() string { return f.cursor }
+
+// fedSnapshot is a federation-wide read-only view: one snapshot lease
+// per shard, opened together. Each shard's lease pins one of ITS commit
+// epochs; there is no cross-shard barrier (see Router.Snapshot).
+type fedSnapshot struct {
+	r     *Router
+	snaps []client.Snapshot
+}
+
+// Epoch reports the pinned commit epoch when the view has exactly one
+// shard (byte-compatible with a plain snapshot) and 0 otherwise — a
+// federation of N has N epochs, one per component lease.
+func (s *fedSnapshot) Epoch() uint64 {
+	if len(s.snaps) == 1 {
+		return s.snaps[0].Epoch()
+	}
+	return 0
+}
+
+// Get routes by the OID's shard tag and re-tags the answer.
+func (s *fedSnapshot) Get(oid object.OID) (*object.Object, error) {
+	shard, down := splitOID(uint64(oid))
+	if shard >= len(s.snaps) {
+		return nil, fmt.Errorf("%w: oid names shard %d; federation has %d",
+			query.ErrBadRequest, shard, len(s.snaps))
+	}
+	o, err := s.snaps[shard].Get(object.OID(down))
+	if err != nil {
+		return nil, err
+	}
+	o.OID = object.OID(tagOID(shard, uint64(o.OID)))
+	return o, nil
+}
+
+// Query scatters to the owning shards' pinned views and merges.
+func (s *fedSnapshot) Query(ctx context.Context, req gaea.Request) (*gaea.Result, error) {
+	own := s.r.owners(req.Class)
+	results := make([]*gaea.Result, len(own))
+	noPlan := 0
+	var noPlanErr error
+	for i, shard := range own {
+		res, err := s.snaps[shard].Query(ctx, req)
+		if errors.Is(err, gaea.ErrNoPlan) {
+			// No rows for the class on THIS shard: an empty contribution
+			// unless every owner says the same (see Router.Query).
+			noPlan++
+			noPlanErr = err
+			results[i] = &gaea.Result{}
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fed: shard %d snapshot query: %w", shard, err)
+		}
+		results[i] = res
+	}
+	if noPlan == len(own) {
+		return nil, noPlanErr
+	}
+	return s.r.mergeResults(own, results), nil
+}
+
+// QueryStream merges the owning shards' pinned streams, with the same
+// vector-cursor resume as the live path.
+func (s *fedSnapshot) QueryStream(ctx context.Context, req gaea.Request) (client.Stream, error) {
+	return newFedStream(s.r, ctx, req, func(ctx context.Context, shard int, req gaea.Request) (client.Stream, error) {
+		return s.snaps[shard].QueryStream(ctx, req)
+	})
+}
+
+// Release drops every shard lease. Idempotent per shard client.
+func (s *fedSnapshot) Release() {
+	for _, sn := range s.snaps {
+		sn.Release()
+	}
+}

@@ -41,9 +41,15 @@ var ranks = map[string]int{
 	"storage.Store.metaMu":  5,
 	"storage.wal.mu":        6,
 	"object.Store.mu":       7,
+	// Federation coordinator locks rank below every kernel lock: the
+	// router never calls into a local kernel while holding them (it
+	// talks to shards over the wire), but the decision log is always
+	// taken under — never around — the router mutex.
+	"fed.Router.mu":      8,
+	"fed.decisionLog.mu": 9,
 }
 
-const orderDoc = "commitMu → storage.Store.mu → Heap.mu → bufferPool.mu → metaMu → wal.mu → object.Store.mu"
+const orderDoc = "commitMu → storage.Store.mu → Heap.mu → bufferPool.mu → metaMu → wal.mu → object.Store.mu → fed.Router.mu → fed.decisionLog.mu"
 
 // lockSet is the per-function fact: ranked locks the function may
 // acquire, directly or through callees.

@@ -43,6 +43,11 @@ type BatchOps struct {
 	// the epoch they captured at Begin; internal mutators (refresh, GC
 	// drops) pass zero and win last-writer style.
 	ReadEpoch uint64
+	// PreparedToken names the prepared two-phase transaction this batch
+	// completes: targets locked under the SAME token pass validation
+	// (the locks are this transaction's own), and the token's locks are
+	// released once the batch commits. Zero for ordinary batches.
+	PreparedToken uint64
 }
 
 // ValidateNew checks a new object against its class schema without
@@ -162,22 +167,12 @@ func (s *Store) ApplyBatch(ops BatchOps) (uint64, error) {
 	// Validate every mutated chain. A missing or tombstoned target means
 	// a concurrent writer removed it since staging; under ReadEpoch, a
 	// head newer than the session's read epoch means another session
-	// committed first (first-committer-wins).
+	// committed first (first-committer-wins). A target locked by a
+	// DIFFERENT prepared transaction conflicts regardless of epochs: the
+	// lock holder's commit is already promised.
 	s.mu.RLock()
 	checkTarget := func(oid OID, wantHeap string) (*chain, error) {
-		c, ok := s.chains[oid]
-		if !ok || c.head().del {
-			return nil, fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, oid)
-		}
-		if wantHeap != "" && c.heap != wantHeap {
-			return nil, fmt.Errorf("%w: object %d is of class %s, not %s",
-				ErrBadAttr, oid, c.heap[len("obj_"):], wantHeap[len("obj_"):])
-		}
-		if ops.ReadEpoch > 0 && c.head().epoch > ops.ReadEpoch {
-			return nil, fmt.Errorf("%w: oid %d committed at epoch %d after this session's read epoch %d",
-				ErrConflict, oid, c.head().epoch, ops.ReadEpoch)
-		}
-		return c, nil
+		return s.checkTargetLocked(oid, wantHeap, ops.ReadEpoch, ops.PreparedToken)
 	}
 	upChains := make([]*chain, len(updates))
 	for i, up := range updates {
@@ -262,10 +257,94 @@ func (s *Store) ApplyBatch(ops BatchOps) (uint64, error) {
 	after := s.AfterCommit
 	s.mu.Unlock()
 
+	if ops.PreparedToken != 0 {
+		s.dropPrepared(ops.PreparedToken)
+	}
 	if after != nil {
 		after()
 	}
 	return epoch, nil
+}
+
+// checkTargetLocked validates one mutation target. Callers hold
+// commitMu (which guards prepLocks) and s.mu at least shared (which
+// guards chains).
+func (s *Store) checkTargetLocked(oid OID, wantHeap string, readEpoch, token uint64) (*chain, error) {
+	c, ok := s.chains[oid]
+	if !ok || c.head().del {
+		return nil, fmt.Errorf("%w: oid %d vanished before commit", ErrConflict, oid)
+	}
+	if wantHeap != "" && c.heap != wantHeap {
+		return nil, fmt.Errorf("%w: object %d is of class %s, not %s",
+			ErrBadAttr, oid, c.heap[len("obj_"):], wantHeap[len("obj_"):])
+	}
+	if holder, locked := s.prepLocks[oid]; locked && holder != token {
+		return nil, fmt.Errorf("%w: oid %d is locked by prepared transaction %d", ErrConflict, oid, holder)
+	}
+	if readEpoch > 0 && c.head().epoch > readEpoch {
+		return nil, fmt.Errorf("%w: oid %d committed at epoch %d after this session's read epoch %d",
+			ErrConflict, oid, c.head().epoch, readEpoch)
+	}
+	return c, nil
+}
+
+// PrepareBatch is two-phase-commit phase one at the store level: it
+// runs exactly the validation ApplyBatch would (vanished or conflicting
+// targets, foreign prepared locks) and, on success, locks every update
+// and delete target under the transaction token. Until the token is
+// resolved — ApplyBatch with the same PreparedToken, or
+// ReleasePrepared — no other batch can touch those targets, so the
+// later ApplyBatch cannot fail first-committer-wins validation: the
+// vote to commit is a promise the store keeps. Nothing is written; a
+// crash simply loses the locks (presumed abort).
+func (s *Store) PrepareBatch(ops BatchOps, token uint64) error {
+	if token == 0 {
+		return fmt.Errorf("%w: prepare requires a transaction token", ErrBadAttr)
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.RLock()
+	targets := make([]OID, 0, len(ops.Updates)+len(ops.Deletes))
+	for _, up := range ops.Updates {
+		if _, err := s.checkTargetLocked(up.OID, heapFor(up.Class), ops.ReadEpoch, token); err != nil {
+			s.mu.RUnlock()
+			return err
+		}
+		targets = append(targets, up.OID)
+	}
+	for _, oid := range ops.Deletes {
+		if _, err := s.checkTargetLocked(oid, "", ops.ReadEpoch, token); err != nil {
+			s.mu.RUnlock()
+			return err
+		}
+		targets = append(targets, oid)
+	}
+	s.mu.RUnlock()
+	for _, oid := range targets {
+		s.prepLocks[oid] = token
+	}
+	return nil
+}
+
+// ReleasePrepared drops every lock held by a prepared transaction (the
+// abort path; the commit path releases through ApplyBatch). Unknown
+// tokens are a no-op — release must be idempotent.
+func (s *Store) ReleasePrepared(token uint64) {
+	if token == 0 {
+		return
+	}
+	s.commitMu.Lock()
+	s.dropPrepared(token)
+	s.commitMu.Unlock()
+}
+
+// dropPrepared removes a token's locks. Caller holds commitMu.
+func (s *Store) dropPrepared(token uint64) {
+	for oid, holder := range s.prepLocks {
+		if holder == token {
+			delete(s.prepLocks, oid)
+		}
+	}
 }
 
 // QueryFromAt streams the OIDs of class objects whose extent matches pred

@@ -178,6 +178,16 @@ type Store struct {
 	gcFloor   uint64
 	reclaimed int64
 
+	// prepLocks maps an OID locked by a prepared (but undecided)
+	// two-phase transaction to its transaction token. Guarded by
+	// commitMu, like every other mutator-side structure: PrepareBatch
+	// records locks after validating, ApplyBatch refuses to touch an OID
+	// locked by a DIFFERENT token, and the owning token's commit or
+	// ReleasePrepared clears them. Locks are in-memory only — a crashed
+	// shard loses its prepared state, which is exactly the presumed-abort
+	// contract (nothing was WAL-committed before the decision).
+	prepLocks map[OID]uint64
+
 	// AfterCommit, when set, runs after every committed batch (outside
 	// the store lock). The kernel hooks its auto-checkpoint trigger here.
 	AfterCommit func()
@@ -196,14 +206,15 @@ func heapFor(class string) string { return "obj_" + class }
 // superseded versions persist until the next GC.
 func Open(st *storage.Store, cat *catalog.Catalog) (*Store, error) {
 	s := &Store{
-		st:       st,
-		cat:      cat,
-		chains:   make(map[OID]*chain),
-		spatial:  make(map[string]*sptemp.GridIndex),
-		temporal: make(map[string]*sptemp.IntervalIndex),
-		members:  make(map[string][]OID),
-		changed:  make(map[string][]changeEnt),
-		pins:     make(map[uint64]int),
+		st:        st,
+		cat:       cat,
+		chains:    make(map[OID]*chain),
+		spatial:   make(map[string]*sptemp.GridIndex),
+		temporal:  make(map[string]*sptemp.IntervalIndex),
+		members:   make(map[string][]OID),
+		changed:   make(map[string][]changeEnt),
+		pins:      make(map[uint64]int),
+		prepLocks: make(map[OID]uint64),
 	}
 	var maxEpoch uint64
 	// headExt remembers the newest-seen version's extent per OID during

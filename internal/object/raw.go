@@ -10,7 +10,9 @@ package object
 // GetAt would have.
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"gaea/internal/raster"
 	"gaea/internal/storage"
@@ -92,6 +94,51 @@ func scanBlobIDs(rec []byte) ([]uint64, error) {
 		return nil, r.err
 	}
 	return ids, nil
+}
+
+// EncodeWire serialises an object as a self-contained GOB3 record with
+// every attribute inline — no blob offload, no storage side effects —
+// so a relay that holds a decoded *Object (the federation router
+// re-shipping a shard's page upstream) can speak the raw-record wire
+// path without owning a store. DecodeWire(EncodeWire(o), nil) returns
+// an object equal to o. The epoch slot is zero: raw-path consumers pin
+// epochs out of band (cursors, leases), not from the record.
+func EncodeWire(obj *Object) ([]byte, error) {
+	buf := []byte(objMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.OID))
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // epoch slot (unused on the wire)
+	buf = append(buf, 0)                           // flags
+	buf = appendStr16(buf, obj.Class)
+	buf = appendStr16(buf, string(obj.Extent.Frame.System))
+	buf = appendStr16(buf, string(obj.Extent.Frame.Unit))
+	for _, f := range []float64{obj.Extent.Space.MinX, obj.Extent.Space.MinY, obj.Extent.Space.MaxX, obj.Extent.Space.MaxY} {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(f))
+	}
+	if obj.Extent.HasTime {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.Extent.TimeIv.Start))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(obj.Extent.TimeIv.End))
+
+	names := make([]string, 0, len(obj.Attrs))
+	for n := range obj.Attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(names)))
+	for _, n := range names {
+		enc, err := value.Encode(obj.Attrs[n])
+		if err != nil {
+			return nil, fmt.Errorf("object: attribute %q: %w", n, err)
+		}
+		buf = appendStr16(buf, n)
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
 }
 
 // DecodeWire decodes a stored record shipped verbatim over the wire,

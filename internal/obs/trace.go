@@ -153,6 +153,7 @@ const (
 	spanKey ctxKey = iota
 	tracerKey
 	remoteKey
+	remoteParentKey
 )
 
 // WithTracer returns a context whose Start calls record into t. The
@@ -184,11 +185,34 @@ func WithRemoteTrace(ctx context.Context, id uint64) context.Context {
 	return context.WithValue(ctx, remoteKey, id)
 }
 
+// WithRemoteParent records the caller's span ID alongside an adopted
+// remote trace: the next root span started under the context parents
+// itself under that span instead of the trace root. A relaying hop (the
+// federation router) stamps its own span ID here so a merged
+// cross-process trace renders client→router→shard as three levels.
+// Meaningful only together with WithRemoteTrace; 0 is a no-op.
+func WithRemoteParent(ctx context.Context, span uint64) context.Context {
+	if span == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey, span)
+}
+
 // TraceID reports the trace identity of the active span, or 0 when the
 // context carries none — the value a client puts on the wire.
 func TraceID(ctx context.Context) uint64 {
 	if s, _ := ctx.Value(spanKey).(*Span); s != nil && s.tr != nil {
 		return s.tr.id
+	}
+	return 0
+}
+
+// SpanID reports the identity of the active span, or 0 when the context
+// carries none — the value a client puts on the wire as the remote
+// parent so the callee's spans nest under the caller's.
+func SpanID(ctx context.Context) uint64 {
+	if s, _ := ctx.Value(spanKey).(*Span); s != nil && s.tr != nil {
+		return s.id
 	}
 	return 0
 }
@@ -232,6 +256,7 @@ func StartWith(ctx context.Context, t *Tracer, name string) (context.Context, *S
 	}
 	id, _ := ctx.Value(remoteKey).(uint64)
 	spanID := id
+	var rootParent uint64
 	if id == 0 {
 		if !t.admit() {
 			// Mark the subtree suppressed only when descendants could
@@ -248,15 +273,18 @@ func StartWith(ctx context.Context, t *Tracer, name string) (context.Context, *S
 	} else {
 		// An adopted trace must NOT reuse the trace ID as its root span
 		// ID: the originating process's root already did, and merged
-		// cross-process trees would see two spans with one identity.
+		// cross-process trees would see two spans with one identity. The
+		// remote parent (the caller's span, when stamped) threads the
+		// adopted root under the caller's tree once traces are merged.
 		spanID = newID()
+		rootParent, _ = ctx.Value(remoteParentKey).(uint64)
 	}
 	// One allocation opens the trace: the root span and the initial span
 	// array are inline, and a locally-minted root reuses the trace ID as
 	// its span ID.
 	tr := &trace{tracer: t, id: id}
 	s := &tr.root
-	*s = Span{tr: tr, id: spanID, name: name, start: time.Now()}
+	*s = Span{tr: tr, id: spanID, parent: rootParent, name: name, start: time.Now()}
 	tr.spans = append(tr.inline[:0], s)
 	return context.WithValue(ctx, spanKey, s), s
 }
@@ -288,6 +316,15 @@ func (s *Span) TraceID() uint64 {
 		return 0
 	}
 	return s.tr.id
+}
+
+// SpanID reports this span's own identity (0 on a nil span) — the value
+// a client puts on the wire as the remote parent.
+func (s *Span) SpanID() uint64 {
+	if s == nil || s.tr == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Annotate attaches a key/value pair to the span.
@@ -443,9 +480,21 @@ func (t *Tracer) Find(id uint64) (TraceData, bool) {
 func (d TraceData) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %016x %s %v\n", d.ID, d.Root, time.Duration(d.Dur).Round(time.Microsecond))
+	ids := map[uint64]bool{}
+	for _, s := range d.Spans {
+		ids[s.ID] = true
+	}
 	children := map[uint64][]SpanData{}
 	for _, s := range d.Spans {
-		children[s.Parent] = append(children[s.Parent], s)
+		parent := s.Parent
+		if !ids[parent] {
+			// An adopted root's parent lives in another process's trace;
+			// when that trace is absent (rendering one process alone, or a
+			// shard without its router), treat the span as a local root so
+			// the tree never renders empty.
+			parent = 0
+		}
+		children[parent] = append(children[parent], s)
 	}
 	var walk func(parent uint64, depth int)
 	walk = func(parent uint64, depth int) {

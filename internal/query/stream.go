@@ -115,6 +115,22 @@ func CursorEpoch(c string) (uint64, error) {
 	return epoch, err
 }
 
+// CursorClass extracts the class a cursor resumes within. The
+// federation router uses it to route a bare single-kernel cursor to the
+// shards owning that class.
+func CursorClass(c string) (string, error) {
+	_, class, _, err := parseCursor(c)
+	return class, err
+}
+
+// DecodeCursor splits a cursor into its snapshot epoch, class, and the
+// OID iteration resumes after. The federation router uses it to strip
+// its shard tag off the resume OID before forwarding a cursor minted
+// upstream back down to the shard that owns it.
+func DecodeCursor(c string) (epoch uint64, class string, after object.OID, err error) {
+	return parseCursor(c)
+}
+
 func parseCursor(c string) (epoch uint64, class string, after object.OID, err error) {
 	parts := strings.Split(c, "|")
 	if len(parts) != 4 || parts[0] != cursorVersion || parts[2] == "" {

@@ -1,0 +1,166 @@
+package server
+
+// Durable prepares. A 2PC yes-vote is a promise: "I validated and locked
+// this write set and WILL commit it if told to." Prepare's in-memory
+// write locks keep the promise against competing writers, but not
+// against a crash — a restarted shard that forgot its vote while the
+// coordinator logged COMMIT leaves the transaction half-applied across
+// the grid. When Options.PrepareDir is set, every yes-vote is fsynced
+// to a sidecar file before the vote is answered, and New re-stages the
+// surviving sidecars (replay + Prepare under a fresh TTL) before the
+// server accepts connections, so a coordinator replaying its decision
+// log after a shard restart finds the prepared transaction waiting.
+//
+// Re-staging reserves fresh OIDs for the batch's creates — the
+// coordinator must take the authoritative OIDs from the decide(commit)
+// response, not the original vote. Re-staging can also fail (a
+// first-committer-wins conflict means the store moved past the vote's
+// read epoch — possible only if the original commit actually applied
+// before the crash, or the lock was breached by a TTL abort): the
+// sidecar is then dropped and a later decide(commit) answers
+// CodeNotFound, surfacing the heuristic outcome instead of guessing.
+// The sidecar is removed only after the decision is applied, so a crash
+// in the narrow window between a durable commit and the unlink can
+// re-stage an already-applied batch; update/delete batches then fail
+// re-prepare on their own conflict check, while pure-create batches
+// would duplicate — the documented heuristic window of this design.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gaea/internal/wire"
+)
+
+// persistedPrepare is the sidecar record of one yes-vote: everything
+// needed to rebuild the prepared session after a restart.
+type persistedPrepare struct {
+	User  string
+	Token uint64
+	Batch wire.BatchReq
+}
+
+func prepPath(dir string, token uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("prep-%d.gob", token))
+}
+
+// persistPrepare makes a yes-vote durable: write, fsync, rename into
+// place, fsync the directory. A nil error means the vote survives a
+// crash; any error must turn the vote into a no.
+func (s *Server) persistPrepare(user string, token uint64, batch *wire.BatchReq) error {
+	dir := s.opts.PrepareDir
+	if dir == "" {
+		return nil
+	}
+	final := prepPath(dir, token)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("server: persist prepare %d: %w", token, err)
+	}
+	pp := persistedPrepare{User: user, Token: token, Batch: *batch}
+	if err := gob.NewEncoder(f).Encode(&pp); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, final)
+	}
+	if err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("server: persist prepare %d: %w", token, err)
+	}
+	return nil
+}
+
+// removePrepare retires a sidecar once its transaction is decided (or
+// presumed aborted). Best-effort: a leftover file re-stages a prepare
+// whose decide will re-resolve it.
+func (s *Server) removePrepare(token uint64) {
+	if s.opts.PrepareDir == "" {
+		return
+	}
+	_ = os.Remove(prepPath(s.opts.PrepareDir, token))
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// recoverPrepared re-stages every surviving sidecar vote. Called from
+// New before any listener is served, so a decide replayed by the
+// coordinator's recovery cannot race the re-staging. Sidecars that no
+// longer re-prepare (decode failure, vanished class, conflict past the
+// vote's read epoch) are dropped — presumed abort, surfaced to a late
+// decide(commit) as CodeNotFound.
+func (s *Server) recoverPrepared() {
+	dir := s.opts.PrepareDir
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// An unrenamed vote never answered yes; nobody waits on it.
+			_ = os.Remove(path)
+			continue
+		}
+		if !strings.HasPrefix(name, "prep-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		var pp persistedPrepare
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		err = gob.NewDecoder(f).Decode(&pp)
+		f.Close()
+		if err != nil || pp.Token == 0 {
+			_ = os.Remove(path)
+			continue
+		}
+		sess := s.b.Begin(s.baseCtx, pp.Batch.ReadEpoch, pp.User)
+		ps, ok := sess.(PreparableSession)
+		if !ok {
+			_ = sess.Rollback()
+			_ = os.Remove(path)
+			continue
+		}
+		real, errResp := s.replayBatch(ps, &pp.Batch)
+		if errResp != nil { // replayBatch already rolled the session back
+			_ = os.Remove(path)
+			continue
+		}
+		if err := ps.Prepare(); err != nil {
+			_ = ps.Rollback()
+			_ = os.Remove(path)
+			continue
+		}
+		s.prepared[pp.Token] = &preparedTxn{
+			token: pp.Token, sess: ps, real: real,
+			expires: time.Now().Add(s.opts.leaseTTL()),
+		}
+	}
+}

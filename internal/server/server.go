@@ -55,6 +55,26 @@ type Session interface {
 	Rollback() error
 }
 
+// PreparableSession is the optional two-phase-commit surface of a
+// Session: Prepare validates the staged batch against the session's
+// read epoch and locks its write set, so a later Commit cannot fail
+// validation (first-committer-wins is decided at prepare time) and no
+// competing writer can slip between the phases. A prepared session must
+// end with Commit or Rollback; *gaea.Session satisfies it.
+type PreparableSession interface {
+	Session
+	Prepare() error
+}
+
+// DeferredOIDs is implemented by backend sessions that assign real OIDs
+// only at Commit (the federation router's cross-shard sessions, whose
+// creates stay provisional until the owning shard answers). After a
+// successful Commit the server remaps each Create's stage-time OID
+// through Committed before answering the client.
+type DeferredOIDs interface {
+	Committed(staged object.OID) (object.OID, bool)
+}
+
 // Backend is the kernel surface the server exposes remotely. Package
 // gaea implements it on *Kernel. Methods must be safe for concurrent
 // use and return errors already classified against the public taxonomy
@@ -143,6 +163,12 @@ type Options struct {
 	PageSize int
 	// MaxFrame bounds one wire frame (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// PrepareDir, when set, makes 2PC yes-votes durable: each prepared
+	// transaction is fsynced there as a sidecar file before the vote is
+	// answered, and New re-stages surviving sidecars after a restart so
+	// a coordinator replaying its decision log still finds them. Empty
+	// keeps prepares in-memory only (a crash presume-aborts them).
+	PrepareDir string
 }
 
 const (
@@ -200,6 +226,18 @@ type lease struct {
 	expires time.Time
 }
 
+// preparedTxn is one 2PC participant vote: a session that passed
+// Prepare and now awaits the coordinator's decision. It carries the
+// real OIDs already answered to the coordinator and a TTL — an
+// undecided prepare whose coordinator vanished is presumed aborted when
+// the janitor expires it, so its write locks cannot wedge the shard.
+type preparedTxn struct {
+	token   uint64
+	sess    Session
+	real    []uint64
+	expires time.Time
+}
+
 // Server serves the wire protocol for one Backend. Create with New,
 // start with Serve (one goroutine per listener), stop with Shutdown.
 type Server struct {
@@ -211,6 +249,7 @@ type Server struct {
 	conns     map[net.Conn]bool // conn -> busy (handling a request)
 	snapLease map[uint64]*lease // by lease id
 	curLease  map[uint64]*lease // by epoch
+	prepared  map[uint64]*preparedTxn
 	draining  bool
 
 	nextLease    atomic.Uint64
@@ -258,6 +297,7 @@ func New(b Backend, opts Options) *Server {
 		conns:       make(map[net.Conn]bool),
 		snapLease:   make(map[uint64]*lease),
 		curLease:    make(map[uint64]*lease),
+		prepared:    make(map[uint64]*preparedTxn),
 		v2conns:     make(map[*v2conn]struct{}),
 		quit:        make(chan struct{}),
 		baseCtx:     ctx,
@@ -286,6 +326,7 @@ func New(b Backend, opts Options) *Server {
 			return int64(len(s.snapLease) + len(s.curLease))
 		})
 	}
+	s.recoverPrepared()
 	go s.janitor()
 	return s
 }
@@ -296,7 +337,8 @@ func New(b Backend, opts Options) *Server {
 // trace instead of starting a fresh one.
 func (s *Server) traceCtx(ctx context.Context, req *wire.Request) context.Context {
 	ctx = obs.WithTracer(ctx, s.tracer)
-	return obs.WithRemoteTrace(ctx, req.TraceID())
+	ctx = obs.WithRemoteTrace(ctx, req.TraceID())
+	return obs.WithRemoteParent(ctx, req.ParentSpan())
 }
 
 // Serve accepts connections on l until Shutdown (which closes the
@@ -538,6 +580,10 @@ func (s *Server) handle(ctx context.Context, user string, req *wire.Request) *wi
 		return s.handleStream(ctx, user, req)
 	case wire.OpCommit:
 		return s.handleCommit(ctx, user, req)
+	case wire.OpPrepare:
+		return s.handlePrepare(user, req)
+	case wire.OpDecide:
+		return s.handleDecide(req)
 	case wire.OpSnapOpen:
 		return s.handleSnapOpen()
 	case wire.OpSnapGet, wire.OpSnapQuery, wire.OpSnapStream, wire.OpSnapRelease:
@@ -636,33 +682,27 @@ func (s *Server) handleStream(ctx context.Context, user string, req *wire.Reques
 	return resp
 }
 
-// handleCommit replays a staged remote session into a kernel session:
-// reserve real OIDs for the creates, remap provisional references in
-// updates and deletes, commit once. The response carries the real OIDs
-// parallel to the batch's creates.
-func (s *Server) handleCommit(ctx context.Context, user string, req *wire.Request) *wire.Response {
-	if req.Batch == nil {
-		return badRequest("batch payload missing")
-	}
-	s.sessions.Add(1)
-	defer s.sessions.Add(-1)
-	sess := s.b.Begin(ctx, req.Batch.ReadEpoch, user)
+// replayBatch stages a remote batch into a session: reserve real OIDs
+// for the creates, remap provisional references in updates and deletes.
+// On error the session is rolled back. The returned OIDs are parallel
+// to the batch's creates.
+func (s *Server) replayBatch(sess Session, batch *wire.BatchReq) ([]uint64, *wire.Response) {
 	abort := func(err error) *wire.Response {
 		_ = sess.Rollback()
 		return s.errResponse(err)
 	}
-	provMap := make(map[uint64]object.OID, len(req.Batch.Creates))
-	real := make([]uint64, 0, len(req.Batch.Creates))
-	for i := range req.Batch.Creates {
-		c := &req.Batch.Creates[i]
+	provMap := make(map[uint64]object.OID, len(batch.Creates))
+	real := make([]uint64, 0, len(batch.Creates))
+	for i := range batch.Creates {
+		c := &batch.Creates[i]
 		obj, err := c.Obj.ToObject()
 		if err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
 		obj.OID = 0 // the server reserves the real OID
 		oid, err := sess.Create(obj, c.Note)
 		if err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
 		provMap[c.Prov] = oid
 		real = append(real, uint64(oid))
@@ -677,31 +717,155 @@ func (s *Server) handleCommit(ctx context.Context, user string, req *wire.Reques
 		}
 		return r, nil
 	}
-	for i := range req.Batch.Updates {
-		obj, err := req.Batch.Updates[i].ToObject()
+	for i := range batch.Updates {
+		obj, err := batch.Updates[i].ToObject()
 		if err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
-		if obj.OID, err = remap(req.Batch.Updates[i].OID); err != nil {
-			return abort(err)
+		if obj.OID, err = remap(batch.Updates[i].OID); err != nil {
+			return nil, abort(err)
 		}
 		if err := sess.Update(obj); err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
 	}
-	for _, oid := range req.Batch.Deletes {
+	for _, oid := range batch.Deletes {
 		r, err := remap(oid)
 		if err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
 		if err := sess.Delete(r); err != nil {
-			return abort(err)
+			return nil, abort(err)
 		}
+	}
+	return real, nil
+}
+
+// remapDeferred rewrites stage-time OIDs through a DeferredOIDs session
+// after its Commit (sessions with immediate OIDs pass through).
+func remapDeferred(sess Session, real []uint64) []uint64 {
+	ds, ok := sess.(DeferredOIDs)
+	if !ok {
+		return real
+	}
+	for i, oid := range real {
+		if r, ok := ds.Committed(object.OID(oid)); ok {
+			real[i] = uint64(r)
+		}
+	}
+	return real
+}
+
+// handleCommit replays a staged remote session into a kernel session
+// and commits it in the same round trip (the single-shard fast path of
+// the federation, and the only commit path for plain clients). The
+// response carries the real OIDs parallel to the batch's creates.
+func (s *Server) handleCommit(ctx context.Context, user string, req *wire.Request) *wire.Response {
+	if req.Batch == nil {
+		return badRequest("batch payload missing")
+	}
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	sess := s.b.Begin(ctx, req.Batch.ReadEpoch, user)
+	real, errResp := s.replayBatch(sess, req.Batch)
+	if errResp != nil {
+		return errResp
 	}
 	if err := sess.Commit(); err != nil {
 		return s.errResponse(err)
 	}
+	return &wire.Response{OIDs: remapDeferred(sess, real)}
+}
+
+// handlePrepare is 2PC phase one: replay the batch into a session,
+// validate and lock it with Prepare, and park the session under the
+// coordinator's transaction token (req.Lease) until OpDecide. The
+// session deliberately runs under the server's base context, not the
+// request's — it outlives this request and dies only with a decision,
+// the TTL janitor, or Shutdown. The response carries the creates' real
+// OIDs so the coordinator can answer its client after deciding commit.
+func (s *Server) handlePrepare(user string, req *wire.Request) *wire.Response {
+	if req.Batch == nil {
+		return badRequest("batch payload missing")
+	}
+	if req.Lease == 0 {
+		return badRequest("prepare requires a transaction token")
+	}
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	sess := s.b.Begin(s.baseCtx, req.Batch.ReadEpoch, user)
+	ps, ok := sess.(PreparableSession)
+	if !ok {
+		_ = sess.Rollback()
+		return badRequest("backend does not support two-phase commit")
+	}
+	real, errResp := s.replayBatch(ps, req.Batch)
+	if errResp != nil {
+		return errResp
+	}
+	if err := ps.Prepare(); err != nil {
+		_ = ps.Rollback()
+		return s.errResponse(err)
+	}
+	txn := &preparedTxn{token: req.Lease, sess: ps, real: real, expires: time.Now().Add(s.opts.leaseTTL())}
+	s.mu.Lock()
+	_, dup := s.prepared[req.Lease]
+	if !dup {
+		s.prepared[req.Lease] = txn
+	}
+	s.mu.Unlock()
+	if dup {
+		_ = ps.Rollback()
+		return badRequest(fmt.Sprintf("transaction %d already prepared", req.Lease))
+	}
+	// The vote must be durable before it is answered: once the response
+	// leaves, the coordinator may log COMMIT on its strength.
+	if err := s.persistPrepare(user, req.Lease, req.Batch); err != nil {
+		s.mu.Lock()
+		delete(s.prepared, req.Lease)
+		s.mu.Unlock()
+		_ = ps.Rollback()
+		return s.errResponse(err)
+	}
 	return &wire.Response{OIDs: real}
+}
+
+// handleDecide is 2PC phase two: commit (req.Epoch = 1) or abort
+// (req.Epoch = 0) the prepared transaction named by req.Lease. Abort is
+// idempotent — deciding an unknown token aborts nothing and succeeds,
+// because the janitor may already have presumed the abort. An unknown
+// token on COMMIT is an error (CodeNotFound): the prepare TTL expired
+// or the shard restarted, and the coordinator must surface the
+// heuristic outcome rather than assume the write landed.
+func (s *Server) handleDecide(req *wire.Request) *wire.Response {
+	if req.Lease == 0 {
+		return badRequest("decide requires a transaction token")
+	}
+	commit := req.Epoch != 0
+	s.mu.Lock()
+	txn, ok := s.prepared[req.Lease]
+	delete(s.prepared, req.Lease)
+	s.mu.Unlock()
+	if !ok {
+		if commit {
+			return &wire.Response{Code: wire.CodeNotFound,
+				Err: fmt.Sprintf("server: no prepared transaction %d (prepare expired or shard restarted)", req.Lease)}
+		}
+		return &wire.Response{}
+	}
+	if !commit {
+		_ = txn.sess.Rollback()
+		s.removePrepare(req.Lease)
+		return &wire.Response{}
+	}
+	if err := txn.sess.Commit(); err != nil {
+		// Prepare locked the write set, so this is not a validation race:
+		// the shard itself failed (storage error, kernel closing). The
+		// sidecar stays: a restart re-stages the vote for a retried decide.
+		return s.errResponse(err)
+	}
+	s.removePrepare(req.Lease)
+	return &wire.Response{OIDs: remapDeferred(txn.sess, txn.real)}
 }
 
 // handleSnapOpen pins the current epoch under a fresh lease.
@@ -826,6 +990,7 @@ func (s *Server) janitor() {
 			return
 		case now := <-tick.C:
 			var drop []uint64
+			var presumeAbort []*preparedTxn
 			s.mu.Lock()
 			for id, l := range s.snapLease {
 				if now.After(l.expires) {
@@ -839,9 +1004,24 @@ func (s *Server) janitor() {
 					delete(s.curLease, epoch)
 				}
 			}
+			for token, txn := range s.prepared {
+				if now.After(txn.expires) {
+					presumeAbort = append(presumeAbort, txn)
+					delete(s.prepared, token)
+				}
+			}
 			s.mu.Unlock()
 			for _, epoch := range drop {
 				s.b.Unpin(epoch)
+				s.expiries.Add(1)
+			}
+			// Presumed abort: an undecided prepare whose coordinator went
+			// silent rolls back, releasing its write locks (and its
+			// durable sidecar, if any). A late decide(commit) for it
+			// answers CodeNotFound.
+			for _, txn := range presumeAbort {
+				_ = txn.sess.Rollback()
+				s.removePrepare(txn.token)
 				s.expiries.Add(1)
 			}
 		}
@@ -959,9 +1139,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		epochs = append(epochs, l.epoch)
 		delete(s.curLease, epoch)
 	}
+	var undecided []*preparedTxn
+	for token, txn := range s.prepared {
+		undecided = append(undecided, txn)
+		delete(s.prepared, token)
+	}
 	s.mu.Unlock()
 	for _, epoch := range epochs {
 		s.b.Unpin(epoch)
+	}
+	// Undecided prepares roll back their in-memory write locks (they
+	// must not outlive the server embedding the kernel) — but their
+	// durable sidecars are kept, so a restart re-stages the votes and a
+	// coordinator replaying its decision log can still decide them.
+	for _, txn := range undecided {
+		_ = txn.sess.Rollback()
 	}
 	return err
 }

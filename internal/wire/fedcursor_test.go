@@ -1,0 +1,160 @@
+package wire
+
+// Property and fuzz coverage for the federation vector-cursor codec.
+// Vector cursors cross the trust boundary twice — minted by the router,
+// echoed back by any client — so DecodeVectorCursor must reject
+// arbitrary strings cleanly, and anything it accepts must re-encode
+// byte-for-byte identically (a cursor that re-encodes differently would
+// silently resume the wrong merge position).
+//
+// Seed corpus lives under testdata/fuzz/ (regenerate with
+// GAEA_REGEN_CORPUS=1 go test ./internal/wire -run TestFedCursorSeedCorpus).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func fedCursorSeeds() []string {
+	return []string{
+		EncodeVectorCursor(nil),
+		EncodeVectorCursor([]ShardCursor{{Shard: 0, Epoch: 7, Cursor: "c2|7|rainfall|41"}}),
+		EncodeVectorCursor([]ShardCursor{
+			{Shard: 0, Epoch: 3, Cursor: "c2|3|rainfall|5"},
+			{Shard: 1, Epoch: 3, Done: true},
+			{Shard: 2, Epoch: 0, Cursor: ""},
+			{Shard: 3, Epoch: 1<<64 - 1, Cursor: "c2|18446744073709551615|landsat_scene|9"},
+		}),
+		EncodeVectorCursor([]ShardCursor{{Shard: 1 << 20, Epoch: 1, Cursor: "c2|1|x|1"}}),
+		"cv1|",
+		"cv1|AA",
+		"cv1|!!!not-base64!!!",
+		"c2|1|rainfall|5",
+		"",
+		"cv1|AQEBAQFj", // hand-rolled near-miss bytes
+	}
+}
+
+func FuzzFedCursorDecode(f *testing.F) {
+	for _, s := range fedCursorSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		comps, err := DecodeVectorCursor(s)
+		if err != nil {
+			return
+		}
+		// Accepted cursors are canonical: they re-encode identically and
+		// the second decode agrees with the first.
+		rt := EncodeVectorCursor(comps)
+		if rt != s {
+			t.Fatalf("vector cursor not canonical: %q re-encodes to %q", s, rt)
+		}
+		comps2, err2 := DecodeVectorCursor(rt)
+		if err2 != nil {
+			t.Fatalf("re-encoded vector cursor %q rejected: %v", rt, err2)
+		}
+		if len(comps2) != len(comps) {
+			t.Fatalf("round trip changed component count: %d -> %d", len(comps), len(comps2))
+		}
+		last := -1
+		for i := range comps {
+			if comps2[i] != comps[i] {
+				t.Fatalf("component %d changed: %+v -> %+v", i, comps[i], comps2[i])
+			}
+			if comps[i].Shard <= last {
+				t.Fatalf("accepted unsorted shard index at %d: %+v", i, comps)
+			}
+			last = comps[i].Shard
+			if comps[i].Done && comps[i].Cursor != "" {
+				t.Fatalf("accepted done shard with cursor: %+v", comps[i])
+			}
+		}
+	})
+}
+
+// TestFedCursorRoundTrip is the deterministic property test: random
+// well-formed component vectors survive encode/decode exactly, in any
+// input order.
+func TestFedCursorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(6)
+		comps := make([]ShardCursor, 0, n)
+		shard := 0
+		for i := 0; i < n; i++ {
+			shard += 1 + rng.Intn(4)
+			c := ShardCursor{Shard: shard, Epoch: rng.Uint64() >> uint(rng.Intn(64))}
+			if rng.Intn(3) == 0 {
+				c.Done = true
+			} else if rng.Intn(2) == 0 {
+				c.Cursor = fmt.Sprintf("c2|%d|class-%d|%d", c.Epoch, rng.Intn(9), rng.Uint64())
+			}
+			comps = append(comps, c)
+		}
+		// Shuffle: the codec canonicalises input order.
+		shuffled := append([]ShardCursor(nil), comps...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		enc := EncodeVectorCursor(shuffled)
+		if !IsVectorCursor(enc) {
+			t.Fatalf("encoded cursor %q missing prefix", enc)
+		}
+		got, err := DecodeVectorCursor(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode %q: %v", trial, enc, err)
+		}
+		if len(got) != len(comps) {
+			t.Fatalf("trial %d: %d components, want %d", trial, len(got), len(comps))
+		}
+		for i := range comps {
+			if got[i] != comps[i] {
+				t.Fatalf("trial %d component %d: got %+v, want %+v", trial, i, got[i], comps[i])
+			}
+		}
+	}
+}
+
+// TestFedCursorRejects pins the rejection cases the router depends on.
+func TestFedCursorRejects(t *testing.T) {
+	dup := EncodeVectorCursor([]ShardCursor{{Shard: 2, Epoch: 1}, {Shard: 2, Epoch: 2}})
+	for _, s := range []string{
+		"", "c2|1|x|1", "cv1|@@@",
+		dup, // duplicate shard index survives sorting, decode must reject
+	} {
+		if _, err := DecodeVectorCursor(s); err == nil {
+			t.Fatalf("DecodeVectorCursor(%q) accepted", s)
+		}
+	}
+	if _, err := DecodeVectorCursor(EncodeVectorCursor(nil)); err != nil {
+		t.Fatalf("empty vector cursor rejected: %v", err)
+	}
+}
+
+// TestFedCursorSeedCorpus verifies the committed seed corpus exists (and
+// regenerates it under GAEA_REGEN_CORPUS=1).
+func TestFedCursorSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFedCursorDecode")
+	seeds := fedCursorSeeds()
+	if os.Getenv("GAEA_REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\nstring(" + strconv.Quote(s) + ")\n"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("missing seed corpus entry %s (regenerate with GAEA_REGEN_CORPUS=1): %v", name, err)
+		}
+	}
+}

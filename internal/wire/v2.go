@@ -404,6 +404,7 @@ func EncodeRequest(f *Frame, req *Request) {
 	f.Uvarint(uint64(req.Page))
 	if req.trace != 0 {
 		f.Uvarint(req.trace)
+		f.Uvarint(req.parent)
 	}
 	if req.Query != nil {
 		encodeQueryReq(f, req.Query)
@@ -426,6 +427,7 @@ func DecodeRequest(body []byte, req *Request) error {
 	req.Page = int(d.Uvarint())
 	if mask&reqHasTrace != 0 {
 		req.trace = d.Uvarint()
+		req.parent = d.Uvarint()
 	}
 	if mask&reqHasQuery != 0 {
 		req.Query = decodeQueryReq(d)

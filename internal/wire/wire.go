@@ -153,6 +153,8 @@ const (
 	OpRefresh                    // RefreshStale
 	OpExplain                    // derivation history of an object
 	OpExplainQuery               // query preview
+	OpPrepare                    // 2PC phase one: validate + stage a session batch under a txn token
+	OpDecide                     // 2PC phase two: commit (Epoch=1) or abort (Epoch=0) a prepared txn
 )
 
 // String names the op for logs and errors.
@@ -190,6 +192,10 @@ func (o Op) String() string {
 		return "explain"
 	case OpExplainQuery:
 		return "explain-query"
+	case OpPrepare:
+		return "prepare"
+	case OpDecide:
+		return "decide"
 	case OpStreamPush:
 		return "stream-push"
 	default:
@@ -442,6 +448,13 @@ type Request struct {
 	// stay byte-for-byte identical whether or not tracing is on — only
 	// the v2 binary codec carries it, under its own mask bit.
 	trace uint64
+	// parent is the caller's span ID within trace, so a relaying hop
+	// (the federation router) can parent the server's spans under its
+	// own span instead of the trace root — that is what renders the
+	// client→router→shard tree as three levels rather than two. Carried
+	// only when trace is set; 0 means "parent under the trace root",
+	// which is exactly the pre-federation behaviour.
+	parent uint64
 }
 
 // SetTrace stamps the request with the caller's trace identity
@@ -450,6 +463,13 @@ func (r *Request) SetTrace(id uint64) { r.trace = id }
 
 // TraceID reports the propagated trace identity (0 = untraced).
 func (r *Request) TraceID() uint64 { return r.trace }
+
+// SetParentSpan stamps the caller's span ID (meaningful only alongside
+// SetTrace; relaying hops use it to deepen the remote span tree).
+func (r *Request) SetParentSpan(id uint64) { r.parent = id }
+
+// ParentSpan reports the propagated parent span (0 = trace root).
+func (r *Request) ParentSpan() uint64 { return r.parent }
 
 // ResultPayload is the wire form of a query.Result.
 type ResultPayload struct {

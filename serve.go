@@ -39,6 +39,13 @@ type ServeOptions struct {
 	PageSize int
 	// MaxFrame bounds one wire frame (0 = 64 MiB).
 	MaxFrame int
+	// PrepareDir, when non-empty, makes two-phase-commit yes-votes
+	// durable: each prepared transaction is fsynced there before the
+	// vote is answered, and a restarted server re-stages the surviving
+	// votes so a federation coordinator replaying its decision log
+	// still finds them. Leave empty on kernels never serving as a
+	// federation shard (prepares then live in memory only).
+	PrepareDir string
 	// DebugAddr, when non-empty, serves a plaintext HTTP debug endpoint
 	// on that address (started with the first Serve): /metrics (the
 	// registry as text), /traces (the full observability export as
@@ -101,10 +108,11 @@ func (k *Kernel) NewServer(opts ServeOptions) *Server {
 		k:            k,
 		debugAddrOpt: opts.DebugAddr,
 		inner: server.New(kernelBackend{k}, server.Options{
-			MaxConns: opts.MaxConns,
-			LeaseTTL: opts.SnapshotLease,
-			PageSize: opts.PageSize,
-			MaxFrame: opts.MaxFrame,
+			MaxConns:   opts.MaxConns,
+			LeaseTTL:   opts.SnapshotLease,
+			PageSize:   opts.PageSize,
+			MaxFrame:   opts.MaxFrame,
+			PrepareDir: opts.PrepareDir,
 		})}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gaea/internal/object"
@@ -53,7 +54,14 @@ type Session struct {
 	updateIdx map[object.OID]int
 	deletes   []object.OID
 	deleteIdx map[object.OID]int
+	// prepToken is non-zero once Prepare locked this session's write set
+	// in the store; Commit completes under it, Rollback releases it.
+	prepToken uint64
 }
+
+// prepareTokens mints store-level lock tokens for prepared sessions
+// (process-unique; a token never outlives the in-memory locks it names).
+var prepareTokens atomic.Uint64
 
 type stagedCreate struct {
 	obj  *object.Object
@@ -98,6 +106,16 @@ func (s *Session) check() error {
 	return s.k.checkOpen()
 }
 
+// checkStaging additionally refuses staging after Prepare: the locked
+// write set is the one that was voted on, and growing it would commit
+// work no participant validated.
+func (s *Session) checkStaging() error {
+	if s.prepToken != 0 {
+		return fmt.Errorf("%w: session is prepared; commit or roll back", ErrClosed)
+	}
+	return s.check()
+}
+
 // Create stages a new object (base data) and returns its reserved OID.
 // The load task recording its provenance note is staged with it — even
 // an empty note records the load, so the object is never invisible to
@@ -105,7 +123,7 @@ func (s *Session) check() error {
 func (s *Session) Create(obj *object.Object, note string) (object.OID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.check(); err != nil {
+	if err := s.checkStaging(); err != nil {
 		return 0, classify(err)
 	}
 	oid, err := s.k.Objects.Reserve(obj)
@@ -124,7 +142,7 @@ func (s *Session) Create(obj *object.Object, note string) (object.OID, error) {
 func (s *Session) Update(obj *object.Object) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.check(); err != nil {
+	if err := s.checkStaging(); err != nil {
 		return classify(err)
 	}
 	if _, staged := s.deleteIdx[obj.OID]; staged {
@@ -155,7 +173,7 @@ func (s *Session) Update(obj *object.Object) error {
 func (s *Session) Delete(oid object.OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.check(); err != nil {
+	if err := s.checkStaging(); err != nil {
 		return classify(err)
 	}
 	if i, staged := s.createIdx[oid]; staged {
@@ -175,6 +193,41 @@ func (s *Session) Delete(oid object.OID) error {
 	}
 	s.deleteIdx[oid] = len(s.deletes)
 	s.deletes = append(s.deletes, oid)
+	return nil
+}
+
+// Prepare is two-phase-commit phase one: it validates this session's
+// staged updates and deletes exactly as Commit would (vanished targets,
+// first-committer-wins against the read epoch) and locks the write set
+// in the store, so a later Commit cannot fail validation — no competing
+// writer can touch those objects between the phases. A prepared session
+// accepts no further staging and must finish with Commit or Rollback;
+// the locks are in-memory only, so a crash aborts the transaction
+// implicitly. The federation coordinator votes shards through this
+// path; embedded callers may use it for the same commit-cannot-conflict
+// guarantee.
+func (s *Session) Prepare() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkStaging(); err != nil {
+		return classify(err)
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	var ops object.BatchOps
+	for _, u := range s.updates {
+		if u != nil {
+			ops.Updates = append(ops.Updates, u)
+		}
+	}
+	ops.Deletes = s.deletes
+	ops.ReadEpoch = s.readEpoch
+	token := prepareTokens.Add(1)
+	if err := s.k.Objects.PrepareBatch(ops, token); err != nil {
+		return classify(err)
+	}
+	s.prepToken = token
 	return nil
 }
 
@@ -207,6 +260,15 @@ func (s *Session) Commit() (err error) {
 		return classify(err)
 	}
 	s.done = true
+	// A failed commit of a prepared session must not strand its write
+	// locks (release is idempotent — after a successful ApplyBatch the
+	// token is already dropped).
+	defer func() {
+		if err != nil && s.prepToken != 0 {
+			s.k.Objects.ReleasePrepared(s.prepToken)
+			s.prepToken = 0
+		}
+	}()
 	if err := s.ctx.Err(); err != nil {
 		return err
 	}
@@ -234,6 +296,7 @@ func (s *Session) Commit() (err error) {
 	}
 	ops.Deletes = s.deletes
 	ops.ReadEpoch = s.readEpoch
+	ops.PreparedToken = s.prepToken
 	if len(staged) > 0 {
 		ops.PinSeqs = []string{"task"}
 	}
@@ -260,11 +323,16 @@ func (s *Session) Commit() (err error) {
 	return nil
 }
 
-// Rollback discards the staged work. Rolling back a finished session is
-// a no-op. Reserved OIDs simply go unreferenced — at worst an OID gap.
+// Rollback discards the staged work, releasing any write locks a
+// Prepare took. Rolling back a finished session is a no-op. Reserved
+// OIDs simply go unreferenced — at worst an OID gap.
 func (s *Session) Rollback() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done = true
+	if s.prepToken != 0 {
+		s.k.Objects.ReleasePrepared(s.prepToken)
+		s.prepToken = 0
+	}
 	return nil
 }
