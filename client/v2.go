@@ -361,12 +361,15 @@ func (p *v2pull) deliver(pg *v2page) {
 	}
 }
 
-// v2page is one decoded push page (or a terminal error).
+// v2page is one decoded push page (or a terminal error). Stats pages
+// (SubscribeStats) carry their JSON delta in stats instead of objects;
+// their epoch field is the subscription's next event sequence.
 type v2page struct {
 	epoch  uint64
 	cursor string
 	end    bool
 	objs   []*object.Object
+	stats  []byte
 	err    error
 }
 
@@ -376,6 +379,14 @@ func decodePage(body []byte) *v2page {
 	d := wire.NewDec(body)
 	hdr := wire.DecodePageHeader(d)
 	pg := &v2page{epoch: hdr.Epoch, cursor: hdr.Cursor, end: hdr.Flags&wire.PageEnd != 0}
+	if hdr.Flags&wire.PageStats != 0 {
+		// The JSON body outlives the frame buffer: copy it out.
+		pg.stats = append([]byte(nil), d.Bytes()...)
+		if err := d.Err(); err != nil {
+			pg.err = fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		return pg
+	}
 	raw := hdr.Flags&wire.PageRaw != 0
 	for i := 0; i < hdr.Count && d.Err() == nil; i++ {
 		var o *object.Object

@@ -1,0 +1,182 @@
+package main
+
+// C8: flight-recorder overhead — the C5 remote-v2 query shape measured
+// twice against its own kernel. The `telemetry_off` row disables the
+// whole recorder (no sampler, no watchdog, no event ring); the
+// `telemetry_on` row runs the defaults (1s sampling, 1024-event ring)
+// with a live SubscribeStats subscriber draining deltas at 250ms — the
+// worst realistic case: everything recording while an observer pulls.
+// The acceptance target is overhead within 5% of the off row.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gaea"
+	"gaea/client"
+	"gaea/internal/catalog"
+	"gaea/internal/object"
+	"gaea/internal/sptemp"
+	"gaea/internal/value"
+)
+
+func expC8() {
+	fmt.Printf("## C8 — flight-recorder overhead on the remote query path (clients=%d repeats=%d)\n",
+		*serveClients, *repeats)
+	const nObj = 256
+	const queries = 4096
+	n := *serveClients
+
+	// run stands up one kernel+server+clients world, measures the full
+	// query budget -repeats times, and tears everything down so the two
+	// rows cannot share recorder state.
+	run := func(name string, kopts gaea.Options, subscribe bool) (benchRow, map[string]gaea.HistogramSnapshot) {
+		dir, err := os.MkdirTemp("", "gaea-bench-c8-*")
+		must(err)
+		defer os.RemoveAll(dir)
+		kopts.NoSync = true
+		kopts.User = "bench"
+		k, err := gaea.Open(dir+"/db", kopts)
+		must(err)
+		defer k.Close()
+		must(k.DefineClass(&catalog.Class{
+			Name: "gauge", Kind: catalog.KindBase,
+			Attrs: []catalog.Attr{{Name: "mm", Type: value.TypeFloat}},
+			Frame: sptemp.DefaultFrame, HasSpatial: true,
+		}))
+		boxes := make([]sptemp.Box, nObj)
+		seed := k.Begin(ctx)
+		for i := 0; i < nObj; i++ {
+			x := float64(i * 20)
+			boxes[i] = sptemp.NewBox(x, 0, x+10, 10)
+			_, err := seed.Create(&object.Object{
+				Class:  "gauge",
+				Attrs:  map[string]value.Value{"mm": value.Float(float64(i))},
+				Extent: sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i]),
+			}, "")
+			must(err)
+		}
+		must(seed.Commit())
+
+		sock := dir + "/gaea.sock"
+		l, err := net.Listen("unix", sock)
+		must(err)
+		srv := k.NewServer(gaea.ServeOptions{})
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(l) }()
+
+		backends := make([]*client.Conn, n)
+		for i := range backends {
+			c, err := client.Dial("unix://"+sock, client.Options{User: "bench"})
+			must(err)
+			backends[i] = c
+		}
+
+		// The live observer: one extra connection holding a stats
+		// subscription, drained as fast as the server pushes.
+		var subWG sync.WaitGroup
+		var subConn *client.Conn
+		if subscribe {
+			c, err := client.Dial("unix://"+sock, client.Options{User: "bench-obs"})
+			must(err)
+			subConn = c
+			feed, err := c.SubscribeStats(ctx, client.SubscribeOptions{Period: 250 * time.Millisecond})
+			must(err)
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				for {
+					if _, err := feed.Next(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+
+		runOnce := func() (qps float64, p99 time.Duration) {
+			next := make(chan int, queries)
+			for i := 0; i < queries; i++ {
+				next <- i
+			}
+			close(next)
+			lats := make([][]time.Duration, n)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					b := backends[w]
+					for i := range next {
+						pred := sptemp.TimelessExtent(sptemp.DefaultFrame, boxes[i%nObj])
+						t0 := time.Now()
+						res, err := b.Query(ctx, gaea.Request{Class: "gauge", Pred: pred})
+						must(err)
+						if len(res.OIDs) != 1 {
+							must(fmt.Errorf("C8: tile query saw %d objects", len(res.OIDs)))
+						}
+						lats[w] = append(lats[w], time.Since(t0))
+					}
+				}(w)
+			}
+			wg.Wait()
+			total := time.Since(start)
+			var all []time.Duration
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			return float64(queries) / total.Seconds(), all[len(all)*99/100]
+		}
+
+		var samples []float64
+		var lastP99 time.Duration
+		for r := 0; r < *repeats; r++ {
+			qps, p99 := runOnce()
+			samples = append(samples, qps)
+			lastP99 = p99
+		}
+
+		for _, c := range backends {
+			must(c.Close())
+		}
+		if subConn != nil {
+			must(subConn.Close()) // breaks the feed; the drain goroutine exits
+			subWG.Wait()
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		must(srv.Shutdown(sctx))
+		cancel()
+		must(<-served)
+
+		row := benchRow{
+			Name: name, Metric: "queries_per_sec",
+			Samples: samples, Median: median(samples),
+			P99us: float64(lastP99.Microseconds()),
+			Config: map[string]any{
+				"protocol": "v2", "conns": n, "subscriber": subscribe,
+			},
+		}
+		fmt.Printf("| %s | %.0f | %v |\n", name, row.Median, lastP99.Round(time.Microsecond))
+		return row, k.StatsSnapshot().Metrics.Histograms
+	}
+
+	fmt.Println("| telemetry | queries/s (median) | p99 latency |")
+	fmt.Println("|---|---|---|")
+	off, _ := run("telemetry_off",
+		gaea.Options{StatsInterval: -1, StallThreshold: -1, EventRing: -1}, false)
+	on, hists := run("telemetry_on", gaea.Options{}, true)
+
+	fmt.Printf("\nflight recorder + live subscriber: %+.1f%% throughput cost vs telemetry off\n\n",
+		100*(off.Median-on.Median)/off.Median)
+	writeBench("C8", map[string]any{
+		"clients": n, "queries": queries, "objects": nObj,
+		"repeats": *repeats, "transport": "unix socket",
+		"subscriber_period_ms": 250,
+	}, []benchRow{off, on}, hists)
+}

@@ -85,7 +85,7 @@ func main() {
 	}{
 		{"F3", expF3}, {"F4", expF4}, {"F5T1", expF5T1}, {"Q1", expQ1},
 		{"C1", expC1}, {"C2", expC2}, {"C3", expC3}, {"C4", expC4},
-		{"C5", expC5}, {"C6", expC6}, {"C7", expC7}, {"P1", expP1},
+		{"C5", expC5}, {"C6", expC6}, {"C7", expC7}, {"C8", expC8}, {"P1", expP1},
 	}
 	sel := map[string]bool{}
 	if *only != "" {

@@ -9,7 +9,8 @@
 //	gaea serve -db DIR -listen ADDR [flags]         network server
 //	gaea fed -shards A,B,... -listen ADDR [flags]   federation router over served shards
 //	gaea stats -connect ADDR[,ADDR...]              remote stats line (table when multiple)
-//	gaea top -connect ADDR[,ADDR...]                remote metrics & slow-op log
+//	gaea top -connect ADDR[,ADDR...] [-watch]       remote metrics & slow-op log (-watch: live table)
+//	gaea events -connect ADDR [-follow] [-json]     structured event stream (commits, 2PC, stalls, shard health)
 //	gaea trace -connect ADDR[,ADDR...]              run one traced query, print its span tree
 //
 // ADDR is "unix:///path/to.sock" or "host:port" (TCP). With -demo the
@@ -22,6 +23,15 @@
 // the matching server spans from every endpoint — pointing it at a
 // router plus its shards renders the three-level client → router →
 // shard span tree of one federated query.
+//
+// `gaea top -watch` holds a SubscribeStats push subscription to every
+// endpoint and repaints a live fleet table each period: state (an
+// endpoint whose feed breaks flips to down within one period), query/
+// commit/request rates, and the request p99. `gaea events` prints the
+// structured event log — commit groups, checkpoints, derivation sweeps,
+// lease expiries, 2PC outcomes, stalls, shard up/down — and with
+// -follow stays subscribed, resuming across server restarts at the last
+// seen sequence; -json emits the sink's JSONL schema verbatim.
 //
 // `gaea serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
 // it stops accepting, drains in-flight requests (streams are paged, so
@@ -69,6 +79,9 @@ func main() {
 		case "top":
 			topMain(os.Args[2:])
 			return
+		case "events":
+			eventsMain(os.Args[2:])
+			return
 		case "trace":
 			traceMain(os.Args[2:])
 			return
@@ -83,7 +96,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       gaea serve -db DIR -listen ADDR")
 		fmt.Fprintln(os.Stderr, "       gaea fed -shards ADDR,ADDR,... -listen ADDR")
 		fmt.Fprintln(os.Stderr, "       gaea stats -connect ADDR[,ADDR...]")
-		fmt.Fprintln(os.Stderr, "       gaea top -connect ADDR[,ADDR...]")
+		fmt.Fprintln(os.Stderr, "       gaea top -connect ADDR[,ADDR...] [-watch]")
+		fmt.Fprintln(os.Stderr, "       gaea events -connect ADDR [-follow] [-json]")
 		fmt.Fprintln(os.Stderr, "       gaea trace -connect ADDR[,ADDR...]")
 		os.Exit(2)
 	}
@@ -573,13 +587,18 @@ func topMain(args []string) {
 	connect := fs.String("connect", "", `server address(es): "unix:///path/to.sock" or "host:port", comma-separated for a shard table (required)`)
 	user := fs.String("user", os.Getenv("USER"), "user announced to the server")
 	slow := fs.Int("slow", 5, "slow ops to print (0 = none)")
-	interval := fs.Duration("interval", time.Second, "sampling window for the per-shard q/s column")
+	interval := fs.Duration("interval", time.Second, "sampling window for the per-shard q/s column (and the -watch refresh period)")
+	watch := fs.Bool("watch", false, "live mode: subscribe to every endpoint's stats push and repaint a fleet table each interval")
 	_ = fs.Parse(args)
 	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "usage: gaea top -connect ADDR[,ADDR...] [-slow N]")
+		fmt.Fprintln(os.Stderr, "usage: gaea top -connect ADDR[,ADDR...] [-slow N] [-watch]")
 		os.Exit(2)
 	}
 	addrs := splitEndpoints(*connect)
+	if *watch {
+		watchMain(addrs, *user, *interval)
+		return
+	}
 	if len(addrs) > 1 {
 		ok := printShardTable(addrs, *user, *interval)
 		for i, addr := range addrs {

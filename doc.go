@@ -144,4 +144,22 @@
 // kernel (inspect it with `gaea trace -connect ADDR`). Metrics and
 // traces are also served over HTTP — /metrics, /traces, and pprof —
 // when ServeOptions.DebugAddr is set.
+//
+// On top of the registry runs a flight recorder. Kernel.Events is a
+// bounded ring of structured events (commit groups, checkpoints,
+// derivation sweeps, lease expiries, 2PC outcomes, shard health,
+// stalls) with contiguous sequence numbers; Options.EventSink mirrors
+// it as JSON lines. Kernel.Series samples the registry every
+// Options.StatsInterval into a time-series ring, so rates and p99
+// movement are answerable after the fact, and the same tick runs a
+// stall watchdog: an operation open past Options.StallThreshold emits
+// one `stall` event carrying its trace ID and a goroutine profile.
+// Remote observers subscribe rather than poll — client
+// Conn.SubscribeStats pushes windowed StatsDelta frames (rates, gauges,
+// event backlog) on a period, resumable across reconnects via the
+// delta's NextSeq — and a federation router holds one subscription per
+// shard, folding them into an up/degraded/down fleet view. Watch it
+// live with `gaea top -connect A,B -watch`, tail events with `gaea
+// events -connect ADDR -follow`, or curl /events and /timeseries on
+// the debug endpoint.
 package gaea

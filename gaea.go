@@ -2,6 +2,8 @@ package gaea
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"iter"
 	"sync"
 	"sync/atomic"
@@ -88,14 +90,41 @@ type Options struct {
 	// at least this long into the slow-op log (Kernel.Observe, the debug
 	// endpoint, gaea top). 0 takes the default (100ms); negative disables
 	// the slow-op log. Tracing is always on but rate-limited: locally
-	// minted traces are admitted through a token bucket (512 burst,
-	// 512/s refill), so every request is traced — and the slow-op log is
-	// complete — below that rate, while bulk loads past it skip span
-	// construction and pay only a few atomics per request.
+	// minted traces are admitted through a token bucket (TraceBurst
+	// burst, TraceRate/s refill), so every request is traced — and the
+	// slow-op log is complete — below that rate, while bulk loads past it
+	// skip span construction and pay only a few atomics per request.
 	// Remote-stamped traces (a client that asked to trace) are always
 	// admitted.
 	SlowOpThreshold time.Duration
+	// TraceRate and TraceBurst tune the tracer's sampling token bucket
+	// (see SlowOpThreshold): TraceRate is the refill per second,
+	// TraceBurst the bucket capacity. 0 keeps the defaults (512 and 512).
+	TraceRate  int
+	TraceBurst int
+	// StatsInterval is the flight recorder's cadence: once per interval
+	// the metrics registry is snapshotted into the time-series ring
+	// (Kernel.Series) and the stall watchdog scans open operations. 0
+	// takes the default (1s); negative disables background sampling and
+	// the watchdog (the event log still records).
+	StatsInterval time.Duration
+	// StallThreshold is the watchdog cutoff: an operation open longer
+	// than this emits one `stall` event carrying a goroutine profile. 0
+	// takes the default (30s); negative disables the watchdog.
+	StallThreshold time.Duration
+	// EventRing sizes the structured event ring (Kernel.Events): 0 takes
+	// the default (1024); negative disables the event log entirely.
+	EventRing int
+	// EventSink, when set, additionally appends every event as one JSON
+	// line (the Event struct is the schema). A write error disables the
+	// sink — the ring keeps recording — and is reported by
+	// Events.SinkErr.
+	EventSink io.Writer
 }
+
+// defaultStatsInterval is the flight recorder's sampling period when
+// Options.StatsInterval is zero.
+const defaultStatsInterval = time.Second
 
 // defaultSlowOpThreshold is the slow-op log cutoff when
 // Options.SlowOpThreshold is zero.
@@ -139,6 +168,17 @@ type Kernel struct {
 	// Tracer records request span trees (queries, commits, remote
 	// requests) plus the slow-op log.
 	Tracer *obs.Tracer
+	// Events is the structured event log: commit groups, checkpoints,
+	// deriv sweeps, lease expiries, 2PC outcomes, stalls. Nil when
+	// Options.EventRing is negative (all methods are nil-safe).
+	Events *obs.EventLog
+	// Series is the time-series ring of periodic metrics samples. Nil
+	// when Options.StatsInterval is negative.
+	Series *obs.TimeSeries
+
+	// obsStop ends the flight-recorder ticker goroutine (nil when
+	// background sampling is disabled).
+	obsStop chan struct{}
 
 	Store       *storage.Store
 	Catalog     *catalog.Catalog
@@ -171,6 +211,10 @@ func Open(dir string, opts Options) (*Kernel, error) {
 	}
 	k := &Kernel{dir: dir, user: opts.User, Store: st,
 		Metrics: reg, Tracer: obs.NewTracer(slow, 0, 0)}
+	k.Tracer.SetSampling(opts.TraceRate, opts.TraceBurst)
+	if opts.EventRing >= 0 {
+		k.Events = obs.NewEventLog(opts.EventRing, opts.EventSink)
+	}
 	k.commits = reg.Counter("session_commits_total")
 	k.commitConflicts = reg.Counter("session_conflicts_total")
 	k.commitNS = reg.Histogram("session_commit_ns")
@@ -237,7 +281,42 @@ func Open(dir string, opts Options) (*Kernel, error) {
 	if k.checkpointEvery > 0 {
 		k.Objects.AfterCommit = k.maybeAutoCheckpoint
 	}
+	if opts.StatsInterval >= 0 {
+		interval := opts.StatsInterval
+		if interval == 0 {
+			interval = defaultStatsInterval
+		}
+		k.Series = obs.NewTimeSeries(reg, 0)
+		// Sample once immediately so observers (the /timeseries endpoint)
+		// see a point before the first tick.
+		k.Series.Sample(time.Now())
+		var wd *obs.Watchdog
+		if opts.StallThreshold >= 0 {
+			wd = obs.NewWatchdog(k.Tracer, k.Events, opts.StallThreshold)
+		}
+		k.obsStop = make(chan struct{})
+		k.bg.Add(1)
+		go k.flightRecorder(interval, wd)
+	}
 	return k, nil
+}
+
+// flightRecorder is the observability ticker: one registry sample into
+// the time-series ring and one watchdog scan per interval, off every
+// hot path.
+func (k *Kernel) flightRecorder(interval time.Duration, wd *obs.Watchdog) {
+	defer k.bg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-k.obsStop:
+			return
+		case now := <-tick.C:
+			k.Series.Sample(now)
+			wd.Scan(now)
+		}
+	}
 }
 
 // Checkpoint reclaims superseded object versions below the oldest pinned
@@ -257,6 +336,10 @@ func (k *Kernel) Checkpoint() (int, error) {
 		return n, classify(err)
 	}
 	k.checkpoints.Add(1)
+	if k.Events != nil {
+		k.Events.Emit("checkpoint", SevInfo, "versions reclaimed, heaps flushed, WAL truncated",
+			map[string]string{"reclaimed": fmt.Sprint(n)})
+	}
 	return n, nil
 }
 
@@ -296,6 +379,9 @@ func (k *Kernel) maybeAutoCheckpoint() {
 func (k *Kernel) Close() error {
 	k.closeOnce.Do(func() {
 		k.closed.Store(true)
+		if k.obsStop != nil {
+			close(k.obsStop) // stop the flight-recorder ticker
+		}
 		k.bg.Wait() // drain any in-flight background checkpoint
 		// Release snapshots the caller leaked, so the pin table (and
 		// with it the GC horizon) ends clean. Collect under the lock,
@@ -420,6 +506,10 @@ func (k *Kernel) RefreshStale(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	n, err := k.Deriv.RefreshStale(ctx)
+	if err == nil && k.Events != nil {
+		k.Events.Emit("deriv_sweep", SevInfo, "stale derived objects refreshed",
+			map[string]string{"refreshed": fmt.Sprint(n)})
+	}
 	return n, classify(err)
 }
 

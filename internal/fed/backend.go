@@ -539,6 +539,11 @@ func (b *fedBackend) Metrics() *obs.Registry { return b.r.reg }
 func (b *fedBackend) Tracer() *obs.Tracer    { return b.r.tracer }
 func (b *fedBackend) ObsJSON() []byte        { return b.r.ObsJSON() }
 
+// Events makes the adapter a server.FlightBackend: a served federation
+// pushes the router's own event stream — shard health transitions and
+// coordinator 2PC outcomes — through SubscribeStats like any kernel.
+func (b *fedBackend) Events() *obs.EventLog { return b.r.events }
+
 // Code maps an error onto its wire code. Errors arriving from shards
 // are already classified sentinels (the downstream client decoded them
 // off the wire); federation-native errors carry the same taxonomy.

@@ -93,6 +93,13 @@ type Options struct {
 	// duration — the hook gaea-bench uses for per-shard latency
 	// distributions. It must be safe for concurrent use.
 	ShardObserver func(shard int, op string, d time.Duration)
+	// StatsInterval is the shard health probe period: the router keeps
+	// a SubscribeStats push subscription open to every shard and derives
+	// up/degraded/down states from its liveness, surfaced in ObsJSON's
+	// fleet block and as shard_up/shard_down events. 0 means the 2s
+	// default; negative disables health monitoring. Monitoring is also
+	// skipped when Client.Protocol forces v1 (the push stream needs v2).
+	StatsInterval time.Duration
 }
 
 // Router is the federation coordinator: a client.Kernel whose backing
@@ -109,10 +116,14 @@ type Router struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	events *obs.EventLog
+	health *healthMonitor
 
 	queries  *obs.Counter
 	commits  *obs.Counter
 	twoPhase *obs.Counter
+	acks     *obs.Counter
+	unacked  *obs.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -169,9 +180,17 @@ func Open(addrs []string, opts Options) (*Router, error) {
 	}
 	r := &Router{addrs: addrs, opts: opts, log: log, reg: obs.NewRegistry()}
 	r.tracer = opts.Client.Tracer
+	r.events = obs.NewEventLog(0, nil)
 	r.queries = r.reg.Counter("fed_queries_total")
 	r.commits = r.reg.Counter("fed_commits_total")
 	r.twoPhase = r.reg.Counter("fed_2pc_commits_total")
+	r.acks = r.reg.Counter("fed_2pc_acks_total")
+	r.unacked = r.reg.Counter("fed_2pc_unacked_total")
+	// The decision log is the authority on 2PC outcomes — exporting it
+	// as computed gauges keeps the counts right across replay, live
+	// commits, and coordinator restarts alike.
+	r.reg.GaugeFunc("fed_2pc_pending_decisions", func() int64 { return int64(log.pendingCount()) })
+	r.reg.GaugeFunc("fed_2pc_heuristic_total", func() int64 { return int64(log.heuristicCount()) })
 	for i, addr := range addrs {
 		c, err := client.Dial(addr, opts.Client)
 		if err != nil {
@@ -184,6 +203,13 @@ func Open(addrs []string, opts Options) (*Router, error) {
 		r.conns = append(r.conns, c)
 	}
 	r.replayDecisions()
+	if opts.StatsInterval >= 0 && opts.Client.Protocol != client.ProtocolV1 {
+		interval := opts.StatsInterval
+		if interval == 0 {
+			interval = defaultHealthInterval
+		}
+		r.health = startHealth(r, interval)
+	}
 	return r, nil
 }
 
@@ -258,6 +284,7 @@ func (r *Router) Close() error {
 	}
 	r.closed = true
 	r.mu.Unlock()
+	r.health.stop()
 	var first error
 	for _, c := range r.conns {
 		if err := c.Close(); err != nil && first == nil {
@@ -549,12 +576,15 @@ func (r *Router) Stats() (string, error) {
 }
 
 // ObsJSON is the router's observability export, shaped exactly like a
-// kernel's so `gaea trace -connect` grafts router spans the same way.
+// kernel's so `gaea trace -connect` grafts router spans the same way —
+// plus the fleet block: one health row per shard from the monitor's
+// live SubscribeStats subscriptions.
 func (r *Router) ObsJSON() []byte {
 	b, err := json.Marshal(gaea.ObsExport{
 		Stats:   gaea.StatsSnapshot{Metrics: r.reg.Snapshot()},
 		Traces:  r.tracer.Recent(),
 		SlowOps: r.tracer.Slow(),
+		Fleet:   r.health.fleet(),
 	})
 	if err != nil {
 		return nil

@@ -1,0 +1,199 @@
+package fed
+
+// Shard health: the router keeps one SubscribeStats push subscription
+// open to every shard and reads liveness off it — each delta is a
+// heartbeat carrying the shard's own rates for free. A shard is `up`
+// while deltas flow, `degraded` the moment its feed breaks (the
+// transport died but a redial hasn't been tried yet), and `down` when
+// the redial or resubscribe fails too. Transitions emit shard_up /
+// shard_down events into the router's event log, and the current
+// states surface as the fleet block of ObsJSON — what `gaea top -watch`
+// renders against a federation.
+//
+// The monitor dials its own replacement connections after a failure
+// rather than touching r.conns: routing keeps its original (possibly
+// broken) connection semantics, and health probing never races request
+// multiplexing.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gaea"
+	"gaea/client"
+	"gaea/internal/obs"
+)
+
+// defaultHealthInterval is the probe period when Options.StatsInterval
+// is zero.
+const defaultHealthInterval = 2 * time.Second
+
+// Shard health states, as reported in gaea.ShardStatus.State.
+const (
+	shardUp       = "up"
+	shardDegraded = "degraded"
+	shardDown     = "down"
+)
+
+type shardHealth struct {
+	state    string
+	lastSeen time.Time
+	rates    map[string]float64
+}
+
+// healthMonitor watches every shard with one goroutine each. All
+// methods are nil-safe so a router with monitoring disabled just
+// no-ops.
+type healthMonitor struct {
+	r      *Router
+	period time.Duration
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	shards []shardHealth
+}
+
+// lockorder note: healthMonitor.mu is a leaf — never held across a
+// round trip, an Emit, or any other lock.
+
+// startHealth begins monitoring every shard of r. Shards start `up`:
+// Open just dialed them all successfully, and the first missed
+// heartbeat demotes them within one period.
+func startHealth(r *Router, period time.Duration) *healthMonitor {
+	//lint:gaea-allow ctxflow the monitor outlives any caller context; Router.Close cancels it
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &healthMonitor{r: r, period: period, cancel: cancel, shards: make([]shardHealth, len(r.conns))}
+	now := time.Now()
+	for i := range m.shards {
+		m.shards[i] = shardHealth{state: shardUp, lastSeen: now}
+	}
+	for shard := range r.conns {
+		m.wg.Add(1)
+		go m.watch(ctx, shard)
+	}
+	return m
+}
+
+// stop cancels every watcher and waits them out. Idempotent via the
+// context; called by Router.Close before the shard connections drop.
+func (m *healthMonitor) stop() {
+	if m == nil {
+		return
+	}
+	m.cancel()
+	m.wg.Wait()
+}
+
+// watch is one shard's probe loop. The first subscription rides the
+// router's own connection; after any failure the monitor owns a fresh
+// dial per attempt.
+func (m *healthMonitor) watch(ctx context.Context, shard int) {
+	defer m.wg.Done()
+	conn := m.r.conns[shard]
+	owned := false
+	release := func() {
+		if owned {
+			_ = conn.Close()
+		}
+		conn, owned = nil, false
+	}
+	for ctx.Err() == nil {
+		if conn == nil {
+			c, err := client.Dial(m.r.addrs[shard], m.r.opts.Client)
+			if err != nil {
+				m.setState(shard, shardDown)
+				if !m.sleep(ctx) {
+					return
+				}
+				continue
+			}
+			conn, owned = c, true
+		}
+		feed, err := conn.SubscribeStats(ctx, client.SubscribeOptions{Period: m.period})
+		if err != nil {
+			release()
+			m.setState(shard, shardDown)
+			if !m.sleep(ctx) {
+				return
+			}
+			continue
+		}
+		for {
+			delta, err := feed.Next()
+			if err != nil {
+				feed.Close()
+				break
+			}
+			m.observe(shard, delta)
+		}
+		release()
+		if ctx.Err() != nil {
+			return
+		}
+		// The feed broke under us: degraded until the immediate redial
+		// settles it — a dead endpoint refuses the dial and goes down.
+		m.setState(shard, shardDegraded)
+	}
+	release()
+}
+
+// sleep waits one probe period, reporting false on cancellation.
+func (m *healthMonitor) sleep(ctx context.Context) bool {
+	t := time.NewTimer(m.period)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// observe records one heartbeat delta, promoting the shard to `up`.
+func (m *healthMonitor) observe(shard int, delta *gaea.StatsDelta) {
+	m.mu.Lock()
+	prev := m.shards[shard].state
+	m.shards[shard] = shardHealth{state: shardUp, lastSeen: delta.At, rates: delta.Rates}
+	m.mu.Unlock()
+	if prev != shardUp {
+		m.r.events.Emit("shard_up", obs.SevInfo,
+			fmt.Sprintf("shard %d (%s) is up", shard, m.r.addrs[shard]),
+			map[string]string{"shard": fmt.Sprint(shard), "addr": m.r.addrs[shard]})
+	}
+}
+
+// setState records a demotion, emitting shard_down on the transition
+// into `down`. Rates are kept from the last heartbeat — stale but
+// labelled so by the state.
+func (m *healthMonitor) setState(shard int, state string) {
+	m.mu.Lock()
+	prev := m.shards[shard].state
+	if prev == state {
+		m.mu.Unlock()
+		return
+	}
+	m.shards[shard].state = state
+	m.mu.Unlock()
+	if state == shardDown {
+		m.r.events.Emit("shard_down", obs.SevWarn,
+			fmt.Sprintf("shard %d (%s) is down", shard, m.r.addrs[shard]),
+			map[string]string{"shard": fmt.Sprint(shard), "addr": m.r.addrs[shard]})
+	}
+}
+
+// fleet snapshots every shard's health row for ObsJSON.
+func (m *healthMonitor) fleet() []gaea.ShardStatus {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]gaea.ShardStatus, len(m.shards))
+	for i, s := range m.shards {
+		out[i] = gaea.ShardStatus{Shard: i, Addr: m.r.addrs[i], State: s.state, LastSeen: s.lastSeen, Rates: s.rates}
+	}
+	return out
+}

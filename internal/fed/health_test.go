@@ -1,0 +1,95 @@
+package fed
+
+// Health-monitor tests: the router's per-shard SubscribeStats
+// subscriptions drive up/down states, a killed shard flips to down
+// within one probe interval (plus the feed's error latency), the
+// transition emits a shard_down event, and ObsJSON carries the fleet
+// block. Named TestFed* so the CI race shard re-runs them.
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gaea"
+)
+
+func TestFedHealthMonitor(t *testing.T) {
+	a := newShard(t, gaea.ServeOptions{})
+	b := newShard(t, gaea.ServeOptions{})
+	r := openFed(t, Options{StatsInterval: 25 * time.Millisecond}, a, b)
+
+	waitFleet := func(want ...string) []gaea.ShardStatus {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			fl := r.health.fleet()
+			ok := len(fl) == len(want)
+			for i := range want {
+				if !ok || fl[i].State != want[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return fl
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("fleet never reached %v: %+v", want, r.health.fleet())
+		return nil
+	}
+
+	fl := waitFleet(shardUp, shardUp)
+	if fl[0].Shard != 0 || fl[0].Addr != a.addr || fl[1].Shard != 1 || fl[1].Addr != b.addr {
+		t.Fatalf("fleet rows mislabelled: %+v", fl)
+	}
+	if fl[0].LastSeen.IsZero() {
+		t.Fatal("up shard has no LastSeen")
+	}
+
+	// Kill shard 1: its feed breaks, the redial refuses, and the state
+	// flips to down — the waitFleet deadline far exceeds the one-probe
+	// bound, the assertion below is the functional one.
+	b.stop()
+	waitFleet(shardUp, shardDown)
+
+	var sawDown bool
+	for _, ev := range r.events.Since(0) {
+		if ev.Type == "shard_down" && ev.Fields["shard"] == "1" {
+			sawDown = true
+		}
+		if ev.Type == "shard_down" && ev.Fields["shard"] == "0" {
+			t.Fatalf("live shard 0 reported down: %+v", ev)
+		}
+	}
+	if !sawDown {
+		t.Fatalf("no shard_down event for shard 1 in %+v", r.events.Since(0))
+	}
+
+	// The fleet block rides the observability export.
+	var ex gaea.ObsExport
+	if err := json.Unmarshal(r.ObsJSON(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Fleet) != 2 || ex.Fleet[0].State != shardUp || ex.Fleet[1].State != shardDown {
+		t.Fatalf("ObsJSON fleet = %+v", ex.Fleet)
+	}
+}
+
+// TestFedHealthDisabled: a negative StatsInterval runs no monitor and
+// ObsJSON omits the fleet block.
+func TestFedHealthDisabled(t *testing.T) {
+	a := newShard(t, gaea.ServeOptions{})
+	r := openFed(t, Options{StatsInterval: -1}, a)
+	if r.health != nil {
+		t.Fatal("monitor running despite negative StatsInterval")
+	}
+	var ex gaea.ObsExport
+	if err := json.Unmarshal(r.ObsJSON(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Fleet != nil {
+		t.Fatalf("fleet block present without a monitor: %+v", ex.Fleet)
+	}
+}

@@ -362,6 +362,7 @@ func (s *fedSession) commitTwoPhase(ctx context.Context, sp *obs.Span, touched [
 		switch {
 		case err == nil:
 			s.r.log.ack(token, b.shard)
+			s.r.acks.Inc()
 			if rerr := s.recordCommitted(b, oidsByShard[i]); rerr != nil && firstErr == nil {
 				firstErr = rerr
 			}
@@ -370,12 +371,19 @@ func (s *fedSession) commitTwoPhase(ctx context.Context, sp *obs.Span, touched [
 			// everyone else committed, this shard presumed abort. No
 			// retry can reconcile it — record and surface.
 			s.r.log.heuristic(token, b.shard)
+			s.r.events.Emit("2pc_heuristic", obs.SevWarn,
+				"shard lost its vote after the commit decision; transaction partially applied",
+				map[string]string{"token": fmt.Sprint(token), "shard": fmt.Sprint(b.shard)})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: transaction %d, shard %d: %v", ErrHeuristic, token, b.shard, err)
 			}
 		default:
 			// Unreachable shard: the decision stays pending in the log
 			// and is re-delivered by the next Open's replay.
+			s.r.unacked.Inc()
+			s.r.events.Emit("2pc_unacked", obs.SevWarn,
+				"decision delivery incomplete; replay finishes it",
+				map[string]string{"token": fmt.Sprint(token), "shard": fmt.Sprint(b.shard)})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: transaction %d, shard %d: %v", ErrDecideUnacked, token, b.shard, err)
 			}

@@ -22,7 +22,8 @@ const maxSpansPerTrace = 512
 // complete; above it (bulk loads, benchmarks) the excess skips span
 // construction entirely, so tracing never taxes a hot path by more
 // than the budget. Remote-stamped traces bypass the bucket — the
-// caller already decided to trace.
+// caller already decided to trace. These are the defaults; a tracer's
+// bucket is tunable with SetSampling.
 const (
 	traceRate  = 512 // sampled root traces per second
 	traceBurst = 512
@@ -38,12 +39,15 @@ type Tracer struct {
 	tokens     atomic.Int64 // remaining local-trace budget
 	lastRefill atomic.Int64 // unix nanos of the last bucket refill
 	misses     atomic.Int64 // admit rejections since the last refill try
+	rate       atomic.Int64 // bucket refill per second (default traceRate)
+	burst      atomic.Int64 // bucket capacity (default traceBurst)
 
 	mu      sync.Mutex
 	ring    []*trace // completed traces, oldest overwritten
 	pos     int
 	slow    []*trace
 	slowPos int
+	open    map[*trace]struct{} // un-Ended root traces (stall watchdog input)
 }
 
 // NewTracer builds a tracer retaining the last `ring` completed traces
@@ -57,11 +61,31 @@ func NewTracer(slowThreshold time.Duration, ring, slowRing int) *Tracer {
 	if slowRing <= 0 {
 		slowRing = 32
 	}
-	t := &Tracer{ring: make([]*trace, 0, ring), slow: make([]*trace, 0, slowRing)}
+	t := &Tracer{ring: make([]*trace, 0, ring), slow: make([]*trace, 0, slowRing),
+		open: make(map[*trace]struct{})}
 	t.thresh.Store(int64(slowThreshold))
+	t.rate.Store(traceRate)
+	t.burst.Store(traceBurst)
 	t.tokens.Store(traceBurst)
 	t.lastRefill.Store(time.Now().UnixNano())
 	return t
+}
+
+// SetSampling replaces the local-trace sampling token bucket: up to
+// burst traces admitted immediately, refilled at rate per second.
+// Zero or negative arguments keep the corresponding current value
+// (the defaults are 512/512). Changing the burst refills the bucket.
+func (t *Tracer) SetSampling(rate, burst int) {
+	if t == nil {
+		return
+	}
+	if rate > 0 {
+		t.rate.Store(int64(rate))
+	}
+	if burst > 0 {
+		t.burst.Store(int64(burst))
+		t.tokens.Store(int64(burst))
+	}
 }
 
 // admit decides whether to open one more locally-minted trace. The
@@ -82,12 +106,12 @@ func (t *Tracer) admit() bool {
 		}
 		now := time.Now().UnixNano()
 		last := t.lastRefill.Load()
-		add := (now - last) * traceRate / int64(time.Second)
+		add := (now - last) * t.rate.Load() / int64(time.Second)
 		if add <= 0 {
 			return false
 		}
-		if add > traceBurst {
-			add = traceBurst
+		if burst := t.burst.Load(); add > burst {
+			add = burst
 		}
 		if !t.lastRefill.CompareAndSwap(last, now) {
 			continue // another goroutine refilled; recheck the bucket
@@ -286,7 +310,18 @@ func StartWith(ctx context.Context, t *Tracer, name string) (context.Context, *S
 	s := &tr.root
 	*s = Span{tr: tr, id: spanID, parent: rootParent, name: name, start: time.Now()}
 	tr.spans = append(tr.inline[:0], s)
+	t.trackOpen(tr)
 	return context.WithValue(ctx, spanKey, s), s
+}
+
+// trackOpen registers a freshly-opened root trace for the stall
+// watchdog; record drops it on completion. Root opens are bounded by
+// the sampling bucket (plus remote-stamped requests), so this lock is
+// never on an unsampled hot path.
+func (t *Tracer) trackOpen(tr *trace) {
+	t.mu.Lock()
+	t.open[tr] = struct{}{}
+	t.mu.Unlock()
 }
 
 // newID mints a process-unique random 64-bit identifier (never 0).
@@ -367,6 +402,7 @@ func (s *Span) End() {
 func (t *Tracer) record(tr *trace, rootDur time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	delete(t.open, tr)
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, tr)
 	} else {
@@ -452,6 +488,31 @@ func (t *Tracer) exportRing(pick func(*Tracer) ([]*trace, int)) []TraceData {
 	for _, tr := range ordered {
 		out = append(out, tr.export())
 	}
+	return out
+}
+
+// OpenOp describes one root span still open: a request in flight, or
+// — when its age exceeds the watchdog threshold — a stalled one.
+type OpenOp struct {
+	TraceID uint64    `json:"trace"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+}
+
+// OpenOps lists the root spans currently open, oldest first. Root
+// name and start are written once before the trace is published, so
+// they are safe to read outside the trace lock.
+func (t *Tracer) OpenOps() []OpenOp {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]OpenOp, 0, len(t.open))
+	for tr := range t.open {
+		out = append(out, OpenOp{TraceID: tr.id, Name: tr.root.name, Start: tr.root.start})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 

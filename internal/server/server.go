@@ -148,6 +148,16 @@ type ObsBackend interface {
 	ObsJSON() []byte
 }
 
+// FlightBackend is the optional flight-recorder surface of a Backend.
+// When the backend implements it, the server emits its own structured
+// events (lease expiries, 2PC outcomes) into the backend's event log,
+// and OpSubscribeStats streams periodic stats/event deltas built from
+// the backend's registry and log. Backends without it refuse
+// OpSubscribeStats and skip event emission — nothing else changes.
+type FlightBackend interface {
+	Events() *obs.EventLog
+}
+
 // Options tunes a Server.
 type Options struct {
 	// MaxConns caps concurrently open connections (0 = unlimited). Over
@@ -272,6 +282,11 @@ type Server struct {
 	reqV2   *obs.Counter
 	reqNS   *obs.Histogram
 
+	// Flight recorder (nil without a FlightBackend): the registry stats
+	// subscriptions snapshot and the event log the server emits into.
+	reg    *obs.Registry
+	events *obs.EventLog
+
 	v2mu    sync.Mutex
 	v2conns map[*v2conn]struct{}
 
@@ -309,6 +324,10 @@ func New(b Backend, opts Options) *Server {
 		reg = ob.Metrics()
 		s.tracer = ob.Tracer()
 		s.obsJSON = ob.ObsJSON
+		s.reg = reg
+	}
+	if fb, ok := b.(FlightBackend); ok {
+		s.events = fb.Events()
 	}
 	s.reqV1 = reg.Counter("server_v1_requests_total")
 	s.reqV2 = reg.Counter("server_v2_requests_total")
@@ -827,6 +846,8 @@ func (s *Server) handlePrepare(user string, req *wire.Request) *wire.Response {
 		_ = ps.Rollback()
 		return s.errResponse(err)
 	}
+	s.events.Emit("2pc_prepare", obs.SevInfo, "staged and locked a prepared transaction",
+		map[string]string{"txn": fmt.Sprint(req.Lease), "creates": fmt.Sprint(len(req.Batch.Creates))})
 	return &wire.Response{OIDs: real}
 }
 
@@ -848,6 +869,11 @@ func (s *Server) handleDecide(req *wire.Request) *wire.Response {
 	s.mu.Unlock()
 	if !ok {
 		if commit {
+			// The coordinator decided COMMIT for a vote this shard no longer
+			// holds: a heuristic outcome it must surface, worth a durable
+			// record on this side too.
+			s.events.Emit("2pc_heuristic", obs.SevWarn, "commit decision for an unknown prepared transaction",
+				map[string]string{"txn": fmt.Sprint(req.Lease)})
 			return &wire.Response{Code: wire.CodeNotFound,
 				Err: fmt.Sprintf("server: no prepared transaction %d (prepare expired or shard restarted)", req.Lease)}
 		}
@@ -856,6 +882,8 @@ func (s *Server) handleDecide(req *wire.Request) *wire.Response {
 	if !commit {
 		_ = txn.sess.Rollback()
 		s.removePrepare(req.Lease)
+		s.events.Emit("2pc_decide", obs.SevInfo, "aborted a prepared transaction",
+			map[string]string{"txn": fmt.Sprint(req.Lease), "decision": "abort"})
 		return &wire.Response{}
 	}
 	if err := txn.sess.Commit(); err != nil {
@@ -865,6 +893,8 @@ func (s *Server) handleDecide(req *wire.Request) *wire.Response {
 		return s.errResponse(err)
 	}
 	s.removePrepare(req.Lease)
+	s.events.Emit("2pc_decide", obs.SevInfo, "committed a prepared transaction",
+		map[string]string{"txn": fmt.Sprint(req.Lease), "decision": "commit"})
 	return &wire.Response{OIDs: remapDeferred(txn.sess, txn.real)}
 }
 
@@ -1014,6 +1044,8 @@ func (s *Server) janitor() {
 			for _, epoch := range drop {
 				s.b.Unpin(epoch)
 				s.expiries.Add(1)
+				s.events.Emit("lease_expiry", obs.SevWarn, "abandoned lease released its pin",
+					map[string]string{"epoch": fmt.Sprint(epoch)})
 			}
 			// Presumed abort: an undecided prepare whose coordinator went
 			// silent rolls back, releasing its write locks (and its
@@ -1023,6 +1055,8 @@ func (s *Server) janitor() {
 				_ = txn.sess.Rollback()
 				s.removePrepare(txn.token)
 				s.expiries.Add(1)
+				s.events.Emit("2pc_presume_abort", obs.SevWarn, "undecided prepare expired and rolled back",
+					map[string]string{"txn": fmt.Sprint(txn.token)})
 			}
 		}
 	}

@@ -234,7 +234,7 @@ func (vc *v2conn) start(id uint64, req *wire.Request) {
 	s := vc.s
 	rctx, rcancel := context.WithCancel(vc.ctx)
 	r := &v2req{cancel: rcancel}
-	if req.Op == wire.OpStreamPush {
+	if req.Op == wire.OpStreamPush || req.Op == wire.OpSubscribeStats {
 		r.stream = newV2Stream()
 	}
 	vc.mu.Lock()
@@ -256,9 +256,12 @@ func (vc *v2conn) start(id uint64, req *wire.Request) {
 			break
 		}
 	}
-	if r.stream != nil {
+	switch {
+	case req.Op == wire.OpSubscribeStats:
+		go s.pushStatsV2(vc, id, r, rctx, req)
+	case r.stream != nil:
 		go s.pushStreamV2(vc, id, r, rctx, req)
-	} else {
+	default:
 		go s.handleV2(vc, id, rctx, req)
 	}
 }

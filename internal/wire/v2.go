@@ -80,11 +80,24 @@ const (
 	// PageRaw marks a page whose objects travel as stored record bytes
 	// (decode with object.DecodeWire) rather than encoded wire Objects.
 	PageRaw byte = 1 << 1
+	// PageStats marks a SubscribeStats push: the body after the page
+	// header is one JSON-encoded stats delta, and the header's epoch
+	// field carries the subscriber's next event sequence (resume point).
+	PageStats byte = 1 << 2
 )
 
 // OpStreamPush starts a v2 server-push stream (Lease != 0 makes it a
 // snapshot stream). It never appears in v1 traffic.
 const OpStreamPush Op = 32
+
+// OpSubscribeStats starts a v2 server-push stats subscription: the
+// server periodically pushes PageStats pages carrying JSON stats/event
+// deltas under the same credit window as OpStreamPush. The request
+// reuses Window as the initial credit grant, Page as the push period in
+// milliseconds (0 = server default), and Epoch as the last event
+// sequence the subscriber has already seen (0 = from the start of the
+// ring). It never appears in v1 traffic.
+const OpSubscribeStats Op = 33
 
 // RawObject is one object shipped as its stored record bytes plus the
 // payloads of any image blobs the record references.

@@ -198,6 +198,8 @@ func (o Op) String() string {
 		return "decide"
 	case OpStreamPush:
 		return "stream-push"
+	case OpSubscribeStats:
+		return "subscribe-stats"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

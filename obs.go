@@ -39,6 +39,29 @@ type (
 	DerivCounters = deriv.Counters
 	// MVCCStats summarises version-store health.
 	MVCCStats = object.MVCCStats
+	// Event is one structured flight-recorder record (commit group,
+	// checkpoint pass, deriv sweep, lease expiry, 2PC outcome, shard
+	// transition, stall). Its JSON form is the event JSONL schema.
+	Event = obs.Event
+	// EventLog is the bounded event ring with an optional JSONL sink.
+	EventLog = obs.EventLog
+	// SeriesPoint is one periodic sample of the metrics registry.
+	SeriesPoint = obs.SeriesPoint
+	// TimeSeries is the bounded ring of periodic registry samples.
+	TimeSeries = obs.TimeSeries
+	// StatsDelta is one push of a stats subscription: rates since the
+	// previous push, current gauges/p99s, and new events.
+	StatsDelta = obs.StatsDelta
+	// OpenOp describes one operation currently in flight (an un-ended
+	// root span) — what the stall watchdog scans.
+	OpenOp = obs.OpenOp
+)
+
+// Event severities (Event.Severity values).
+const (
+	SevInfo  = obs.SevInfo
+	SevWarn  = obs.SevWarn
+	SevError = obs.SevError
 )
 
 // NewTracer builds a standalone tracer — typically a client-side one,
@@ -109,14 +132,28 @@ func (k *Kernel) StatsSnapshot() StatsSnapshot {
 	}
 }
 
+// ShardStatus is one shard's health in a federation's fleet view,
+// derived from the liveness of the router's stats subscription to it:
+// "up" while deltas arrive, "degraded" after a missed interval, "down"
+// once the subscription is lost and redials fail.
+type ShardStatus struct {
+	Shard    int                `json:"shard"`
+	Addr     string             `json:"addr"`
+	State    string             `json:"state"`
+	LastSeen time.Time          `json:"last_seen,omitempty"`
+	Rates    map[string]float64 `json:"rates,omitempty"`
+}
+
 // ObsExport bundles everything an observer pulls in one shot: the stats
 // snapshot, the most recent completed traces, and the slow-op log. It
 // is what the v2 wire protocol's stats extension carries and what the
-// debug endpoint's /traces serves.
+// debug endpoint's /traces serves. Fleet is present only on federation
+// exports: one health row per shard.
 type ObsExport struct {
 	Stats   StatsSnapshot `json:"stats"`
 	Traces  []TraceData   `json:"traces,omitempty"`
 	SlowOps []TraceData   `json:"slow_ops,omitempty"`
+	Fleet   []ShardStatus `json:"fleet,omitempty"`
 }
 
 // Observe exports the kernel's observability state.

@@ -202,6 +202,50 @@ func TestDebugEndpoint(t *testing.T) {
 		t.Fatalf("pprof: %d", code)
 	}
 
+	// The flight-recorder endpoints: a committed session shows up as a
+	// commit_group event, and the time-series ring holds at least the
+	// sample Open took.
+	s := k.Begin(context.Background())
+	if _, err := s.Create(rainObject(2, 20), "seed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get("/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events: %d", code)
+	}
+	var evs struct {
+		Events  []Event `json:"events"`
+		Dropped int64   `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	found := false
+	for _, ev := range evs.Events {
+		if ev.Type == "commit_group" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/events holds no commit_group: %q", body)
+	}
+	code, body = get("/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries: %d", code)
+	}
+	var pts struct {
+		Points []SeriesPoint `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &pts); err != nil {
+		t.Fatalf("/timeseries not JSON: %v", err)
+	}
+	if len(pts.Points) == 0 {
+		t.Fatal("/timeseries holds no points")
+	}
+
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

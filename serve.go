@@ -8,6 +8,7 @@ package gaea
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -49,7 +50,9 @@ type ServeOptions struct {
 	// DebugAddr, when non-empty, serves a plaintext HTTP debug endpoint
 	// on that address (started with the first Serve): /metrics (the
 	// registry as text), /traces (the full observability export as
-	// JSON), and net/http/pprof under /debug/pprof/. The endpoint is
+	// JSON), /events (the structured event ring as JSON), /timeseries
+	// (the periodic metrics samples as JSON), and net/http/pprof under
+	// /debug/pprof/. The endpoint is
 	// unauthenticated and exposes operational detail — bind it to
 	// loopback (e.g. "127.0.0.1:6060") or protect it externally; never
 	// expose it on the service listener's network.
@@ -151,6 +154,19 @@ func (s *Server) startDebug() error {
 				return
 			}
 			_, _ = w.Write(b)
+		})
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(struct {
+				Events  []Event `json:"events"`
+				Dropped int64   `json:"dropped"`
+			}{Events: s.k.Events.Since(0), Dropped: s.k.Events.Dropped()})
+		})
+		mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(struct {
+				Points []SeriesPoint `json:"points"`
+			}{Points: s.k.Series.Points()})
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -378,6 +394,11 @@ func (b kernelBackend) GetRawAt(oid object.OID, epoch uint64) (wire.RawObject, e
 // when one came over the wire), and OpStats carries the export.
 func (b kernelBackend) Metrics() *obs.Registry { return b.k.Metrics }
 func (b kernelBackend) Tracer() *obs.Tracer    { return b.k.Tracer }
+
+// Events makes the adapter a server.FlightBackend: the server's own
+// events (lease expiries, 2PC outcomes) land in the kernel's log, and
+// OpSubscribeStats streams deltas built from the kernel registry.
+func (b kernelBackend) Events() *obs.EventLog { return b.k.Events }
 func (b kernelBackend) ObsJSON() []byte {
 	j, err := b.k.ObsJSON()
 	if err != nil {

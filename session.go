@@ -307,6 +307,14 @@ func (s *Session) Commit() (err error) {
 	if err != nil {
 		return classify(err)
 	}
+	if ev := s.k.Events; ev != nil {
+		ev.Emit("commit_group", SevInfo, "session batch committed", map[string]string{
+			"epoch":   fmt.Sprint(epoch),
+			"creates": fmt.Sprint(len(ops.Inserts)),
+			"updates": fmt.Sprint(len(ops.Updates)),
+			"deletes": fmt.Sprint(len(ops.Deletes)),
+		})
+	}
 	// Durable: publish lineage, then propagate all mutations in ONE sweep
 	// under the batch's commit epoch (so snapshot readers pinned before it
 	// do not see the dependents as stale).
